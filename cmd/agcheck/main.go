@@ -1,0 +1,81 @@
+// Command agcheck runs the Composition Theorem of Abadi & Lamport, "Open
+// Systems in TLA" (§5) on the built-in models and prints a per-hypothesis
+// verdict.
+//
+// Usage:
+//
+//	agcheck -model circular
+//	agcheck -model queues -n 1 -k 2
+//	agcheck -model queues-no-g -n 1 -k 2   (expected to FAIL: §A.5 formula (3))
+//	agcheck -model corollary -n 1 -k 2     (the refinement Corollary)
+//	agcheck -model arbiter                 (mutual-exclusion arbiter domain)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"opentla/internal/arbiter"
+	"opentla/internal/circular"
+	"opentla/internal/queue"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "agcheck:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("agcheck", flag.ContinueOnError)
+	model := fs.String("model", "circular", "model to check: circular | queues | queues-no-g | corollary | arbiter")
+	n := fs.Int("n", 1, "queue capacity N")
+	k := fs.Int("k", 2, "value-domain size K")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := queue.Config{N: *n, Vals: *k}
+	start := time.Now()
+	switch *model {
+	case "circular":
+		report, err := circular.SafetyTheorem().Check()
+		if err != nil {
+			return err
+		}
+		fmt.Print(report)
+	case "queues":
+		report, err := cfg.Fig9Theorem().Check()
+		if err != nil {
+			return err
+		}
+		fmt.Print(report)
+	case "queues-no-g":
+		th := cfg.Fig9Theorem()
+		th.Name += " WITHOUT G (expected to fail, §A.5 formula (3))"
+		th.Pairs = th.Pairs[1:]
+		report, err := th.Check()
+		if err != nil {
+			return err
+		}
+		fmt.Print(report)
+	case "corollary":
+		report, err := cfg.CorollaryRefinement().Check()
+		if err != nil {
+			return err
+		}
+		fmt.Print(report)
+	case "arbiter":
+		report, err := arbiter.Theorem().Check()
+		if err != nil {
+			return err
+		}
+		fmt.Print(report)
+	default:
+		return fmt.Errorf("unknown model %q", *model)
+	}
+	fmt.Printf("elapsed: %v\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}

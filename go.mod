@@ -1,0 +1,3 @@
+module opentla
+
+go 1.22

@@ -1,0 +1,137 @@
+package ag
+
+import (
+	"fmt"
+	"sort"
+
+	"opentla/internal/check"
+	"opentla/internal/form"
+	"opentla/internal/spec"
+	"opentla/internal/ts"
+	"opentla/internal/value"
+)
+
+// Refinement is an instance of the Corollary of the Composition Theorem
+// (§5): for a safety environment assumption E,
+//
+//	(a) ⊨ E+v ∧ C(M') ⇒ C(M)
+//	(b) ⊨ E ∧ M' ⇒ M
+//
+// imply ⊨ (E ⊳ M') ⇒ (E ⊳ M) — the correctness of refining a system with a
+// fixed environment assumption.
+type Refinement struct {
+	Name string
+	// Env is the fixed environment assumption E (safety, no internals).
+	Env *spec.Component
+	// Low is the lower-level guarantee M'.
+	Low *spec.Component
+	// High is the higher-level guarantee M.
+	High *spec.Component
+	// Mapping discharges High's internal variables in terms of the
+	// low-level variables.
+	Mapping map[string]form.Expr
+	// PlusSub overrides the v of hypothesis (a); the default is the tuple
+	// of all non-internal variables.
+	PlusSub form.Expr
+	Domains map[string][]value.Value
+	// MaxStates bounds graph construction.
+	MaxStates int
+}
+
+func (rf *Refinement) plusSub() form.Expr {
+	if rf.PlusSub != nil {
+		return rf.PlusSub
+	}
+	set := make(map[string]bool)
+	add := func(c *spec.Component) {
+		if c == nil {
+			return
+		}
+		for _, v := range c.Inputs {
+			set[v] = true
+		}
+		for _, v := range c.Outputs {
+			set[v] = true
+		}
+	}
+	add(rf.Env)
+	add(rf.Low)
+	add(rf.High)
+	vars := make([]string, 0, len(set))
+	for v := range set {
+		vars = append(vars, v)
+	}
+	sort.Strings(vars)
+	return form.VarTuple(vars...)
+}
+
+// Check discharges both hypotheses of the Corollary.
+func (rf *Refinement) Check() (*Report, error) {
+	if rf.Env != nil && len(rf.Env.Fairness) > 0 {
+		return nil, fmt.Errorf("refinement %s: E must be a safety property", rf.Name)
+	}
+	if len(rf.High.Internals) > 0 && rf.Mapping == nil {
+		return nil, fmt.Errorf("refinement %s: High has internals %v: refinement mapping required",
+			rf.Name, rf.High.Internals)
+	}
+	r := &Report{
+		TheoremName: rf.Name + " (Corollary)",
+		Valid:       true,
+		Conclusion:  "(E -+> M') => (E -+> M)",
+	}
+
+	// (a) E+v ∧ C(M') ⇒ C(M), via the +v monitor product over the graph of
+	// C(M') with environment variables unconstrained.
+	baseSys := &ts.System{
+		Name:       rf.Name + "/low-closure",
+		Components: []*spec.Component{rf.Low.SafetyOnly()},
+		Domains:    rf.Domains,
+		MaxStates:  rf.MaxStates,
+	}
+	baseG, err := baseSys.Build()
+	if err != nil {
+		return nil, fmt.Errorf("refinement %s: building C(M') graph: %w", rf.Name, err)
+	}
+	r.noteStates(baseG.NumStates())
+	var envInit form.Expr
+	var envSquares []form.Expr
+	if rf.Env != nil {
+		envInit = rf.Env.Init
+		envSquares = []form.Expr{rf.Env.SquareExpr()}
+	}
+	prod, err := ts.Product(baseG, []*ts.Monitor{ts.PlusMonitor(plusVar, envInit, envSquares, rf.plusSub())})
+	if err != nil {
+		return nil, fmt.Errorf("refinement %s: +v product: %w", rf.Name, err)
+	}
+	r.noteStates(prod.NumStates())
+	resA, err := check.SafetyUnder(prod, rf.High.SafetyOnly().SafetyFormula(), rf.Mapping)
+	if err != nil {
+		return nil, fmt.Errorf("refinement %s hypothesis (a): %w", rf.Name, err)
+	}
+	r.add("(a): E+v /\\ C(M') => C(M)", resA.Holds, resA.String())
+
+	// (b) E ∧ M' ⇒ M with fairness.
+	fullSys := &ts.System{
+		Name:       rf.Name + "/full",
+		Components: []*spec.Component{rf.Low},
+		Domains:    rf.Domains,
+		MaxStates:  rf.MaxStates,
+	}
+	if rf.Env != nil {
+		fullSys.Components = append([]*spec.Component{rf.Env}, fullSys.Components...)
+	}
+	fullG, err := fullSys.Build()
+	if err != nil {
+		return nil, fmt.Errorf("refinement %s: building full graph: %w", rf.Name, err)
+	}
+	r.noteStates(fullG.NumStates())
+	resB, err := check.Component(fullG, rf.High, rf.Mapping)
+	if err != nil {
+		return nil, fmt.Errorf("refinement %s hypothesis (b): %w", rf.Name, err)
+	}
+	r.add("(b): E /\\ M' => M (safety)", resB.Safety == nil || resB.Safety.Holds, safeString(resB.Safety))
+	if resB.Liveness != nil {
+		r.add("(b): E /\\ M' => M (liveness)", resB.Liveness.Holds, resB.Liveness.String())
+	}
+	return r, nil
+}

@@ -1,0 +1,55 @@
+package ag
+
+import (
+	"opentla/internal/form"
+)
+
+// Formula builds the theorem instance as a single TLA formula,
+//
+//	⋀_j (E_j ⊳ M_j) ⇒ (E ⊳ M),
+//
+// with each component's internal variables hidden by ∃. It is used by the
+// semantic validation tests, which evaluate it directly on enumerated
+// lassos of small universes — an independent cross-check of the
+// model-checking driver.
+func (th *Theorem) Formula() form.Formula {
+	var lhs []form.Formula
+	for _, p := range th.Pairs {
+		lhs = append(lhs, p.Formula())
+	}
+	return form.ImpliesFm(form.AndF(lhs...), th.Concl.Formula())
+}
+
+// Formula returns the pair's assumption/guarantee specification E_j ⊳ M_j
+// (just the guarantee when the assumption is TRUE, since TRUE ⊳ G = G).
+func (p *Pair) Formula() form.Formula {
+	g := p.guaranteeFormula()
+	if p.Env == nil {
+		return g
+	}
+	return form.WhilePlus(p.Env.Formula(), g)
+}
+
+func (p *Pair) guaranteeFormula() form.Formula {
+	var fs []form.Formula
+	if p.Sys != nil {
+		fs = append(fs, p.Sys.Formula())
+	}
+	for _, sc := range p.Constraints {
+		// A step constraint is the safety formula □[A]_⟨vars(A)⟩ where A
+		// already permits its stuttering; subscripting by all its
+		// variables makes the box equivalent to □(A holds on every step
+		// that changes them).
+		fs = append(fs, form.ActBoxVars(sc.Action, form.AllVars(sc.Action)...))
+	}
+	return form.AndF(fs...)
+}
+
+// Formula returns the conclusion's specification E ⊳ M.
+func (c *Conclusion) Formula() form.Formula {
+	m := c.Sys.Formula()
+	if c.Env == nil {
+		return m
+	}
+	return form.WhilePlus(c.Env.Formula(), m)
+}

@@ -1,0 +1,509 @@
+// Package ag implements the assumption/guarantee reasoning of Abadi &
+// Lamport, "Open Systems in TLA" (1994): the Composition Theorem (§5), its
+// refinement Corollary, and checkable forms of Propositions 1–4.
+//
+// Each hypothesis of the theorem asserts that a complete system satisfies a
+// property (§5), so the driver discharges hypotheses by explicit-state model
+// checking over the conjunction of the components' specifications, exactly
+// as the paper's proof sketch (Fig. 9) does by hand: Propositions 1 and 2
+// remove closures and quantifiers (we check with internal variables visible
+// and discharge the conclusion's internals with a refinement mapping), and
+// the +v hypothesis is checked both directly (with a +v monitor product)
+// and via the paper's route through Propositions 3 and 4.
+package ag
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"opentla/internal/check"
+	"opentla/internal/form"
+	"opentla/internal/spec"
+	"opentla/internal/ts"
+	"opentla/internal/value"
+)
+
+// plusVar is the monitor variable recording whether the conclusion's
+// environment assumption is still alive in the +v product (invalid as a TLA
+// identifier, so it cannot collide with system variables).
+const plusVar = "$plusAlive"
+
+// Pair is one device's assumption/guarantee specification E_j ⊳ M_j.
+// Exactly one of Sys or Constraints should describe the guarantee:
+//
+//   - Sys is a canonical component specification;
+//   - Constraints is a raw safety guarantee such as the interleaving
+//     assumption G = Disjoint(...) — the paper's conditional-implementation
+//     device "let M_1 = G and E_1 = true, since true ⊳ G equals G" (§5).
+type Pair struct {
+	Name string
+	// Env is the assumption E_j; nil means TRUE. It must be a safety
+	// property (no fairness) with no internal variables, the form the
+	// paper prescribes for environment assumptions (§3).
+	Env *spec.Component
+	// Sys is the guarantee M_j as a canonical component.
+	Sys *spec.Component
+	// Constraints is a guarantee given as per-step constraints (each must
+	// already allow its intended stuttering, e.g. via form.Square).
+	Constraints []ts.StepConstraint
+}
+
+// Conclusion is the specification E ⊳ M the composition should implement.
+type Conclusion struct {
+	// Env is the conclusion's environment assumption E (safety, no
+	// internals); nil means TRUE.
+	Env *spec.Component
+	// Sys is the conclusion's guarantee M.
+	Sys *spec.Component
+	// Mapping is a refinement mapping discharging Sys's internal
+	// variables: abstract internal variable → state function over the
+	// composition's variables (§A.4). Required if Sys has internals.
+	Mapping map[string]form.Expr
+	// PlusSub overrides the state function v of the hypothesis C(E)+v.
+	// The default is the tuple of all non-internal variables of the
+	// composition (e.g. ⟨i, o, z⟩ in Fig. 9).
+	PlusSub form.Expr
+}
+
+// Theorem is an instance of the Composition Theorem:
+// ⋀_j (E_j ⊳ M_j) ⇒ (E ⊳ M).
+type Theorem struct {
+	Name    string
+	Pairs   []Pair
+	Concl   Conclusion
+	Domains map[string][]value.Value
+	// MaxStates bounds each constructed state graph.
+	MaxStates int
+}
+
+// HypothesisResult reports one discharged (or failed) proof obligation.
+type HypothesisResult struct {
+	Name   string
+	Holds  bool
+	Detail string
+}
+
+// Report collects the outcome of checking all hypotheses.
+type Report struct {
+	TheoremName string
+	Hypotheses  []HypothesisResult
+	// Valid is true iff every hypothesis holds, in which case the
+	// Composition Theorem yields the Conclusion formula.
+	Valid bool
+	// Conclusion is the established formula, rendered for the report
+	// footer (defaults to the Composition Theorem's conclusion).
+	Conclusion string
+	// States records the size of the largest graph explored.
+	States int
+}
+
+// String renders the report.
+func (r *Report) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Composition Theorem check: %s\n", r.TheoremName)
+	for _, h := range r.Hypotheses {
+		status := "OK  "
+		if !h.Holds {
+			status = "FAIL"
+		}
+		fmt.Fprintf(&sb, "  [%s] %s", status, h.Name)
+		if h.Detail != "" && !h.Holds {
+			fmt.Fprintf(&sb, "\n        %s", strings.ReplaceAll(h.Detail, "\n", "\n        "))
+		}
+		sb.WriteByte('\n')
+	}
+	if r.Valid {
+		concl := r.Conclusion
+		if concl == "" {
+			concl = "/\\_j (Ej -+> Mj) => (E -+> M)"
+		}
+		fmt.Fprintf(&sb, "VALID: %s  (%d states max)\n", concl, r.States)
+	} else {
+		sb.WriteString("NOT ESTABLISHED\n")
+	}
+	return sb.String()
+}
+
+func (r *Report) add(name string, holds bool, detail string) {
+	r.Hypotheses = append(r.Hypotheses, HypothesisResult{Name: name, Holds: holds, Detail: detail})
+	if !holds {
+		r.Valid = false
+	}
+}
+
+// visibleVars returns the non-internal variables of the whole composition,
+// the default subscript of the C(E)+v hypothesis.
+func (th *Theorem) visibleVars() []string {
+	set := make(map[string]bool)
+	addComp := func(c *spec.Component) {
+		if c == nil {
+			return
+		}
+		for _, v := range c.Inputs {
+			set[v] = true
+		}
+		for _, v := range c.Outputs {
+			set[v] = true
+		}
+	}
+	for _, p := range th.Pairs {
+		addComp(p.Env)
+		addComp(p.Sys)
+		for _, sc := range p.Constraints {
+			for _, v := range form.AllVars(sc.Action) {
+				set[v] = true
+			}
+		}
+	}
+	addComp(th.Concl.Env)
+	addComp(th.Concl.Sys)
+	out := make([]string, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (th *Theorem) plusSub() form.Expr {
+	if th.Concl.PlusSub != nil {
+		return th.Concl.PlusSub
+	}
+	return form.VarTuple(th.visibleVars()...)
+}
+
+// guaranteeComponents returns the Sys components of all pairs, optionally
+// stripped of fairness, and the union of all pairs' step constraints.
+func (th *Theorem) guaranteeComponents(safetyOnly bool) ([]*spec.Component, []ts.StepConstraint) {
+	var comps []*spec.Component
+	var cons []ts.StepConstraint
+	for _, p := range th.Pairs {
+		if p.Sys != nil {
+			if safetyOnly {
+				comps = append(comps, p.Sys.SafetyOnly())
+			} else {
+				comps = append(comps, p.Sys)
+			}
+		}
+		cons = append(cons, p.Constraints...)
+	}
+	return comps, cons
+}
+
+// lhsSystem builds the complete system for a hypothesis's left-hand side.
+// withEnv includes the conclusion's environment assumption as a component;
+// safetyOnly strips fairness (for hypotheses about closures).
+func (th *Theorem) lhsSystem(name string, withEnv, safetyOnly bool) *ts.System {
+	comps, cons := th.guaranteeComponents(safetyOnly)
+	if withEnv && th.Concl.Env != nil {
+		env := th.Concl.Env
+		if safetyOnly {
+			env = env.SafetyOnly()
+		}
+		comps = append([]*spec.Component{env}, comps...)
+	}
+	return &ts.System{
+		Name:        name,
+		Components:  comps,
+		Constraints: cons,
+		Domains:     th.Domains,
+		MaxStates:   th.MaxStates,
+	}
+}
+
+// validate checks the structural requirements of the theorem instance.
+func (th *Theorem) validate() error {
+	for _, p := range th.Pairs {
+		if p.Env != nil {
+			if len(p.Env.Fairness) > 0 {
+				return fmt.Errorf("pair %s: environment assumptions must be safety properties (§3)", p.Name)
+			}
+			if len(p.Env.Internals) > 0 {
+				return fmt.Errorf("pair %s: environment assumptions must not have internal variables", p.Name)
+			}
+		}
+		if p.Sys == nil && len(p.Constraints) == 0 {
+			return fmt.Errorf("pair %s: no guarantee (need Sys or Constraints)", p.Name)
+		}
+	}
+	if th.Concl.Sys == nil {
+		return fmt.Errorf("conclusion has no guarantee M")
+	}
+	if th.Concl.Env != nil {
+		if len(th.Concl.Env.Fairness) > 0 {
+			return fmt.Errorf("conclusion: environment assumption must be a safety property (§3)")
+		}
+		if len(th.Concl.Env.Internals) > 0 {
+			return fmt.Errorf("conclusion: environment assumption must not have internal variables")
+		}
+	}
+	if len(th.Concl.Sys.Internals) > 0 && th.Concl.Mapping == nil {
+		return fmt.Errorf("conclusion guarantee %s has internal variables %v: a refinement mapping is required",
+			th.Concl.Sys.Name, th.Concl.Sys.Internals)
+	}
+	return nil
+}
+
+// Check discharges the hypotheses of the Composition Theorem:
+//
+//	(1)  ⊨ C(E) ∧ ⋀_j C(M_j) ⇒ E_i            for each pair i
+//	(2a) ⊨ C(E)+v ∧ ⋀_j C(M_j) ⇒ C(M)
+//	(2b) ⊨ E ∧ ⋀_j M_j ⇒ M
+//
+// Hypothesis 2a is checked twice: directly, by running a +v monitor in
+// product with the graph of ⋀ C(M_j) (environment variables unconstrained),
+// and via the paper's own route — Proposition 3 reduces it to the plain
+// implication C(E) ∧ ⋀C(M_j) ⇒ C(M) plus the orthogonality side conditions
+// of Proposition 4. Both must agree for the report to be Valid.
+func (th *Theorem) Check() (*Report, error) {
+	if err := th.validate(); err != nil {
+		return nil, err
+	}
+	r := &Report{TheoremName: th.Name, Valid: true}
+
+	// --- Graph of C(E) ∧ ⋀ C(M_j): used by hypotheses (1) and 2a-route-A.
+	closedSys := th.lhsSystem(th.Name+"/closure-lhs", true, true)
+	closedG, err := closedSys.Build()
+	if err != nil {
+		return nil, fmt.Errorf("building closure LHS graph: %w", err)
+	}
+	r.noteStates(closedG.NumStates())
+
+	// Hypothesis (1): each assumption is implied.
+	for _, p := range th.Pairs {
+		if p.Env == nil {
+			r.add(fmt.Sprintf("H1[%s]: C(E) /\\ conj C(Mj) => TRUE", p.Name), true, "trivial (E_i = TRUE)")
+			continue
+		}
+		res, err := check.Safety(closedG, p.Env.SafetyFormula())
+		if err != nil {
+			return nil, fmt.Errorf("hypothesis 1 for %s: %w", p.Name, err)
+		}
+		r.add(fmt.Sprintf("H1[%s]: C(E) /\\ conj C(Mj) => E_%s", p.Name, p.Name), res.Holds, res.String())
+	}
+
+	// Hypothesis (2a), route A (Propositions 3 + 4).
+	if err := th.checkHyp2aViaPropositions(r, closedG); err != nil {
+		return nil, err
+	}
+
+	// Hypothesis (2a), route B (direct +v monitor product).
+	if err := th.checkHyp2aDirect(r); err != nil {
+		return nil, err
+	}
+
+	// Hypothesis (2b): full implication with fairness.
+	if err := th.checkHyp2b(r); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+func (r *Report) noteStates(n int) {
+	if n > r.States {
+		r.States = n
+	}
+}
+
+// CheckHyp2aPropositionsOnly discharges only hypothesis 2a, along the
+// paper's Proposition 3+4 route. Exposed for the ablation benchmark
+// comparing the two 2a routes.
+func (th *Theorem) CheckHyp2aPropositionsOnly() (*Report, error) {
+	if err := th.validate(); err != nil {
+		return nil, err
+	}
+	r := &Report{TheoremName: th.Name + " (2a via Props 3+4)", Valid: true}
+	closedSys := th.lhsSystem(th.Name+"/closure-lhs", true, true)
+	closedG, err := closedSys.Build()
+	if err != nil {
+		return nil, err
+	}
+	r.noteStates(closedG.NumStates())
+	if err := th.checkHyp2aViaPropositions(r, closedG); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// CheckHyp2aDirectOnly discharges only hypothesis 2a, with the direct +v
+// monitor product. Exposed for the ablation benchmark.
+func (th *Theorem) CheckHyp2aDirectOnly() (*Report, error) {
+	if err := th.validate(); err != nil {
+		return nil, err
+	}
+	r := &Report{TheoremName: th.Name + " (2a direct)", Valid: true}
+	if err := th.checkHyp2aDirect(r); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// checkHyp2aViaPropositions discharges 2a along the paper's route:
+//
+//	(i)  ⊨ C(E) ∧ ⋀C(M_j) ⇒ C(M)                       (Fig. 9, step 2.2)
+//	(ii) ⋀C(M_j) ⇒ Disjoint(e, m) and the initial-state disjunction of
+//	     Proposition 4, giving ⋀C(M_j) ⇒ C(E) ⊥ C(M)   (Fig. 9, step 2.1)
+//	(iii) v contains every free variable of C(M)        (Prop. 3 side cond.)
+//
+// Proposition 3 then yields ⊨ C(E)+v ∧ ⋀C(M_j) ⇒ C(M).
+func (th *Theorem) checkHyp2aViaPropositions(r *Report, closedG *ts.Graph) error {
+	m := th.Concl.Sys
+	// (i) plain closure implication on the env-constrained graph.
+	res, err := check.SafetyUnder(closedG, m.SafetyOnly().SafetyFormula(), th.Concl.Mapping)
+	if err != nil {
+		return fmt.Errorf("hypothesis 2a(i): %w", err)
+	}
+	r.add("H2a-A(i): C(E) /\\ conj C(Mj) => C(M)", res.Holds, res.String())
+
+	// Graph of ⋀C(M_j) alone (environment unconstrained) for the side
+	// conditions, which must hold without assuming E.
+	rSys := th.lhsSystem(th.Name+"/guarantees-only", false, true)
+	rG, err := rSys.Build()
+	if err != nil {
+		return fmt.Errorf("building guarantees-only graph: %w", err)
+	}
+	r.noteStates(rG.NumStates())
+
+	// (ii-a) Disjoint(e, m) where e/m are the conclusion's input/output
+	// tuples (Proposition 4's interleaving requirement).
+	eVars, mVars := th.conclusionInterface()
+	if len(eVars) > 0 && len(mVars) > 0 {
+		disj := form.Disjoint(eVars, mVars)
+		dres, err := check.Safety(rG, disj)
+		if err != nil {
+			return fmt.Errorf("hypothesis 2a(ii) Disjoint: %w", err)
+		}
+		r.add("H2a-A(ii): conj C(Mj) => Disjoint(e, m)  [Prop 4]", dres.Holds, dres.String())
+	} else {
+		r.add("H2a-A(ii): Disjoint(e, m)  [Prop 4]", true, "trivial (empty interface)")
+	}
+
+	// (ii-b) Initial-state disjunction of Proposition 4.
+	initOK := true
+	initDetail := ""
+	var initPreds []form.Expr
+	if th.Concl.Env != nil && th.Concl.Env.Init != nil {
+		initPreds = append(initPreds, th.Concl.Env.Init)
+	}
+	if m.Init != nil {
+		mi := m.Init
+		if th.Concl.Mapping != nil {
+			mi = mi.Subst(th.Concl.Mapping)
+		}
+		initPreds = append(initPreds, mi)
+	}
+	if len(initPreds) > 0 {
+		disjInit := form.Or(initPreds...)
+		for _, id := range rG.Inits {
+			ok, err := form.EvalStateBool(disjInit, rG.States[id])
+			if err != nil {
+				return fmt.Errorf("hypothesis 2a(ii) init disjunction: %w", err)
+			}
+			if !ok {
+				initOK = false
+				initDetail = fmt.Sprintf("initial state %s satisfies neither Init_E nor Init_M", rG.States[id])
+				break
+			}
+		}
+	}
+	r.add("H2a-A(ii): Init_E \\/ Init_M at start  [Prop 4]", initOK, initDetail)
+
+	// (iii) Prop 3 side condition: v ⊇ free variables of M's closure.
+	vVars := form.AllVars(th.plusSub())
+	vSet := make(map[string]bool, len(vVars))
+	for _, v := range vVars {
+		vSet[v] = true
+	}
+	var missing []string
+	for _, v := range th.conclusionGuaranteeFreeVars() {
+		if !vSet[v] {
+			missing = append(missing, v)
+		}
+	}
+	r.add("H2a-A(iii): v contains the free variables of C(M)  [Prop 3]",
+		len(missing) == 0, fmt.Sprintf("missing from v: %v", missing))
+	return nil
+}
+
+// conclusionInterface returns the conclusion's environment-output tuple e
+// and guarantee-output tuple m.
+func (th *Theorem) conclusionInterface() (eVars, mVars []string) {
+	if th.Concl.Env != nil {
+		eVars = th.Concl.Env.Outputs
+	}
+	mVars = th.Concl.Sys.Outputs
+	return eVars, mVars
+}
+
+// conclusionGuaranteeFreeVars returns the free (visible) variables of the
+// conclusion guarantee's closure ∃y : C(M) — its inputs and outputs.
+func (th *Theorem) conclusionGuaranteeFreeVars() []string {
+	m := th.Concl.Sys
+	out := make([]string, 0, len(m.Inputs)+len(m.Outputs))
+	out = append(out, m.Inputs...)
+	out = append(out, m.Outputs...)
+	return out
+}
+
+// checkHyp2aDirect discharges 2a with a +v monitor: the base graph is
+// ⋀C(M_j) with environment variables unconstrained; the monitor enforces
+// "C(E) held for a prefix, after which v froze"; C(M) is then checked on
+// the product.
+func (th *Theorem) checkHyp2aDirect(r *Report) error {
+	baseSys := th.lhsSystem(th.Name+"/plus-base", false, true)
+	baseG, err := baseSys.Build()
+	if err != nil {
+		return fmt.Errorf("building +v base graph: %w", err)
+	}
+	r.noteStates(baseG.NumStates())
+
+	var envInit form.Expr
+	var envSquares []form.Expr
+	if th.Concl.Env != nil {
+		envInit = th.Concl.Env.Init
+		envSquares = []form.Expr{th.Concl.Env.SquareExpr()}
+	}
+	mon := ts.PlusMonitor(plusVar, envInit, envSquares, th.plusSub())
+	prod, err := ts.Product(baseG, []*ts.Monitor{mon})
+	if err != nil {
+		return fmt.Errorf("+v monitor product: %w", err)
+	}
+	r.noteStates(prod.NumStates())
+
+	res, err := check.SafetyUnder(prod, th.Concl.Sys.SafetyOnly().SafetyFormula(), th.Concl.Mapping)
+	if err != nil {
+		return fmt.Errorf("hypothesis 2a (direct): %w", err)
+	}
+	r.add("H2a-B: C(E)+v /\\ conj C(Mj) => C(M)  [direct monitor]", res.Holds, res.String())
+	return nil
+}
+
+// checkHyp2b discharges ⊨ E ∧ ⋀M_j ⇒ M with fairness on both sides.
+func (th *Theorem) checkHyp2b(r *Report) error {
+	fullSys := th.lhsSystem(th.Name+"/full-lhs", true, false)
+	fullG, err := fullSys.Build()
+	if err != nil {
+		return fmt.Errorf("building full LHS graph: %w", err)
+	}
+	r.noteStates(fullG.NumStates())
+
+	res, err := check.Component(fullG, th.Concl.Sys, th.Concl.Mapping)
+	if err != nil {
+		return fmt.Errorf("hypothesis 2b: %w", err)
+	}
+	r.add("H2b: E /\\ conj Mj => M  (safety)", res.Safety == nil || res.Safety.Holds, safeString(res.Safety))
+	if res.Liveness != nil {
+		r.add("H2b: E /\\ conj Mj => M  (liveness)", res.Liveness.Holds, res.Liveness.String())
+	} else if len(th.Concl.Sys.Fairness) > 0 && res.Safety != nil && !res.Safety.Holds {
+		r.add("H2b: E /\\ conj Mj => M  (liveness)", false, "skipped: safety part failed")
+	}
+	return nil
+}
+
+func safeString(s *check.SafetyResult) string {
+	if s == nil {
+		return ""
+	}
+	return s.String()
+}

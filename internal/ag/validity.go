@@ -1,0 +1,75 @@
+package ag
+
+import (
+	"opentla/internal/check"
+	"opentla/internal/form"
+	"opentla/internal/state"
+	"opentla/internal/value"
+)
+
+// actionImplies checks ⊨ A ⇒ B for two actions over all pairs of states
+// whose unprimed variables are vars and whose primed variables are primed,
+// with values drawn from the domains. It is exact for finite domains.
+func actionImplies(a, b form.Expr, vars, primed []string, domains map[string][]value.Value) (bool, error) {
+	holds := true
+	var evalErr error
+	value.ForEachAssignment(vars, domains, func(fromA map[string]value.Value) bool {
+		from := state.New(fromA)
+		value.ForEachAssignment(primed, domains, func(toA map[string]value.Value) bool {
+			to := from.WithAll(toA)
+			st := state.Step{From: from, To: to}
+			av, err := form.EvalBool(a, st, nil)
+			if err != nil {
+				evalErr = err
+				return false
+			}
+			if !av {
+				return true
+			}
+			bv, err := form.EvalBool(b, st, nil)
+			if err != nil {
+				evalErr = err
+				return false
+			}
+			if !bv {
+				holds = false
+				return false
+			}
+			return true
+		})
+		return holds && evalErr == nil
+	})
+	if evalErr != nil {
+		return false, evalErr
+	}
+	return holds, nil
+}
+
+// ValidOnUniverse checks ⊨ f restricted to the finite universe of lassos
+// over the given variables and domains with the given shape bounds. It
+// returns a violating lasso (nil if none). This is the semantic "validity"
+// used to cross-check the Composition Theorem and Propositions 3 and 4 on
+// small instances.
+func ValidOnUniverse(f form.Formula, vars []string, domains map[string][]value.Value,
+	maxPrefix, maxCycle int) (*state.Lasso, error) {
+	ctx := form.NewCtx(domains)
+	universe := check.AllStates(vars, domains)
+	var violation *state.Lasso
+	var evalErr error
+	check.ForAllLassos(universe, maxPrefix, maxCycle, func(l *state.Lasso) bool {
+		ok, err := f.Eval(ctx, l)
+		if err != nil {
+			evalErr = err
+			return false
+		}
+		if !ok {
+			violation = l
+			return false
+		}
+		return true
+	})
+	if evalErr != nil {
+		return nil, evalErr
+	}
+	return violation, nil
+}

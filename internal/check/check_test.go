@@ -1,0 +1,402 @@
+package check
+
+import (
+	"strings"
+	"testing"
+
+	"opentla/internal/form"
+	"opentla/internal/spec"
+	"opentla/internal/state"
+	"opentla/internal/ts"
+	"opentla/internal/value"
+)
+
+// ring builds a component cycling x through 0..n−1 with optional fairness.
+func ring(n int64, fair bool) *spec.Component {
+	inc := form.Eq(form.PrimedVar("x"), form.Mod(form.Add(form.Var("x"), form.IntC(1)), form.IntC(n)))
+	c := &spec.Component{
+		Name:    "ring",
+		Outputs: []string{"x"},
+		Init:    form.Eq(form.Var("x"), form.IntC(0)),
+		Actions: []spec.Action{{Name: "Inc", Def: inc}},
+	}
+	if fair {
+		c.Fairness = []spec.Fairness{{Kind: form.Weak, Action: inc}}
+	}
+	return c
+}
+
+func ringGraph(t *testing.T, n int64, fair bool) *ts.Graph {
+	t.Helper()
+	sys := &ts.System{
+		Name:       "ring",
+		Components: []*spec.Component{ring(n, fair)},
+		Domains:    map[string][]value.Value{"x": value.Ints(0, n-1)},
+	}
+	g, err := sys.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestSafetyHolds(t *testing.T) {
+	g := ringGraph(t, 3, false)
+	res, err := Safety(g, form.AndF(
+		form.Pred(form.Eq(form.Var("x"), form.IntC(0))),
+		form.AlwaysPred(form.Lt(form.Var("x"), form.IntC(3))),
+		form.ActBoxVars(form.Ne(form.PrimedVar("x"), form.Var("x")), "x"),
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Holds {
+		t.Fatalf("expected safety to hold:\n%s", res)
+	}
+}
+
+func TestSafetyInitViolation(t *testing.T) {
+	g := ringGraph(t, 3, false)
+	res, err := Safety(g, form.Pred(form.Eq(form.Var("x"), form.IntC(1))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Holds || !strings.Contains(res.Violation, "initial") {
+		t.Fatalf("expected initial violation:\n%s", res)
+	}
+}
+
+func TestSafetyInvariantViolationWithTrace(t *testing.T) {
+	g := ringGraph(t, 3, false)
+	res, err := Invariant(g, form.Lt(form.Var("x"), form.IntC(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Holds {
+		t.Fatal("x<2 should be violated at x=2")
+	}
+	if len(res.Trace) != 3 {
+		t.Fatalf("trace should reach x=2 in 3 states, got %d:\n%s", len(res.Trace), res.Trace)
+	}
+}
+
+func TestSafetyBoxViolation(t *testing.T) {
+	g := ringGraph(t, 3, false)
+	// Claim steps only ever increase x: the wrap 2→0 violates it.
+	res, err := Safety(g, form.ActBoxVars(form.Gt(form.PrimedVar("x"), form.Var("x")), "x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Holds {
+		t.Fatal("wrap step should violate the increasing box")
+	}
+	last := res.Trace[len(res.Trace)-1]
+	if !last.MustGet("x").Equal(value.Int(0)) {
+		t.Errorf("violating step should end at x=0:\n%s", res.Trace)
+	}
+}
+
+func TestSafetyUnderMapping(t *testing.T) {
+	g := ringGraph(t, 3, false)
+	// Abstract variable y ≜ x+10: check Init y=10 and □(y<13).
+	mapping := map[string]form.Expr{"y": form.Add(form.Var("x"), form.IntC(10))}
+	res, err := SafetyUnder(g, form.AndF(
+		form.Pred(form.Eq(form.Var("y"), form.IntC(10))),
+		form.AlwaysPred(form.Lt(form.Var("y"), form.IntC(13))),
+	), mapping)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Holds {
+		t.Fatalf("mapped safety should hold:\n%s", res)
+	}
+}
+
+func TestSafetyDecompositionRejectsLiveness(t *testing.T) {
+	g := ringGraph(t, 2, false)
+	_, err := Safety(g, form.EventuallyPred(form.TrueE))
+	if err == nil {
+		t.Fatal("liveness formula should be rejected by the safety checker")
+	}
+}
+
+func TestLivenessEventuallyWithFairness(t *testing.T) {
+	g := ringGraph(t, 3, true)
+	res, err := Liveness(g, form.EventuallyPred(form.Eq(form.Var("x"), form.IntC(2))), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Holds {
+		t.Fatalf("WF ring should eventually reach 2:\n%s", res)
+	}
+}
+
+func TestLivenessEventuallyWithoutFairness(t *testing.T) {
+	g := ringGraph(t, 3, false)
+	res, err := Liveness(g, form.EventuallyPred(form.Eq(form.Var("x"), form.IntC(2))), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Holds {
+		t.Fatal("without fairness the ring may stutter at 0 forever")
+	}
+	if res.Counterexample == nil {
+		t.Fatal("expected counterexample")
+	}
+	// The counterexample must avoid x=2 entirely.
+	cex := res.Counterexample
+	for i := 0; i < cex.Horizon(); i++ {
+		if cex.At(i).MustGet("x").Equal(value.Int(2)) {
+			t.Fatalf("counterexample visits x=2:\n%s", cex)
+		}
+	}
+}
+
+func TestLivenessAlwaysEventually(t *testing.T) {
+	g := ringGraph(t, 3, true)
+	res, err := Liveness(g, form.Always(form.EventuallyPred(form.Eq(form.Var("x"), form.IntC(0)))), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Holds {
+		t.Fatalf("fair ring visits 0 infinitely often:\n%s", res)
+	}
+}
+
+func TestLivenessEventuallyAlwaysFails(t *testing.T) {
+	g := ringGraph(t, 3, true)
+	// ◇□(x=0) is false: the fair ring keeps moving.
+	res, err := Liveness(g, form.Eventually(form.AlwaysPred(form.Eq(form.Var("x"), form.IntC(0)))), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Holds {
+		t.Fatal("◇□(x=0) should fail for the fair ring")
+	}
+}
+
+func TestLivenessEventuallyAlwaysHolds(t *testing.T) {
+	// Counter that stops at 2 with WF: ◇□(x=2) holds.
+	inc := form.And(
+		form.Lt(form.Var("x"), form.IntC(2)),
+		form.Eq(form.PrimedVar("x"), form.Add(form.Var("x"), form.IntC(1))),
+	)
+	sys := &ts.System{
+		Name: "stopper",
+		Components: []*spec.Component{{
+			Name:     "c",
+			Outputs:  []string{"x"},
+			Init:     form.Eq(form.Var("x"), form.IntC(0)),
+			Actions:  []spec.Action{{Name: "Inc", Def: inc}},
+			Fairness: []spec.Fairness{{Kind: form.Weak, Action: inc}},
+		}},
+		Domains: map[string][]value.Value{"x": value.Ints(0, 2)},
+	}
+	g, err := sys.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Liveness(g, form.Eventually(form.AlwaysPred(form.Eq(form.Var("x"), form.IntC(2)))), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Holds {
+		t.Fatalf("◇□(x=2) should hold for the stopping counter:\n%s", res)
+	}
+}
+
+func TestLivenessLeadsTo(t *testing.T) {
+	g := ringGraph(t, 4, true)
+	one := form.Eq(form.Var("x"), form.IntC(1))
+	three := form.Eq(form.Var("x"), form.IntC(3))
+	res, err := Liveness(g, form.LeadsTo(one, three), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Holds {
+		t.Fatalf("1 ↝ 3 should hold in the fair ring:\n%s", res)
+	}
+	// Without fairness it fails.
+	g2 := ringGraph(t, 4, false)
+	res, err = Liveness(g2, form.LeadsTo(one, three), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Holds {
+		t.Fatal("1 ↝ 3 should fail without fairness")
+	}
+}
+
+func TestLivenessFairTarget(t *testing.T) {
+	// A WF ring implements the abstract fairness WF(x changes).
+	g := ringGraph(t, 3, true)
+	change := form.Ne(form.PrimedVar("x"), form.Var("x"))
+	res, err := Liveness(g, form.WFVars(change, "x"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Holds {
+		t.Fatalf("WF(change) should hold:\n%s", res)
+	}
+	// Without fairness the abstract WF obligation fails.
+	g2 := ringGraph(t, 3, false)
+	res, err = Liveness(g2, form.WFVars(change, "x"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Holds {
+		t.Fatal("WF(change) should fail without assumptions")
+	}
+}
+
+func TestLivenessSFTarget(t *testing.T) {
+	// Two-state system where action A (go to 1) is only intermittently
+	// enabled: x alternates 0,1 via separate actions. Target SF(A) with A =
+	// "from 0 go to 1".
+	go01 := form.And(form.Eq(form.Var("x"), form.IntC(0)), form.Eq(form.PrimedVar("x"), form.IntC(1)))
+	go10 := form.And(form.Eq(form.Var("x"), form.IntC(1)), form.Eq(form.PrimedVar("x"), form.IntC(0)))
+	mk := func(fair []spec.Fairness) *ts.Graph {
+		sys := &ts.System{
+			Name: "alt",
+			Components: []*spec.Component{{
+				Name:    "alt",
+				Outputs: []string{"x"},
+				Init:    form.Eq(form.Var("x"), form.IntC(0)),
+				Actions: []spec.Action{
+					{Name: "Go01", Def: go01},
+					{Name: "Go10", Def: go10},
+				},
+				Fairness: fair,
+			}},
+			Domains: map[string][]value.Value{"x": value.Bits()},
+		}
+		g, err := sys.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	// With SF on both actions, SF(go01) holds as a target.
+	g := mk([]spec.Fairness{
+		{Kind: form.Strong, Action: go01},
+		{Kind: form.Strong, Action: go10},
+	})
+	res, err := Liveness(g, form.SFVars(go01, "x"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Holds {
+		t.Fatalf("SF(go01) should hold under SF assumptions:\n%s", res)
+	}
+	// With only WF assumptions, SF(go01) fails: the run can alternate
+	// between "enabled but choosing go10-stutter"… in this tiny system WF
+	// on both actions actually forces alternation; use no fairness to get
+	// the violation.
+	g2 := mk(nil)
+	res, err = Liveness(g2, form.SFVars(go01, "x"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Holds {
+		t.Fatal("SF(go01) should fail without assumptions")
+	}
+}
+
+func TestWhilePlusOnGraphHolds(t *testing.T) {
+	// System: y copies x when allowed; environment assumption: x stays 0;
+	// guarantee: y stays 0.
+	copyAct := form.And(form.Eq(form.PrimedVar("y"), form.Var("x")), form.Unchanged("x"))
+	sys := &ts.System{
+		Name: "copy",
+		Components: []*spec.Component{{
+			Name:    "copier",
+			Inputs:  []string{"x"},
+			Outputs: []string{"y"},
+			Init:    form.Eq(form.Var("y"), form.IntC(0)),
+			Actions: []spec.Action{{Name: "Copy", Def: copyAct}},
+		}},
+		Domains: map[string][]value.Value{"x": value.Bits(), "y": value.Bits()},
+	}
+	g, err := sys.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := &spec.Component{
+		Name:    "E",
+		Outputs: []string{"x"},
+		Init:    form.Eq(form.Var("x"), form.IntC(0)),
+	}
+	guar := &spec.Component{
+		Name:    "M",
+		Inputs:  []string{"x"},
+		Outputs: []string{"y"},
+		Init:    form.Eq(form.Var("y"), form.IntC(0)),
+	}
+	res, err := WhilePlus(g, env, guar, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Holds {
+		t.Fatalf("E -+> M should hold for the copier:\n%s", res)
+	}
+}
+
+func TestWhilePlusOnGraphFailsForEagerViolation(t *testing.T) {
+	// A component that sets y to 1 spontaneously violates M even while E
+	// holds.
+	bad := form.And(form.Eq(form.PrimedVar("y"), form.IntC(1)), form.Unchanged("x"))
+	sys := &ts.System{
+		Name: "bad",
+		Components: []*spec.Component{{
+			Name:    "bad",
+			Inputs:  []string{"x"},
+			Outputs: []string{"y"},
+			Init:    form.Eq(form.Var("y"), form.IntC(0)),
+			Actions: []spec.Action{{Name: "Set1", Def: bad}},
+		}},
+		Domains: map[string][]value.Value{"x": value.Bits(), "y": value.Bits()},
+	}
+	g, err := sys.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := &spec.Component{Name: "E", Outputs: []string{"x"}, Init: form.Eq(form.Var("x"), form.IntC(0))}
+	guar := &spec.Component{Name: "M", Inputs: []string{"x"}, Outputs: []string{"y"}, Init: form.Eq(form.Var("y"), form.IntC(0))}
+	res, err := WhilePlus(g, env, guar, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Holds {
+		t.Fatal("E -+> M should fail when the system violates M first")
+	}
+	if res.Trace == nil {
+		t.Fatal("expected a violation trace")
+	}
+}
+
+func TestGraphLassosEnumerates(t *testing.T) {
+	g := ringGraph(t, 2, false)
+	var count, fairCount int
+	GraphLassos(g, 2, 2, func(l *state.Lasso) bool {
+		count++
+		if l.CycleLen() == 2 {
+			fairCount++
+		}
+		return true
+	})
+	if count == 0 {
+		t.Fatal("no lassos enumerated")
+	}
+	if fairCount == 0 {
+		t.Fatal("expected some 2-cycles (the ring alternates)")
+	}
+}
+
+func TestAllStates(t *testing.T) {
+	states := AllStates([]string{"a", "b"}, map[string][]value.Value{
+		"a": value.Bits(), "b": value.Bits(),
+	})
+	if len(states) != 4 {
+		t.Fatalf("AllStates = %d, want 4", len(states))
+	}
+}

@@ -1,0 +1,344 @@
+package check
+
+import (
+	"fmt"
+	"strings"
+
+	"opentla/internal/form"
+	"opentla/internal/state"
+	"opentla/internal/ts"
+)
+
+// LivenessResult reports the outcome of a liveness check.
+type LivenessResult struct {
+	Holds bool
+	// Violated names the target conjunct that failed, when Holds is false.
+	Violated string
+	// Counterexample is a fair lasso violating the target.
+	Counterexample *state.Lasso
+}
+
+// String renders the result.
+func (r *LivenessResult) String() string {
+	if r.Holds {
+		return "liveness holds"
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "liveness violated: %s\n", r.Violated)
+	if r.Counterexample != nil {
+		sb.WriteString(r.Counterexample.String())
+	}
+	return sb.String()
+}
+
+// memoState caches a state predicate over graph IDs.
+func memoState(g *ts.Graph, f func(id int) (bool, error)) (StateMask, *error) {
+	cache := make(map[int]bool, len(g.States))
+	var firstErr error
+	return func(id int) bool {
+		if v, ok := cache[id]; ok {
+			return v
+		}
+		v, err := f(id)
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		cache[id] = v
+		return v
+	}, &firstErr
+}
+
+// FairnessConds translates the WF/SF assumptions of the graph's system
+// components into cycle acceptance conditions. Enabledness is evaluated via
+// the context's domains and cached per state.
+func FairnessConds(g *ts.Graph) ([]CycleCond, *error) {
+	var conds []CycleCond
+	errs := new(error)
+	for _, c := range g.Sys.Components {
+		for _, fc := range c.Fairness {
+			sub := fc.Sub
+			if sub == nil {
+				sub = c.SubTuple()
+			}
+			conds = append(conds, fairnessCond(g, fmt.Sprintf("%s/%s", c.Name, fc.Kind), fc.Kind, fc.Action, sub, errs))
+		}
+	}
+	return conds, errs
+}
+
+// fairnessCond builds the cycle condition for one WF/SF assumption.
+func fairnessCond(g *ts.Graph, name string, kind form.FairKind, action, sub form.Expr, errs *error) CycleCond {
+	angle := form.Angle(action, sub)
+	enabled, enErr := memoState(g, func(id int) (bool, error) {
+		return g.Ctx.Enabled(angle, g.States[id])
+	})
+	taken := func(from, to int) bool {
+		ok, err := form.EvalBool(angle, state.Step{From: g.States[from], To: g.States[to]}, nil)
+		if err != nil && *errs == nil {
+			*errs = err
+		}
+		return ok
+	}
+	cond := CycleCond{Name: name, HitEdge: taken}
+	if kind == form.Weak {
+		// Fair iff cycle has a ¬enabled state or a taken edge.
+		cond.Buchi = true
+		cond.HitState = func(id int) bool {
+			v := enabled(id)
+			if *enErr != nil && *errs == nil {
+				*errs = *enErr
+			}
+			return !v
+		}
+	} else {
+		// Fair iff (cycle has an enabled state ⇒ cycle has a taken edge).
+		cond.TrigState = func(id int) bool {
+			v := enabled(id)
+			if *enErr != nil && *errs == nil {
+				*errs = *enErr
+			}
+			return v
+		}
+	}
+	return cond
+}
+
+// Liveness checks that every behavior of the graph satisfying the system's
+// fairness assumptions satisfies the target formula. The target may be a
+// conjunction of:
+//
+//	◇P, □◇P, ◇□P          (P a state predicate)
+//	□(P ⇒ ◇Q)              (leads-to)
+//	WF_v(A), SF_v(A)        (fairness obligations, e.g. of an abstract spec)
+//
+// An optional refinement mapping is substituted into the target first.
+func Liveness(g *ts.Graph, target form.Formula, mapping map[string]form.Expr) (*LivenessResult, error) {
+	if mapping != nil {
+		target = target.Subst(mapping)
+	}
+	conjuncts := flattenConjuncts(target)
+	fair, ferr := FairnessConds(g)
+	for _, cj := range conjuncts {
+		res, err := checkLivenessConjunct(g, fair, cj)
+		if err != nil {
+			return nil, err
+		}
+		if *ferr != nil {
+			return nil, *ferr
+		}
+		if !res.Holds {
+			return res, nil
+		}
+	}
+	return &LivenessResult{Holds: true}, nil
+}
+
+func flattenConjuncts(f form.Formula) []form.Formula {
+	if and, ok := f.(form.AndFm); ok {
+		var out []form.Formula
+		for _, c := range and.Fs {
+			out = append(out, flattenConjuncts(c)...)
+		}
+		return out
+	}
+	return []form.Formula{f}
+}
+
+// predMask builds a cached mask for a state predicate.
+func predMask(g *ts.Graph, p form.Expr) (StateMask, *error) {
+	return memoState(g, func(id int) (bool, error) {
+		return form.EvalStateBool(p, g.States[id])
+	})
+}
+
+func notMask(m StateMask) StateMask { return func(id int) bool { return !m(id) } }
+
+func checkLivenessConjunct(g *ts.Graph, fair []CycleCond, target form.Formula) (*LivenessResult, error) {
+	switch t := target.(type) {
+	case form.EventuallyF:
+		if p, ok := t.F.(form.PredF); ok {
+			return checkEventually(g, fair, p.P, target.String())
+		}
+		if alw, ok := t.F.(form.AlwaysF); ok {
+			if p, ok := alw.F.(form.PredF); ok {
+				return checkEventuallyAlways(g, fair, p.P, target.String())
+			}
+		}
+	case form.AlwaysF:
+		// □◇P and leads-to □(P ⇒ ◇Q).
+		if ev, ok := t.F.(form.EventuallyF); ok {
+			if p, ok := ev.F.(form.PredF); ok {
+				return checkAlwaysEventually(g, fair, p.P, target.String())
+			}
+		}
+		if imp, ok := t.F.(form.ImpliesFmN); ok {
+			p, pok := imp.A.(form.PredF)
+			if pok {
+				if ev, ok := imp.B.(form.EventuallyF); ok {
+					if q, ok := ev.F.(form.PredF); ok {
+						return checkLeadsTo(g, fair, p.P, q.P, target.String())
+					}
+				}
+			}
+		}
+	case form.FairF:
+		return checkFairTarget(g, fair, t)
+	}
+	return nil, fmt.Errorf("liveness: unsupported target conjunct %s", target)
+}
+
+// checkEventually checks ◇P: a violation is a fair lasso confined to ¬P.
+func checkEventually(g *ts.Graph, fair []CycleCond, p form.Expr, name string) (*LivenessResult, error) {
+	mask, merr := predMask(g, p)
+	notP := notMask(mask)
+	w, err := FindFairLasso(g, LassoQuery{
+		StartIDs:    g.Inits,
+		PrefixState: notP,
+		CycleState:  notP,
+		Conds:       fair,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if *merr != nil {
+		return nil, *merr
+	}
+	return lassoResult(g, w, name), nil
+}
+
+// checkAlwaysEventually checks □◇P: a violation is a fair lasso whose cycle
+// is confined to ¬P (the prefix is unrestricted).
+func checkAlwaysEventually(g *ts.Graph, fair []CycleCond, p form.Expr, name string) (*LivenessResult, error) {
+	mask, merr := predMask(g, p)
+	w, err := FindFairLasso(g, LassoQuery{
+		StartIDs:   g.Inits,
+		CycleState: notMask(mask),
+		Conds:      fair,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if *merr != nil {
+		return nil, *merr
+	}
+	return lassoResult(g, w, name), nil
+}
+
+// checkEventuallyAlways checks ◇□P: a violation is a fair lasso whose cycle
+// contains a ¬P state.
+func checkEventuallyAlways(g *ts.Graph, fair []CycleCond, p form.Expr, name string) (*LivenessResult, error) {
+	mask, merr := predMask(g, p)
+	conds := append(append([]CycleCond(nil), fair...), CycleCond{
+		Name:     "hits ~P",
+		Buchi:    true,
+		HitState: notMask(mask),
+	})
+	w, err := FindFairLasso(g, LassoQuery{StartIDs: g.Inits, Conds: conds})
+	if err != nil {
+		return nil, err
+	}
+	if *merr != nil {
+		return nil, *merr
+	}
+	return lassoResult(g, w, name), nil
+}
+
+// checkLeadsTo checks □(P ⇒ ◇Q): a violation reaches a (P ∧ ¬Q) state and
+// then stays in ¬Q forever along a fair lasso.
+func checkLeadsTo(g *ts.Graph, fair []CycleCond, p, q form.Expr, name string) (*LivenessResult, error) {
+	pMask, perr := predMask(g, p)
+	qMask, qerr := predMask(g, q)
+	notQ := notMask(qMask)
+	reach := reachableFrom(g, g.Inits, nil, nil)
+	var starts []int
+	for id := range g.States {
+		if reach[id] && pMask(id) && notQ(id) {
+			starts = append(starts, id)
+		}
+	}
+	if *perr != nil {
+		return nil, *perr
+	}
+	if *qerr != nil {
+		return nil, *qerr
+	}
+	if len(starts) == 0 {
+		return &LivenessResult{Holds: true}, nil
+	}
+	w, err := FindFairLasso(g, LassoQuery{
+		StartIDs:    starts,
+		PrefixState: notQ,
+		CycleState:  notQ,
+		Conds:       fair,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if *qerr != nil {
+		return nil, *qerr
+	}
+	if w == nil {
+		return &LivenessResult{Holds: true}, nil
+	}
+	// Stitch the path from an initial state to the witness's start.
+	head := w.CycleIDs[0]
+	if len(w.PrefixIDs) > 0 {
+		head = w.PrefixIDs[0]
+	}
+	lead := g.PathTo(head)
+	prefix := append(append([]int(nil), lead[:len(lead)-1]...), w.PrefixIDs...)
+	return lassoResult(g, &LassoWitness{PrefixIDs: prefix, CycleIDs: w.CycleIDs}, name), nil
+}
+
+// checkFairTarget checks a WF/SF obligation of an abstract specification:
+//
+//	WF_v(A) violated ⟺ fair cycle with every state enabling ⟨A⟩_v and no
+//	                    ⟨A⟩_v edge;
+//	SF_v(A) violated ⟺ fair cycle with some state enabling ⟨A⟩_v and no
+//	                    ⟨A⟩_v edge.
+func checkFairTarget(g *ts.Graph, fair []CycleCond, t form.FairF) (*LivenessResult, error) {
+	angle := form.Angle(t.A, t.Sub)
+	enabled, enErr := memoState(g, func(id int) (bool, error) {
+		return g.Ctx.Enabled(angle, g.States[id])
+	})
+	var takenErr error
+	notTaken := func(from, to int) bool {
+		ok, err := form.EvalBool(angle, state.Step{From: g.States[from], To: g.States[to]}, nil)
+		if err != nil && takenErr == nil {
+			takenErr = err
+		}
+		return !ok
+	}
+	q := LassoQuery{StartIDs: g.Inits, CycleEdge: notTaken, Conds: fair}
+	if t.Kind == form.Weak {
+		q.CycleState = enabled
+	} else {
+		q.Conds = append(append([]CycleCond(nil), fair...), CycleCond{
+			Name:     "hits enabled state",
+			Buchi:    true,
+			HitState: enabled,
+		})
+	}
+	w, err := FindFairLasso(g, q)
+	if err != nil {
+		return nil, err
+	}
+	if *enErr != nil {
+		return nil, *enErr
+	}
+	if takenErr != nil {
+		return nil, takenErr
+	}
+	return lassoResult(g, w, t.String()), nil
+}
+
+func lassoResult(g *ts.Graph, w *LassoWitness, name string) *LivenessResult {
+	if w == nil {
+		return &LivenessResult{Holds: true}
+	}
+	return &LivenessResult{
+		Holds:          false,
+		Violated:       name,
+		Counterexample: w.ToLasso(g),
+	}
+}

@@ -1,0 +1,179 @@
+// Package check implements explicit-state model checking of TLA properties
+// over the state graphs of package ts: safety checking by reachability,
+// refinement via substitution of refinement mappings, and liveness checking
+// by fair-cycle detection with WF/SF treated as Streett-style acceptance
+// conditions.
+//
+// Together with package ag these checks discharge the hypotheses of the
+// Composition Theorem of Abadi & Lamport, "Open Systems in TLA" (§5), each
+// of which asserts that a complete system satisfies a property — exactly
+// the kind of query an explicit-state model checker decides.
+package check
+
+import (
+	"fmt"
+	"strings"
+
+	"opentla/internal/form"
+	"opentla/internal/state"
+	"opentla/internal/ts"
+)
+
+// SafetyResult reports the outcome of a safety check.
+type SafetyResult struct {
+	Holds bool
+	// Violation describes the first violation found, when Holds is false.
+	Violation string
+	// Trace is a finite behavior exhibiting the violation (ending at the
+	// violating state or step).
+	Trace state.Behavior
+}
+
+// String renders the result.
+func (r *SafetyResult) String() string {
+	if r.Holds {
+		return "safety holds"
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "safety violated: %s\n", r.Violation)
+	sb.WriteString(r.Trace.String())
+	return sb.String()
+}
+
+// safetyObligation is a safety formula decomposed into checkable parts.
+type safetyObligation struct {
+	inits      []form.Expr    // must hold in every initial state
+	invariants []form.Expr    // must hold in every reachable state
+	boxes      []form.ActBoxF // every reachable step must satisfy [A]_sub
+}
+
+// decomposeSafety splits a safety formula into initial predicates,
+// invariants, and action boxes. Supported forms: Pred(P), □P (AlwaysF of a
+// predicate), □[A]_v (ActBoxF), and conjunctions thereof. Other forms
+// return an error.
+func decomposeSafety(f form.Formula) (*safetyObligation, error) {
+	ob := &safetyObligation{}
+	var walk func(g form.Formula) error
+	walk = func(g form.Formula) error {
+		switch n := g.(type) {
+		case form.PredF:
+			ob.inits = append(ob.inits, n.P)
+			return nil
+		case form.AlwaysF:
+			p, ok := n.F.(form.PredF)
+			if !ok {
+				return fmt.Errorf("safety decomposition: []F supported only for state predicates, got %s", n.F)
+			}
+			ob.invariants = append(ob.invariants, p.P)
+			return nil
+		case form.ActBoxF:
+			ob.boxes = append(ob.boxes, n)
+			return nil
+		case form.AndFm:
+			for _, c := range n.Fs {
+				if err := walk(c); err != nil {
+					return err
+				}
+			}
+			return nil
+		default:
+			return fmt.Errorf("safety decomposition: unsupported formula %s", g)
+		}
+	}
+	if err := walk(f); err != nil {
+		return nil, err
+	}
+	return ob, nil
+}
+
+// Safety checks that every behavior of the graph satisfies the safety
+// formula f (a conjunction of initial predicates, invariants □P, and boxes
+// □[A]_v). Because every graph state has a stuttering self-loop, checking
+// all reachable states and edges is exact.
+func Safety(g *ts.Graph, f form.Formula) (*SafetyResult, error) {
+	return SafetyUnder(g, f, nil)
+}
+
+// SafetyUnder checks the safety formula f after substituting the refinement
+// mapping (abstract variable → concrete state function) into it. With a nil
+// mapping it checks f directly. This implements the standard TLA refinement
+// step: g ⊨ F̄ where F̄ is F with mapped variables replaced (§A.4).
+func SafetyUnder(g *ts.Graph, f form.Formula, mapping map[string]form.Expr) (*SafetyResult, error) {
+	if mapping != nil {
+		f = f.Subst(mapping)
+	}
+	ob, err := decomposeSafety(f)
+	if err != nil {
+		return nil, err
+	}
+	// Initial predicates.
+	for _, id := range g.Inits {
+		s := g.States[id]
+		for _, p := range ob.inits {
+			ok, err := form.EvalStateBool(p, s)
+			if err != nil {
+				return nil, fmt.Errorf("initial predicate %s on %s: %w", p, s, err)
+			}
+			if !ok {
+				return &SafetyResult{
+					Violation: fmt.Sprintf("initial state violates %s", p),
+					Trace:     state.Behavior{s},
+				}, nil
+			}
+		}
+	}
+	// Invariants.
+	for id, s := range g.States {
+		for _, p := range ob.invariants {
+			ok, err := form.EvalStateBool(p, s)
+			if err != nil {
+				return nil, fmt.Errorf("invariant %s on %s: %w", p, s, err)
+			}
+			if !ok {
+				return &SafetyResult{
+					Violation: fmt.Sprintf("reachable state violates invariant %s", p),
+					Trace:     g.Behavior(g.PathTo(id)),
+				}, nil
+			}
+		}
+	}
+	// Action boxes.
+	squares := make([]form.Expr, len(ob.boxes))
+	for i, b := range ob.boxes {
+		squares[i] = form.Square(b.A, b.Sub)
+	}
+	var res *SafetyResult
+	var evalErr error
+	g.ForEachEdge(func(from, to int) bool {
+		st := state.Step{From: g.States[from], To: g.States[to]}
+		for i, sq := range squares {
+			ok, err := form.EvalBool(sq, st, nil)
+			if err != nil {
+				evalErr = fmt.Errorf("box %s on step %s: %w", ob.boxes[i], st, err)
+				return false
+			}
+			if !ok {
+				path := g.PathTo(from)
+				trace := append(g.Behavior(path), g.States[to])
+				res = &SafetyResult{
+					Violation: fmt.Sprintf("reachable step violates %s", ob.boxes[i]),
+					Trace:     trace,
+				}
+				return false
+			}
+		}
+		return true
+	})
+	if evalErr != nil {
+		return nil, evalErr
+	}
+	if res != nil {
+		return res, nil
+	}
+	return &SafetyResult{Holds: true}, nil
+}
+
+// Invariant checks □P for a single state predicate.
+func Invariant(g *ts.Graph, p form.Expr) (*SafetyResult, error) {
+	return Safety(g, form.AlwaysPred(p))
+}

@@ -1,0 +1,108 @@
+package form
+
+import (
+	"testing"
+
+	"opentla/internal/state"
+	"opentla/internal/value"
+)
+
+// Micro-benchmarks for the evaluation kernel: these dominate the model
+// checker's inner loops.
+
+func benchStep() state.Step {
+	from := state.FromPairs(
+		"x", value.Int(1), "y", value.Int(2),
+		"q", value.Tuple(value.Int(0), value.Int(1)),
+	)
+	to := from.WithAll(map[string]value.Value{
+		"x": value.Int(2),
+		"q": value.Tuple(value.Int(1)),
+	})
+	return state.Step{From: from, To: to}
+}
+
+func BenchmarkEvalComparison(b *testing.B) {
+	e := And(Lt(Var("x"), Var("y")), Eq(PrimedVar("x"), Var("y")))
+	st := benchStep()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := EvalBool(e, st, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEvalSequenceAction(b *testing.B) {
+	e := And(
+		Gt(Len(Var("q")), IntC(0)),
+		Eq(PrimedVar("q"), Tail(Var("q"))),
+		Eq(PrimedVar("x"), Head(Var("q"))),
+	)
+	st := benchStep()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := EvalBool(e, st, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEnabledStructured(b *testing.B) {
+	// The optimized Enabled path: guards + determined assignments.
+	dom := value.Ints(0, 2)
+	ctx := NewCtx(map[string][]value.Value{"x": dom, "y": dom})
+	a := Or(
+		And(Lt(Var("x"), IntC(2)), Eq(PrimedVar("x"), Add(Var("x"), IntC(1))), Unchanged("y")),
+		And(Gt(Var("y"), IntC(0)), Eq(PrimedVar("y"), Sub(Var("y"), IntC(1))), Unchanged("x")),
+	)
+	s := state.FromPairs("x", value.Int(0), "y", value.Int(2))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ctx.Enabled(a, s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEnabledEnumerative(b *testing.B) {
+	// A shape the analyzer cannot decompose: forces domain enumeration.
+	dom := value.Ints(0, 2)
+	ctx := NewCtx(map[string][]value.Value{"x": dom, "y": dom})
+	a := Ne(Add(PrimedVar("x"), PrimedVar("y")), Add(Var("x"), Var("y")))
+	s := state.FromPairs("x", value.Int(0), "y", value.Int(0))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ctx.Enabled(a, s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDeathIndex(b *testing.B) {
+	ctx := NewCtx(map[string][]value.Value{"x": value.Ints(0, 3)})
+	f := AndF(
+		Pred(Eq(Var("x"), IntC(0))),
+		ActBoxVars(Eq(PrimedVar("x"), Add(Var("x"), IntC(1))), "x"),
+	)
+	l := intLasso([]int64{0, 1, 2}, []int64{3})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := DeathIndex(ctx, f, l); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWhilePlusEval(b *testing.B) {
+	ctx := agCtx()
+	wp := WhilePlus(agE(), agM())
+	l := emLasso([][2]int64{{0, 0}, {0, 0}}, [][2]int64{{1, 0}})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ok, err := wp.Eval(ctx, l)
+		if err != nil || !ok {
+			b.Fatalf("ok=%v err=%v", ok, err)
+		}
+	}
+}

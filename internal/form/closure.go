@@ -1,0 +1,34 @@
+package form
+
+import (
+	"opentla/internal/state"
+)
+
+// ClosureFm is C(F), the closure of F (§2.4): the strongest safety property
+// implied by F. A behavior satisfies C(F) iff every finite prefix of it
+// satisfies F (is extendable to a behavior satisfying F).
+type ClosureFm struct{ F Formula }
+
+// Closure returns C(f).
+func Closure(f Formula) Formula { return ClosureFm{F: f} }
+
+// Eval implements Formula: σ ⊨ C(F) iff F's death index on σ is infinite.
+func (f ClosureFm) Eval(ctx *Ctx, l *state.Lasso) (bool, error) {
+	d, err := DeathIndex(ctx, f.F, l)
+	if err != nil {
+		return false, err
+	}
+	return !dies(d), nil
+}
+
+// EvalPrefix implements PrefixFormula: a finite behavior satisfies C(F) iff
+// it satisfies F — the stuttering extension that witnesses ρ ⊨ F also has
+// every prefix satisfying F within the machine-closed fragment.
+func (f ClosureFm) EvalPrefix(ctx *Ctx, b state.Behavior) (bool, error) {
+	return EvalOnPrefix(ctx, f.F, b)
+}
+
+// Subst implements Formula.
+func (f ClosureFm) Subst(sub map[string]Expr) Formula { return ClosureFm{F: f.F.Subst(sub)} }
+
+func (f ClosureFm) String() string { return "C(" + f.F.String() + ")" }

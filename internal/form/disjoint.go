@@ -1,0 +1,43 @@
+package form
+
+// Disjoint returns the interleaving assumption Disjoint(v1, …, vn) of §2.3:
+// no two of the variable tuples change simultaneously,
+//
+//	Disjoint(v1,…,vn) ≜ ⋀_{i≠j} □[(vi' = vi) ∨ (vj' = vj)]_⟨vi,vj⟩.
+//
+// It is used as the conditional-implementation formula G when composing
+// interleaving specifications (§5, §A.5).
+func Disjoint(tuples ...[]string) Formula {
+	var fs []Formula
+	for i := range tuples {
+		for j := i + 1; j < len(tuples); j++ {
+			fs = append(fs, disjointPair(tuples[i], tuples[j]))
+		}
+	}
+	return AndF(fs...)
+}
+
+func disjointPair(vi, vj []string) Formula {
+	action := Or(Unchanged(vi...), Unchanged(vj...))
+	both := make([]string, 0, len(vi)+len(vj))
+	both = append(both, vi...)
+	both = append(both, vj...)
+	return ActBox(action, VarTuple(both...))
+}
+
+// DisjointSteps returns the per-step square actions of Disjoint — one
+// [(vi'=vi) ∨ (vj'=vj)]_⟨vi,vj⟩ action per pair — for use as transition
+// constraints when building a transition system.
+func DisjointSteps(tuples ...[]string) []Expr {
+	var out []Expr
+	for i := range tuples {
+		for j := i + 1; j < len(tuples); j++ {
+			action := Or(Unchanged(tuples[i]...), Unchanged(tuples[j]...))
+			both := make([]string, 0, len(tuples[i])+len(tuples[j]))
+			both = append(both, tuples[i]...)
+			both = append(both, tuples[j]...)
+			out = append(out, Square(action, VarTuple(both...)))
+		}
+	}
+	return out
+}

@@ -1,0 +1,615 @@
+// Package form implements the syntax and semantics of the TLA fragment used
+// by this repository: state functions, predicates, actions (expressions with
+// primed variables), and temporal formulas built with □, WF, SF, ∃ (hiding),
+// and the assumption/guarantee operators ⊳ ("while-plus"), +v, and ⊥ of
+// Abadi & Lamport, "Open Systems in TLA" (1994).
+//
+// Expressions and formulas are immutable ASTs. Expressions evaluate against
+// a step (pair of states); temporal formulas evaluate against lasso
+// (eventually-periodic) behaviors, which suffice for finite-state model
+// checking.
+package form
+
+import (
+	"fmt"
+	"strings"
+
+	"opentla/internal/state"
+	"opentla/internal/value"
+)
+
+// Bindings is an immutable stack of rigid-variable bindings introduced by
+// bounded quantifiers. A nil *Bindings is the empty environment.
+type Bindings struct {
+	name string
+	val  value.Value
+	next *Bindings
+}
+
+// Bind pushes a binding, returning the extended environment.
+func (b *Bindings) Bind(name string, v value.Value) *Bindings {
+	return &Bindings{name: name, val: v, next: b}
+}
+
+// Lookup finds the innermost binding of name.
+func (b *Bindings) Lookup(name string) (value.Value, bool) {
+	for e := b; e != nil; e = e.next {
+		if e.name == name {
+			return e.val, true
+		}
+	}
+	return value.Value{}, false
+}
+
+// Expr is a TLA expression: a state function, state predicate, or action.
+// Expressions containing primed variables are actions and must be evaluated
+// against a step whose To state is non-nil.
+type Expr interface {
+	// Eval evaluates the expression on a step. Unprimed variables read
+	// st.From; primed variables read st.To. bound holds rigid variables
+	// introduced by enclosing quantifiers (may be nil).
+	Eval(st state.Step, bound *Bindings) (value.Value, error)
+
+	// collect adds the free flexible variables of the expression to the
+	// sets: unprimed occurrences to up, primed occurrences to pr. rigid
+	// tracks bound rigid variables in scope.
+	collect(up, pr map[string]bool, rigid map[string]bool, primed bool)
+
+	// Subst returns the expression with each free flexible variable v
+	// replaced by sub[v] (where present). Primed occurrences become the
+	// primed substitute, as required for refinement mappings.
+	Subst(sub map[string]Expr) Expr
+
+	// String renders the expression in TLA-like concrete syntax.
+	String() string
+}
+
+// EvalBool evaluates e and coerces the result to a boolean.
+func EvalBool(e Expr, st state.Step, bound *Bindings) (bool, error) {
+	v, err := e.Eval(st, bound)
+	if err != nil {
+		return false, err
+	}
+	b, ok := v.AsBool()
+	if !ok {
+		return false, fmt.Errorf("expression %s: expected boolean, got %s", e, v)
+	}
+	return b, nil
+}
+
+// EvalState evaluates a state-level expression (no primes) on a single state.
+func EvalState(e Expr, s *state.State) (value.Value, error) {
+	return e.Eval(state.Step{From: s}, nil)
+}
+
+// EvalStateBool evaluates a state predicate on a single state.
+func EvalStateBool(e Expr, s *state.State) (bool, error) {
+	return EvalBool(e, state.Step{From: s}, nil)
+}
+
+// ---------------------------------------------------------------------------
+// Variables and constants
+
+// VarE is a flexible-variable occurrence. If the name is bound by an
+// enclosing quantifier it denotes that rigid variable instead.
+type VarE struct{ Name string }
+
+// Var returns a reference to the flexible variable name.
+func Var(name string) Expr { return VarE{Name: name} }
+
+// Eval implements Expr.
+func (e VarE) Eval(st state.Step, bound *Bindings) (value.Value, error) {
+	if v, ok := bound.Lookup(e.Name); ok {
+		return v, nil
+	}
+	if st.From == nil {
+		return value.Value{}, fmt.Errorf("variable %s: no state", e.Name)
+	}
+	v, ok := st.From.Get(e.Name)
+	if !ok {
+		return value.Value{}, fmt.Errorf("variable %s: unbound in state %s", e.Name, st.From)
+	}
+	return v, nil
+}
+
+func (e VarE) collect(up, pr map[string]bool, rigid map[string]bool, primed bool) {
+	if rigid[e.Name] {
+		return
+	}
+	if primed {
+		pr[e.Name] = true
+	} else {
+		up[e.Name] = true
+	}
+}
+
+// Subst implements Expr.
+func (e VarE) Subst(sub map[string]Expr) Expr {
+	if r, ok := sub[e.Name]; ok {
+		return r
+	}
+	return e
+}
+
+func (e VarE) String() string { return e.Name }
+
+// PrimeE evaluates its operand against the second state of a step: x' in
+// the paper's notation. Priming a compound expression primes all its
+// flexible variables (§2.1).
+type PrimeE struct{ X Expr }
+
+// Prime returns the primed expression x'.
+func Prime(x Expr) Expr { return PrimeE{X: x} }
+
+// PrimedVar returns name', the primed flexible variable.
+func PrimedVar(name string) Expr { return Prime(Var(name)) }
+
+// Eval implements Expr.
+func (e PrimeE) Eval(st state.Step, bound *Bindings) (value.Value, error) {
+	if st.To == nil {
+		return value.Value{}, fmt.Errorf("primed expression %s evaluated without a successor state", e)
+	}
+	return e.X.Eval(state.Step{From: st.To}, bound)
+}
+
+func (e PrimeE) collect(up, pr map[string]bool, rigid map[string]bool, primed bool) {
+	e.X.collect(up, pr, rigid, true)
+}
+
+// Subst implements Expr.
+func (e PrimeE) Subst(sub map[string]Expr) Expr { return PrimeE{X: e.X.Subst(sub)} }
+
+func (e PrimeE) String() string {
+	if v, ok := e.X.(VarE); ok {
+		return v.Name + "'"
+	}
+	return "(" + e.X.String() + ")'"
+}
+
+// ConstE is a literal value.
+type ConstE struct{ V value.Value }
+
+// Const returns the literal expression for v.
+func Const(v value.Value) Expr { return ConstE{V: v} }
+
+// IntC returns the integer literal i.
+func IntC(i int64) Expr { return ConstE{V: value.Int(i)} }
+
+// BoolC returns the boolean literal b.
+func BoolC(b bool) Expr { return ConstE{V: value.Bool(b)} }
+
+// TrueE and FalseE are the boolean literal expressions.
+var (
+	TrueE  = BoolC(true)
+	FalseE = BoolC(false)
+)
+
+// Eval implements Expr.
+func (e ConstE) Eval(state.Step, *Bindings) (value.Value, error) { return e.V, nil }
+
+func (e ConstE) collect(up, pr map[string]bool, rigid map[string]bool, primed bool) {}
+
+// Subst implements Expr.
+func (e ConstE) Subst(map[string]Expr) Expr { return e }
+
+func (e ConstE) String() string { return e.V.String() }
+
+// ---------------------------------------------------------------------------
+// Boolean connectives
+
+// AndE is conjunction over zero or more operands (empty = TRUE).
+type AndE struct{ Xs []Expr }
+
+// And returns the conjunction of the operands.
+func And(xs ...Expr) Expr {
+	if len(xs) == 1 {
+		return xs[0]
+	}
+	return AndE{Xs: xs}
+}
+
+// Eval implements Expr; evaluation short-circuits.
+func (e AndE) Eval(st state.Step, bound *Bindings) (value.Value, error) {
+	for _, x := range e.Xs {
+		b, err := EvalBool(x, st, bound)
+		if err != nil {
+			return value.Value{}, err
+		}
+		if !b {
+			return value.False, nil
+		}
+	}
+	return value.True, nil
+}
+
+func (e AndE) collect(up, pr map[string]bool, rigid map[string]bool, primed bool) {
+	for _, x := range e.Xs {
+		x.collect(up, pr, rigid, primed)
+	}
+}
+
+// Subst implements Expr.
+func (e AndE) Subst(sub map[string]Expr) Expr { return AndE{Xs: substAll(e.Xs, sub)} }
+
+func (e AndE) String() string { return joinExprs(e.Xs, " /\\ ", "TRUE") }
+
+// OrE is disjunction over zero or more operands (empty = FALSE).
+type OrE struct{ Xs []Expr }
+
+// Or returns the disjunction of the operands.
+func Or(xs ...Expr) Expr {
+	if len(xs) == 1 {
+		return xs[0]
+	}
+	return OrE{Xs: xs}
+}
+
+// Eval implements Expr; evaluation short-circuits.
+func (e OrE) Eval(st state.Step, bound *Bindings) (value.Value, error) {
+	for _, x := range e.Xs {
+		b, err := EvalBool(x, st, bound)
+		if err != nil {
+			return value.Value{}, err
+		}
+		if b {
+			return value.True, nil
+		}
+	}
+	return value.False, nil
+}
+
+func (e OrE) collect(up, pr map[string]bool, rigid map[string]bool, primed bool) {
+	for _, x := range e.Xs {
+		x.collect(up, pr, rigid, primed)
+	}
+}
+
+// Subst implements Expr.
+func (e OrE) Subst(sub map[string]Expr) Expr { return OrE{Xs: substAll(e.Xs, sub)} }
+
+func (e OrE) String() string { return joinExprs(e.Xs, " \\/ ", "FALSE") }
+
+// NotE is negation.
+type NotE struct{ X Expr }
+
+// Not returns the negation of x.
+func Not(x Expr) Expr { return NotE{X: x} }
+
+// Eval implements Expr.
+func (e NotE) Eval(st state.Step, bound *Bindings) (value.Value, error) {
+	b, err := EvalBool(e.X, st, bound)
+	if err != nil {
+		return value.Value{}, err
+	}
+	return value.Bool(!b), nil
+}
+
+func (e NotE) collect(up, pr map[string]bool, rigid map[string]bool, primed bool) {
+	e.X.collect(up, pr, rigid, primed)
+}
+
+// Subst implements Expr.
+func (e NotE) Subst(sub map[string]Expr) Expr { return NotE{X: e.X.Subst(sub)} }
+
+func (e NotE) String() string { return "~(" + e.X.String() + ")" }
+
+// ImpliesE is implication A ⇒ B.
+type ImpliesE struct{ A, B Expr }
+
+// Implies returns the implication a ⇒ b.
+func Implies(a, b Expr) Expr { return ImpliesE{A: a, B: b} }
+
+// Eval implements Expr.
+func (e ImpliesE) Eval(st state.Step, bound *Bindings) (value.Value, error) {
+	a, err := EvalBool(e.A, st, bound)
+	if err != nil {
+		return value.Value{}, err
+	}
+	if !a {
+		return value.True, nil
+	}
+	b, err := EvalBool(e.B, st, bound)
+	if err != nil {
+		return value.Value{}, err
+	}
+	return value.Bool(b), nil
+}
+
+func (e ImpliesE) collect(up, pr map[string]bool, rigid map[string]bool, primed bool) {
+	e.A.collect(up, pr, rigid, primed)
+	e.B.collect(up, pr, rigid, primed)
+}
+
+// Subst implements Expr.
+func (e ImpliesE) Subst(sub map[string]Expr) Expr {
+	return ImpliesE{A: e.A.Subst(sub), B: e.B.Subst(sub)}
+}
+
+func (e ImpliesE) String() string { return "(" + e.A.String() + " => " + e.B.String() + ")" }
+
+// EquivE is equivalence A ≡ B.
+type EquivE struct{ A, B Expr }
+
+// Equiv returns the equivalence a ≡ b.
+func Equiv(a, b Expr) Expr { return EquivE{A: a, B: b} }
+
+// Eval implements Expr.
+func (e EquivE) Eval(st state.Step, bound *Bindings) (value.Value, error) {
+	a, err := EvalBool(e.A, st, bound)
+	if err != nil {
+		return value.Value{}, err
+	}
+	b, err := EvalBool(e.B, st, bound)
+	if err != nil {
+		return value.Value{}, err
+	}
+	return value.Bool(a == b), nil
+}
+
+func (e EquivE) collect(up, pr map[string]bool, rigid map[string]bool, primed bool) {
+	e.A.collect(up, pr, rigid, primed)
+	e.B.collect(up, pr, rigid, primed)
+}
+
+// Subst implements Expr.
+func (e EquivE) Subst(sub map[string]Expr) Expr {
+	return EquivE{A: e.A.Subst(sub), B: e.B.Subst(sub)}
+}
+
+func (e EquivE) String() string { return "(" + e.A.String() + " <=> " + e.B.String() + ")" }
+
+// ---------------------------------------------------------------------------
+// Comparison and arithmetic
+
+// CmpOp identifies a comparison operator.
+type CmpOp int
+
+// Comparison operators.
+const (
+	OpEq CmpOp = iota + 1
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+)
+
+func (op CmpOp) String() string {
+	switch op {
+	case OpEq:
+		return "="
+	case OpNe:
+		return "#"
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "=<"
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	default:
+		return "?cmp?"
+	}
+}
+
+// CmpE compares two expressions. Eq/Ne apply to any values; the order
+// comparisons use the total order on values (int order on integers).
+type CmpE struct {
+	Op   CmpOp
+	A, B Expr
+}
+
+// Eq returns the equality a = b.
+func Eq(a, b Expr) Expr { return CmpE{Op: OpEq, A: a, B: b} }
+
+// Ne returns the disequality a ≠ b.
+func Ne(a, b Expr) Expr { return CmpE{Op: OpNe, A: a, B: b} }
+
+// Lt returns a < b.
+func Lt(a, b Expr) Expr { return CmpE{Op: OpLt, A: a, B: b} }
+
+// Le returns a ≤ b.
+func Le(a, b Expr) Expr { return CmpE{Op: OpLe, A: a, B: b} }
+
+// Gt returns a > b.
+func Gt(a, b Expr) Expr { return CmpE{Op: OpGt, A: a, B: b} }
+
+// Ge returns a ≥ b.
+func Ge(a, b Expr) Expr { return CmpE{Op: OpGe, A: a, B: b} }
+
+// Eval implements Expr.
+func (e CmpE) Eval(st state.Step, bound *Bindings) (value.Value, error) {
+	a, err := e.A.Eval(st, bound)
+	if err != nil {
+		return value.Value{}, err
+	}
+	b, err := e.B.Eval(st, bound)
+	if err != nil {
+		return value.Value{}, err
+	}
+	switch e.Op {
+	case OpEq:
+		return value.Bool(a.Equal(b)), nil
+	case OpNe:
+		return value.Bool(!a.Equal(b)), nil
+	}
+	if a.Kind() != b.Kind() {
+		return value.Value{}, fmt.Errorf("comparison %s: mixed kinds %s and %s", e, a.Kind(), b.Kind())
+	}
+	c := a.Compare(b)
+	switch e.Op {
+	case OpLt:
+		return value.Bool(c < 0), nil
+	case OpLe:
+		return value.Bool(c <= 0), nil
+	case OpGt:
+		return value.Bool(c > 0), nil
+	case OpGe:
+		return value.Bool(c >= 0), nil
+	default:
+		return value.Value{}, fmt.Errorf("comparison %s: unknown operator", e)
+	}
+}
+
+func (e CmpE) collect(up, pr map[string]bool, rigid map[string]bool, primed bool) {
+	e.A.collect(up, pr, rigid, primed)
+	e.B.collect(up, pr, rigid, primed)
+}
+
+// Subst implements Expr.
+func (e CmpE) Subst(sub map[string]Expr) Expr {
+	return CmpE{Op: e.Op, A: e.A.Subst(sub), B: e.B.Subst(sub)}
+}
+
+func (e CmpE) String() string {
+	return "(" + e.A.String() + " " + e.Op.String() + " " + e.B.String() + ")"
+}
+
+// ArithOp identifies an arithmetic operator.
+type ArithOp int
+
+// Arithmetic operators.
+const (
+	OpAdd ArithOp = iota + 1
+	OpSub
+	OpMul
+	OpMod
+)
+
+func (op ArithOp) String() string {
+	switch op {
+	case OpAdd:
+		return "+"
+	case OpSub:
+		return "-"
+	case OpMul:
+		return "*"
+	case OpMod:
+		return "%"
+	default:
+		return "?arith?"
+	}
+}
+
+// ArithE is integer arithmetic on two operands.
+type ArithE struct {
+	Op   ArithOp
+	A, B Expr
+}
+
+// Add returns a + b.
+func Add(a, b Expr) Expr { return ArithE{Op: OpAdd, A: a, B: b} }
+
+// Sub returns a − b.
+func Sub(a, b Expr) Expr { return ArithE{Op: OpSub, A: a, B: b} }
+
+// Mul returns a × b.
+func Mul(a, b Expr) Expr { return ArithE{Op: OpMul, A: a, B: b} }
+
+// Mod returns a mod b (b must be positive).
+func Mod(a, b Expr) Expr { return ArithE{Op: OpMod, A: a, B: b} }
+
+// Eval implements Expr.
+func (e ArithE) Eval(st state.Step, bound *Bindings) (value.Value, error) {
+	av, err := e.A.Eval(st, bound)
+	if err != nil {
+		return value.Value{}, err
+	}
+	bv, err := e.B.Eval(st, bound)
+	if err != nil {
+		return value.Value{}, err
+	}
+	a, ok := av.AsInt()
+	if !ok {
+		return value.Value{}, fmt.Errorf("arithmetic %s: left operand %s is not an integer", e, av)
+	}
+	b, ok := bv.AsInt()
+	if !ok {
+		return value.Value{}, fmt.Errorf("arithmetic %s: right operand %s is not an integer", e, bv)
+	}
+	switch e.Op {
+	case OpAdd:
+		return value.Int(a + b), nil
+	case OpSub:
+		return value.Int(a - b), nil
+	case OpMul:
+		return value.Int(a * b), nil
+	case OpMod:
+		if b <= 0 {
+			return value.Value{}, fmt.Errorf("arithmetic %s: modulus %d not positive", e, b)
+		}
+		return value.Int(((a % b) + b) % b), nil
+	default:
+		return value.Value{}, fmt.Errorf("arithmetic %s: unknown operator", e)
+	}
+}
+
+func (e ArithE) collect(up, pr map[string]bool, rigid map[string]bool, primed bool) {
+	e.A.collect(up, pr, rigid, primed)
+	e.B.collect(up, pr, rigid, primed)
+}
+
+// Subst implements Expr.
+func (e ArithE) Subst(sub map[string]Expr) Expr {
+	return ArithE{Op: e.Op, A: e.A.Subst(sub), B: e.B.Subst(sub)}
+}
+
+func (e ArithE) String() string {
+	return "(" + e.A.String() + " " + e.Op.String() + " " + e.B.String() + ")"
+}
+
+// IfE is a conditional expression IF C THEN T ELSE E.
+type IfE struct{ C, T, E Expr }
+
+// If returns the conditional expression IF c THEN t ELSE e.
+func If(c, t, e Expr) Expr { return IfE{C: c, T: t, E: e} }
+
+// Eval implements Expr.
+func (e IfE) Eval(st state.Step, bound *Bindings) (value.Value, error) {
+	c, err := EvalBool(e.C, st, bound)
+	if err != nil {
+		return value.Value{}, err
+	}
+	if c {
+		return e.T.Eval(st, bound)
+	}
+	return e.E.Eval(st, bound)
+}
+
+func (e IfE) collect(up, pr map[string]bool, rigid map[string]bool, primed bool) {
+	e.C.collect(up, pr, rigid, primed)
+	e.T.collect(up, pr, rigid, primed)
+	e.E.collect(up, pr, rigid, primed)
+}
+
+// Subst implements Expr.
+func (e IfE) Subst(sub map[string]Expr) Expr {
+	return IfE{C: e.C.Subst(sub), T: e.T.Subst(sub), E: e.E.Subst(sub)}
+}
+
+func (e IfE) String() string {
+	return "(IF " + e.C.String() + " THEN " + e.T.String() + " ELSE " + e.E.String() + ")"
+}
+
+// ---------------------------------------------------------------------------
+// helpers
+
+func substAll(xs []Expr, sub map[string]Expr) []Expr {
+	out := make([]Expr, len(xs))
+	for i, x := range xs {
+		out[i] = x.Subst(sub)
+	}
+	return out
+}
+
+func joinExprs(xs []Expr, sep, empty string) string {
+	if len(xs) == 0 {
+		return empty
+	}
+	parts := make([]string, len(xs))
+	for i, x := range xs {
+		parts[i] = x.String()
+	}
+	return "(" + strings.Join(parts, sep) + ")"
+}

@@ -1,0 +1,240 @@
+package form
+
+import (
+	"fmt"
+	"strings"
+
+	"opentla/internal/state"
+	"opentla/internal/value"
+)
+
+// TupleE builds a tuple/sequence from element expressions: ⟨e1, …, en⟩.
+type TupleE struct{ Xs []Expr }
+
+// TupleOf returns the tuple expression ⟨xs…⟩.
+func TupleOf(xs ...Expr) Expr { return TupleE{Xs: xs} }
+
+// VarTuple returns the tuple of the named variables ⟨v1, …, vn⟩, the usual
+// form of the subscript in □[N]_v.
+func VarTuple(names ...string) Expr {
+	xs := make([]Expr, len(names))
+	for i, n := range names {
+		xs[i] = Var(n)
+	}
+	return TupleE{Xs: xs}
+}
+
+// EmptySeq is the empty-sequence literal ⟨⟩.
+var EmptySeq = Const(value.Empty)
+
+// Eval implements Expr.
+func (e TupleE) Eval(st state.Step, bound *Bindings) (value.Value, error) {
+	elems := make([]value.Value, len(e.Xs))
+	for i, x := range e.Xs {
+		v, err := x.Eval(st, bound)
+		if err != nil {
+			return value.Value{}, err
+		}
+		elems[i] = v
+	}
+	return value.Tuple(elems...), nil
+}
+
+func (e TupleE) collect(up, pr map[string]bool, rigid map[string]bool, primed bool) {
+	for _, x := range e.Xs {
+		x.collect(up, pr, rigid, primed)
+	}
+}
+
+// Subst implements Expr.
+func (e TupleE) Subst(sub map[string]Expr) Expr { return TupleE{Xs: substAll(e.Xs, sub)} }
+
+func (e TupleE) String() string {
+	parts := make([]string, len(e.Xs))
+	for i, x := range e.Xs {
+		parts[i] = x.String()
+	}
+	return "<<" + strings.Join(parts, ", ") + ">>"
+}
+
+// SeqOp identifies a sequence operator.
+type SeqOp int
+
+// Sequence operators.
+const (
+	OpHead SeqOp = iota + 1
+	OpTail
+	OpLen
+)
+
+// SeqUnE applies a unary sequence operator.
+type SeqUnE struct {
+	Op SeqOp
+	X  Expr
+}
+
+// Head returns Head(x), the first element of a nonempty sequence.
+func Head(x Expr) Expr { return SeqUnE{Op: OpHead, X: x} }
+
+// Tail returns Tail(x), the sequence without its first element.
+func Tail(x Expr) Expr { return SeqUnE{Op: OpTail, X: x} }
+
+// Len returns |x|, the length of a sequence.
+func Len(x Expr) Expr { return SeqUnE{Op: OpLen, X: x} }
+
+// Eval implements Expr.
+func (e SeqUnE) Eval(st state.Step, bound *Bindings) (value.Value, error) {
+	v, err := e.X.Eval(st, bound)
+	if err != nil {
+		return value.Value{}, err
+	}
+	switch e.Op {
+	case OpHead:
+		h, ok := v.Head()
+		if !ok {
+			return value.Value{}, fmt.Errorf("Head(%s): not a nonempty sequence: %s", e.X, v)
+		}
+		return h, nil
+	case OpTail:
+		t, ok := v.Tail()
+		if !ok {
+			return value.Value{}, fmt.Errorf("Tail(%s): not a nonempty sequence: %s", e.X, v)
+		}
+		return t, nil
+	case OpLen:
+		n := v.Len()
+		if n < 0 {
+			return value.Value{}, fmt.Errorf("Len(%s): not a sequence: %s", e.X, v)
+		}
+		return value.Int(int64(n)), nil
+	default:
+		return value.Value{}, fmt.Errorf("sequence op %d: unknown", int(e.Op))
+	}
+}
+
+func (e SeqUnE) collect(up, pr map[string]bool, rigid map[string]bool, primed bool) {
+	e.X.collect(up, pr, rigid, primed)
+}
+
+// Subst implements Expr.
+func (e SeqUnE) Subst(sub map[string]Expr) Expr { return SeqUnE{Op: e.Op, X: e.X.Subst(sub)} }
+
+func (e SeqUnE) String() string {
+	switch e.Op {
+	case OpHead:
+		return "Head(" + e.X.String() + ")"
+	case OpTail:
+		return "Tail(" + e.X.String() + ")"
+	case OpLen:
+		return "Len(" + e.X.String() + ")"
+	default:
+		return "?seq?(" + e.X.String() + ")"
+	}
+}
+
+// ConcatE is sequence concatenation a ∘ b.
+type ConcatE struct{ A, B Expr }
+
+// Concat returns the concatenation a ∘ b.
+func Concat(a, b Expr) Expr { return ConcatE{A: a, B: b} }
+
+// AppendTo returns seq ∘ ⟨elem⟩, appending one element.
+func AppendTo(seq, elem Expr) Expr { return ConcatE{A: seq, B: TupleOf(elem)} }
+
+// Eval implements Expr.
+func (e ConcatE) Eval(st state.Step, bound *Bindings) (value.Value, error) {
+	a, err := e.A.Eval(st, bound)
+	if err != nil {
+		return value.Value{}, err
+	}
+	b, err := e.B.Eval(st, bound)
+	if err != nil {
+		return value.Value{}, err
+	}
+	c, ok := a.Concat(b)
+	if !ok {
+		return value.Value{}, fmt.Errorf("concat %s: operands %s, %s are not sequences", e, a, b)
+	}
+	return c, nil
+}
+
+func (e ConcatE) collect(up, pr map[string]bool, rigid map[string]bool, primed bool) {
+	e.A.collect(up, pr, rigid, primed)
+	e.B.collect(up, pr, rigid, primed)
+}
+
+// Subst implements Expr.
+func (e ConcatE) Subst(sub map[string]Expr) Expr {
+	return ConcatE{A: e.A.Subst(sub), B: e.B.Subst(sub)}
+}
+
+func (e ConcatE) String() string { return "(" + e.A.String() + " \\o " + e.B.String() + ")" }
+
+// ---------------------------------------------------------------------------
+// Bounded rigid quantifiers
+
+// QuantE is a bounded quantifier over a finite constant domain, e.g.
+// ∃v ∈ 0..K−1 : Send(v, i). The bound variable is rigid: it denotes the
+// same value in the unprimed and primed state.
+type QuantE struct {
+	Exists bool
+	Name   string
+	Domain []value.Value
+	Body   Expr
+}
+
+// Exists returns the bounded existential ∃name ∈ domain : body.
+func Exists(name string, domain []value.Value, body Expr) Expr {
+	return QuantE{Exists: true, Name: name, Domain: domain, Body: body}
+}
+
+// Forall returns the bounded universal ∀name ∈ domain : body.
+func Forall(name string, domain []value.Value, body Expr) Expr {
+	return QuantE{Exists: false, Name: name, Domain: domain, Body: body}
+}
+
+// Eval implements Expr.
+func (e QuantE) Eval(st state.Step, bound *Bindings) (value.Value, error) {
+	for _, v := range e.Domain {
+		b, err := EvalBool(e.Body, st, bound.Bind(e.Name, v))
+		if err != nil {
+			return value.Value{}, err
+		}
+		if b == e.Exists {
+			return value.Bool(e.Exists), nil
+		}
+	}
+	return value.Bool(!e.Exists), nil
+}
+
+func (e QuantE) collect(up, pr map[string]bool, rigid map[string]bool, primed bool) {
+	inner := make(map[string]bool, len(rigid)+1)
+	for k := range rigid {
+		inner[k] = true
+	}
+	inner[e.Name] = true
+	e.Body.collect(up, pr, inner, primed)
+}
+
+// Subst implements Expr. The bound variable shadows any substitution for
+// the same name.
+func (e QuantE) Subst(sub map[string]Expr) Expr {
+	if _, clash := sub[e.Name]; clash {
+		inner := make(map[string]Expr, len(sub))
+		for k, v := range sub {
+			if k != e.Name {
+				inner[k] = v
+			}
+		}
+		sub = inner
+	}
+	return QuantE{Exists: e.Exists, Name: e.Name, Domain: e.Domain, Body: e.Body.Subst(sub)}
+}
+
+func (e QuantE) String() string {
+	q := "\\A"
+	if e.Exists {
+		q = "\\E"
+	}
+	return fmt.Sprintf("(%s %s \\in {..%d}: %s)", q, e.Name, len(e.Domain), e.Body)
+}

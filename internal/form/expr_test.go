@@ -1,0 +1,305 @@
+package form
+
+import (
+	"strings"
+	"testing"
+
+	"opentla/internal/state"
+	"opentla/internal/value"
+)
+
+func st(pairs ...any) *state.State { return state.FromPairs(pairs...) }
+
+func evalV(t *testing.T, e Expr, step state.Step) value.Value {
+	t.Helper()
+	v, err := e.Eval(step, nil)
+	if err != nil {
+		t.Fatalf("Eval(%s): %v", e, err)
+	}
+	return v
+}
+
+func evalB(t *testing.T, e Expr, step state.Step) bool {
+	t.Helper()
+	b, err := EvalBool(e, step, nil)
+	if err != nil {
+		t.Fatalf("EvalBool(%s): %v", e, err)
+	}
+	return b
+}
+
+func TestVarAndPrime(t *testing.T) {
+	from := st("x", value.Int(1))
+	to := st("x", value.Int(2))
+	step := state.Step{From: from, To: to}
+	if !evalV(t, Var("x"), step).Equal(value.Int(1)) {
+		t.Error("unprimed var should read From")
+	}
+	if !evalV(t, PrimedVar("x"), step).Equal(value.Int(2)) {
+		t.Error("primed var should read To")
+	}
+	// Priming a compound expression primes all its variables.
+	if !evalV(t, Prime(Add(Var("x"), IntC(10))), step).Equal(value.Int(12)) {
+		t.Error("Prime should distribute")
+	}
+	// Primed evaluation without a successor state errors.
+	if _, err := PrimedVar("x").Eval(state.Step{From: from}, nil); err == nil {
+		t.Error("primed eval without To should error")
+	}
+	// Unbound variable errors.
+	if _, err := Var("zz").Eval(step, nil); err == nil {
+		t.Error("unbound var should error")
+	}
+}
+
+func TestBooleanOps(t *testing.T) {
+	step := state.Step{From: st("p", value.Bool(true), "q", value.Bool(false))}
+	p, q := Var("p"), Var("q")
+	cases := []struct {
+		e    Expr
+		want bool
+	}{
+		{And(), true},
+		{And(p, q), false},
+		{And(p, p), true},
+		{Or(), false},
+		{Or(q, p), true},
+		{Or(q, q), false},
+		{Not(q), true},
+		{Implies(q, q), true},
+		{Implies(p, q), false},
+		{Equiv(p, p), true},
+		{Equiv(p, q), false},
+	}
+	for _, c := range cases {
+		if got := evalB(t, c.e, step); got != c.want {
+			t.Errorf("%s = %v, want %v", c.e, got, c.want)
+		}
+	}
+	// Type error surfaces.
+	if _, err := EvalBool(And(IntC(3)), step, nil); err == nil {
+		t.Error("And over int should error")
+	}
+}
+
+func TestComparisons(t *testing.T) {
+	step := state.Step{From: st("x", value.Int(2), "y", value.Int(5))}
+	x, y := Var("x"), Var("y")
+	cases := []struct {
+		e    Expr
+		want bool
+	}{
+		{Eq(x, IntC(2)), true},
+		{Ne(x, y), true},
+		{Lt(x, y), true},
+		{Le(x, IntC(2)), true},
+		{Gt(y, x), true},
+		{Ge(x, y), false},
+	}
+	for _, c := range cases {
+		if got := evalB(t, c.e, step); got != c.want {
+			t.Errorf("%s = %v, want %v", c.e, got, c.want)
+		}
+	}
+	// Eq works across kinds (false), order comparisons error.
+	if evalB(t, Eq(x, Const(value.Str("2"))), step) {
+		t.Error("int ≠ string")
+	}
+	if _, err := EvalBool(Lt(x, Const(value.Str("a"))), step, nil); err == nil {
+		t.Error("mixed-kind < should error")
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	step := state.Step{From: st("x", value.Int(7))}
+	x := Var("x")
+	cases := []struct {
+		e    Expr
+		want int64
+	}{
+		{Add(x, IntC(3)), 10},
+		{Sub(IntC(1), x), -6},
+		{Mul(x, IntC(2)), 14},
+		{Mod(x, IntC(3)), 1},
+		{Mod(Sub(IntC(0), x), IntC(3)), 2}, // euclidean mod
+	}
+	for _, c := range cases {
+		if got := evalV(t, c.e, step); !got.Equal(value.Int(c.want)) {
+			t.Errorf("%s = %s, want %d", c.e, got, c.want)
+		}
+	}
+	if _, err := Mod(x, IntC(0)).Eval(step, nil); err == nil {
+		t.Error("mod 0 should error")
+	}
+	if _, err := Add(x, Const(value.True)).Eval(step, nil); err == nil {
+		t.Error("int + bool should error")
+	}
+}
+
+func TestIf(t *testing.T) {
+	step := state.Step{From: st("c", value.Bool(true))}
+	e := If(Var("c"), IntC(1), IntC(2))
+	if !evalV(t, e, step).Equal(value.Int(1)) {
+		t.Error("IF true")
+	}
+	step2 := state.Step{From: st("c", value.Bool(false))}
+	if !evalV(t, e, step2).Equal(value.Int(2)) {
+		t.Error("IF false")
+	}
+}
+
+func TestSequenceExprs(t *testing.T) {
+	q := value.Tuple(value.Int(4), value.Int(5))
+	step := state.Step{From: st("q", q, "v", value.Int(9))}
+	if !evalV(t, Head(Var("q")), step).Equal(value.Int(4)) {
+		t.Error("Head")
+	}
+	if !evalV(t, Tail(Var("q")), step).Equal(value.Tuple(value.Int(5))) {
+		t.Error("Tail")
+	}
+	if !evalV(t, Len(Var("q")), step).Equal(value.Int(2)) {
+		t.Error("Len")
+	}
+	app := evalV(t, AppendTo(Var("q"), Var("v")), step)
+	if !app.Equal(value.Tuple(value.Int(4), value.Int(5), value.Int(9))) {
+		t.Errorf("AppendTo = %s", app)
+	}
+	cat := evalV(t, Concat(Var("q"), Var("q")), step)
+	if cat.Len() != 4 {
+		t.Errorf("Concat = %s", cat)
+	}
+	tup := evalV(t, TupleOf(Var("v"), IntC(0)), step)
+	if !tup.Equal(value.Tuple(value.Int(9), value.Int(0))) {
+		t.Errorf("TupleOf = %s", tup)
+	}
+	if _, err := Head(EmptySeq).Eval(step, nil); err == nil {
+		t.Error("Head(<<>>) should error")
+	}
+	if _, err := Head(Var("v")).Eval(step, nil); err == nil {
+		t.Error("Head(int) should error")
+	}
+}
+
+func TestQuantifiers(t *testing.T) {
+	dom := value.Ints(0, 3)
+	step := state.Step{From: st("x", value.Int(2))}
+	ex := Exists("v", dom, Eq(Var("v"), Var("x")))
+	if !evalB(t, ex, step) {
+		t.Error("∃v: v=x should hold")
+	}
+	ex2 := Exists("v", dom, Eq(Var("v"), IntC(9)))
+	if evalB(t, ex2, step) {
+		t.Error("∃v: v=9 should fail")
+	}
+	all := Forall("v", dom, Ge(Var("v"), IntC(0)))
+	if !evalB(t, all, step) {
+		t.Error("∀v: v≥0 should hold")
+	}
+	all2 := Forall("v", dom, Lt(Var("v"), IntC(3)))
+	if evalB(t, all2, step) {
+		t.Error("∀v: v<3 should fail")
+	}
+	// Bound variable shadows a state variable of the same name.
+	shadow := Exists("x", dom, Eq(Var("x"), IntC(0)))
+	if !evalB(t, shadow, step) {
+		t.Error("bound x should shadow state x")
+	}
+	// Bound variable is rigid: same value under prime.
+	to := st("x", value.Int(3))
+	rigid := Exists("v", dom, And(Eq(Var("v"), Var("x")), Eq(Var("v"), Prime(Var("x")))))
+	if evalB(t, rigid, state.Step{From: step.From, To: to}) {
+		t.Error("rigid v cannot equal both 2 and 3")
+	}
+}
+
+func TestFreeVarsAndPrimedVars(t *testing.T) {
+	e := And(
+		Eq(PrimedVar("a"), Var("b")),
+		Exists("c", value.Bits(), Eq(Var("c"), Var("d"))),
+	)
+	up, pr := FreeVars(e)
+	if strings.Join(up, ",") != "b,d" {
+		t.Errorf("unprimed = %v", up)
+	}
+	if strings.Join(pr, ",") != "a" {
+		t.Errorf("primed = %v", pr)
+	}
+	if strings.Join(AllVars(e), ",") != "a,b,d" {
+		t.Errorf("AllVars = %v", AllVars(e))
+	}
+	if !HasPrimes(e) || HasPrimes(Var("x")) {
+		t.Error("HasPrimes misbehaves")
+	}
+	// Prime of a compound: all vars primed.
+	_, pr2 := FreeVars(Prime(Add(Var("x"), Var("y"))))
+	if strings.Join(pr2, ",") != "x,y" {
+		t.Errorf("primed of compound = %v", pr2)
+	}
+}
+
+func TestSubstAndRename(t *testing.T) {
+	e := And(Eq(PrimedVar("o"), Var("o")), Gt(Var("q"), IntC(0)))
+	r := Rename(e, map[string]string{"o": "z"})
+	up, pr := FreeVars(r)
+	if strings.Join(up, ",") != "q,z" || strings.Join(pr, ",") != "z" {
+		t.Errorf("rename: up=%v pr=%v", up, pr)
+	}
+	// Substitution under prime: x' becomes (e)'.
+	sub := Var("x").Subst(map[string]Expr{"x": Add(Var("y"), IntC(1))})
+	step := state.Step{
+		From: st("y", value.Int(1)),
+		To:   st("y", value.Int(5)),
+	}
+	if !evalV(t, Prime(sub), step).Equal(value.Int(6)) {
+		t.Error("substitution should commute with priming")
+	}
+	// Quantifier shadows substitution of its bound name.
+	q := Exists("v", value.Bits(), Eq(Var("v"), Var("w")))
+	qs := q.Subst(map[string]Expr{"v": IntC(9), "w": IntC(1)})
+	if !evalB(t, qs, state.Step{From: st()}) {
+		t.Errorf("after subst: %s should hold (∃v: v=1)", qs)
+	}
+}
+
+func TestUnchangedAndSquareAngle(t *testing.T) {
+	a := st("x", value.Int(1), "y", value.Int(2))
+	same := state.Step{From: a, To: a}
+	moved := state.Step{From: a, To: a.With("x", value.Int(9))}
+	if !evalB(t, Unchanged("x", "y"), same) || evalB(t, Unchanged("x", "y"), moved) {
+		t.Error("Unchanged misbehaves")
+	}
+	act := Eq(PrimedVar("x"), IntC(9))
+	sq := Square(act, VarTuple("x"))
+	if !evalB(t, sq, moved) || !evalB(t, sq, same) {
+		t.Error("[A]_x should allow the A step and the stutter")
+	}
+	bad := state.Step{From: a, To: a.With("x", value.Int(5))}
+	if evalB(t, sq, bad) {
+		t.Error("[A]_x should reject a non-A change")
+	}
+	ang := Angle(act, VarTuple("x"))
+	if !evalB(t, ang, moved) || evalB(t, ang, same) {
+		t.Error("⟨A⟩_x requires a change")
+	}
+}
+
+func TestExprStrings(t *testing.T) {
+	cases := []struct {
+		e    Expr
+		want string
+	}{
+		{Var("x"), "x"},
+		{PrimedVar("x"), "x'"},
+		{IntC(3), "3"},
+		{Eq(Var("x"), IntC(1)), "(x = 1)"},
+		{And(), "TRUE"},
+		{Or(), "FALSE"},
+		{Head(Var("q")), "Head(q)"},
+		{VarTuple("a", "b"), "<<a, b>>"},
+	}
+	for _, c := range cases {
+		if got := c.e.String(); got != c.want {
+			t.Errorf("String = %q, want %q", got, c.want)
+		}
+	}
+}

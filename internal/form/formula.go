@@ -1,0 +1,517 @@
+package form
+
+import (
+	"fmt"
+	"strings"
+
+	"opentla/internal/state"
+	"opentla/internal/value"
+)
+
+// Formula is a TLA temporal formula. Semantically a formula is true or
+// false of an infinite behavior (§2.1); here infinite behaviors are
+// represented as lassos, which is exact for finite-state model checking.
+type Formula interface {
+	// Eval decides the formula on the infinite behavior denoted by l.
+	Eval(ctx *Ctx, l *state.Lasso) (bool, error)
+
+	// Subst applies a substitution of expressions for flexible variables
+	// (used for renaming and refinement mappings).
+	Subst(sub map[string]Expr) Formula
+
+	// String renders the formula.
+	String() string
+}
+
+// RenameFormula renames flexible variables throughout a formula.
+func RenameFormula(f Formula, m map[string]string) Formula {
+	sub := make(map[string]Expr, len(m))
+	for from, to := range m {
+		sub[from] = Var(to)
+	}
+	return f.Subst(sub)
+}
+
+// suffix returns the lasso denoting the i-th suffix of l's behavior.
+func suffix(l *state.Lasso, i int) *state.Lasso {
+	p := len(l.Prefix)
+	if i <= 0 {
+		return l
+	}
+	if i < p {
+		return &state.Lasso{Prefix: l.Prefix[i:], Cycle: l.Cycle}
+	}
+	// Rotate the cycle.
+	j := (i - p) % len(l.Cycle)
+	if j == 0 {
+		return &state.Lasso{Cycle: l.Cycle}
+	}
+	rot := make([]*state.State, 0, len(l.Cycle))
+	rot = append(rot, l.Cycle[j:]...)
+	rot = append(rot, l.Cycle[:j]...)
+	return &state.Lasso{Cycle: rot}
+}
+
+// ---------------------------------------------------------------------------
+// State predicates as formulas
+
+// PredF asserts a state predicate of the first state of the behavior.
+type PredF struct{ P Expr }
+
+// Pred lifts a state predicate to a temporal formula (true of σ iff P holds
+// in σ's first state).
+func Pred(p Expr) Formula { return PredF{P: p} }
+
+// Eval implements Formula.
+func (f PredF) Eval(ctx *Ctx, l *state.Lasso) (bool, error) {
+	return EvalStateBool(f.P, l.At(0))
+}
+
+// Subst implements Formula.
+func (f PredF) Subst(sub map[string]Expr) Formula { return PredF{P: f.P.Subst(sub)} }
+
+func (f PredF) String() string { return f.P.String() }
+
+// ---------------------------------------------------------------------------
+// □[A]_v
+
+// ActBoxF is □[A]_v: every step of the behavior is an A step or leaves the
+// state function v unchanged (§2.1).
+type ActBoxF struct {
+	A   Expr
+	Sub Expr
+}
+
+// ActBox returns □[a]_sub.
+func ActBox(a Expr, sub Expr) Formula { return ActBoxF{A: a, Sub: sub} }
+
+// ActBoxVars returns □[a]_⟨names…⟩.
+func ActBoxVars(a Expr, names ...string) Formula { return ActBoxF{A: a, Sub: VarTuple(names...)} }
+
+// Eval implements Formula. All distinct steps of a lasso occur among the
+// first PrefixLen+CycleLen step indices.
+func (f ActBoxF) Eval(ctx *Ctx, l *state.Lasso) (bool, error) {
+	sq := Square(f.A, f.Sub)
+	for i := 0; i < l.Horizon(); i++ {
+		ok, err := EvalBool(sq, l.StepAt(i), nil)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// Subst implements Formula.
+func (f ActBoxF) Subst(sub map[string]Expr) Formula {
+	return ActBoxF{A: f.A.Subst(sub), Sub: f.Sub.Subst(sub)}
+}
+
+func (f ActBoxF) String() string { return "[][" + f.A.String() + "]_" + f.Sub.String() }
+
+// ---------------------------------------------------------------------------
+// □ and ◇ on formulas
+
+// AlwaysF is □F.
+type AlwaysF struct{ F Formula }
+
+// Always returns □f.
+func Always(f Formula) Formula { return AlwaysF{F: f} }
+
+// AlwaysPred returns □P for a state predicate P — an invariant.
+func AlwaysPred(p Expr) Formula { return AlwaysF{F: PredF{P: p}} }
+
+// Eval implements Formula. The suffixes of a lasso repeat after
+// PrefixLen+CycleLen shifts.
+func (f AlwaysF) Eval(ctx *Ctx, l *state.Lasso) (bool, error) {
+	for i := 0; i < l.Horizon(); i++ {
+		ok, err := f.F.Eval(ctx, suffix(l, i))
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// Subst implements Formula.
+func (f AlwaysF) Subst(sub map[string]Expr) Formula { return AlwaysF{F: f.F.Subst(sub)} }
+
+func (f AlwaysF) String() string { return "[](" + f.F.String() + ")" }
+
+// EventuallyF is ◇F.
+type EventuallyF struct{ F Formula }
+
+// Eventually returns ◇f.
+func Eventually(f Formula) Formula { return EventuallyF{F: f} }
+
+// EventuallyPred returns ◇P for a state predicate P.
+func EventuallyPred(p Expr) Formula { return EventuallyF{F: PredF{P: p}} }
+
+// Eval implements Formula.
+func (f EventuallyF) Eval(ctx *Ctx, l *state.Lasso) (bool, error) {
+	for i := 0; i < l.Horizon(); i++ {
+		ok, err := f.F.Eval(ctx, suffix(l, i))
+		if err != nil {
+			return false, err
+		}
+		if ok {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// Subst implements Formula.
+func (f EventuallyF) Subst(sub map[string]Expr) Formula { return EventuallyF{F: f.F.Subst(sub)} }
+
+func (f EventuallyF) String() string { return "<>(" + f.F.String() + ")" }
+
+// LeadsTo returns P ↝ Q ≜ □(P ⇒ ◇Q) for state predicates.
+func LeadsTo(p, q Expr) Formula { return Always(ImpliesFm(Pred(p), EventuallyPred(q))) }
+
+// ---------------------------------------------------------------------------
+// Boolean connectives on formulas
+
+// AndFm is conjunction of formulas.
+type AndFm struct{ Fs []Formula }
+
+// AndF returns the conjunction of the operand formulas.
+func AndF(fs ...Formula) Formula {
+	if len(fs) == 1 {
+		return fs[0]
+	}
+	return AndFm{Fs: fs}
+}
+
+// Eval implements Formula.
+func (f AndFm) Eval(ctx *Ctx, l *state.Lasso) (bool, error) {
+	for _, g := range f.Fs {
+		ok, err := g.Eval(ctx, l)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// Subst implements Formula.
+func (f AndFm) Subst(sub map[string]Expr) Formula { return AndFm{Fs: substAllF(f.Fs, sub)} }
+
+func (f AndFm) String() string { return joinFormulas(f.Fs, " /\\ ", "TRUE") }
+
+// OrFm is disjunction of formulas.
+type OrFm struct{ Fs []Formula }
+
+// OrF returns the disjunction of the operand formulas.
+func OrF(fs ...Formula) Formula {
+	if len(fs) == 1 {
+		return fs[0]
+	}
+	return OrFm{Fs: fs}
+}
+
+// Eval implements Formula.
+func (f OrFm) Eval(ctx *Ctx, l *state.Lasso) (bool, error) {
+	for _, g := range f.Fs {
+		ok, err := g.Eval(ctx, l)
+		if err != nil {
+			return false, err
+		}
+		if ok {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// Subst implements Formula.
+func (f OrFm) Subst(sub map[string]Expr) Formula { return OrFm{Fs: substAllF(f.Fs, sub)} }
+
+func (f OrFm) String() string { return joinFormulas(f.Fs, " \\/ ", "FALSE") }
+
+// NotFm is negation of a formula.
+type NotFm struct{ F Formula }
+
+// NotF returns ¬f.
+func NotF(f Formula) Formula { return NotFm{F: f} }
+
+// Eval implements Formula.
+func (f NotFm) Eval(ctx *Ctx, l *state.Lasso) (bool, error) {
+	ok, err := f.F.Eval(ctx, l)
+	if err != nil {
+		return false, err
+	}
+	return !ok, nil
+}
+
+// Subst implements Formula.
+func (f NotFm) Subst(sub map[string]Expr) Formula { return NotFm{F: f.F.Subst(sub)} }
+
+func (f NotFm) String() string { return "~(" + f.F.String() + ")" }
+
+// ImpliesFmN is implication of formulas.
+type ImpliesFmN struct{ A, B Formula }
+
+// ImpliesFm returns a ⇒ b on formulas.
+func ImpliesFm(a, b Formula) Formula { return ImpliesFmN{A: a, B: b} }
+
+// Eval implements Formula.
+func (f ImpliesFmN) Eval(ctx *Ctx, l *state.Lasso) (bool, error) {
+	a, err := f.A.Eval(ctx, l)
+	if err != nil {
+		return false, err
+	}
+	if !a {
+		return true, nil
+	}
+	return f.B.Eval(ctx, l)
+}
+
+// Subst implements Formula.
+func (f ImpliesFmN) Subst(sub map[string]Expr) Formula {
+	return ImpliesFmN{A: f.A.Subst(sub), B: f.B.Subst(sub)}
+}
+
+func (f ImpliesFmN) String() string { return "(" + f.A.String() + " => " + f.B.String() + ")" }
+
+// ---------------------------------------------------------------------------
+// Fairness
+
+// FairKind distinguishes weak and strong fairness.
+type FairKind int
+
+// The two fairness kinds.
+const (
+	Weak FairKind = iota + 1
+	Strong
+)
+
+func (k FairKind) String() string {
+	if k == Weak {
+		return "WF"
+	}
+	return "SF"
+}
+
+// FairF is WF_sub(A) or SF_sub(A) (§2.1):
+//
+//	WF_v(A): infinitely many ⟨A⟩_v steps, or infinitely many states where
+//	         ⟨A⟩_v is not enabled.
+//	SF_v(A): infinitely many ⟨A⟩_v steps, or only finitely many states
+//	         where ⟨A⟩_v is enabled.
+type FairF struct {
+	Kind FairKind
+	A    Expr
+	Sub  Expr
+}
+
+// WF returns the weak-fairness formula WF_sub(a).
+func WF(sub Expr, a Expr) Formula { return FairF{Kind: Weak, A: a, Sub: sub} }
+
+// SF returns the strong-fairness formula SF_sub(a).
+func SF(sub Expr, a Expr) Formula { return FairF{Kind: Strong, A: a, Sub: sub} }
+
+// WFVars returns WF_⟨names…⟩(a).
+func WFVars(a Expr, names ...string) Formula { return WF(VarTuple(names...), a) }
+
+// SFVars returns SF_⟨names…⟩(a).
+func SFVars(a Expr, names ...string) Formula { return SF(VarTuple(names...), a) }
+
+// Eval implements Formula. On a lasso, "infinitely often" means "somewhere
+// in the cycle".
+func (f FairF) Eval(ctx *Ctx, l *state.Lasso) (bool, error) {
+	angle := Angle(f.A, f.Sub)
+	// Infinitely many ⟨A⟩_sub steps?
+	for _, st := range l.CycleSteps() {
+		ok, err := EvalBool(angle, st, nil)
+		if err != nil {
+			return false, err
+		}
+		if ok {
+			return true, nil
+		}
+	}
+	// Count cycle states where ⟨A⟩_sub is enabled.
+	anyEnabled := false
+	allEnabled := true
+	for _, s := range l.CycleStates() {
+		en, err := ctx.Enabled(angle, s)
+		if err != nil {
+			return false, err
+		}
+		if en {
+			anyEnabled = true
+		} else {
+			allEnabled = false
+		}
+	}
+	if f.Kind == Weak {
+		// Satisfied iff some cycle state is not enabled.
+		return !allEnabled, nil
+	}
+	// Strong: satisfied iff no cycle state is enabled.
+	return !anyEnabled, nil
+}
+
+// Subst implements Formula.
+func (f FairF) Subst(sub map[string]Expr) Formula {
+	return FairF{Kind: f.Kind, A: f.A.Subst(sub), Sub: f.Sub.Subst(sub)}
+}
+
+func (f FairF) String() string {
+	return fmt.Sprintf("%s_%s(%s)", f.Kind, f.Sub, f.A)
+}
+
+// ---------------------------------------------------------------------------
+// ∃ hiding
+
+// ExistsFm is ∃x1,…,xk : F — temporal existential quantification over
+// flexible variables ("F with x hidden", §2.1).
+type ExistsFm struct {
+	Vars []string
+	F    Formula
+}
+
+// ExistsF returns ∃vars : f.
+func ExistsF(vars []string, f Formula) Formula {
+	if len(vars) == 0 {
+		return f
+	}
+	return ExistsFm{Vars: vars, F: f}
+}
+
+// Eval implements Formula by brute-force witness search: it tries every
+// assignment of hidden-variable value sequences compatible with the lasso
+// shape, unrolling the cycle up to ctx.Unroll times. This is sound and, for
+// the systems in this repository, complete in practice; the primary
+// mechanism for discharging ∃ in proofs is a refinement mapping (as in the
+// paper, Appendix A.4), not this search. Eval returns an error if the
+// search space exceeds ctx.MaxWitness.
+func (f ExistsFm) Eval(ctx *Ctx, l *state.Lasso) (bool, error) {
+	for _, v := range f.Vars {
+		if _, err := ctx.Domain(v); err != nil {
+			return false, fmt.Errorf("hiding %v: %w", f.Vars, err)
+		}
+	}
+	budget := ctx.maxWitness()
+	for m := 1; m <= ctx.unroll(); m++ {
+		found, err := f.searchUnrolled(ctx, l, m, &budget)
+		if err != nil {
+			return false, err
+		}
+		if found {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// searchUnrolled looks for a witness whose hidden values are periodic with
+// period m·CycleLen.
+func (f ExistsFm) searchUnrolled(ctx *Ctx, l *state.Lasso, m int, budget *int) (bool, error) {
+	p := l.PrefixLen()
+	c := l.CycleLen() * m
+	n := p + c
+	// Build the visible skeleton of the unrolled lasso.
+	skel := make([]*state.State, n)
+	for i := 0; i < n; i++ {
+		skel[i] = l.At(i)
+	}
+
+	// DFS over positions; each position assigns all hidden variables.
+	assignment := make([]map[string]value.Value, n)
+	var dfs func(i int) (bool, error)
+	dfs = func(i int) (bool, error) {
+		if i == n {
+			aug := make([]*state.State, n)
+			for j := 0; j < n; j++ {
+				aug[j] = skel[j].WithAll(assignment[j])
+			}
+			wl := &state.Lasso{Prefix: aug[:p], Cycle: aug[p:]}
+			return f.F.Eval(ctx, wl)
+		}
+		found := false
+		var evalErr error
+		complete := value.ForEachAssignment(f.Vars, ctx.Domains, func(a map[string]value.Value) bool {
+			*budget--
+			if *budget < 0 {
+				evalErr = fmt.Errorf("hiding %v: witness search exceeded budget; supply a refinement mapping", f.Vars)
+				return false
+			}
+			cp := make(map[string]value.Value, len(a))
+			for k, v := range a {
+				cp[k] = v
+			}
+			assignment[i] = cp
+			ok, err := dfs(i + 1)
+			if err != nil {
+				evalErr = err
+				return false
+			}
+			if ok {
+				found = true
+				return false
+			}
+			return true
+		})
+		_ = complete
+		if evalErr != nil {
+			return false, evalErr
+		}
+		return found, nil
+	}
+	return dfs(0)
+}
+
+// Subst implements Formula. Substituting for a hidden variable is not
+// meaningful; substitutions for hidden names are dropped (they are bound).
+func (f ExistsFm) Subst(sub map[string]Expr) Formula {
+	inner := make(map[string]Expr, len(sub))
+	for k, v := range sub {
+		bound := false
+		for _, h := range f.Vars {
+			if h == k {
+				bound = true
+				break
+			}
+		}
+		if !bound {
+			inner[k] = v
+		}
+	}
+	return ExistsFm{Vars: f.Vars, F: f.F.Subst(inner)}
+}
+
+func (f ExistsFm) String() string {
+	return "(\\EE " + strings.Join(f.Vars, ", ") + ": " + f.F.String() + ")"
+}
+
+// ---------------------------------------------------------------------------
+// helpers
+
+func substAllF(fs []Formula, sub map[string]Expr) []Formula {
+	out := make([]Formula, len(fs))
+	for i, g := range fs {
+		out[i] = g.Subst(sub)
+	}
+	return out
+}
+
+func joinFormulas(fs []Formula, sep, empty string) string {
+	if len(fs) == 0 {
+		return empty
+	}
+	parts := make([]string, len(fs))
+	for i, g := range fs {
+		parts[i] = g.String()
+	}
+	return "(" + strings.Join(parts, sep) + ")"
+}

@@ -1,0 +1,263 @@
+package form
+
+import (
+	"testing"
+
+	"opentla/internal/state"
+	"opentla/internal/value"
+)
+
+// Two safety specs over variables e (environment's) and m (system's):
+//
+//	E ≜ (e = 0) ∧ □[FALSE]_e   — e stays 0
+//	M ≜ (m = 0) ∧ □[FALSE]_m   — m stays 0
+func agE() Formula { return AndF(Pred(Eq(Var("e"), IntC(0))), ActBoxVars(FalseE, "e")) }
+func agM() Formula { return AndF(Pred(Eq(Var("m"), IntC(0))), ActBoxVars(FalseE, "m")) }
+
+func agCtx() *Ctx {
+	return NewCtx(map[string][]value.Value{"e": value.Bits(), "m": value.Bits()})
+}
+
+// emLasso builds a lasso over (e, m) pairs.
+func emLasso(prefix [][2]int64, cycle [][2]int64) *state.Lasso {
+	mk := func(vs [][2]int64) []*state.State {
+		out := make([]*state.State, len(vs))
+		for i, v := range vs {
+			out[i] = st("e", value.Int(v[0]), "m", value.Int(v[1]))
+		}
+		return out
+	}
+	return &state.Lasso{Prefix: mk(prefix), Cycle: mk(cycle)}
+}
+
+func evalAG(t *testing.T, f Formula, l *state.Lasso) bool {
+	t.Helper()
+	ok, err := f.Eval(agCtx(), l)
+	if err != nil {
+		t.Fatalf("Eval(%s): %v", f, err)
+	}
+	return ok
+}
+
+func TestDeathIndex(t *testing.T) {
+	ctx := agCtx()
+	cases := []struct {
+		name string
+		l    *state.Lasso
+		f    Formula
+		want int
+	}{
+		{"alive forever", emLasso(nil, [][2]int64{{0, 0}}), agE(), Infinite},
+		{"init violation", emLasso(nil, [][2]int64{{1, 0}}), agE(), 1},
+		{"step violation at 1", emLasso([][2]int64{{0, 0}, {1, 0}}, [][2]int64{{1, 0}}), agE(), 2},
+		{"violation in cycle", emLasso(nil, [][2]int64{{0, 0}, {1, 0}}), agE(), 2},
+	}
+	for _, c := range cases {
+		got, err := DeathIndex(ctx, c.f, c.l)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if got != c.want {
+			t.Errorf("%s: death index = %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+func TestWhilePlusSemantics(t *testing.T) {
+	wp := WhilePlus(agE(), agM())
+	cases := []struct {
+		name string
+		l    *state.Lasso
+		want bool
+	}{
+		// Both hold forever.
+		{"both alive", emLasso(nil, [][2]int64{{0, 0}}), true},
+		// E dies first (step 0→1 on e), M keeps holding: OK.
+		{"E dies, M outlives", emLasso([][2]int64{{0, 0}}, [][2]int64{{1, 0}}), true},
+		// E dies, M dies strictly later: OK.
+		{"M dies later", emLasso([][2]int64{{0, 0}, {1, 0}}, [][2]int64{{1, 1}}), true},
+		// Both die on the same step: ⊳ violated (M must outlive E by one).
+		{"simultaneous death", emLasso([][2]int64{{0, 0}}, [][2]int64{{1, 1}}), false},
+		// M dies first: violated.
+		{"M dies first", emLasso([][2]int64{{0, 0}}, [][2]int64{{0, 1}}), false},
+		// M violated at time 0 (n = 0 case): violated even though E also
+		// fails initially.
+		{"M bad at start", emLasso(nil, [][2]int64{{1, 1}}), false},
+		// E bad at start but M fine: OK (assumption broken first).
+		{"E bad at start", emLasso(nil, [][2]int64{{1, 0}}), true},
+	}
+	for _, c := range cases {
+		if got := evalAG(t, wp, c.l); got != c.want {
+			t.Errorf("%s: E -+> M = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestArrowSemantics(t *testing.T) {
+	ar := Arrow(agE(), agM())
+	// Simultaneous death is allowed by →.
+	if !evalAG(t, ar, emLasso([][2]int64{{0, 0}}, [][2]int64{{1, 1}})) {
+		t.Error("E → M should allow simultaneous violation")
+	}
+	// M dying first is not.
+	if evalAG(t, ar, emLasso([][2]int64{{0, 0}}, [][2]int64{{0, 1}})) {
+		t.Error("E → M should reject M dying first")
+	}
+}
+
+func TestOrthSemantics(t *testing.T) {
+	orth := Orth(agE(), agM())
+	// Different steps violate E and M: orthogonal.
+	if !evalAG(t, orth, emLasso([][2]int64{{0, 0}, {1, 0}}, [][2]int64{{1, 1}})) {
+		t.Error("separate violations should be orthogonal")
+	}
+	// One step violates both: not orthogonal.
+	if evalAG(t, orth, emLasso([][2]int64{{0, 0}}, [][2]int64{{1, 1}})) {
+		t.Error("simultaneous violation should not be orthogonal")
+	}
+	// Nothing dies: orthogonal.
+	if !evalAG(t, orth, emLasso(nil, [][2]int64{{0, 0}})) {
+		t.Error("no violations should be orthogonal")
+	}
+}
+
+func TestPlusSemantics(t *testing.T) {
+	// (E)+⟨m⟩: if E dies, m must freeze (from the state after the dying
+	// step).
+	pl := PlusVars(agE(), "m")
+	cases := []struct {
+		name string
+		l    *state.Lasso
+		want bool
+	}{
+		{"E alive", emLasso(nil, [][2]int64{{0, 0}}), true},
+		// E dies at step 0→1; afterwards m frozen at 0: OK.
+		{"frozen after death", emLasso([][2]int64{{0, 0}}, [][2]int64{{1, 0}}), true},
+		// E dies; the dying step itself changes m — allowed (freeze starts
+		// at the next state).
+		{"dying step changes m", emLasso([][2]int64{{0, 0}}, [][2]int64{{1, 1}}), true},
+		// E dies and m changes strictly later: violated.
+		{"m changes after death", emLasso([][2]int64{{0, 0}, {1, 0}, {1, 0}}, [][2]int64{{1, 1}}), false},
+		// E dead from the start (e=1): m may never change (it starts 0 and
+		// stays 0 here): OK.
+		{"dead from start frozen", emLasso(nil, [][2]int64{{1, 0}}), true},
+		// E dead from start: the n=0 freeze begins at state 0, but the
+		// FIRST step changes m: the only valid n is 0 (E never holds for
+		// n ≥ 1), so this violates +.
+		{"dead from start, m moves", emLasso([][2]int64{{1, 0}}, [][2]int64{{1, 1}}), false},
+	}
+	for _, c := range cases {
+		if got := evalAG(t, pl, c.l); got != c.want {
+			t.Errorf("%s: E+m = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+// TestWhilePlusEquivalences is experiment E8: the algebraic relationships
+// of §3 and §4.2, checked by enumerating every small lasso of the
+// two-variable universe:
+//
+//	(E ⊳ M) ≡ (E → M) ∧ (E ⊥ M)            (§4.2)
+//	(E ⊳ M) ⇒ (E → M) ⇒ (E ⇒ M)            (§3: each form weaker)
+//	(E ⊳ M) ≡ C(E) ⊳ (C(M) ∧ (E ⇒ M))      (§3, safety-assumption form)
+func TestWhilePlusEquivalences(t *testing.T) {
+	ctx := agCtx()
+	universe := allEMStates()
+	e, m := agE(), agM()
+	wp := WhilePlus(e, m)
+	ar := Arrow(e, m)
+	orth := Orth(e, m)
+	imp := ImpliesFm(e, m)
+
+	// The safety-assumption form C(E) ⊳ (C(M) ∧ (E ⇒ M)) is evaluated by
+	// hand: because this E is "escapable" (any finite behavior extends to
+	// one violating E's box, so E ⇒ M is satisfiable from every prefix),
+	// the guarantee's death index equals C(M)'s.
+	convHolds := func(l *state.Lasso) bool {
+		dE, err := DeathIndex(ctx, Closure(e), l)
+		if err != nil {
+			t.Fatalf("DeathIndex C(E): %v", err)
+		}
+		dM, err := DeathIndex(ctx, Closure(m), l)
+		if err != nil {
+			t.Fatalf("DeathIndex C(M): %v", err)
+		}
+		switch {
+		case dE == Infinite && dM != Infinite:
+			return false
+		case dE != Infinite && dM != Infinite && dM <= dE:
+			return false
+		}
+		// Liveness part: C(E) ⇒ C(M) ∧ (E ⇒ M).
+		okE := evalAG(t, Closure(e), l)
+		if !okE {
+			return true
+		}
+		return evalAG(t, Closure(m), l) && evalAG(t, imp, l)
+	}
+
+	count := 0
+	forAllLassosLocal(universe, 2, 2, func(l *state.Lasso) bool {
+		count++
+		vWp := evalAG(t, wp, l)
+		vAr := evalAG(t, ar, l)
+		vOr := evalAG(t, orth, l)
+		vImp := evalAG(t, imp, l)
+		if vWp != (vAr && vOr) {
+			t.Fatalf("(E⊳M) ≠ (E→M)∧(E⊥M) on\n%s", l)
+		}
+		if vWp && !vAr {
+			t.Fatalf("E⊳M should imply E→M on\n%s", l)
+		}
+		if vAr && !vImp {
+			t.Fatalf("E→M should imply E⇒M on\n%s", l)
+		}
+		if vWp != convHolds(l) {
+			t.Fatalf("E⊳M ≠ C(E)⊳(C(M)∧(E⇒M)) on\n%s", l)
+		}
+		return true
+	})
+	if count == 0 {
+		t.Fatal("no lassos enumerated")
+	}
+}
+
+func allEMStates() []*state.State {
+	var out []*state.State
+	for _, e := range []int64{0, 1} {
+		for _, m := range []int64{0, 1} {
+			out = append(out, st("e", value.Int(e), "m", value.Int(m)))
+		}
+	}
+	return out
+}
+
+// forAllLassosLocal mirrors check.ForAllLassos (not imported to keep the
+// form package's tests self-contained).
+func forAllLassosLocal(universe []*state.State, maxPrefix, maxCycle int, f func(*state.Lasso) bool) {
+	seq := make([]*state.State, maxPrefix+maxCycle)
+	var rec func(i, total, p int) bool
+	rec = func(i, total, p int) bool {
+		if i == total {
+			prefix := make([]*state.State, p)
+			copy(prefix, seq[:p])
+			cycle := make([]*state.State, total-p)
+			copy(cycle, seq[p:total])
+			return f(&state.Lasso{Prefix: prefix, Cycle: cycle})
+		}
+		for _, s := range universe {
+			seq[i] = s
+			if !rec(i+1, total, p) {
+				return false
+			}
+		}
+		return true
+	}
+	for p := 0; p <= maxPrefix; p++ {
+		for c := 1; c <= maxCycle; c++ {
+			if !rec(0, p+c, p) {
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,292 @@
+package form
+
+import (
+	"testing"
+
+	"opentla/internal/state"
+	"opentla/internal/value"
+)
+
+// intLasso builds a lasso over variable x from prefix and cycle values.
+func intLasso(prefix []int64, cycle []int64) *state.Lasso {
+	mk := func(vs []int64) []*state.State {
+		out := make([]*state.State, len(vs))
+		for i, v := range vs {
+			out[i] = st("x", value.Int(v))
+		}
+		return out
+	}
+	return &state.Lasso{Prefix: mk(prefix), Cycle: mk(cycle)}
+}
+
+func xCtx() *Ctx {
+	return NewCtx(map[string][]value.Value{"x": value.Ints(0, 3)})
+}
+
+func evalF(t *testing.T, f Formula, l *state.Lasso) bool {
+	t.Helper()
+	ok, err := f.Eval(xCtx(), l)
+	if err != nil {
+		t.Fatalf("Eval(%s): %v", f, err)
+	}
+	return ok
+}
+
+func xEq(v int64) Expr { return Eq(Var("x"), IntC(v)) }
+
+func TestPredFormula(t *testing.T) {
+	l := intLasso([]int64{1}, []int64{2})
+	if !evalF(t, Pred(xEq(1)), l) {
+		t.Error("Pred reads the first state")
+	}
+	if evalF(t, Pred(xEq(2)), l) {
+		t.Error("Pred should not read later states")
+	}
+}
+
+func TestAlwaysEventually(t *testing.T) {
+	l := intLasso([]int64{0, 1}, []int64{2, 3})
+	cases := []struct {
+		f    Formula
+		want bool
+	}{
+		{AlwaysPred(Ge(Var("x"), IntC(0))), true},
+		{AlwaysPred(Ge(Var("x"), IntC(1))), false}, // x=0 at start
+		{EventuallyPred(xEq(3)), true},
+		{EventuallyPred(xEq(9)), false},
+		{Always(EventuallyPred(xEq(2))), true},  // 2 recurs in the cycle
+		{Always(EventuallyPred(xEq(1))), false}, // 1 only in the prefix
+		{Eventually(AlwaysPred(Ge(Var("x"), IntC(2)))), true},
+		{Eventually(AlwaysPred(xEq(2))), false},
+		{LeadsTo(xEq(0), xEq(3)), true},
+		{LeadsTo(xEq(2), xEq(1)), false},
+	}
+	for _, c := range cases {
+		if got := evalF(t, c.f, l); got != c.want {
+			t.Errorf("%s = %v, want %v", c.f, got, c.want)
+		}
+	}
+}
+
+func TestActBox(t *testing.T) {
+	// Behavior 0 1 2 (2 2 ...): increments then stutters.
+	l := intLasso([]int64{0, 1}, []int64{2})
+	inc := Eq(PrimedVar("x"), Add(Var("x"), IntC(1)))
+	if !evalF(t, ActBoxVars(inc, "x"), l) {
+		t.Error("□[x'=x+1]_x should hold (stuttering allowed)")
+	}
+	dec := Eq(PrimedVar("x"), Sub(Var("x"), IntC(1)))
+	if evalF(t, ActBoxVars(dec, "x"), l) {
+		t.Error("□[x'=x−1]_x should fail")
+	}
+	// A cycle with a real change must satisfy the action on the wrap step.
+	l2 := intLasso(nil, []int64{0, 1})
+	if evalF(t, ActBoxVars(inc, "x"), l2) {
+		t.Error("wrap-around step 1→0 is not an increment")
+	}
+	flip := Or(inc, Eq(PrimedVar("x"), Sub(Var("x"), IntC(1))))
+	if !evalF(t, ActBoxVars(flip, "x"), l2) {
+		t.Error("0↔1 should satisfy the flip action")
+	}
+}
+
+func TestBooleanFormulaOps(t *testing.T) {
+	l := intLasso(nil, []int64{1})
+	tru := Pred(xEq(1))
+	fls := Pred(xEq(0))
+	if !evalF(t, AndF(tru, tru), l) || evalF(t, AndF(tru, fls), l) {
+		t.Error("AndF")
+	}
+	if !evalF(t, OrF(fls, tru), l) || evalF(t, OrF(fls, fls), l) {
+		t.Error("OrF")
+	}
+	if !evalF(t, NotF(fls), l) || evalF(t, NotF(tru), l) {
+		t.Error("NotF")
+	}
+	if !evalF(t, ImpliesFm(fls, fls), l) || evalF(t, ImpliesFm(tru, fls), l) {
+		t.Error("ImpliesFm")
+	}
+}
+
+func TestWeakFairness(t *testing.T) {
+	inc := And(Lt(Var("x"), IntC(3)), Eq(PrimedVar("x"), Add(Var("x"), IntC(1))))
+	wf := WFVars(inc, "x")
+
+	// Stuck at 0 forever with the increment enabled: WF violated.
+	if evalF(t, wf, intLasso(nil, []int64{0})) {
+		t.Error("WF should fail when enabled but never taken")
+	}
+	// Stuck at 3: increment disabled (guard), WF vacuous.
+	if !evalF(t, wf, intLasso([]int64{0, 1, 2}, []int64{3})) {
+		t.Error("WF should hold when the action is disabled in the cycle")
+	}
+	// Taking the action infinitely often: need a cycle with increments.
+	// 0 1 2 3 back to 0 is not an increment on the wrap; but WF only needs
+	// infinitely many ⟨inc⟩ steps, which the cycle 0..3 has.
+	if !evalF(t, wf, intLasso(nil, []int64{0, 1, 2, 3})) {
+		t.Error("WF should hold when the action recurs")
+	}
+}
+
+func TestStrongFairness(t *testing.T) {
+	inc := And(Lt(Var("x"), IntC(3)), Eq(PrimedVar("x"), Add(Var("x"), IntC(1))))
+	sf := SFVars(inc, "x")
+	// Cycle 0 (enabled, never taken): SF fails.
+	if evalF(t, sf, intLasso(nil, []int64{0})) {
+		t.Error("SF should fail: enabled infinitely often, never taken")
+	}
+	// Cycle alternates 3 (disabled) and 0 (enabled) without taking inc:
+	// enabled infinitely often → SF fails, but WF holds (disabled i.o.).
+	l := intLasso(nil, []int64{3, 0})
+	// The step 3→0 and 0→3 are not increments.
+	if evalF(t, sf, l) {
+		t.Error("SF should fail on intermittently enabled, never taken")
+	}
+	if !evalF(t, WFVars(inc, "x"), l) {
+		t.Error("WF should hold (disabled infinitely often)")
+	}
+	// Disabled forever: SF vacuous.
+	if !evalF(t, sf, intLasso(nil, []int64{3})) {
+		t.Error("SF should hold when never enabled in the cycle")
+	}
+}
+
+func TestExistsHidingEval(t *testing.T) {
+	// ∃h : □(h = x): trivially witnessable.
+	ctx := NewCtx(map[string][]value.Value{
+		"x": value.Ints(0, 1),
+		"h": value.Ints(0, 1),
+	})
+	l := intLasso(nil, []int64{0, 1})
+	f := ExistsF([]string{"h"}, AlwaysPred(Eq(Var("h"), Var("x"))))
+	ok, err := f.Eval(ctx, l)
+	if err != nil {
+		t.Fatalf("Eval: %v", err)
+	}
+	if !ok {
+		t.Error("∃h: □(h=x) should hold")
+	}
+	// ∃h : □(h = 0 ∧ h = x) fails when x becomes 1.
+	f2 := ExistsF([]string{"h"}, AlwaysPred(And(Eq(Var("h"), IntC(0)), Eq(Var("h"), Var("x")))))
+	ok, err = f2.Eval(ctx, l)
+	if err != nil {
+		t.Fatalf("Eval: %v", err)
+	}
+	if ok {
+		t.Error("∃h: □(h=0 ∧ h=x) should fail")
+	}
+	// Hidden counter: ∃h: h starts 0 and □[h'=1−h]_h with h≠x impossible
+	// when x covers both values... simpler: hiding with an undeclared
+	// domain errors.
+	f3 := ExistsF([]string{"nodomain"}, AlwaysPred(TrueE))
+	if _, err := f3.Eval(ctx, l); err == nil {
+		t.Error("hiding without a domain should error")
+	}
+}
+
+func TestExistsHidingNeedsUnrolling(t *testing.T) {
+	// The visible cycle has period 1 (x constant 0) but the witness must
+	// alternate h: ∃h: □[h' = 1−h]_h ∧ □◇(h=1) ∧ □◇(h=0)… simplest:
+	// ∃h: □⟨h changes⟩ — need period-2 hidden values on a period-1 visible
+	// cycle, found only with unrolling ≥ 2.
+	ctx := NewCtx(map[string][]value.Value{
+		"x": value.Ints(0, 1),
+		"h": value.Ints(0, 1),
+	})
+	l := intLasso(nil, []int64{0})
+	f := ExistsF([]string{"h"}, AndF(
+		ActBoxVars(Eq(PrimedVar("h"), Sub(IntC(1), Var("h"))), "h"),
+		Always(EventuallyPred(Eq(Var("h"), IntC(1)))),
+		Always(EventuallyPred(Eq(Var("h"), IntC(0)))),
+	))
+	ok, err := f.Eval(ctx, l)
+	if err != nil {
+		t.Fatalf("Eval: %v", err)
+	}
+	if !ok {
+		t.Error("witness requires unrolling the cycle; default Unroll=2 should find it")
+	}
+	// With Unroll=1 it must fail (h would have to be constant).
+	ctx.Unroll = 1
+	ok, err = f.Eval(ctx, l)
+	if err != nil {
+		t.Fatalf("Eval: %v", err)
+	}
+	if ok {
+		t.Error("period-1 witness cannot alternate")
+	}
+}
+
+func TestRenameFormula(t *testing.T) {
+	f := AndF(Pred(xEq(0)), ActBoxVars(Eq(PrimedVar("x"), IntC(1)), "x"))
+	g := RenameFormula(f, map[string]string{"x": "y"})
+	l := &state.Lasso{Cycle: []*state.State{st("y", value.Int(0))}}
+	ctx := NewCtx(map[string][]value.Value{"y": value.Ints(0, 1)})
+	ok, err := g.Eval(ctx, l)
+	if err != nil {
+		t.Fatalf("Eval renamed: %v", err)
+	}
+	if !ok {
+		t.Error("renamed formula should hold on the y-behavior")
+	}
+}
+
+func TestDisjointFormula(t *testing.T) {
+	ctx := NewCtx(map[string][]value.Value{
+		"a": value.Bits(), "b": value.Bits(),
+	})
+	d := Disjoint([]string{"a"}, []string{"b"})
+	// a and b change on different steps: fine.
+	good := &state.Lasso{Prefix: []*state.State{
+		st("a", value.Int(0), "b", value.Int(0)),
+		st("a", value.Int(1), "b", value.Int(0)),
+	}, Cycle: []*state.State{st("a", value.Int(1), "b", value.Int(1))}}
+	ok, err := d.Eval(ctx, good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("sequential changes should satisfy Disjoint")
+	}
+	// Simultaneous change violates it.
+	bad := &state.Lasso{Prefix: []*state.State{
+		st("a", value.Int(0), "b", value.Int(0)),
+	}, Cycle: []*state.State{st("a", value.Int(1), "b", value.Int(1))}}
+	ok, err = d.Eval(ctx, bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("simultaneous change should violate Disjoint")
+	}
+}
+
+func TestClosureFormula(t *testing.T) {
+	ctx := xCtx()
+	// F = x=0 ∧ □[x'=x+1]_x ∧ WF: closure drops the WF.
+	inc := And(Lt(Var("x"), IntC(3)), Eq(PrimedVar("x"), Add(Var("x"), IntC(1))))
+	f := AndF(Pred(xEq(0)), ActBoxVars(inc, "x"), WFVars(inc, "x"))
+	c := Closure(f)
+	// Stuck at 0: violates WF but satisfies the closure.
+	stuck := intLasso(nil, []int64{0})
+	okF, err := f.Eval(ctx, stuck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	okC, err := c.Eval(ctx, stuck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if okF || !okC {
+		t.Errorf("stuck: F=%v (want false), C(F)=%v (want true)", okF, okC)
+	}
+	// A safety violation falsifies the closure too.
+	bad := intLasso([]int64{0, 2}, []int64{2})
+	okC, err = c.Eval(ctx, bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if okC {
+		t.Error("closure should reject a safety violation")
+	}
+}

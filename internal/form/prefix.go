@@ -1,0 +1,213 @@
+package form
+
+import (
+	"fmt"
+
+	"opentla/internal/state"
+	"opentla/internal/value"
+)
+
+// PrefixFormula is implemented by formulas that can decide satisfaction by
+// a finite behavior. Per §2.4, a finite behavior ρ satisfies F iff ρ can be
+// extended to an infinite behavior satisfying F.
+//
+// The implementations cover the machine-closed fragment used throughout the
+// paper: state predicates, □[N]_v, invariants □P, fairness conjuncts (any
+// finite behavior satisfying the safety part of a canonical spec is
+// extendable to satisfy its fairness — Proposition 1), ◇/liveness formulas
+// (extendable by any prefix since behaviors are unconstrained sequences),
+// conjunction, disjunction, and ∃ hiding (by witness search).
+type PrefixFormula interface {
+	Formula
+	// EvalPrefix decides whether the finite behavior b satisfies the
+	// formula (is extendable to an infinite behavior satisfying it).
+	EvalPrefix(ctx *Ctx, b state.Behavior) (bool, error)
+}
+
+// EvalOnPrefix decides whether the finite behavior b satisfies f, returning
+// an error for formulas outside the prefix-decidable fragment.
+func EvalOnPrefix(ctx *Ctx, f Formula, b state.Behavior) (bool, error) {
+	pf, ok := f.(PrefixFormula)
+	if !ok {
+		return false, fmt.Errorf("formula %s: finite-behavior satisfaction not decidable for this form", f)
+	}
+	return pf.EvalPrefix(ctx, b)
+}
+
+// EvalPrefix implements PrefixFormula. The empty behavior satisfies every
+// satisfiable formula; we treat it as satisfying all formulas of the
+// fragment (all of which are satisfiable).
+func (f PredF) EvalPrefix(ctx *Ctx, b state.Behavior) (bool, error) {
+	if len(b) == 0 {
+		return true, nil
+	}
+	return EvalStateBool(f.P, b[0])
+}
+
+// EvalPrefix implements PrefixFormula: every step of the prefix must be an
+// [A]_sub step. Extension by stuttering then satisfies □[A]_sub, so the
+// check is exact.
+func (f ActBoxF) EvalPrefix(ctx *Ctx, b state.Behavior) (bool, error) {
+	sq := Square(f.A, f.Sub)
+	for i := 0; i+1 < len(b); i++ {
+		ok, err := EvalBool(sq, state.Step{From: b[i], To: b[i+1]}, nil)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// EvalPrefix implements PrefixFormula for the invariant case □P with P a
+// state predicate (or any prefix-decidable F such that F-satisfaction of
+// all suffixes extends by stuttering). Only □ of a state predicate is
+// supported exactly; other bodies return an error.
+func (f AlwaysF) EvalPrefix(ctx *Ctx, b state.Behavior) (bool, error) {
+	p, ok := f.F.(PredF)
+	if !ok {
+		return false, fmt.Errorf("formula %s: finite-behavior satisfaction supported only for []P with P a state predicate", f)
+	}
+	for _, s := range b {
+		ok, err := EvalStateBool(p.P, s)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// EvalPrefix implements PrefixFormula. A conjunction of canonical-form
+// safety parts is prefix-satisfied iff each conjunct is: the stuttering
+// extension witnesses all conjuncts simultaneously. With machine-closed
+// fairness conjuncts the equality still holds (Proposition 1 and §5: the
+// conjunction of component specifications is equivalent to a canonical
+// complete-system specification).
+func (f AndFm) EvalPrefix(ctx *Ctx, b state.Behavior) (bool, error) {
+	for _, g := range f.Fs {
+		ok, err := EvalOnPrefix(ctx, g, b)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// EvalPrefix implements PrefixFormula. ρ satisfies F ∨ G iff it satisfies
+// F or satisfies G (an extension satisfying the disjunction satisfies a
+// disjunct); this case is exact for arbitrary disjuncts.
+func (f OrFm) EvalPrefix(ctx *Ctx, b state.Behavior) (bool, error) {
+	for _, g := range f.Fs {
+		ok, err := EvalOnPrefix(ctx, g, b)
+		if err != nil {
+			return false, err
+		}
+		if ok {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// EvalPrefix implements PrefixFormula: any finite behavior extends to one
+// satisfying ◇F, provided F is satisfiable from an arbitrary state — true
+// for the liveness formulas used here (behaviors are unconstrained state
+// sequences, so the extension may move to any state).
+func (f EventuallyF) EvalPrefix(ctx *Ctx, b state.Behavior) (bool, error) { return true, nil }
+
+// EvalPrefix implements PrefixFormula: fairness formulas constrain only the
+// infinite part of a behavior; every finite behavior can be extended to
+// satisfy WF/SF (e.g. by stuttering if the action is never enabled, or by
+// taking the action whenever enabled). This is the machine-closure property
+// that Proposition 1 depends on.
+func (f FairF) EvalPrefix(ctx *Ctx, b state.Behavior) (bool, error) { return true, nil }
+
+// EvalPrefix implements PrefixFormula by searching for hidden-variable
+// witnesses over the positions of the prefix.
+func (f ExistsFm) EvalPrefix(ctx *Ctx, b state.Behavior) (bool, error) {
+	for _, v := range f.Vars {
+		if _, err := ctx.Domain(v); err != nil {
+			return false, fmt.Errorf("hiding %v: %w", f.Vars, err)
+		}
+	}
+	n := len(b)
+	if n == 0 {
+		return true, nil
+	}
+	budget := ctx.maxWitness()
+	assignment := make([]map[string]value.Value, n)
+	var dfs func(i int) (bool, error)
+	dfs = func(i int) (bool, error) {
+		if i == n {
+			aug := make(state.Behavior, n)
+			for j := 0; j < n; j++ {
+				aug[j] = b[j].WithAll(assignment[j])
+			}
+			return EvalOnPrefix(ctx, f.F, aug)
+		}
+		found := false
+		var evalErr error
+		value.ForEachAssignment(f.Vars, ctx.Domains, func(a map[string]value.Value) bool {
+			budget--
+			if budget < 0 {
+				evalErr = fmt.Errorf("hiding %v: prefix witness search exceeded budget", f.Vars)
+				return false
+			}
+			cp := make(map[string]value.Value, len(a))
+			for k, v := range a {
+				cp[k] = v
+			}
+			assignment[i] = cp
+			ok, err := dfs(i + 1)
+			if err != nil {
+				evalErr = err
+				return false
+			}
+			if ok {
+				found = true
+				return false
+			}
+			return true
+		})
+		if evalErr != nil {
+			return false, evalErr
+		}
+		return found, nil
+	}
+	return dfs(0)
+}
+
+// Infinite is the death index of a behavior that never violates a formula.
+const Infinite = -1
+
+// DeathIndex returns the least prefix length n at which the lasso's behavior
+// stops satisfying f (so prefixes of length < n satisfy f and those of
+// length ≥ n do not), or Infinite if every finite prefix satisfies f.
+//
+// For the prefix-decidable fragment, prefix satisfaction is monotone
+// (downward closed), and any violation of a safety formula manifests within
+// PrefixLen+CycleLen+2 states of a lasso, so the scan below is exact.
+func DeathIndex(ctx *Ctx, f Formula, l *state.Lasso) (int, error) {
+	limit := l.Horizon() + 2
+	for n := 0; n <= limit; n++ {
+		ok, err := EvalOnPrefix(ctx, f, l.FinitePrefix(n))
+		if err != nil {
+			return 0, err
+		}
+		if !ok {
+			return n, nil
+		}
+	}
+	return Infinite, nil
+}
+
+// dies reports whether a death index is finite.
+func dies(d int) bool { return d != Infinite }

@@ -1,0 +1,141 @@
+package form
+
+import (
+	"strings"
+	"testing"
+
+	"opentla/internal/state"
+	"opentla/internal/value"
+)
+
+// allNodeExprs returns one expression of every node type, each mentioning
+// variable "x" (so substitution must reach inside).
+func allNodeExprs() []Expr {
+	x := Var("x")
+	return []Expr{
+		x,
+		Prime(x),
+		Const(value.Int(3)),
+		And(x, TrueE),
+		Or(x, FalseE),
+		Not(x),
+		Implies(x, x),
+		Equiv(x, x),
+		Eq(x, IntC(1)),
+		Lt(x, IntC(1)),
+		Add(x, IntC(1)),
+		If(Eq(x, IntC(0)), x, IntC(2)),
+		TupleOf(x, IntC(1)),
+		Head(TupleOf(x)),
+		Tail(TupleOf(x)),
+		Len(TupleOf(x)),
+		Concat(TupleOf(x), TupleOf(x)),
+		Exists("b", value.Bits(), Eq(Var("b"), x)),
+		Forall("b", value.Bits(), Ne(Var("b"), x)),
+		Unchanged("x"),
+		Square(Eq(Prime(x), x), TupleOf(x)),
+		Angle(Eq(Prime(x), x), TupleOf(x)),
+	}
+}
+
+// allNodeFormulas returns one formula of every node type mentioning "x".
+func allNodeFormulas() []Formula {
+	x := Var("x")
+	p := Pred(Eq(x, IntC(0)))
+	return []Formula{
+		p,
+		ActBoxVars(Eq(Prime(x), x), "x"),
+		Always(p),
+		Eventually(p),
+		AndF(p, p),
+		OrF(p, p),
+		NotF(p),
+		ImpliesFm(p, p),
+		WFVars(Eq(Prime(x), IntC(1)), "x"),
+		SFVars(Eq(Prime(x), IntC(1)), "x"),
+		ExistsF([]string{"h"}, Pred(Eq(Var("h"), x))),
+		WhilePlus(p, p),
+		Arrow(p, p),
+		PlusVars(p, "x"),
+		Orth(p, p),
+		Closure(p),
+		LeadsTo(Eq(x, IntC(0)), Eq(x, IntC(1))),
+		Disjoint([]string{"x"}, []string{"y"}),
+	}
+}
+
+// TestSubstRenamesEveryExprNode: after renaming x→z, no node's rendering
+// mentions x as a variable (the bound variable b and literals remain).
+func TestSubstRenamesEveryExprNode(t *testing.T) {
+	for _, e := range allNodeExprs() {
+		r := Rename(e, map[string]string{"x": "z"})
+		up, pr := FreeVars(r)
+		for _, v := range append(up, pr...) {
+			if v == "x" {
+				t.Errorf("node %T: x survives renaming: %s", e, r)
+			}
+		}
+		// Rendering must be non-empty and parseable as a sanity signal.
+		if r.String() == "" {
+			t.Errorf("node %T: empty rendering", e)
+		}
+	}
+}
+
+// TestSubstRenamesEveryFormulaNode does the same at the formula level, and
+// checks that the renamed formula evaluates over the renamed universe.
+func TestSubstRenamesEveryFormulaNode(t *testing.T) {
+	ctx := NewCtx(map[string][]value.Value{
+		"z": value.Bits(), "y": value.Bits(), "h": value.Bits(),
+	})
+	l := &state.Lasso{Cycle: []*state.State{
+		state.FromPairs("z", value.Int(0), "y", value.Int(0), "h", value.Int(0)),
+	}}
+	for _, f := range allNodeFormulas() {
+		r := RenameFormula(f, map[string]string{"x": "z"})
+		if strings.Contains(r.String(), "x") && !strings.Contains(f.String(), "Tail") {
+			// A variable literally named x must be gone; operator glyphs
+			// containing 'x' don't occur in our printers.
+			t.Errorf("node %T: x survives renaming: %s", f, r)
+		}
+		if _, err := r.Eval(ctx, l); err != nil {
+			t.Errorf("node %T: renamed formula fails to evaluate: %v", f, err)
+		}
+	}
+}
+
+// TestEvalStateHelpers covers the state-level evaluation helpers.
+func TestEvalStateHelpers(t *testing.T) {
+	s := state.FromPairs("x", value.Int(4))
+	v, err := EvalState(Add(Var("x"), IntC(1)), s)
+	if err != nil || !v.Equal(value.Int(5)) {
+		t.Fatalf("EvalState = %s, err %v", v, err)
+	}
+	b, err := EvalStateBool(Gt(Var("x"), IntC(0)), s)
+	if err != nil || !b {
+		t.Fatalf("EvalStateBool = %v, err %v", b, err)
+	}
+}
+
+// TestFormulaStrings pins the concrete syntax of the assumption/guarantee
+// operators (the strings appear in reports, so they are API).
+func TestFormulaStrings(t *testing.T) {
+	p := Pred(Eq(Var("x"), IntC(0)))
+	cases := []struct {
+		f    Formula
+		want string
+	}{
+		{WhilePlus(p, p), "((x = 0) -+> (x = 0))"},
+		{Arrow(p, p), "((x = 0) --> (x = 0))"},
+		{Orth(p, p), "((x = 0) _|_ (x = 0))"},
+		{Closure(p), "C((x = 0))"},
+		{PlusVars(p, "x"), "((x = 0))+_<<x>>"},
+		{WFVars(TrueE, "x"), "WF_<<x>>(TRUE)"},
+		{SFVars(TrueE, "x"), "SF_<<x>>(TRUE)"},
+	}
+	for _, c := range cases {
+		if got := c.f.String(); got != c.want {
+			t.Errorf("String = %q, want %q", got, c.want)
+		}
+	}
+}

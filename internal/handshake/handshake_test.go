@@ -1,0 +1,135 @@
+package handshake
+
+import (
+	"strings"
+	"testing"
+
+	"opentla/internal/form"
+	"opentla/internal/state"
+	"opentla/internal/trace"
+	"opentla/internal/value"
+)
+
+func TestChannelNames(t *testing.T) {
+	c := Chan("i")
+	if c.Sig() != "i.sig" || c.Ack() != "i.ack" || c.Val() != "i.val" {
+		t.Fatalf("wire names: %v", c.Vars())
+	}
+	if got := strings.Join(c.SndVars(), ","); got != "i.sig,i.val" {
+		t.Errorf("SndVars = %s", got)
+	}
+}
+
+func TestReadyPending(t *testing.T) {
+	c := Chan("c")
+	ready := state.FromPairs("c.sig", value.Int(1), "c.ack", value.Int(1), "c.val", value.Int(0))
+	pending := ready.With("c.ack", value.Int(0))
+	if ok, _ := form.EvalStateBool(c.Ready(), ready); !ok {
+		t.Error("Ready should hold when sig=ack")
+	}
+	if ok, _ := form.EvalStateBool(c.Pending(), pending); !ok {
+		t.Error("Pending should hold when sig≠ack")
+	}
+}
+
+func TestSendAckActions(t *testing.T) {
+	c := Chan("c")
+	s0 := state.FromPairs("c.sig", value.Int(0), "c.ack", value.Int(0), "c.val", value.Int(0))
+	sent := s0.WithAll(map[string]value.Value{"c.sig": value.Int(1), "c.val": value.Int(7)})
+	// Send 7.
+	ok, err := form.EvalBool(Send(form.IntC(7), c), state.Step{From: s0, To: sent}, nil)
+	if err != nil || !ok {
+		t.Fatalf("Send: ok=%v err=%v", ok, err)
+	}
+	// Cannot send while pending.
+	resend := sent.With("c.val", value.Int(3))
+	ok, _ = form.EvalBool(Send(form.IntC(3), c), state.Step{From: sent, To: resend}, nil)
+	if ok {
+		t.Error("Send while pending should be disallowed")
+	}
+	// Ack.
+	acked := sent.With("c.ack", value.Int(1))
+	ok, err = form.EvalBool(AckAction(c), state.Step{From: sent, To: acked}, nil)
+	if err != nil || !ok {
+		t.Fatalf("Ack: ok=%v err=%v", ok, err)
+	}
+	// Cannot ack when ready.
+	ok, _ = form.EvalBool(AckAction(c), state.Step{From: acked, To: acked.With("c.ack", value.Int(0))}, nil)
+	if ok {
+		t.Error("Ack while ready should be disallowed")
+	}
+	// Ack must not change c.snd.
+	bad := sent.WithAll(map[string]value.Value{"c.ack": value.Int(1), "c.val": value.Int(9)})
+	ok, _ = form.EvalBool(AckAction(c), state.Step{From: sent, To: bad}, nil)
+	if ok {
+		t.Error("Ack changing c.snd should be disallowed")
+	}
+}
+
+func TestSendAny(t *testing.T) {
+	c := Chan("c")
+	dom := value.Ints(0, 2)
+	s0 := state.FromPairs("c.sig", value.Int(0), "c.ack", value.Int(0), "c.val", value.Int(0))
+	for v := int64(0); v <= 2; v++ {
+		to := s0.WithAll(map[string]value.Value{"c.sig": value.Int(1), "c.val": value.Int(v)})
+		ok, err := form.EvalBool(SendAny(c, dom), state.Step{From: s0, To: to}, nil)
+		if err != nil || !ok {
+			t.Errorf("SendAny should allow sending %d", v)
+		}
+	}
+	// A value outside the domain is not allowed.
+	to := s0.WithAll(map[string]value.Value{"c.sig": value.Int(1), "c.val": value.Int(9)})
+	ok, _ := form.EvalBool(SendAny(c, dom), state.Step{From: s0, To: to}, nil)
+	if ok {
+		t.Error("SendAny should restrict to the domain")
+	}
+}
+
+// TestHandshakeTraceFig2 is experiment E3: reproduce the protocol table of
+// Figure 2 (sending 37, 4, 19 with send/ack alternation).
+func TestHandshakeTraceFig2(t *testing.T) {
+	c := Chan("c")
+	vals := []value.Value{value.Int(37), value.Int(4), value.Int(19)}
+	b, err := c.Trace(value.Int(0), vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) != 7 {
+		t.Fatalf("trace length = %d, want 7 (init + 3×(send, ack))", len(b))
+	}
+	// Figure 2's rows (first six columns; the figure's last shown column is
+	// the send of 19).
+	wantAck := []int64{0, 0, 1, 1, 0, 0, 1}
+	wantSig := []int64{0, 1, 1, 0, 0, 1, 1}
+	wantVal := []int64{0, 37, 37, 4, 4, 19, 19}
+	for i, s := range b {
+		ack, _ := s.MustGet("c.ack").AsInt()
+		sig, _ := s.MustGet("c.sig").AsInt()
+		val, _ := s.MustGet("c.val").AsInt()
+		if ack != wantAck[i] || sig != wantSig[i] || val != wantVal[i] {
+			t.Errorf("column %d: ack/sig/val = %d/%d/%d, want %d/%d/%d",
+				i, ack, sig, val, wantAck[i], wantSig[i], wantVal[i])
+		}
+	}
+	// The rendered table lists one row per wire.
+	table := trace.Table(b, []string{"c.ack", "c.sig", "c.val"})
+	for _, row := range []string{"c.ack:", "c.sig:", "c.val:", "37", "19"} {
+		if !strings.Contains(table, row) {
+			t.Errorf("table missing %q:\n%s", row, table)
+		}
+	}
+}
+
+func TestRenameMap(t *testing.T) {
+	m := Chan("o").Rename(Chan("z"))
+	if m["o.sig"] != "z.sig" || m["o.ack"] != "z.ack" || m["o.val"] != "z.val" {
+		t.Errorf("rename map = %v", m)
+	}
+}
+
+func TestDomains(t *testing.T) {
+	d := Chan("c").Domains(value.Ints(0, 4))
+	if len(d["c.sig"]) != 2 || len(d["c.val"]) != 5 {
+		t.Errorf("domains = %v", d)
+	}
+}

@@ -1,0 +1,166 @@
+package queue
+
+import (
+	"testing"
+
+	"opentla/internal/check"
+	"opentla/internal/form"
+	"opentla/internal/spec"
+	"opentla/internal/state"
+	"opentla/internal/ts"
+	"opentla/internal/value"
+)
+
+// historyMonitors returns two monitors recording the sequence of values
+// sent on the input channel and received (acknowledged) on the output
+// channel, each bounded to maxLen entries (edges beyond the bound are
+// pruned, truncating the explored behaviors — sound for invariant checks on
+// the truncated graph).
+func historyMonitors(maxLen int, vals []value.Value) (*ts.Monitor, *ts.Monitor) {
+	dom := value.Seqs(vals, maxLen)
+	sent := &ts.Monitor{
+		Var:    "$sent",
+		Domain: dom,
+		Init: func(s *state.State) ([]value.Value, error) {
+			return []value.Value{value.Empty}, nil
+		},
+		Step: func(st state.Step, cur value.Value) ([]value.Value, error) {
+			// A send is a flip of i.sig.
+			if st.From.MustGet(In.Sig()).Equal(st.To.MustGet(In.Sig())) {
+				return []value.Value{cur}, nil
+			}
+			if cur.Len() >= maxLen {
+				return nil, nil // truncate exploration
+			}
+			nxt, _ := cur.Append(st.To.MustGet(In.Val()))
+			return []value.Value{nxt}, nil
+		},
+	}
+	rcvd := &ts.Monitor{
+		Var:    "$rcvd",
+		Domain: dom,
+		Init: func(s *state.State) ([]value.Value, error) {
+			return []value.Value{value.Empty}, nil
+		},
+		Step: func(st state.Step, cur value.Value) ([]value.Value, error) {
+			// A receipt is a flip of o.ack; the value is o.val (stable
+			// while pending).
+			if st.From.MustGet(Out.Ack()).Equal(st.To.MustGet(Out.Ack())) {
+				return []value.Value{cur}, nil
+			}
+			if cur.Len() >= maxLen {
+				return nil, nil
+			}
+			nxt, _ := cur.Append(st.From.MustGet(Out.Val()))
+			return []value.Value{nxt}, nil
+		},
+	}
+	return sent, rcvd
+}
+
+// chanFlight returns the in-flight segment of a channel: ⟨val⟩ while a send
+// is pending, ⟨⟩ otherwise.
+func chanFlight(c interface {
+	Pending() form.Expr
+	Val() string
+}) form.Expr {
+	return form.If(c.Pending(), form.TupleOf(form.Var(c.Val())), form.EmptySeq)
+}
+
+// TestSingleQueueFIFO verifies the end-to-end functional correctness of the
+// queue: along every behavior of CQ, the sent history always equals the
+// received history, then the value pending on o, then the queue contents,
+// then the value pending on i (newest):
+//
+//	$sent = $rcvd ∘ o-flight ∘ q ∘ i-flight.
+func TestSingleQueueFIFO(t *testing.T) {
+	c := cfg1()
+	g, err := c.SingleSystem().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sent, rcvd := historyMonitors(3, c.ValueDomain())
+	prod, err := ts.Product(g, []*ts.Monitor{sent, rcvd})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipeline := form.Concat(form.Concat(chanFlight(Out), form.Var("q")), chanFlight(In))
+	inv := form.Eq(
+		form.Var("$sent"),
+		form.Concat(form.Var("$rcvd"), pipeline),
+	)
+	res, err := check.Invariant(prod, inv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Holds {
+		t.Fatalf("FIFO history invariant violated:\n%s", res)
+	}
+}
+
+// TestDoubleQueueFIFO verifies the same end-to-end invariant for the double
+// queue, with the pipeline contents q2 ∘ z-in-flight ∘ q1 in place of q.
+func TestDoubleQueueFIFO(t *testing.T) {
+	c := cfg1()
+	g, err := c.DoubleSystem(true).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sent, rcvd := historyMonitors(4, c.ValueDomain())
+	prod, err := ts.Product(g, []*ts.Monitor{sent, rcvd})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipeline := form.Concat(
+		form.Concat(chanFlight(Out), DoubleMapping()["q"]),
+		chanFlight(In),
+	)
+	inv := form.Eq(
+		form.Var("$sent"),
+		form.Concat(form.Var("$rcvd"), pipeline),
+	)
+	res, err := check.Invariant(prod, inv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Holds {
+		t.Fatalf("double-queue FIFO history invariant violated:\n%s", res)
+	}
+}
+
+// TestBrokenQueuesFailFIFO: the failure-injected queues violate the history
+// invariant too, pinning the invariant's discriminating power.
+func TestBrokenQueuesFailFIFO(t *testing.T) {
+	c := cfg1()
+	for _, broken := range []*spec.Component{
+		droppingQueue(c),
+		corruptingQueue(c),
+	} {
+		sys := &ts.System{
+			Name:       "QE-and-" + broken.Name,
+			Components: []*spec.Component{QE("QE", In, Out, c.ValueDomain()), broken},
+			Domains:    c.Domains(),
+		}
+		g, err := sys.Build()
+		if err != nil {
+			t.Fatalf("%s: %v", broken.Name, err)
+		}
+		sent, rcvd := historyMonitors(3, c.ValueDomain())
+		prod, err := ts.Product(g, []*ts.Monitor{sent, rcvd})
+		if err != nil {
+			t.Fatalf("%s: %v", broken.Name, err)
+		}
+		pipeline := form.Concat(form.Concat(chanFlight(Out), form.Var("q")), chanFlight(In))
+		inv := form.Eq(
+			form.Var("$sent"),
+			form.Concat(form.Var("$rcvd"), pipeline),
+		)
+		res, err := check.Invariant(prod, inv)
+		if err != nil {
+			t.Fatalf("%s: %v", broken.Name, err)
+		}
+		if res.Holds {
+			t.Errorf("%s: FIFO invariant unexpectedly holds", broken.Name)
+		}
+	}
+}

@@ -1,0 +1,310 @@
+// Package spec represents component specifications in the canonical form of
+// Abadi & Lamport, "Open Systems in TLA" §2.2:
+//
+//	∃x : Init ∧ □[N]_⟨m,x⟩ ∧ L
+//
+// where m is the tuple of output variables, x the internal variables, e the
+// input variables, N the next-state action (a disjunction of named actions),
+// and L a conjunction of fairness conditions.
+//
+// Besides the declarative formula, each action may carry an executable
+// successor generator used by the explicit-state model checker; package ts
+// cross-checks generators against the declarative definitions.
+package spec
+
+import (
+	"fmt"
+	"sort"
+
+	"opentla/internal/form"
+	"opentla/internal/state"
+	"opentla/internal/value"
+)
+
+// ExecFunc enumerates candidate updates for a component action in state s:
+// each map assigns new values to (a subset of) the component's owned
+// variables; unmentioned variables keep their values. ExecFunc must be
+// complete: every step ⟨s,t⟩ satisfying the action's definition must have
+// t's owned-variable values equal to some returned candidate.
+type ExecFunc func(s *state.State) []map[string]value.Value
+
+// Action is a named next-state disjunct.
+type Action struct {
+	Name string
+	// Def is the declarative TLA definition of the action; it is the
+	// ground truth against which generated successors are verified.
+	Def form.Expr
+	// Exec optionally generates candidate owned-variable updates. If nil,
+	// the model checker derives a brute-force generator from Def over the
+	// declared domains.
+	Exec ExecFunc
+}
+
+// Fairness is one WF/SF conjunct of the liveness part L.
+type Fairness struct {
+	Kind form.FairKind
+	// Action is the fair action A in WF_v(A)/SF_v(A).
+	Action form.Expr
+	// Sub is the subscript state function v; nil means the component's
+	// ⟨outputs, internals⟩ tuple, the usual choice (§2.2).
+	Sub form.Expr
+}
+
+// Component is a component specification in canonical form.
+type Component struct {
+	Name string
+	// Inputs e, Outputs m, and Internals x partition the variables the
+	// component's next-state action may constrain. Outputs and internals
+	// are "owned": only this component's actions change them.
+	Inputs    []string
+	Outputs   []string
+	Internals []string
+	// Init is the initial predicate. Following the paper's convention for
+	// channels (§A.2), Init may also mention variables the component does
+	// not own.
+	Init form.Expr
+	// Actions are the disjuncts of the next-state action N.
+	Actions []Action
+	// Fairness is the liveness part L.
+	Fairness []Fairness
+}
+
+// Owned returns the variables the component owns: outputs then internals.
+func (c *Component) Owned() []string {
+	out := make([]string, 0, len(c.Outputs)+len(c.Internals))
+	out = append(out, c.Outputs...)
+	out = append(out, c.Internals...)
+	return out
+}
+
+// Vars returns all declared variables of the component: inputs, outputs,
+// internals.
+func (c *Component) Vars() []string {
+	out := make([]string, 0, len(c.Inputs)+len(c.Outputs)+len(c.Internals))
+	out = append(out, c.Inputs...)
+	out = append(out, c.Outputs...)
+	out = append(out, c.Internals...)
+	return out
+}
+
+// SubTuple returns the canonical subscript ⟨m, x⟩ as a tuple expression.
+func (c *Component) SubTuple() form.Expr { return form.VarTuple(c.Owned()...) }
+
+// Next returns the next-state action N: the disjunction of the action
+// definitions.
+func (c *Component) Next() form.Expr {
+	xs := make([]form.Expr, len(c.Actions))
+	for i, a := range c.Actions {
+		xs[i] = a.Def
+	}
+	return form.Or(xs...)
+}
+
+// Box returns □[N]_⟨m,x⟩ as a formula.
+func (c *Component) Box() form.Formula { return form.ActBox(c.Next(), c.SubTuple()) }
+
+// SafetyFormula returns the safety part Init ∧ □[N]_⟨m,x⟩ with internal
+// variables visible. By Proposition 1 this is the closure of InnerFormula.
+func (c *Component) SafetyFormula() form.Formula {
+	return form.AndF(form.Pred(c.Init), c.Box())
+}
+
+// FairnessFormula returns the liveness part L (TRUE if no fairness).
+func (c *Component) FairnessFormula() form.Formula {
+	fs := make([]form.Formula, len(c.Fairness))
+	for i, fc := range c.Fairness {
+		sub := fc.Sub
+		if sub == nil {
+			sub = c.SubTuple()
+		}
+		if fc.Kind == form.Weak {
+			fs[i] = form.WF(sub, fc.Action)
+		} else {
+			fs[i] = form.SF(sub, fc.Action)
+		}
+	}
+	return form.AndF(fs...)
+}
+
+// InnerFormula returns Init ∧ □[N]_⟨m,x⟩ ∧ L with internals visible — the
+// paper's "I" formulas (e.g. IQM in §A.3).
+func (c *Component) InnerFormula() form.Formula {
+	if len(c.Fairness) == 0 {
+		return c.SafetyFormula()
+	}
+	return form.AndF(form.Pred(c.Init), c.Box(), c.FairnessFormula())
+}
+
+// Formula returns the full canonical specification ∃x : Init ∧ □[N]_v ∧ L.
+func (c *Component) Formula() form.Formula {
+	return form.ExistsF(c.Internals, c.InnerFormula())
+}
+
+// SafetyHidden returns ∃x : Init ∧ □[N]_v — by Propositions 1 and 2 an
+// upper bound for (and in the machine-closed case equal to) the closure of
+// Formula.
+func (c *Component) SafetyHidden() form.Formula {
+	return form.ExistsF(c.Internals, c.SafetyFormula())
+}
+
+// SquareExpr returns [N]_⟨m,x⟩ as an action expression — the per-step
+// constraint of the component's safety part.
+func (c *Component) SquareExpr() form.Expr {
+	return form.Square(c.Next(), c.SubTuple())
+}
+
+// SafetyOnly returns a copy of the component with the fairness conditions
+// removed. By Proposition 1, its InnerFormula is the closure C of the
+// original's (machine-closed) InnerFormula.
+func (c *Component) SafetyOnly() *Component {
+	cp := *c
+	cp.Fairness = nil
+	return &cp
+}
+
+// Validate checks structural well-formedness: variable classes are
+// disjoint, action definitions only prime declared variables, and fairness
+// actions only prime owned variables.
+func (c *Component) Validate() error {
+	seen := make(map[string]string)
+	add := func(class string, names []string) error {
+		for _, n := range names {
+			if prev, dup := seen[n]; dup {
+				return fmt.Errorf("component %s: variable %q declared as both %s and %s", c.Name, n, prev, class)
+			}
+			seen[n] = class
+		}
+		return nil
+	}
+	if err := add("input", c.Inputs); err != nil {
+		return err
+	}
+	if err := add("output", c.Outputs); err != nil {
+		return err
+	}
+	if err := add("internal", c.Internals); err != nil {
+		return err
+	}
+	declared := make(map[string]bool, len(seen))
+	for n := range seen {
+		declared[n] = true
+	}
+	for _, a := range c.Actions {
+		for _, v := range form.AllVars(a.Def) {
+			if !declared[v] {
+				return fmt.Errorf("component %s: action %s mentions undeclared variable %q", c.Name, a.Name, v)
+			}
+		}
+	}
+	if c.Init != nil {
+		if prm := form.PrimedVars(c.Init); len(prm) > 0 {
+			return fmt.Errorf("component %s: Init primes variables %v", c.Name, prm)
+		}
+	}
+	return nil
+}
+
+// Rename returns a copy of the component with variables renamed according
+// to m, implementing the paper's substitution F[z/o, q1/q] (§A.4) at the
+// component level. Exec generators are wrapped to translate states both
+// ways. Variables absent from m keep their names; the component is also
+// given the new name.
+func (c *Component) Rename(name string, m map[string]string) *Component {
+	fwd := func(n string) string {
+		if r, ok := m[n]; ok {
+			return r
+		}
+		return n
+	}
+	renameList := func(ns []string) []string {
+		out := make([]string, len(ns))
+		for i, n := range ns {
+			out[i] = fwd(n)
+		}
+		return out
+	}
+	inv := make(map[string]string, len(m))
+	for from, to := range m {
+		inv[to] = from
+	}
+	renameState := func(s *state.State, dir map[string]string) *state.State {
+		mm := make(map[string]value.Value, s.Len())
+		for n, v := range s.Map() {
+			if r, ok := dir[n]; ok {
+				mm[r] = v
+			} else {
+				mm[n] = v
+			}
+		}
+		return state.New(mm)
+	}
+	actions := make([]Action, len(c.Actions))
+	for i, a := range c.Actions {
+		na := Action{Name: a.Name, Def: form.Rename(a.Def, m)}
+		if a.Exec != nil {
+			orig := a.Exec
+			na.Exec = func(s *state.State) []map[string]value.Value {
+				back := renameState(s, inv)
+				ups := orig(back)
+				out := make([]map[string]value.Value, len(ups))
+				for j, up := range ups {
+					ren := make(map[string]value.Value, len(up))
+					for n, v := range up {
+						ren[fwd(n)] = v
+					}
+					out[j] = ren
+				}
+				return out
+			}
+		}
+		actions[i] = na
+	}
+	fair := make([]Fairness, len(c.Fairness))
+	for i, fc := range c.Fairness {
+		nf := Fairness{Kind: fc.Kind, Action: form.Rename(fc.Action, m)}
+		if fc.Sub != nil {
+			nf.Sub = form.Rename(fc.Sub, m)
+		}
+		fair[i] = nf
+	}
+	var init form.Expr
+	if c.Init != nil {
+		init = form.Rename(c.Init, m)
+	}
+	return &Component{
+		Name:      name,
+		Inputs:    renameList(c.Inputs),
+		Outputs:   renameList(c.Outputs),
+		Internals: renameList(c.Internals),
+		Init:      init,
+		Actions:   actions,
+		Fairness:  fair,
+	}
+}
+
+// BruteExec returns an ExecFunc for action def that enumerates every
+// assignment to the component's owned variables over the given domains and
+// keeps those satisfying def with all other variables left unchanged. For
+// interleaving specifications (whose actions imply e′ = e) this generator
+// is complete.
+func BruteExec(owned []string, domains map[string][]value.Value, def form.Expr) ExecFunc {
+	names := make([]string, len(owned))
+	copy(names, owned)
+	sort.Strings(names)
+	return func(s *state.State) []map[string]value.Value {
+		var out []map[string]value.Value
+		value.ForEachAssignment(names, domains, func(a map[string]value.Value) bool {
+			t := s.WithAll(a)
+			ok, err := form.EvalBool(def, state.Step{From: s, To: t}, nil)
+			if err == nil && ok {
+				cp := make(map[string]value.Value, len(a))
+				for k, v := range a {
+					cp[k] = v
+				}
+				out = append(out, cp)
+			}
+			return true
+		})
+		return out
+	}
+}

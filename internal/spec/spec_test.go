@@ -1,0 +1,167 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+
+	"opentla/internal/form"
+	"opentla/internal/state"
+	"opentla/internal/value"
+)
+
+// counter returns a simple component: output x counts 0→1→2→0 …
+func counter() *Component {
+	inc := form.Eq(form.PrimedVar("x"), form.Mod(form.Add(form.Var("x"), form.IntC(1)), form.IntC(3)))
+	return &Component{
+		Name:    "counter",
+		Outputs: []string{"x"},
+		Init:    form.Eq(form.Var("x"), form.IntC(0)),
+		Actions: []Action{{Name: "Inc", Def: inc}},
+		Fairness: []Fairness{
+			{Kind: form.Weak, Action: inc},
+		},
+	}
+}
+
+func TestOwnedAndVars(t *testing.T) {
+	c := &Component{
+		Name:      "c",
+		Inputs:    []string{"in"},
+		Outputs:   []string{"o1", "o2"},
+		Internals: []string{"h"},
+	}
+	if got := strings.Join(c.Owned(), ","); got != "o1,o2,h" {
+		t.Errorf("Owned = %s", got)
+	}
+	if got := strings.Join(c.Vars(), ","); got != "in,o1,o2,h" {
+		t.Errorf("Vars = %s", got)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := counter()
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid component rejected: %v", err)
+	}
+	dup := &Component{Name: "d", Inputs: []string{"x"}, Outputs: []string{"x"}}
+	if err := dup.Validate(); err == nil {
+		t.Error("duplicate variable should be rejected")
+	}
+	undeclared := &Component{
+		Name:    "u",
+		Outputs: []string{"x"},
+		Actions: []Action{{Name: "A", Def: form.Eq(form.PrimedVar("x"), form.Var("ghost"))}},
+	}
+	if err := undeclared.Validate(); err == nil {
+		t.Error("undeclared action variable should be rejected")
+	}
+	primedInit := &Component{
+		Name:    "p",
+		Outputs: []string{"x"},
+		Init:    form.Eq(form.PrimedVar("x"), form.IntC(0)),
+	}
+	if err := primedInit.Validate(); err == nil {
+		t.Error("primed Init should be rejected")
+	}
+}
+
+func TestFormulas(t *testing.T) {
+	c := counter()
+	// SafetyFormula = Init ∧ □[N]_v.
+	sf := c.SafetyFormula()
+	if !strings.Contains(sf.String(), "[][") {
+		t.Errorf("SafetyFormula = %s", sf)
+	}
+	// InnerFormula adds fairness; Formula hides internals (none here).
+	inner := c.InnerFormula()
+	if !strings.Contains(inner.String(), "WF") {
+		t.Errorf("InnerFormula = %s", inner)
+	}
+	if c.Formula().String() != inner.String() {
+		t.Errorf("Formula without internals should equal InnerFormula")
+	}
+	h := &Component{Name: "h", Outputs: []string{"x"}, Internals: []string{"q"},
+		Init: form.TrueE}
+	if !strings.Contains(h.Formula().String(), "\\EE q") {
+		t.Errorf("Formula should hide internals: %s", h.Formula())
+	}
+	// SafetyOnly drops fairness.
+	so := c.SafetyOnly()
+	if len(so.Fairness) != 0 || len(c.Fairness) != 1 {
+		t.Error("SafetyOnly should strip fairness without mutating the original")
+	}
+}
+
+func TestRename(t *testing.T) {
+	c := counter()
+	c.Inputs = []string{"d"}
+	c.Actions[0].Exec = func(s *state.State) []map[string]value.Value {
+		x, _ := s.MustGet("x").AsInt()
+		return []map[string]value.Value{{"x": value.Int((x + 1) % 3)}}
+	}
+	r := c.Rename("counter-y", map[string]string{"x": "y", "d": "e"})
+	if r.Name != "counter-y" || r.Outputs[0] != "y" || r.Inputs[0] != "e" {
+		t.Fatalf("rename lists: %+v", r)
+	}
+	// The original is untouched.
+	if c.Outputs[0] != "x" {
+		t.Error("rename mutated the original")
+	}
+	// Renamed Init mentions y.
+	if !strings.Contains(r.Init.String(), "y") {
+		t.Errorf("Init not renamed: %s", r.Init)
+	}
+	// Renamed Exec works on renamed states.
+	s := state.FromPairs("y", value.Int(1), "e", value.Int(0))
+	ups := r.Actions[0].Exec(s)
+	if len(ups) != 1 {
+		t.Fatalf("renamed exec returned %d updates", len(ups))
+	}
+	if !ups[0]["y"].Equal(value.Int(2)) {
+		t.Errorf("renamed exec update = %v", ups[0])
+	}
+	// Renamed declarative definition agrees.
+	to := s.WithAll(ups[0])
+	ok, err := form.EvalBool(r.Actions[0].Def, state.Step{From: s, To: to}, nil)
+	if err != nil || !ok {
+		t.Errorf("renamed Def rejects renamed exec update: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestBruteExec(t *testing.T) {
+	domains := map[string][]value.Value{"x": value.Ints(0, 2)}
+	c := counter()
+	exec := BruteExec(c.Owned(), domains, c.Actions[0].Def)
+	ups := exec(state.FromPairs("x", value.Int(1)))
+	if len(ups) != 1 || !ups[0]["x"].Equal(value.Int(2)) {
+		t.Fatalf("BruteExec = %v", ups)
+	}
+	// Nondeterministic action: x' ∈ {0,1,2} with x' ≠ x.
+	nd := form.Ne(form.PrimedVar("x"), form.Var("x"))
+	exec = BruteExec(c.Owned(), domains, nd)
+	ups = exec(state.FromPairs("x", value.Int(1)))
+	if len(ups) != 2 {
+		t.Fatalf("nondeterministic BruteExec: %d updates, want 2", len(ups))
+	}
+}
+
+func TestSquareExpr(t *testing.T) {
+	c := counter()
+	sq := c.SquareExpr()
+	s0 := state.FromPairs("x", value.Int(0))
+	// Stutter allowed.
+	ok, err := form.EvalBool(sq, state.Step{From: s0, To: s0}, nil)
+	if err != nil || !ok {
+		t.Errorf("stutter: ok=%v err=%v", ok, err)
+	}
+	// Increment allowed.
+	ok, err = form.EvalBool(sq, state.Step{From: s0, To: s0.With("x", value.Int(1))}, nil)
+	if err != nil || !ok {
+		t.Errorf("increment: ok=%v err=%v", ok, err)
+	}
+	// Jump rejected.
+	ok, err = form.EvalBool(sq, state.Step{From: s0, To: s0.With("x", value.Int(2))}, nil)
+	if err != nil || ok {
+		t.Errorf("jump: ok=%v err=%v", ok, err)
+	}
+}

@@ -1,0 +1,138 @@
+package state
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Behavior is a finite sequence of states — a "finite behavior" in the
+// paper's terminology (§2.4). Infinite behaviors are represented by Lasso.
+type Behavior []*State
+
+// String renders the behavior one state per line.
+func (b Behavior) String() string {
+	var sb strings.Builder
+	for i, s := range b {
+		fmt.Fprintf(&sb, "%3d: %s\n", i, s)
+	}
+	return sb.String()
+}
+
+// Prefix returns the first n states of b (all of b if n exceeds its length).
+func (b Behavior) Prefix(n int) Behavior {
+	if n > len(b) {
+		n = len(b)
+	}
+	return b[:n]
+}
+
+// Steps calls f for each consecutive step of the behavior, stopping early
+// if f returns false.
+func (b Behavior) Steps(f func(i int, step Step) bool) {
+	for i := 0; i+1 < len(b); i++ {
+		if !f(i, Step{From: b[i], To: b[i+1]}) {
+			return
+		}
+	}
+}
+
+// Lasso is an eventually-periodic infinite behavior: the states of Prefix
+// followed by the states of Cycle repeated forever. Cycle must be nonempty;
+// the behavior is
+//
+//	Prefix[0] … Prefix[p-1] Cycle[0] … Cycle[c-1] Cycle[0] … Cycle[c-1] …
+//
+// A purely periodic behavior has an empty Prefix. Lassos suffice for
+// explicit-state model checking: a finite-state system violates a TLA
+// property iff some lasso of its state graph does.
+type Lasso struct {
+	Prefix []*State
+	Cycle  []*State
+}
+
+// NewLasso constructs a lasso, validating that the cycle is nonempty.
+func NewLasso(prefix, cycle []*State) (*Lasso, error) {
+	if len(cycle) == 0 {
+		return nil, fmt.Errorf("lasso: empty cycle")
+	}
+	p := make([]*State, len(prefix))
+	copy(p, prefix)
+	c := make([]*State, len(cycle))
+	copy(c, cycle)
+	return &Lasso{Prefix: p, Cycle: c}, nil
+}
+
+// StutterLasso returns the behavior that reaches s and stutters there
+// forever — the simplest infinite extension of any finite behavior.
+func StutterLasso(prefix []*State, s *State) *Lasso {
+	l, err := NewLasso(prefix, []*State{s})
+	if err != nil {
+		panic("state: StutterLasso constructed empty cycle") // unreachable
+	}
+	return l
+}
+
+// At returns the i-th state (0-based) of the infinite behavior.
+func (l *Lasso) At(i int) *State {
+	if i < len(l.Prefix) {
+		return l.Prefix[i]
+	}
+	j := (i - len(l.Prefix)) % len(l.Cycle)
+	return l.Cycle[j]
+}
+
+// StepAt returns the i-th step ⟨At(i), At(i+1)⟩.
+func (l *Lasso) StepAt(i int) Step { return Step{From: l.At(i), To: l.At(i + 1)} }
+
+// PrefixLen returns the length of the non-repeating prefix.
+func (l *Lasso) PrefixLen() int { return len(l.Prefix) }
+
+// CycleLen returns the period of the repeating part.
+func (l *Lasso) CycleLen() int { return len(l.Cycle) }
+
+// Horizon returns the number of leading states after which the behavior's
+// suffix structure repeats exactly: len(Prefix) + len(Cycle). Evaluating a
+// stutter-insensitive temporal operator only requires examining states and
+// steps up to index Horizon (steps up to Horizon wrap back into the cycle).
+func (l *Lasso) Horizon() int { return len(l.Prefix) + len(l.Cycle) }
+
+// CycleStates returns the set of states occurring infinitely often.
+func (l *Lasso) CycleStates() []*State {
+	out := make([]*State, len(l.Cycle))
+	copy(out, l.Cycle)
+	return out
+}
+
+// CycleSteps returns the steps occurring infinitely often: each consecutive
+// pair within the cycle, including the wrap-around step.
+func (l *Lasso) CycleSteps() []Step {
+	n := len(l.Cycle)
+	out := make([]Step, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, Step{From: l.Cycle[i], To: l.Cycle[(i+1)%n]})
+	}
+	return out
+}
+
+// FinitePrefix returns the first n states of the infinite behavior as a
+// finite Behavior.
+func (l *Lasso) FinitePrefix(n int) Behavior {
+	out := make(Behavior, n)
+	for i := 0; i < n; i++ {
+		out[i] = l.At(i)
+	}
+	return out
+}
+
+// String renders the lasso, marking where the cycle begins.
+func (l *Lasso) String() string {
+	var sb strings.Builder
+	for i, s := range l.Prefix {
+		fmt.Fprintf(&sb, "%3d: %s\n", i, s)
+	}
+	sb.WriteString("  -- cycle --\n")
+	for i, s := range l.Cycle {
+		fmt.Fprintf(&sb, "%3d: %s\n", len(l.Prefix)+i, s)
+	}
+	return sb.String()
+}

@@ -1,0 +1,286 @@
+// Package state defines states (assignments of values to variables), steps
+// (pairs of states), finite behaviors, and lasso representations of infinite
+// behaviors, following the semantics of TLA in Abadi & Lamport,
+// "Open Systems in TLA" (§2.1).
+package state
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+
+	"opentla/internal/value"
+)
+
+type binding struct {
+	name string
+	val  value.Value
+}
+
+// State is an immutable assignment of values to a finite set of variables.
+// In the paper a state assigns values to all variables of the universe; here
+// a State mentions only the variables relevant to the systems under check,
+// which is sound because every formula we evaluate mentions only those.
+type State struct {
+	bindings []binding // sorted by name
+	fp       uint64    // lazily cached fingerprint (0 = not yet computed)
+}
+
+// New constructs a state from a variable→value map.
+func New(vars map[string]value.Value) *State {
+	bs := make([]binding, 0, len(vars))
+	for n, v := range vars {
+		bs = append(bs, binding{name: n, val: v})
+	}
+	sort.Slice(bs, func(i, j int) bool { return bs[i].name < bs[j].name })
+	return &State{bindings: bs}
+}
+
+// FromPairs constructs a state from alternating name/value pairs, e.g.
+// FromPairs("x", value.Int(0), "y", value.True). It panics on a malformed
+// argument list; it is intended for tests and example construction.
+func FromPairs(pairs ...any) *State {
+	if len(pairs)%2 != 0 {
+		panic("state.FromPairs: odd number of arguments")
+	}
+	m := make(map[string]value.Value, len(pairs)/2)
+	for i := 0; i < len(pairs); i += 2 {
+		name, ok := pairs[i].(string)
+		if !ok {
+			panic(fmt.Sprintf("state.FromPairs: argument %d is not a string", i))
+		}
+		v, ok := pairs[i+1].(value.Value)
+		if !ok {
+			panic(fmt.Sprintf("state.FromPairs: argument %d is not a value.Value", i+1))
+		}
+		m[name] = v
+	}
+	return New(m)
+}
+
+// Get returns the value of variable name. The second result is false if the
+// state does not bind name.
+func (s *State) Get(name string) (value.Value, bool) {
+	i := sort.Search(len(s.bindings), func(i int) bool { return s.bindings[i].name >= name })
+	if i < len(s.bindings) && s.bindings[i].name == name {
+		return s.bindings[i].val, true
+	}
+	return value.Value{}, false
+}
+
+// MustGet returns the value of variable name and panics if unbound. Use in
+// contexts where the variable set has been validated.
+func (s *State) MustGet(name string) value.Value {
+	v, ok := s.Get(name)
+	if !ok {
+		panic(fmt.Sprintf("state: variable %q unbound", name))
+	}
+	return v
+}
+
+// With returns a new state equal to s except that name is bound to v.
+func (s *State) With(name string, v value.Value) *State {
+	out := make([]binding, 0, len(s.bindings)+1)
+	inserted := false
+	for _, b := range s.bindings {
+		switch {
+		case b.name == name:
+			out = append(out, binding{name: name, val: v})
+			inserted = true
+		case !inserted && b.name > name:
+			out = append(out, binding{name: name, val: v}, b)
+			inserted = true
+		default:
+			out = append(out, b)
+		}
+	}
+	if !inserted {
+		out = append(out, binding{name: name, val: v})
+	}
+	return &State{bindings: out}
+}
+
+// WithAll returns a new state equal to s with every binding in updates
+// applied. Existing bindings are replaced; new names are inserted in order.
+func (s *State) WithAll(updates map[string]value.Value) *State {
+	if len(updates) == 0 {
+		return s
+	}
+	news := make([]binding, 0, len(updates))
+	for n, v := range updates {
+		news = append(news, binding{name: n, val: v})
+	}
+	sort.Slice(news, func(i, j int) bool { return news[i].name < news[j].name })
+	out := make([]binding, 0, len(s.bindings)+len(news))
+	i, j := 0, 0
+	for i < len(s.bindings) && j < len(news) {
+		switch {
+		case s.bindings[i].name < news[j].name:
+			out = append(out, s.bindings[i])
+			i++
+		case s.bindings[i].name > news[j].name:
+			out = append(out, news[j])
+			j++
+		default:
+			out = append(out, news[j])
+			i++
+			j++
+		}
+	}
+	out = append(out, s.bindings[i:]...)
+	out = append(out, news[j:]...)
+	return &State{bindings: out}
+}
+
+// Restrict returns the state containing only the named variables (those of
+// them that s binds).
+func (s *State) Restrict(names []string) *State {
+	m := make(map[string]value.Value, len(names))
+	for _, n := range names {
+		if v, ok := s.Get(n); ok {
+			m[n] = v
+		}
+	}
+	return New(m)
+}
+
+// Drop returns the state without the named variables.
+func (s *State) Drop(names []string) *State {
+	drop := make(map[string]bool, len(names))
+	for _, n := range names {
+		drop[n] = true
+	}
+	m := make(map[string]value.Value, len(s.bindings))
+	for _, b := range s.bindings {
+		if !drop[b.name] {
+			m[b.name] = b.val
+		}
+	}
+	return New(m)
+}
+
+// Vars returns the sorted variable names bound by s.
+func (s *State) Vars() []string {
+	out := make([]string, len(s.bindings))
+	for i, b := range s.bindings {
+		out[i] = b.name
+	}
+	return out
+}
+
+// Map returns a fresh map copy of the bindings.
+func (s *State) Map() map[string]value.Value {
+	m := make(map[string]value.Value, len(s.bindings))
+	for _, b := range s.bindings {
+		m[b.name] = b.val
+	}
+	return m
+}
+
+// Len returns the number of bound variables.
+func (s *State) Len() int { return len(s.bindings) }
+
+// Equal reports whether s and t bind the same variables to equal values.
+func (s *State) Equal(t *State) bool {
+	if s == t {
+		return true
+	}
+	if s == nil || t == nil || len(s.bindings) != len(t.bindings) {
+		return false
+	}
+	for i := range s.bindings {
+		if s.bindings[i].name != t.bindings[i].name || !s.bindings[i].val.Equal(t.bindings[i].val) {
+			return false
+		}
+	}
+	return true
+}
+
+// EqualOn reports whether s and t agree on every variable in names.
+// Variables unbound in both states are considered in agreement.
+func (s *State) EqualOn(t *State, names []string) bool {
+	for _, n := range names {
+		sv, sok := s.Get(n)
+		tv, tok := t.Get(n)
+		if sok != tok {
+			return false
+		}
+		if sok && !sv.Equal(tv) {
+			return false
+		}
+	}
+	return true
+}
+
+// Fingerprint returns the 64-bit hash of the state, computed lazily and
+// cached. States are confined to a single goroutine during model checking,
+// so the unsynchronized cache is safe.
+func (s *State) Fingerprint() uint64 {
+	if s.fp == 0 {
+		s.fp = s.computeFingerprint()
+		if s.fp == 0 {
+			s.fp = 1 // reserve 0 as the "not yet computed" sentinel
+		}
+	}
+	return s.fp
+}
+
+func (s *State) computeFingerprint() uint64 {
+	h := fnv.New64a()
+	for _, b := range s.bindings {
+		h.Write([]byte(b.name))
+		h.Write([]byte{'='})
+		var buf [8]byte
+		f := b.val.Fingerprint()
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(f >> (8 * i))
+		}
+		h.Write(buf[:])
+		h.Write([]byte{';'})
+	}
+	return h.Sum64()
+}
+
+// Key returns a canonical string key for the state, usable as a map key
+// with no collision risk (unlike Fingerprint).
+func (s *State) Key() string {
+	var sb strings.Builder
+	for _, b := range s.bindings {
+		sb.WriteString(b.name)
+		sb.WriteByte('=')
+		sb.WriteString(b.val.String())
+		sb.WriteByte(';')
+	}
+	return sb.String()
+}
+
+// String renders the state as [x=1 y=TRUE ...].
+func (s *State) String() string {
+	var sb strings.Builder
+	sb.WriteByte('[')
+	for i, b := range s.bindings {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		sb.WriteString(b.name)
+		sb.WriteByte('=')
+		sb.WriteString(b.val.String())
+	}
+	sb.WriteByte(']')
+	return sb.String()
+}
+
+// Step is a pair of states ⟨From, To⟩. An action is true or false of a
+// step, with primed variables referring to To (§2.1).
+type Step struct {
+	From *State
+	To   *State
+}
+
+// Stutters reports whether the step leaves every variable in names
+// unchanged (a ⟨names⟩-stuttering step).
+func (p Step) Stutters(names []string) bool { return p.From.EqualOn(p.To, names) }
+
+// String renders the step.
+func (p Step) String() string { return p.From.String() + " -> " + p.To.String() }

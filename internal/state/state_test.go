@@ -1,0 +1,246 @@
+package state
+
+import (
+	"testing"
+	"testing/quick"
+
+	"opentla/internal/value"
+)
+
+func s(pairs ...any) *State { return FromPairs(pairs...) }
+
+func TestGetAndVars(t *testing.T) {
+	st := s("y", value.Int(2), "x", value.Int(1))
+	if v, ok := st.Get("x"); !ok || !v.Equal(value.Int(1)) {
+		t.Error("Get(x) failed")
+	}
+	if _, ok := st.Get("z"); ok {
+		t.Error("Get(z) should fail")
+	}
+	vars := st.Vars()
+	if len(vars) != 2 || vars[0] != "x" || vars[1] != "y" {
+		t.Errorf("Vars = %v (should be sorted)", vars)
+	}
+	if st.Len() != 2 {
+		t.Errorf("Len = %d", st.Len())
+	}
+}
+
+func TestMustGetPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustGet on unbound variable should panic")
+		}
+	}()
+	s("x", value.Int(1)).MustGet("nope")
+}
+
+func TestWith(t *testing.T) {
+	base := s("b", value.Int(2), "d", value.Int(4))
+	// Replace existing.
+	st := base.With("b", value.Int(9))
+	if !st.MustGet("b").Equal(value.Int(9)) {
+		t.Error("With replace failed")
+	}
+	// Insert before, between, after.
+	for _, name := range []string{"a", "c", "e"} {
+		st := base.With(name, value.Int(7))
+		if !st.MustGet(name).Equal(value.Int(7)) {
+			t.Errorf("With insert %q failed: %s", name, st)
+		}
+		if st.Len() != 3 {
+			t.Errorf("With insert %q: Len = %d", name, st.Len())
+		}
+		vars := st.Vars()
+		for i := 1; i < len(vars); i++ {
+			if vars[i-1] >= vars[i] {
+				t.Errorf("With insert %q: unsorted %v", name, vars)
+			}
+		}
+	}
+	// Original untouched.
+	if !base.MustGet("b").Equal(value.Int(2)) {
+		t.Error("With mutated the original")
+	}
+}
+
+func TestWithAll(t *testing.T) {
+	base := s("a", value.Int(1), "c", value.Int(3))
+	st := base.WithAll(map[string]value.Value{
+		"a": value.Int(10),
+		"b": value.Int(20),
+		"d": value.Int(40),
+	})
+	want := s("a", value.Int(10), "b", value.Int(20), "c", value.Int(3), "d", value.Int(40))
+	if !st.Equal(want) {
+		t.Fatalf("WithAll = %s, want %s", st, want)
+	}
+	if got := base.WithAll(nil); got != base {
+		t.Error("WithAll(nil) should return the receiver")
+	}
+}
+
+// TestWithAllMatchesMapRebuild property-checks the merge-based WithAll
+// against the naive map-based construction.
+func TestWithAllMatchesMapRebuild(t *testing.T) {
+	names := []string{"a", "b", "c", "d", "e"}
+	pick := func(vals []uint8, i int) int64 {
+		if len(vals) == 0 {
+			return 0
+		}
+		return int64(vals[i%len(vals)] % 4)
+	}
+	f := func(baseVals, upVals []uint8, upMask uint8) bool {
+		base := make(map[string]value.Value)
+		for i, n := range names {
+			base[n] = value.Int(pick(baseVals, i))
+		}
+		st := New(base)
+		updates := make(map[string]value.Value)
+		for i, n := range names {
+			if upMask&(1<<i) != 0 {
+				updates[n+"x"] = value.Int(pick(upVals, i))
+				updates[n] = value.Int(pick(upVals, i))
+			}
+		}
+		got := st.WithAll(updates)
+		for k, v := range updates {
+			base[k] = v
+		}
+		return got.Equal(New(base))
+	}
+	cfg := &quick.Config{MaxCount: 200}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRestrictAndDrop(t *testing.T) {
+	st := s("x", value.Int(1), "y", value.Int(2), "z", value.Int(3))
+	r := st.Restrict([]string{"x", "z", "missing"})
+	if r.Len() != 2 || !r.MustGet("z").Equal(value.Int(3)) {
+		t.Errorf("Restrict = %s", r)
+	}
+	d := st.Drop([]string{"y"})
+	if d.Len() != 2 {
+		t.Errorf("Drop = %s", d)
+	}
+	if _, ok := d.Get("y"); ok {
+		t.Error("Drop left y")
+	}
+}
+
+func TestEqualOn(t *testing.T) {
+	a := s("x", value.Int(1), "y", value.Int(2))
+	b := s("x", value.Int(1), "y", value.Int(9))
+	if !a.EqualOn(b, []string{"x"}) {
+		t.Error("EqualOn x should hold")
+	}
+	if a.EqualOn(b, []string{"x", "y"}) {
+		t.Error("EqualOn x,y should fail")
+	}
+	if !a.EqualOn(b, []string{"absent"}) {
+		t.Error("EqualOn absent-in-both should hold")
+	}
+	c := s("x", value.Int(1))
+	if a.EqualOn(c, []string{"y"}) {
+		t.Error("EqualOn with var bound on one side only should fail")
+	}
+}
+
+func TestFingerprintAndKey(t *testing.T) {
+	a := s("x", value.Int(1), "y", value.Int(2))
+	b := s("y", value.Int(2), "x", value.Int(1))
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("fingerprint should be order-independent")
+	}
+	if a.Key() != b.Key() {
+		t.Error("key should be order-independent")
+	}
+	c := s("x", value.Int(2), "y", value.Int(1))
+	if a.Key() == c.Key() {
+		t.Error("different states share a key")
+	}
+	if !a.Equal(b) || a.Equal(c) {
+		t.Error("Equal misbehaves")
+	}
+}
+
+func TestStepStutters(t *testing.T) {
+	a := s("x", value.Int(1), "y", value.Int(2))
+	b := a.With("y", value.Int(3))
+	step := Step{From: a, To: b}
+	if !step.Stutters([]string{"x"}) {
+		t.Error("x unchanged")
+	}
+	if step.Stutters([]string{"x", "y"}) {
+		t.Error("y changed")
+	}
+}
+
+func TestLassoIndexing(t *testing.T) {
+	s0 := s("x", value.Int(0))
+	s1 := s("x", value.Int(1))
+	s2 := s("x", value.Int(2))
+	l, err := NewLasso([]*State{s0}, []*State{s1, s2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []*State{s0, s1, s2, s1, s2, s1}
+	for i, w := range want {
+		if !l.At(i).Equal(w) {
+			t.Errorf("At(%d) = %s, want %s", i, l.At(i), w)
+		}
+	}
+	if l.Horizon() != 3 {
+		t.Errorf("Horizon = %d", l.Horizon())
+	}
+	steps := l.CycleSteps()
+	if len(steps) != 2 {
+		t.Fatalf("CycleSteps: %d", len(steps))
+	}
+	if !steps[1].To.Equal(s1) {
+		t.Error("cycle wrap-around step wrong")
+	}
+	fp := l.FinitePrefix(5)
+	if len(fp) != 5 || !fp[4].Equal(s2) {
+		t.Errorf("FinitePrefix = %v", fp)
+	}
+}
+
+func TestNewLassoRejectsEmptyCycle(t *testing.T) {
+	if _, err := NewLasso(nil, nil); err == nil {
+		t.Error("empty cycle should be rejected")
+	}
+}
+
+func TestStutterLasso(t *testing.T) {
+	s0 := s("x", value.Int(0))
+	l := StutterLasso(nil, s0)
+	if l.CycleLen() != 1 || !l.At(7).Equal(s0) {
+		t.Error("StutterLasso misbehaves")
+	}
+}
+
+func TestBehaviorHelpers(t *testing.T) {
+	b := Behavior{s("x", value.Int(0)), s("x", value.Int(1)), s("x", value.Int(2))}
+	if len(b.Prefix(2)) != 2 || len(b.Prefix(9)) != 3 {
+		t.Error("Prefix misbehaves")
+	}
+	var steps int
+	b.Steps(func(i int, st Step) bool {
+		steps++
+		return true
+	})
+	if steps != 2 {
+		t.Errorf("Steps visited %d", steps)
+	}
+	steps = 0
+	b.Steps(func(i int, st Step) bool {
+		steps++
+		return false
+	})
+	if steps != 1 {
+		t.Error("Steps should stop early")
+	}
+}

@@ -1,0 +1,54 @@
+package ts
+
+import (
+	"testing"
+
+	"opentla/internal/form"
+	"opentla/internal/value"
+)
+
+func BenchmarkBuildCounterGraph(b *testing.B) {
+	sys := counterSystem(7)
+	sys.Domains = map[string][]value.Value{"x": value.Ints(0, 7)}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Build(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMonitorProduct(b *testing.B) {
+	sys := counterSystem(7)
+	sys.Domains = map[string][]value.Value{"x": value.Ints(0, 7)}
+	g, err := sys.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	mon := PlusMonitor("$plus", form.TrueE,
+		[]form.Expr{form.Lt(form.PrimedVar("x"), form.IntC(4))},
+		form.VarTuple("x"))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Product(g, []*Monitor{mon}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSCCs(b *testing.B) {
+	sys := counterSystem(7)
+	sys.Domains = map[string][]value.Value{"x": value.Ints(0, 7)}
+	g, err := sys.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := g.SCCs(nil, nil); len(got) == 0 {
+			b.Fatal("no SCCs")
+		}
+	}
+}

@@ -1,0 +1,264 @@
+package ts
+
+import (
+	"fmt"
+
+	"opentla/internal/form"
+	"opentla/internal/state"
+)
+
+// Graph is the reachable state graph of a System. Every state has a
+// stuttering self-loop (TLA behaviors always permit stuttering), so every
+// finite path extends to an infinite behavior.
+type Graph struct {
+	Sys    *System
+	Ctx    *form.Ctx
+	States []*state.State
+	Inits  []int
+	Succ   [][]int
+
+	index map[string]int
+}
+
+// Build explores the reachable states of the system breadth-first and
+// returns the state graph.
+func (sys *System) Build() (*Graph, error) {
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+	compiled, err := sys.compile()
+	if err != nil {
+		return nil, err
+	}
+	free := sys.FreeVars()
+	g := &Graph{Sys: sys, Ctx: sys.Ctx(), index: make(map[string]int)}
+
+	inits, err := sys.InitialStates()
+	if err != nil {
+		return nil, err
+	}
+	if len(inits) == 0 {
+		return nil, fmt.Errorf("system %s: no initial states", sys.Name)
+	}
+	var queue []int
+	add := func(s *state.State) int {
+		k := s.Key()
+		if id, ok := g.index[k]; ok {
+			return id
+		}
+		id := len(g.States)
+		g.States = append(g.States, s)
+		g.Succ = append(g.Succ, nil)
+		g.index[k] = id
+		queue = append(queue, id)
+		return id
+	}
+	for _, s := range inits {
+		g.Inits = append(g.Inits, add(s))
+	}
+	limit := sys.maxStates()
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		succs, err := sys.successors(compiled, free, g.States[id])
+		if err != nil {
+			return nil, err
+		}
+		for _, t := range succs {
+			tid := add(t)
+			g.Succ[id] = append(g.Succ[id], tid)
+		}
+		if len(g.States) > limit {
+			return nil, fmt.Errorf("system %s: state space exceeds limit %d", sys.Name, limit)
+		}
+	}
+	return g, nil
+}
+
+// NumStates returns the number of reachable states.
+func (g *Graph) NumStates() int { return len(g.States) }
+
+// NumEdges returns the number of edges (including self-loops).
+func (g *Graph) NumEdges() int {
+	n := 0
+	for _, s := range g.Succ {
+		n += len(s)
+	}
+	return n
+}
+
+// ID returns the identifier of a state, or -1 if unreachable.
+func (g *Graph) ID(s *state.State) int {
+	if id, ok := g.index[s.Key()]; ok {
+		return id
+	}
+	return -1
+}
+
+// ForEachEdge calls f for every edge, stopping early if f returns false.
+func (g *Graph) ForEachEdge(f func(from, to int) bool) {
+	for from, succs := range g.Succ {
+		for _, to := range succs {
+			if !f(from, to) {
+				return
+			}
+		}
+	}
+}
+
+// PathTo returns state IDs of a shortest path from an initial state to
+// target (inclusive), or nil if unreachable.
+func (g *Graph) PathTo(target int) []int {
+	return g.PathBetween(g.Inits, target, nil)
+}
+
+// PathBetween returns a shortest path from any state in from to target,
+// restricted to states allowed by the filter (nil allows all). The path
+// includes both endpoints; it is nil if no path exists.
+func (g *Graph) PathBetween(from []int, target int, allowed func(int) bool) []int {
+	prev := make([]int, len(g.States))
+	for i := range prev {
+		prev[i] = -2 // unvisited
+	}
+	var queue []int
+	for _, s := range from {
+		if allowed != nil && !allowed(s) {
+			continue
+		}
+		if prev[s] == -2 {
+			prev[s] = -1 // source
+			queue = append(queue, s)
+		}
+	}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		if u == target {
+			var path []int
+			for v := u; v != -1; v = prev[v] {
+				path = append(path, v)
+			}
+			for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+				path[i], path[j] = path[j], path[i]
+			}
+			return path
+		}
+		for _, v := range g.Succ[u] {
+			if prev[v] != -2 {
+				continue
+			}
+			if allowed != nil && !allowed(v) {
+				continue
+			}
+			prev[v] = u
+			queue = append(queue, v)
+		}
+	}
+	return nil
+}
+
+// Behavior converts a path of state IDs to a finite behavior.
+func (g *Graph) Behavior(path []int) state.Behavior {
+	out := make(state.Behavior, len(path))
+	for i, id := range path {
+		out[i] = g.States[id]
+	}
+	return out
+}
+
+// SCCs returns the strongly connected components of the subgraph induced by
+// the allowed states and edges (nil filters allow everything), in reverse
+// topological order, using Tarjan's algorithm (iterative).
+func (g *Graph) SCCs(allowedState func(int) bool, allowedEdge func(from, to int) bool) [][]int {
+	n := len(g.States)
+	const unvisited = -1
+	indexOf := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range indexOf {
+		indexOf[i] = unvisited
+	}
+	var stack []int
+	var sccs [][]int
+	counter := 0
+
+	type frame struct {
+		v    int
+		succ int
+	}
+	for root := 0; root < n; root++ {
+		if indexOf[root] != unvisited || (allowedState != nil && !allowedState(root)) {
+			continue
+		}
+		var call []frame
+		indexOf[root] = counter
+		low[root] = counter
+		counter++
+		stack = append(stack, root)
+		onStack[root] = true
+		call = append(call, frame{v: root})
+		for len(call) > 0 {
+			f := &call[len(call)-1]
+			v := f.v
+			advanced := false
+			for f.succ < len(g.Succ[v]) {
+				w := g.Succ[v][f.succ]
+				f.succ++
+				if allowedState != nil && !allowedState(w) {
+					continue
+				}
+				if allowedEdge != nil && !allowedEdge(v, w) {
+					continue
+				}
+				if indexOf[w] == unvisited {
+					indexOf[w] = counter
+					low[w] = counter
+					counter++
+					stack = append(stack, w)
+					onStack[w] = true
+					call = append(call, frame{v: w})
+					advanced = true
+					break
+				}
+				if onStack[w] && indexOf[w] < low[v] {
+					low[v] = indexOf[w]
+				}
+			}
+			if advanced {
+				continue
+			}
+			// v finished.
+			if low[v] == indexOf[v] {
+				var comp []int
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp = append(comp, w)
+					if w == v {
+						break
+					}
+				}
+				sccs = append(sccs, comp)
+			}
+			call = call[:len(call)-1]
+			if len(call) > 0 {
+				p := call[len(call)-1].v
+				if low[v] < low[p] {
+					low[p] = low[v]
+				}
+			}
+		}
+	}
+	return sccs
+}
+
+// HasEdge reports whether the graph has an edge from → to.
+func (g *Graph) HasEdge(from, to int) bool {
+	for _, v := range g.Succ[from] {
+		if v == to {
+			return true
+		}
+	}
+	return false
+}

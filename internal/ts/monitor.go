@@ -1,0 +1,281 @@
+package ts
+
+import (
+	"fmt"
+
+	"opentla/internal/form"
+	"opentla/internal/state"
+	"opentla/internal/value"
+)
+
+// Monitor is a (possibly nondeterministic) safety automaton run in product
+// with a state graph. Its current value is recorded in the product states
+// under Var, so ordinary state predicates can inspect it.
+//
+// Monitors express history-dependent constraints such as the paper's
+// C(E) +v operator (§4.1): "E held for some prefix, after which v froze".
+type Monitor struct {
+	Var string
+	// Domain lists the monitor's possible values (used for the product
+	// context's domains).
+	Domain []value.Value
+	// Init returns the allowed starting values in an initial state
+	// (empty = state disallowed).
+	Init func(s *state.State) ([]value.Value, error)
+	// Step returns the allowed next values given the base step and the
+	// current value (empty = edge disallowed for this value).
+	Step func(st state.Step, cur value.Value) ([]value.Value, error)
+}
+
+// Product runs the monitors in lockstep with the graph and returns the
+// product graph. Product states extend base states with the monitor
+// variables; edges exist where the base edge exists and every monitor
+// permits it. The product context's domains include the monitor variables.
+func Product(g *Graph, mons []*Monitor) (*Graph, error) {
+	domains := make(map[string][]value.Value, len(g.Ctx.Domains)+len(mons))
+	for k, v := range g.Ctx.Domains {
+		domains[k] = v
+	}
+	for _, m := range mons {
+		if _, dup := domains[m.Var]; dup {
+			return nil, fmt.Errorf("monitor variable %q collides with a system variable", m.Var)
+		}
+		domains[m.Var] = m.Domain
+	}
+	p := &Graph{
+		Sys:   g.Sys,
+		Ctx:   form.NewCtx(domains),
+		index: make(map[string]int),
+	}
+	// Product node bookkeeping: base ID + monitor values are recoverable
+	// from the state itself (monitor vars are part of the state), so the
+	// standard key-based index suffices. We track the base ID alongside
+	// each product state for successor expansion.
+	baseOf := make([]int, 0)
+	var queue []int
+	add := func(baseID int, s *state.State) int {
+		k := s.Key()
+		if id, ok := p.index[k]; ok {
+			return id
+		}
+		id := len(p.States)
+		p.States = append(p.States, s)
+		p.Succ = append(p.Succ, nil)
+		baseOf = append(baseOf, baseID)
+		p.index[k] = id
+		queue = append(queue, id)
+		return id
+	}
+
+	// Initial product states.
+	for _, bid := range g.Inits {
+		base := g.States[bid]
+		combos, err := monitorInitCombos(mons, base)
+		if err != nil {
+			return nil, err
+		}
+		for _, combo := range combos {
+			s := base.WithAll(combo)
+			p.Inits = append(p.Inits, add(bid, s))
+		}
+	}
+
+	limit := g.Sys.maxStates()
+	for len(queue) > 0 {
+		pid := queue[0]
+		queue = queue[1:]
+		bid := baseOf[pid]
+		cur := p.States[pid]
+		for _, tbid := range g.Succ[bid] {
+			baseStep := state.Step{From: g.States[bid], To: g.States[tbid]}
+			combos, err := monitorStepCombos(mons, baseStep, cur)
+			if err != nil {
+				return nil, err
+			}
+			for _, combo := range combos {
+				t := g.States[tbid].WithAll(combo)
+				tid := add(tbid, t)
+				p.Succ[pid] = append(p.Succ[pid], tid)
+			}
+		}
+		if len(p.States) > limit {
+			return nil, fmt.Errorf("monitor product: state space exceeds limit %d", limit)
+		}
+	}
+	return p, nil
+}
+
+// BaseState strips monitor variables from a product state.
+func BaseState(s *state.State, mons []*Monitor) *state.State {
+	names := make([]string, len(mons))
+	for i, m := range mons {
+		names[i] = m.Var
+	}
+	return s.Drop(names)
+}
+
+func monitorInitCombos(mons []*Monitor, base *state.State) ([]map[string]value.Value, error) {
+	combos := []map[string]value.Value{{}}
+	for _, m := range mons {
+		vals, err := m.Init(base)
+		if err != nil {
+			return nil, fmt.Errorf("monitor %s init on %s: %w", m.Var, base, err)
+		}
+		combos = extendCombos(combos, m.Var, vals)
+		if len(combos) == 0 {
+			return nil, nil
+		}
+	}
+	return combos, nil
+}
+
+func monitorStepCombos(mons []*Monitor, st state.Step, cur *state.State) ([]map[string]value.Value, error) {
+	combos := []map[string]value.Value{{}}
+	for _, m := range mons {
+		curVal, ok := cur.Get(m.Var)
+		if !ok {
+			return nil, fmt.Errorf("monitor %s: variable missing from product state %s", m.Var, cur)
+		}
+		vals, err := m.Step(st, curVal)
+		if err != nil {
+			return nil, fmt.Errorf("monitor %s step on %s: %w", m.Var, st, err)
+		}
+		combos = extendCombos(combos, m.Var, vals)
+		if len(combos) == 0 {
+			return nil, nil
+		}
+	}
+	return combos, nil
+}
+
+func extendCombos(combos []map[string]value.Value, name string, vals []value.Value) []map[string]value.Value {
+	if len(vals) == 0 {
+		return nil
+	}
+	out := make([]map[string]value.Value, 0, len(combos)*len(vals))
+	for _, c := range combos {
+		for _, v := range vals {
+			n := make(map[string]value.Value, len(c)+1)
+			for k, vv := range c {
+				n[k] = vv
+			}
+			n[name] = v
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// SafetyMonitor builds a two-state monitor tracking whether the safety
+// formula with initial predicate init and step actions boxes (each already
+// in [A]_v form) has held so far: the monitor value is TRUE while the
+// prefix satisfies the formula and FALSE forever after. Both transitions
+// out of TRUE are offered when the step satisfies the boxes, modelling the
+// nondeterministic "die early" choice needed for +v (see PlusMonitor).
+//
+// If strict is true the monitor only dies when the safety formula is
+// actually violated (no early death) — the right semantics for tracking
+// closure death indices.
+func SafetyMonitor(varName string, init form.Expr, squares []form.Expr, strict bool) *Monitor {
+	return &Monitor{
+		Var:    varName,
+		Domain: value.Bools(),
+		Init: func(s *state.State) ([]value.Value, error) {
+			ok := true
+			if init != nil {
+				var err error
+				ok, err = form.EvalStateBool(init, s)
+				if err != nil {
+					return nil, err
+				}
+			}
+			if ok {
+				return []value.Value{value.True}, nil
+			}
+			return []value.Value{value.False}, nil
+		},
+		Step: func(st state.Step, cur value.Value) ([]value.Value, error) {
+			alive, _ := cur.AsBool()
+			if !alive {
+				return []value.Value{value.False}, nil
+			}
+			ok := true
+			for _, sq := range squares {
+				good, err := form.EvalBool(sq, st, nil)
+				if err != nil {
+					return nil, err
+				}
+				if !good {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				if strict {
+					return []value.Value{value.True}, nil
+				}
+				return []value.Value{value.True, value.False}, nil
+			}
+			return []value.Value{value.False}, nil
+		},
+	}
+}
+
+// PlusMonitor builds the monitor for C(E) +v (§4.1): while TRUE, the
+// E-safety conjuncts must hold on every step; the monitor may drop to FALSE
+// at any time (or start FALSE), after which the state function v must never
+// change. Edges violating the frozen-v requirement in the FALSE state are
+// pruned from the product.
+func PlusMonitor(varName string, init form.Expr, squares []form.Expr, v form.Expr) *Monitor {
+	unchanged := form.UnchangedExpr(v)
+	return &Monitor{
+		Var:    varName,
+		Domain: value.Bools(),
+		Init: func(s *state.State) ([]value.Value, error) {
+			ok := true
+			if init != nil {
+				var err error
+				ok, err = form.EvalStateBool(init, s)
+				if err != nil {
+					return nil, err
+				}
+			}
+			if ok {
+				// May start alive, or immediately frozen (n = 0).
+				return []value.Value{value.True, value.False}, nil
+			}
+			return []value.Value{value.False}, nil
+		},
+		Step: func(st state.Step, cur value.Value) ([]value.Value, error) {
+			alive, _ := cur.AsBool()
+			if !alive {
+				frozen, err := form.EvalBool(unchanged, st, nil)
+				if err != nil {
+					return nil, err
+				}
+				if frozen {
+					return []value.Value{value.False}, nil
+				}
+				return nil, nil // v changed after freezing: edge disallowed
+			}
+			ok := true
+			for _, sq := range squares {
+				good, err := form.EvalBool(sq, st, nil)
+				if err != nil {
+					return nil, err
+				}
+				if !good {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				// Stay alive, or die with freezing starting at the target
+				// state (the dying step itself may change v).
+				return []value.Value{value.True, value.False}, nil
+			}
+			// E violated on this step: freezing starts at the target.
+			return []value.Value{value.False}, nil
+		},
+	}
+}

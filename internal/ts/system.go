@@ -1,0 +1,337 @@
+// Package ts builds finite transition systems from conjunctions of
+// component specifications, following §5 of Abadi & Lamport, "Open Systems
+// in TLA": the conjunction of the (canonical-form) specifications of
+// components that together form a complete system is itself equivalent to a
+// canonical-form complete-system specification, whose behaviors an
+// explicit-state graph represents exactly.
+//
+// A step of the conjunction satisfies every component's □[N_i]_⟨m_i,x_i⟩,
+// so it may combine real actions of several components simultaneously;
+// interleaving is not assumed but may be imposed with Disjoint step
+// constraints (§2.3), exactly as the paper does for formula (4) in §A.5.
+package ts
+
+import (
+	"fmt"
+	"sort"
+
+	"opentla/internal/form"
+	"opentla/internal/spec"
+	"opentla/internal/state"
+	"opentla/internal/value"
+)
+
+// StepConstraint is an extra conjunct on every step of the system, such as
+// one pair of a Disjoint assumption. The action must already permit
+// whatever stuttering it intends to permit (use form.Square).
+type StepConstraint struct {
+	Name   string
+	Action form.Expr
+}
+
+// System is a finite-state complete system: the conjunction of component
+// specifications plus optional step and initial constraints, over declared
+// finite variable domains.
+type System struct {
+	Name            string
+	Components      []*spec.Component
+	Constraints     []StepConstraint
+	InitConstraints []form.Expr
+	// Domains assigns a finite domain to every variable.
+	Domains map[string][]value.Value
+	// MaxStates bounds graph construction (default 500000).
+	MaxStates int
+}
+
+// Vars returns the sorted union of all variables of the system.
+func (sys *System) Vars() []string {
+	set := make(map[string]bool)
+	for _, c := range sys.Components {
+		for _, v := range c.Vars() {
+			set[v] = true
+		}
+	}
+	for _, sc := range sys.Constraints {
+		for _, v := range form.AllVars(sc.Action) {
+			set[v] = true
+		}
+	}
+	for _, ic := range sys.InitConstraints {
+		for _, v := range form.AllVars(ic) {
+			set[v] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// FreeVars returns the variables owned by no component: under conjunction
+// semantics they may change arbitrarily (within their domains) on any step.
+func (sys *System) FreeVars() []string {
+	owned := make(map[string]bool)
+	for _, c := range sys.Components {
+		for _, v := range c.Owned() {
+			owned[v] = true
+		}
+	}
+	var out []string
+	for _, v := range sys.Vars() {
+		if !owned[v] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Ctx returns an evaluation context over the system's domains.
+func (sys *System) Ctx() *form.Ctx { return form.NewCtx(sys.Domains) }
+
+// Validate checks that the system is well-formed: components validate
+// individually, owned variable sets are pairwise disjoint, and every
+// variable has a nonempty domain.
+func (sys *System) Validate() error {
+	ownedBy := make(map[string]string)
+	for _, c := range sys.Components {
+		if err := c.Validate(); err != nil {
+			return fmt.Errorf("system %s: %w", sys.Name, err)
+		}
+		for _, v := range c.Owned() {
+			if prev, dup := ownedBy[v]; dup {
+				return fmt.Errorf("system %s: variable %q owned by both %s and %s", sys.Name, v, prev, c.Name)
+			}
+			ownedBy[v] = c.Name
+		}
+	}
+	for _, v := range sys.Vars() {
+		if len(sys.Domains[v]) == 0 {
+			return fmt.Errorf("system %s: variable %q has no domain", sys.Name, v)
+		}
+	}
+	return nil
+}
+
+func (sys *System) maxStates() int {
+	if sys.MaxStates <= 0 {
+		return 500000
+	}
+	return sys.MaxStates
+}
+
+// compiledComponent caches per-component data used during successor
+// generation.
+type compiledComponent struct {
+	comp    *spec.Component
+	owned   []string
+	actions []compiledAction
+}
+
+type compiledAction struct {
+	name string
+	def  form.Expr
+	exec spec.ExecFunc
+}
+
+func (sys *System) compile() ([]compiledComponent, error) {
+	out := make([]compiledComponent, len(sys.Components))
+	for i, c := range sys.Components {
+		cc := compiledComponent{comp: c, owned: c.Owned()}
+		for _, a := range c.Actions {
+			ca := compiledAction{name: a.Name, def: a.Def, exec: a.Exec}
+			if ca.exec == nil {
+				n, err := updateSpaceSize(cc.owned, sys.Domains)
+				if err != nil {
+					return nil, fmt.Errorf("component %s action %s: %w", c.Name, a.Name, err)
+				}
+				if n > 1_000_000 {
+					return nil, fmt.Errorf("component %s action %s: no Exec and %d brute-force updates; supply an Exec generator", c.Name, a.Name, n)
+				}
+				ca.exec = spec.BruteExec(cc.owned, sys.Domains, a.Def)
+			}
+			cc.actions = append(cc.actions, ca)
+		}
+		out[i] = cc
+	}
+	return out, nil
+}
+
+func updateSpaceSize(vars []string, domains map[string][]value.Value) (int, error) {
+	n := 1
+	for _, v := range vars {
+		d := domains[v]
+		if len(d) == 0 {
+			return 0, fmt.Errorf("variable %q has no domain", v)
+		}
+		n *= len(d)
+		if n > 1<<30 {
+			return n, nil
+		}
+	}
+	return n, nil
+}
+
+// InitialStates enumerates the states over the full variable set whose
+// assignments satisfy every component's Init and every initial constraint.
+func (sys *System) InitialStates() ([]*state.State, error) {
+	vars := sys.Vars()
+	total, err := updateSpaceSize(vars, sys.Domains)
+	if err != nil {
+		return nil, err
+	}
+	if total > 10_000_000 {
+		return nil, fmt.Errorf("system %s: initial-state space %d too large", sys.Name, total)
+	}
+	var preds []form.Expr
+	for _, c := range sys.Components {
+		if c.Init != nil {
+			preds = append(preds, c.Init)
+		}
+	}
+	preds = append(preds, sys.InitConstraints...)
+	var out []*state.State
+	var evalErr error
+	value.ForEachAssignment(vars, sys.Domains, func(a map[string]value.Value) bool {
+		s := state.New(a)
+		for _, p := range preds {
+			ok, err := form.EvalStateBool(p, s)
+			if err != nil {
+				evalErr = fmt.Errorf("system %s: evaluating Init %s on %s: %w", sys.Name, p, s, err)
+				return false
+			}
+			if !ok {
+				return true
+			}
+		}
+		out = append(out, s)
+		return true
+	})
+	if evalErr != nil {
+		return nil, evalErr
+	}
+	return out, nil
+}
+
+// choice is one component's contribution to a joint step: either a stutter
+// (action == nil, empty update) or a named action with an owned-variable
+// update.
+type choice struct {
+	action *compiledAction
+	update map[string]value.Value
+}
+
+// Successors computes all states t such that ⟨s, t⟩ satisfies every
+// component's [N_i]_⟨m_i,x_i⟩, every step constraint, and changes free
+// variables arbitrarily. The result always includes s itself (stuttering).
+func (sys *System) Successors(s *state.State) ([]*state.State, error) {
+	compiled, err := sys.compile()
+	if err != nil {
+		return nil, err
+	}
+	return sys.successors(compiled, sys.FreeVars(), s)
+}
+
+func (sys *System) successors(compiled []compiledComponent, free []string, s *state.State) ([]*state.State, error) {
+	// Gather each component's choices in state s.
+	perComp := make([][]choice, len(compiled))
+	for i, cc := range compiled {
+		chs := []choice{{action: nil, update: nil}} // stutter
+		for ai := range cc.actions {
+			ca := &cc.actions[ai]
+			for _, up := range ca.exec(s) {
+				chs = append(chs, choice{action: ca, update: up})
+			}
+		}
+		perComp[i] = chs
+	}
+
+	seen := make(map[string]bool)
+	var out []*state.State
+	var evalErr error
+
+	// Enumerate free-variable assignments (held fixed per combination);
+	// most systems have none, in which case this loop body runs once with
+	// an empty update.
+	freeOK := value.ForEachAssignment(free, sys.Domains, func(fa map[string]value.Value) bool {
+		freeUpdate := make(map[string]value.Value, len(fa))
+		for k, v := range fa {
+			freeUpdate[k] = v
+		}
+		// Enumerate per-component choice combinations.
+		idx := make([]int, len(compiled))
+		for {
+			t := s.WithAll(freeUpdate)
+			var chosen []*compiledAction
+			for ci := range compiled {
+				ch := perComp[ci][idx[ci]]
+				if ch.update != nil {
+					t = t.WithAll(ch.update)
+				}
+				if ch.action != nil {
+					chosen = append(chosen, ch.action)
+				}
+			}
+			if !seen[t.Key()] {
+				ok, err := sys.validStep(compiled, s, t, chosen)
+				if err != nil {
+					evalErr = err
+					return false
+				}
+				if ok {
+					seen[t.Key()] = true
+					out = append(out, t)
+				}
+			}
+			// Advance the mixed-radix counter.
+			ci := 0
+			for ci < len(compiled) {
+				idx[ci]++
+				if idx[ci] < len(perComp[ci]) {
+					break
+				}
+				idx[ci] = 0
+				ci++
+			}
+			if ci == len(compiled) {
+				break
+			}
+		}
+		return true
+	})
+	_ = freeOK
+	if evalErr != nil {
+		return nil, evalErr
+	}
+	return out, nil
+}
+
+// validStep verifies a candidate step against the declarative definitions:
+// each chosen action's Def, each unchosen component's stuttering (which
+// holds by construction, since owned sets are disjoint), and every step
+// constraint. Verifying Def on the merged pair is what rejects cross-
+// component conflicts (e.g. an action asserting z' = z merged with another
+// component's change to z).
+func (sys *System) validStep(compiled []compiledComponent, s, t *state.State, chosen []*compiledAction) (bool, error) {
+	st := state.Step{From: s, To: t}
+	for _, ca := range chosen {
+		ok, err := form.EvalBool(ca.def, st, nil)
+		if err != nil {
+			return false, fmt.Errorf("system %s: action %s on %s: %w", sys.Name, ca.name, st, err)
+		}
+		if !ok {
+			return false, nil
+		}
+	}
+	for _, sc := range sys.Constraints {
+		ok, err := form.EvalBool(sc.Action, st, nil)
+		if err != nil {
+			return false, fmt.Errorf("system %s: constraint %s on %s: %w", sys.Name, sc.Name, st, err)
+		}
+		if !ok {
+			return false, nil
+		}
+	}
+	return true, nil
+}
