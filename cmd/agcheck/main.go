@@ -9,73 +9,78 @@
 //	agcheck -model queues-no-g -n 1 -k 2   (expected to FAIL: §A.5 formula (3))
 //	agcheck -model corollary -n 1 -k 2     (the refinement Corollary)
 //	agcheck -model arbiter                 (mutual-exclusion arbiter domain)
+//
+// Resource governance: -budget-ms, -max-states, and -max-transitions bound
+// the check; an exhausted budget yields an UNKNOWN verdict with partial
+// statistics rather than a hang.
+//
+// Exit codes: 0 = all hypotheses hold, 1 = some hypothesis violated,
+// 2 = undecided (budget exhausted, internal failure, or usage error).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"time"
 
+	"opentla/internal/ag"
 	"opentla/internal/arbiter"
 	"opentla/internal/circular"
+	"opentla/internal/engine"
 	"opentla/internal/queue"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
-		fmt.Fprintln(os.Stderr, "agcheck:", err)
-		os.Exit(1)
-	}
+	os.Exit(run(os.Args[1:]))
 }
 
-func run(args []string) error {
+func run(args []string) int {
 	fs := flag.NewFlagSet("agcheck", flag.ContinueOnError)
 	model := fs.String("model", "circular", "model to check: circular | queues | queues-no-g | corollary | arbiter")
-	n := fs.Int("n", 1, "queue capacity N")
-	k := fs.Int("k", 2, "value-domain size K")
+	var n, k int
+	fs.IntVar(&n, "n", 1, "queue capacity N (>= 1)")
+	fs.IntVar(&n, "N", 1, "alias for -n")
+	fs.IntVar(&k, "k", 2, "value-domain size K (>= 2)")
+	fs.IntVar(&k, "K", 2, "alias for -k")
+	bf := engine.AddBudgetFlags(fs)
 	if err := fs.Parse(args); err != nil {
-		return err
+		return 2
 	}
-	cfg := queue.Config{N: *n, Vals: *k}
-	start := time.Now()
+	if n < 1 {
+		fmt.Fprintf(os.Stderr, "agcheck: queue capacity N must be >= 1, got %d\n", n)
+		return 2
+	}
+	if k < 2 {
+		fmt.Fprintf(os.Stderr, "agcheck: value-domain size K must be >= 2, got %d\n", k)
+		return 2
+	}
+	cfg := queue.Config{N: n, Vals: k}
+	m := bf.Meter()
+	var report *ag.Report
+	var err error
 	switch *model {
 	case "circular":
-		report, err := circular.SafetyTheorem().Check()
-		if err != nil {
-			return err
-		}
-		fmt.Print(report)
+		report, err = circular.SafetyTheorem().CheckWith(m)
 	case "queues":
-		report, err := cfg.Fig9Theorem().Check()
-		if err != nil {
-			return err
-		}
-		fmt.Print(report)
+		report, err = cfg.Fig9Theorem().CheckWith(m)
 	case "queues-no-g":
 		th := cfg.Fig9Theorem()
 		th.Name += " WITHOUT G (expected to fail, §A.5 formula (3))"
 		th.Pairs = th.Pairs[1:]
-		report, err := th.Check()
-		if err != nil {
-			return err
-		}
-		fmt.Print(report)
+		report, err = th.CheckWith(m)
 	case "corollary":
-		report, err := cfg.CorollaryRefinement().Check()
-		if err != nil {
-			return err
-		}
-		fmt.Print(report)
+		report, err = cfg.CorollaryRefinement().CheckWith(m)
 	case "arbiter":
-		report, err := arbiter.Theorem().Check()
-		if err != nil {
-			return err
-		}
-		fmt.Print(report)
+		report, err = arbiter.Theorem().CheckWith(m)
 	default:
-		return fmt.Errorf("unknown model %q", *model)
+		fmt.Fprintf(os.Stderr, "agcheck: unknown model %q\n", *model)
+		return 2
 	}
-	fmt.Printf("elapsed: %v\n", time.Since(start).Round(time.Millisecond))
-	return nil
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "agcheck:", err)
+		return 2
+	}
+	fmt.Print(report)
+	fmt.Printf("run stats: %s\n", report.Stats)
+	return report.Verdict.ExitCode()
 }

@@ -6,6 +6,14 @@
 // Usage:
 //
 //	queueverify -n 1 -k 2 [-v]
+//
+// Resource governance: -budget-ms, -max-states, and -max-transitions bound
+// the whole run with one cumulative budget. On exhaustion the command
+// reports an UNKNOWN verdict with partial statistics and exits 2 instead
+// of hanging on an oversized instance.
+//
+// Exit codes: 0 = everything verified, 1 = a property violated,
+// 2 = undecided (budget exhausted, internal failure, or usage error).
 package main
 
 import (
@@ -15,71 +23,99 @@ import (
 	"time"
 
 	"opentla/internal/check"
+	"opentla/internal/engine"
 	"opentla/internal/queue"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
-		fmt.Fprintln(os.Stderr, "queueverify:", err)
-		os.Exit(1)
-	}
+	os.Exit(run(os.Args[1:]))
 }
 
-func run(args []string) error {
+func run(args []string) int {
 	fs := flag.NewFlagSet("queueverify", flag.ContinueOnError)
-	n := fs.Int("n", 1, "queue capacity N")
-	k := fs.Int("k", 2, "value-domain size K")
+	var n, k int
+	fs.IntVar(&n, "n", 1, "queue capacity N (>= 1)")
+	fs.IntVar(&n, "N", 1, "alias for -n")
+	fs.IntVar(&k, "k", 2, "value-domain size K (>= 2)")
+	fs.IntVar(&k, "K", 2, "alias for -k")
 	verbose := fs.Bool("v", false, "print graph sizes")
+	bf := engine.AddBudgetFlags(fs)
 	if err := fs.Parse(args); err != nil {
-		return err
+		return 2
 	}
-	cfg := queue.Config{N: *n, Vals: *k}
+	if n < 1 {
+		fmt.Fprintf(os.Stderr, "queueverify: queue capacity N must be >= 1, got %d\n", n)
+		return 2
+	}
+	if k < 2 {
+		fmt.Fprintf(os.Stderr, "queueverify: value-domain size K must be >= 2, got %d\n", k)
+		return 2
+	}
+	cfg := queue.Config{N: n, Vals: k}
+	m := bf.Meter()
+	verdict, err := verify(cfg, m, *verbose)
+	if err != nil {
+		if reason, _, ok := engine.AsUnknown(err); ok {
+			fmt.Printf("UNKNOWN: %s\n  partial progress: %s\n", reason, m.Stats())
+			return engine.Unknown.ExitCode()
+		}
+		fmt.Fprintln(os.Stderr, "queueverify:", err)
+		return 2
+	}
+	fmt.Printf("run stats: %s\n", m.Stats())
+	return verdict.ExitCode()
+}
+
+// verify runs every Appendix A obligation under the shared meter and
+// returns the overall verdict. Budget and engine errors propagate to the
+// caller, which classifies them as UNKNOWN.
+func verify(cfg queue.Config, m *engine.Meter, verbose bool) (engine.Verdict, error) {
 	fmt.Printf("== Appendix A with N=%d, K=%d: values 0..%d, double capacity %d ==\n\n",
 		cfg.N, cfg.Vals, cfg.Vals-1, 2*cfg.N+1)
 
 	// §A.2: the complete single queue CQ.
 	start := time.Now()
-	gq, err := cfg.SingleSystem().Build()
+	gq, err := cfg.SingleSystem().BuildWith(m)
 	if err != nil {
-		return fmt.Errorf("building CQ: %w", err)
+		return engine.Unknown, fmt.Errorf("building CQ: %w", err)
 	}
 	fmt.Printf("CQ (Fig. 6): %d states, %d edges (%v)\n",
 		gq.NumStates(), gq.NumEdges(), time.Since(start).Round(time.Millisecond))
 
 	// §A.4: CDQ implements CQ^dbl.
 	start = time.Now()
-	gd, err := cfg.DoubleSystem(true).Build()
+	gd, err := cfg.DoubleSystem(true).BuildWith(m)
 	if err != nil {
-		return fmt.Errorf("building CDQ: %w", err)
+		return engine.Unknown, fmt.Errorf("building CDQ: %w", err)
 	}
-	if *verbose {
+	if verbose {
 		fmt.Printf("CDQ (Fig. 8): %d states, %d edges\n", gd.NumStates(), gd.NumEdges())
 	}
 	envRes, err := check.Safety(gd, queue.QE("QEdbl", queue.In, queue.Out, cfg.ValueDomain()).SafetyFormula())
 	if err != nil {
-		return err
+		return engine.Unknown, err
 	}
 	sysRes, err := check.Component(gd, cfg.DoubleQueueSpec(), queue.DoubleMapping())
 	if err != nil {
-		return err
+		return engine.Unknown, err
 	}
 	if !envRes.Holds || !sysRes.Holds() {
 		fmt.Printf("CDQ => CQ^dbl (§A.4): FAILED\n%s\n%s\n", envRes, sysRes)
-		return fmt.Errorf("refinement failed")
+		return engine.Violated, nil
 	}
 	fmt.Printf("CDQ => CQ^dbl (§A.4): OK  [refinement mapping q = q2 o z-in-flight o q1]  (%v)\n\n",
 		time.Since(start).Round(time.Millisecond))
 
 	// §A.5 / Fig. 9: the open-queue composition via the Composition Theorem.
 	start = time.Now()
-	report, err := cfg.Fig9Theorem().Check()
+	report, err := cfg.Fig9Theorem().CheckWith(m)
 	if err != nil {
-		return err
+		return engine.Unknown, err
 	}
 	fmt.Print(report)
 	fmt.Printf("(%v)\n\n", time.Since(start).Round(time.Millisecond))
-	if !report.Valid {
-		return fmt.Errorf("Fig. 9 composition failed")
+	if report.Verdict != engine.Holds {
+		return report.Verdict, nil
 	}
 
 	// §A.5: without G the claim is invalid — confirm the checker agrees.
@@ -87,12 +123,15 @@ func run(args []string) error {
 	noG := cfg.Fig9Theorem()
 	noG.Name = "formula (3): composition WITHOUT G"
 	noG.Pairs = noG.Pairs[1:]
-	reportNoG, err := noG.Check()
+	reportNoG, err := noG.CheckWith(m)
 	if err != nil {
-		return err
+		return engine.Unknown, err
+	}
+	if reportNoG.Verdict == engine.Unknown {
+		return engine.Unknown, fmt.Errorf("composition without G undecided: %s", reportNoG.Unknown)
 	}
 	if reportNoG.Valid {
-		return fmt.Errorf("composition without G unexpectedly validated")
+		return engine.Violated, fmt.Errorf("composition without G unexpectedly validated")
 	}
 	fmt.Printf("formula (3) without G: correctly NOT established (%v)\n",
 		time.Since(start).Round(time.Millisecond))
@@ -102,5 +141,5 @@ func run(args []string) error {
 			break
 		}
 	}
-	return nil
+	return engine.Holds, nil
 }

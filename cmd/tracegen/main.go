@@ -6,6 +6,8 @@
 //
 //	tracegen                      (the paper's 37, 4, 19)
 //	tracegen -values 7,8,9 -chan c
+//
+// Exit codes: 0 = trace generated, 2 = invalid flags or generation failure.
 package main
 
 import (
@@ -21,34 +23,41 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
-		fmt.Fprintln(os.Stderr, "tracegen:", err)
-		os.Exit(1)
-	}
+	os.Exit(run(os.Args[1:]))
 }
 
-func run(args []string) error {
+func run(args []string) int {
 	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
-	valsFlag := fs.String("values", "37,4,19", "comma-separated values to send")
-	chanName := fs.String("chan", "c", "channel name")
+	valsFlag := fs.String("values", "37,4,19", "comma-separated values to send (at least one)")
+	chanName := fs.String("chan", "c", "channel name (no dots, commas, or spaces)")
 	if err := fs.Parse(args); err != nil {
-		return err
+		return 2
+	}
+	if *chanName == "" || strings.ContainsAny(*chanName, ". ,") {
+		fmt.Fprintf(os.Stderr, "tracegen: invalid channel name %q (must be non-empty, no dots, commas, or spaces)\n", *chanName)
+		return 2
 	}
 	var vals []value.Value
 	for _, part := range strings.Split(*valsFlag, ",") {
 		n, err := strconv.ParseInt(strings.TrimSpace(part), 10, 64)
 		if err != nil {
-			return fmt.Errorf("parsing value %q: %w", part, err)
+			fmt.Fprintf(os.Stderr, "tracegen: parsing value %q: %v\n", part, err)
+			return 2
 		}
 		vals = append(vals, value.Int(n))
+	}
+	if len(vals) == 0 {
+		fmt.Fprintln(os.Stderr, "tracegen: -values must list at least one value")
+		return 2
 	}
 	c := handshake.Chan(*chanName)
 	b, err := c.Trace(value.Int(0), vals)
 	if err != nil {
-		return err
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		return 2
 	}
 	fmt.Printf("Two-phase handshake on channel %s (Fig. 2):\n\n", *chanName)
 	fmt.Print(trace.Table(b, []string{c.Ack(), c.Sig(), c.Val()}))
-	fmt.Println("\nsteps:", strings.Join(trace.Diff(b), " ; "))
-	return nil
+	fmt.Printf("\nsteps: %s  (%d states, %d sends)\n", strings.Join(trace.Diff(b), " ; "), len(b), len(vals))
+	return 0
 }

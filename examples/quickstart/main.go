@@ -11,6 +11,7 @@ import (
 
 	"opentla/internal/ag"
 	"opentla/internal/check"
+	"opentla/internal/engine"
 	"opentla/internal/form"
 	"opentla/internal/spec"
 	"opentla/internal/ts"
@@ -107,10 +108,14 @@ func run() error {
 		Concl:   ag.Conclusion{Sys: conclusion},
 		Domains: domains,
 	}
-	report, err := th.Check()
+	// Checks are governed: a budget bounds the run and an exhausted budget
+	// yields an UNKNOWN verdict with partial statistics instead of a hang.
+	report, err := th.CheckWith(engine.Budget{MaxStates: 100_000}.Meter())
 	if err != nil {
 		return err
 	}
 	fmt.Print(report)
+	fmt.Printf("verdict: %s (exit code %d); run stats: %s\n",
+		report.Verdict, report.Verdict.ExitCode(), report.Stats)
 	return nil
 }

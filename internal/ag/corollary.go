@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"opentla/internal/check"
+	"opentla/internal/engine"
 	"opentla/internal/form"
 	"opentla/internal/spec"
 	"opentla/internal/ts"
@@ -65,8 +66,16 @@ func (rf *Refinement) plusSub() form.Expr {
 	return form.VarTuple(vars...)
 }
 
-// Check discharges both hypotheses of the Corollary.
+// Check discharges both hypotheses of the Corollary, without resource
+// limits. Use CheckWith to govern the check with a budget or cancellation.
 func (rf *Refinement) Check() (*Report, error) {
+	return rf.CheckWith(engine.NoLimit())
+}
+
+// CheckWith discharges both hypotheses under the given resource meter.
+// Exhaustion, cancellation, and contained internal failures yield a Report
+// with an Unknown verdict and partial statistics instead of an error.
+func (rf *Refinement) CheckWith(m *engine.Meter) (*Report, error) {
 	if rf.Env != nil && len(rf.Env.Fairness) > 0 {
 		return nil, fmt.Errorf("refinement %s: E must be a safety property", rf.Name)
 	}
@@ -79,7 +88,11 @@ func (rf *Refinement) Check() (*Report, error) {
 		Valid:       true,
 		Conclusion:  "(E -+> M') => (E -+> M)",
 	}
+	return finishReport(r, m, rf.checkBoth(r, m))
+}
 
+// checkBoth runs hypotheses (a) and (b), accumulating results into r.
+func (rf *Refinement) checkBoth(r *Report, m *engine.Meter) error {
 	// (a) E+v ∧ C(M') ⇒ C(M), via the +v monitor product over the graph of
 	// C(M') with environment variables unconstrained.
 	baseSys := &ts.System{
@@ -88,9 +101,9 @@ func (rf *Refinement) Check() (*Report, error) {
 		Domains:    rf.Domains,
 		MaxStates:  rf.MaxStates,
 	}
-	baseG, err := baseSys.Build()
+	baseG, err := baseSys.BuildWith(m)
 	if err != nil {
-		return nil, fmt.Errorf("refinement %s: building C(M') graph: %w", rf.Name, err)
+		return fmt.Errorf("refinement %s: building C(M') graph: %w", rf.Name, err)
 	}
 	r.noteStates(baseG.NumStates())
 	var envInit form.Expr
@@ -101,12 +114,12 @@ func (rf *Refinement) Check() (*Report, error) {
 	}
 	prod, err := ts.Product(baseG, []*ts.Monitor{ts.PlusMonitor(plusVar, envInit, envSquares, rf.plusSub())})
 	if err != nil {
-		return nil, fmt.Errorf("refinement %s: +v product: %w", rf.Name, err)
+		return fmt.Errorf("refinement %s: +v product: %w", rf.Name, err)
 	}
 	r.noteStates(prod.NumStates())
 	resA, err := check.SafetyUnder(prod, rf.High.SafetyOnly().SafetyFormula(), rf.Mapping)
 	if err != nil {
-		return nil, fmt.Errorf("refinement %s hypothesis (a): %w", rf.Name, err)
+		return fmt.Errorf("refinement %s hypothesis (a): %w", rf.Name, err)
 	}
 	r.add("(a): E+v /\\ C(M') => C(M)", resA.Holds, resA.String())
 
@@ -120,18 +133,18 @@ func (rf *Refinement) Check() (*Report, error) {
 	if rf.Env != nil {
 		fullSys.Components = append([]*spec.Component{rf.Env}, fullSys.Components...)
 	}
-	fullG, err := fullSys.Build()
+	fullG, err := fullSys.BuildWith(m)
 	if err != nil {
-		return nil, fmt.Errorf("refinement %s: building full graph: %w", rf.Name, err)
+		return fmt.Errorf("refinement %s: building full graph: %w", rf.Name, err)
 	}
 	r.noteStates(fullG.NumStates())
 	resB, err := check.Component(fullG, rf.High, rf.Mapping)
 	if err != nil {
-		return nil, fmt.Errorf("refinement %s hypothesis (b): %w", rf.Name, err)
+		return fmt.Errorf("refinement %s hypothesis (b): %w", rf.Name, err)
 	}
 	r.add("(b): E /\\ M' => M (safety)", resB.Safety == nil || resB.Safety.Holds, safeString(resB.Safety))
 	if resB.Liveness != nil {
 		r.add("(b): E /\\ M' => M (liveness)", resB.Liveness.Holds, resB.Liveness.String())
 	}
-	return r, nil
+	return nil
 }

@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"opentla/internal/check"
+	"opentla/internal/engine"
 	"opentla/internal/form"
 	"opentla/internal/spec"
 	"opentla/internal/ts"
@@ -91,6 +92,16 @@ type Report struct {
 	// Valid is true iff every hypothesis holds, in which case the
 	// Composition Theorem yields the Conclusion formula.
 	Valid bool
+	// Verdict is the three-valued outcome: Holds (all hypotheses
+	// discharged), Violated (some hypothesis failed with a counterexample),
+	// or Unknown (the check was aborted before deciding).
+	Verdict engine.Verdict
+	// Unknown gives the reason when Verdict is engine.Unknown (budget
+	// exhaustion, cancellation, or a contained internal failure).
+	Unknown string
+	// Stats snapshots the governing meter when the check finished, partial
+	// results included.
+	Stats engine.RunStats
 	// Conclusion is the established formula, rendered for the report
 	// footer (defaults to the Composition Theorem's conclusion).
 	Conclusion string
@@ -113,16 +124,42 @@ func (r *Report) String() string {
 		}
 		sb.WriteByte('\n')
 	}
-	if r.Valid {
+	switch {
+	case r.Verdict == engine.Unknown:
+		fmt.Fprintf(&sb, "UNKNOWN: %s\n  partial progress: %s\n", r.Unknown, r.Stats)
+	case r.Valid:
 		concl := r.Conclusion
 		if concl == "" {
 			concl = "/\\_j (Ej -+> Mj) => (E -+> M)"
 		}
 		fmt.Fprintf(&sb, "VALID: %s  (%d states max)\n", concl, r.States)
-	} else {
+	default:
 		sb.WriteString("NOT ESTABLISHED\n")
 	}
 	return sb.String()
+}
+
+// finishReport settles the report's verdict from the meter and the error,
+// if any, of the check body. Budget exhaustion, cancellation, and contained
+// engine failures become an Unknown verdict carrying partial statistics;
+// any other error is genuine and propagated.
+func finishReport(r *Report, m *engine.Meter, err error) (*Report, error) {
+	r.Stats = m.Stats()
+	if err != nil {
+		if reason, _, ok := engine.AsUnknown(err); ok {
+			r.Valid = false
+			r.Verdict = engine.Unknown
+			r.Unknown = reason
+			return r, nil
+		}
+		return nil, err
+	}
+	if r.Valid {
+		r.Verdict = engine.Holds
+	} else {
+		r.Verdict = engine.Violated
+	}
+	return r, nil
 }
 
 func (r *Report) add(name string, holds bool, detail string) {
@@ -256,17 +293,32 @@ func (th *Theorem) validate() error {
 // and via the paper's own route — Proposition 3 reduces it to the plain
 // implication C(E) ∧ ⋀C(M_j) ⇒ C(M) plus the orthogonality side conditions
 // of Proposition 4. Both must agree for the report to be Valid.
+//
+// Check runs without resource limits; use CheckWith to govern the check
+// with a budget or cancellation.
 func (th *Theorem) Check() (*Report, error) {
+	return th.CheckWith(engine.NoLimit())
+}
+
+// CheckWith discharges the hypotheses under the given resource meter. All
+// graph construction and checking draws from the shared meter; exhaustion,
+// cancellation, and contained internal failures yield a Report with an
+// Unknown verdict and partial statistics instead of an error.
+func (th *Theorem) CheckWith(m *engine.Meter) (*Report, error) {
 	if err := th.validate(); err != nil {
 		return nil, err
 	}
 	r := &Report{TheoremName: th.Name, Valid: true}
+	return finishReport(r, m, th.checkAll(r, m))
+}
 
+// checkAll runs every hypothesis check, accumulating results into r.
+func (th *Theorem) checkAll(r *Report, m *engine.Meter) error {
 	// --- Graph of C(E) ∧ ⋀ C(M_j): used by hypotheses (1) and 2a-route-A.
 	closedSys := th.lhsSystem(th.Name+"/closure-lhs", true, true)
-	closedG, err := closedSys.Build()
+	closedG, err := closedSys.BuildWith(m)
 	if err != nil {
-		return nil, fmt.Errorf("building closure LHS graph: %w", err)
+		return fmt.Errorf("building closure LHS graph: %w", err)
 	}
 	r.noteStates(closedG.NumStates())
 
@@ -278,26 +330,23 @@ func (th *Theorem) Check() (*Report, error) {
 		}
 		res, err := check.Safety(closedG, p.Env.SafetyFormula())
 		if err != nil {
-			return nil, fmt.Errorf("hypothesis 1 for %s: %w", p.Name, err)
+			return fmt.Errorf("hypothesis 1 for %s: %w", p.Name, err)
 		}
 		r.add(fmt.Sprintf("H1[%s]: C(E) /\\ conj C(Mj) => E_%s", p.Name, p.Name), res.Holds, res.String())
 	}
 
 	// Hypothesis (2a), route A (Propositions 3 + 4).
 	if err := th.checkHyp2aViaPropositions(r, closedG); err != nil {
-		return nil, err
+		return err
 	}
 
 	// Hypothesis (2a), route B (direct +v monitor product).
-	if err := th.checkHyp2aDirect(r); err != nil {
-		return nil, err
+	if err := th.checkHyp2aDirect(r, m); err != nil {
+		return err
 	}
 
 	// Hypothesis (2b): full implication with fairness.
-	if err := th.checkHyp2b(r); err != nil {
-		return nil, err
-	}
-	return r, nil
+	return th.checkHyp2b(r, m)
 }
 
 func (r *Report) noteStates(n int) {
@@ -313,17 +362,17 @@ func (th *Theorem) CheckHyp2aPropositionsOnly() (*Report, error) {
 	if err := th.validate(); err != nil {
 		return nil, err
 	}
+	m := engine.NoLimit()
 	r := &Report{TheoremName: th.Name + " (2a via Props 3+4)", Valid: true}
-	closedSys := th.lhsSystem(th.Name+"/closure-lhs", true, true)
-	closedG, err := closedSys.Build()
-	if err != nil {
-		return nil, err
-	}
-	r.noteStates(closedG.NumStates())
-	if err := th.checkHyp2aViaPropositions(r, closedG); err != nil {
-		return nil, err
-	}
-	return r, nil
+	return finishReport(r, m, func() error {
+		closedSys := th.lhsSystem(th.Name+"/closure-lhs", true, true)
+		closedG, err := closedSys.BuildWith(m)
+		if err != nil {
+			return err
+		}
+		r.noteStates(closedG.NumStates())
+		return th.checkHyp2aViaPropositions(r, closedG)
+	}())
 }
 
 // CheckHyp2aDirectOnly discharges only hypothesis 2a, with the direct +v
@@ -332,11 +381,9 @@ func (th *Theorem) CheckHyp2aDirectOnly() (*Report, error) {
 	if err := th.validate(); err != nil {
 		return nil, err
 	}
+	m := engine.NoLimit()
 	r := &Report{TheoremName: th.Name + " (2a direct)", Valid: true}
-	if err := th.checkHyp2aDirect(r); err != nil {
-		return nil, err
-	}
-	return r, nil
+	return finishReport(r, m, th.checkHyp2aDirect(r, m))
 }
 
 // checkHyp2aViaPropositions discharges 2a along the paper's route:
@@ -357,9 +404,10 @@ func (th *Theorem) checkHyp2aViaPropositions(r *Report, closedG *ts.Graph) error
 	r.add("H2a-A(i): C(E) /\\ conj C(Mj) => C(M)", res.Holds, res.String())
 
 	// Graph of ⋀C(M_j) alone (environment unconstrained) for the side
-	// conditions, which must hold without assuming E.
+	// conditions, which must hold without assuming E. Shares the closure
+	// graph's meter so the whole check draws from one budget.
 	rSys := th.lhsSystem(th.Name+"/guarantees-only", false, true)
-	rG, err := rSys.Build()
+	rG, err := rSys.BuildWith(closedG.Meter())
 	if err != nil {
 		return fmt.Errorf("building guarantees-only graph: %w", err)
 	}
@@ -450,9 +498,9 @@ func (th *Theorem) conclusionGuaranteeFreeVars() []string {
 // ⋀C(M_j) with environment variables unconstrained; the monitor enforces
 // "C(E) held for a prefix, after which v froze"; C(M) is then checked on
 // the product.
-func (th *Theorem) checkHyp2aDirect(r *Report) error {
+func (th *Theorem) checkHyp2aDirect(r *Report, m *engine.Meter) error {
 	baseSys := th.lhsSystem(th.Name+"/plus-base", false, true)
-	baseG, err := baseSys.Build()
+	baseG, err := baseSys.BuildWith(m)
 	if err != nil {
 		return fmt.Errorf("building +v base graph: %w", err)
 	}
@@ -480,9 +528,9 @@ func (th *Theorem) checkHyp2aDirect(r *Report) error {
 }
 
 // checkHyp2b discharges ⊨ E ∧ ⋀M_j ⇒ M with fairness on both sides.
-func (th *Theorem) checkHyp2b(r *Report) error {
+func (th *Theorem) checkHyp2b(r *Report, m *engine.Meter) error {
 	fullSys := th.lhsSystem(th.Name+"/full-lhs", true, false)
-	fullG, err := fullSys.Build()
+	fullG, err := fullSys.BuildWith(m)
 	if err != nil {
 		return fmt.Errorf("building full LHS graph: %w", err)
 	}

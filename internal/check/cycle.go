@@ -73,9 +73,20 @@ func (w *LassoWitness) ToLasso(g *ts.Graph) *state.Lasso {
 // acceptance conditions. It returns nil if no such lasso exists — which,
 // when the conditions encode "system fairness ∧ violated target", proves
 // the target property.
+//
+// The search is governed by the graph's resource meter: an exhausted
+// budget aborts with an *engine.BudgetError instead of returning a
+// spuriously empty (property-proving) answer from a truncated search.
 func FindFairLasso(g *ts.Graph, q LassoQuery) (*LassoWitness, error) {
+	m := g.Meter()
+	if err := m.Tick(); err != nil {
+		return nil, err
+	}
 	// Phase 1: states reachable under the prefix masks.
 	reachable := reachableFrom(g, q.StartIDs, q.PrefixState, q.PrefixEdge)
+	if err := m.Err(); err != nil {
+		return nil, err
+	}
 
 	// Phase 2: fair-cycle search inside reachable ∩ CycleState.
 	cycleAllowed := func(id int) bool {
@@ -85,6 +96,10 @@ func FindFairLasso(g *ts.Graph, q LassoQuery) (*LassoWitness, error) {
 		return q.CycleState == nil || q.CycleState(id)
 	}
 	cyc := searchFairCycle(g, cycleAllowed, q.CycleEdge, q.Conds)
+	if err := m.Err(); err != nil {
+		// A truncated SCC decomposition proves nothing: report exhaustion.
+		return nil, err
+	}
 	if cyc == nil {
 		return nil, nil
 	}

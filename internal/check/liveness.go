@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"opentla/internal/engine"
 	"opentla/internal/form"
 	"opentla/internal/state"
 	"opentla/internal/ts"
@@ -16,6 +17,16 @@ type LivenessResult struct {
 	Violated string
 	// Counterexample is a fair lasso violating the target.
 	Counterexample *state.Lasso
+	// Stats snapshots the governing meter when the check completed.
+	Stats engine.RunStats
+}
+
+// Verdict maps the decided result onto the three-valued scale.
+func (r *LivenessResult) Verdict() engine.Verdict {
+	if r.Holds {
+		return engine.Holds
+	}
+	return engine.Violated
 }
 
 // String renders the result.
@@ -112,13 +123,26 @@ func fairnessCond(g *ts.Graph, name string, kind form.FairKind, action, sub form
 //	WF_v(A), SF_v(A)        (fairness obligations, e.g. of an abstract spec)
 //
 // An optional refinement mapping is substituted into the target first.
-func Liveness(g *ts.Graph, target form.Formula, mapping map[string]form.Expr) (*LivenessResult, error) {
+//
+// The check is governed by the graph's resource meter: exhaustion aborts
+// with an *engine.BudgetError, and panics during the fair-cycle search are
+// contained as *engine.EngineError carrying the target conjunct.
+func Liveness(g *ts.Graph, target form.Formula, mapping map[string]form.Expr) (result *LivenessResult, err error) {
 	if mapping != nil {
 		target = target.Subst(mapping)
 	}
+	m := g.Meter()
+	var curTarget form.Formula
+	defer engine.Capture(&err, "check.Liveness", func() (string, string) {
+		if curTarget != nil {
+			return "", curTarget.String()
+		}
+		return "", target.String()
+	})
 	conjuncts := flattenConjuncts(target)
 	fair, ferr := FairnessConds(g)
 	for _, cj := range conjuncts {
+		curTarget = cj
 		res, err := checkLivenessConjunct(g, fair, cj)
 		if err != nil {
 			return nil, err
@@ -126,11 +150,15 @@ func Liveness(g *ts.Graph, target form.Formula, mapping map[string]form.Expr) (*
 		if *ferr != nil {
 			return nil, *ferr
 		}
+		if err := m.Err(); err != nil {
+			return nil, err
+		}
 		if !res.Holds {
+			res.Stats = m.Stats()
 			return res, nil
 		}
 	}
-	return &LivenessResult{Holds: true}, nil
+	return &LivenessResult{Holds: true, Stats: m.Stats()}, nil
 }
 
 func flattenConjuncts(f form.Formula) []form.Formula {

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"strings"
 
+	"opentla/internal/engine"
 	"opentla/internal/form"
 	"opentla/internal/state"
 	"opentla/internal/ts"
@@ -27,6 +28,17 @@ type SafetyResult struct {
 	// Trace is a finite behavior exhibiting the violation (ending at the
 	// violating state or step).
 	Trace state.Behavior
+	// Stats snapshots the governing meter when the check completed.
+	Stats engine.RunStats
+}
+
+// Verdict maps the decided result onto the three-valued scale (an
+// undecided check surfaces as an error, not a result).
+func (r *SafetyResult) Verdict() engine.Verdict {
+	if r.Holds {
+		return engine.Holds
+	}
+	return engine.Violated
 }
 
 // String renders the result.
@@ -98,9 +110,25 @@ func Safety(g *ts.Graph, f form.Formula) (*SafetyResult, error) {
 // mapping (abstract variable → concrete state function) into it. With a nil
 // mapping it checks f directly. This implements the standard TLA refinement
 // step: g ⊨ F̄ where F̄ is F with mapped variables replaced (§A.4).
-func SafetyUnder(g *ts.Graph, f form.Formula, mapping map[string]form.Expr) (*SafetyResult, error) {
+//
+// The check is governed by the graph's resource meter: exhaustion aborts
+// with an *engine.BudgetError, and panics during evaluation are contained
+// as *engine.EngineError carrying the offending state and formula.
+func SafetyUnder(g *ts.Graph, f form.Formula, mapping map[string]form.Expr) (result *SafetyResult, err error) {
 	if mapping != nil {
 		f = f.Subst(mapping)
+	}
+	m := g.Meter()
+	var cur *state.State
+	defer engine.Capture(&err, "check.Safety", func() (string, string) {
+		if cur != nil {
+			return cur.Key(), f.String()
+		}
+		return "", f.String()
+	})
+	done := func(r *SafetyResult) (*SafetyResult, error) {
+		r.Stats = m.Stats()
+		return r, nil
 	}
 	ob, err := decomposeSafety(f)
 	if err != nil {
@@ -109,31 +137,36 @@ func SafetyUnder(g *ts.Graph, f form.Formula, mapping map[string]form.Expr) (*Sa
 	// Initial predicates.
 	for _, id := range g.Inits {
 		s := g.States[id]
+		cur = s
 		for _, p := range ob.inits {
 			ok, err := form.EvalStateBool(p, s)
 			if err != nil {
 				return nil, fmt.Errorf("initial predicate %s on %s: %w", p, s, err)
 			}
 			if !ok {
-				return &SafetyResult{
+				return done(&SafetyResult{
 					Violation: fmt.Sprintf("initial state violates %s", p),
 					Trace:     state.Behavior{s},
-				}, nil
+				})
 			}
 		}
 	}
 	// Invariants.
 	for id, s := range g.States {
+		if err := m.Tick(); err != nil {
+			return nil, err
+		}
+		cur = s
 		for _, p := range ob.invariants {
 			ok, err := form.EvalStateBool(p, s)
 			if err != nil {
 				return nil, fmt.Errorf("invariant %s on %s: %w", p, s, err)
 			}
 			if !ok {
-				return &SafetyResult{
+				return done(&SafetyResult{
 					Violation: fmt.Sprintf("reachable state violates invariant %s", p),
 					Trace:     g.Behavior(g.PathTo(id)),
-				}, nil
+				})
 			}
 		}
 	}
@@ -145,7 +178,12 @@ func SafetyUnder(g *ts.Graph, f form.Formula, mapping map[string]form.Expr) (*Sa
 	var res *SafetyResult
 	var evalErr error
 	g.ForEachEdge(func(from, to int) bool {
+		if err := m.Tick(); err != nil {
+			evalErr = err
+			return false
+		}
 		st := state.Step{From: g.States[from], To: g.States[to]}
+		cur = st.From
 		for i, sq := range squares {
 			ok, err := form.EvalBool(sq, st, nil)
 			if err != nil {
@@ -168,9 +206,9 @@ func SafetyUnder(g *ts.Graph, f form.Formula, mapping map[string]form.Expr) (*Sa
 		return nil, evalErr
 	}
 	if res != nil {
-		return res, nil
+		return done(res)
 	}
-	return &SafetyResult{Holds: true}, nil
+	return done(&SafetyResult{Holds: true})
 }
 
 // Invariant checks □P for a single state predicate.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"opentla/internal/engine"
 	"opentla/internal/form"
 	"opentla/internal/spec"
 	"opentla/internal/ts"
@@ -18,6 +19,26 @@ type SpecResult struct {
 // Holds reports whether both parts hold.
 func (r *SpecResult) Holds() bool {
 	return (r.Safety == nil || r.Safety.Holds) && (r.Liveness == nil || r.Liveness.Holds)
+}
+
+// Verdict maps the decided result onto the three-valued scale.
+func (r *SpecResult) Verdict() engine.Verdict {
+	if r.Holds() {
+		return engine.Holds
+	}
+	return engine.Violated
+}
+
+// Stats returns the latest meter snapshot among the parts (the meter is
+// cumulative, so the later part subsumes the earlier one).
+func (r *SpecResult) Stats() engine.RunStats {
+	if r.Liveness != nil {
+		return r.Liveness.Stats
+	}
+	if r.Safety != nil {
+		return r.Safety.Stats
+	}
+	return engine.RunStats{}
 }
 
 // String renders the result.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"opentla/internal/engine"
 	"opentla/internal/form"
 	"opentla/internal/spec"
 	"opentla/internal/state"
@@ -31,6 +32,16 @@ type AGResult struct {
 	// Counterexample is a fair lasso witnessing a liveness violation
 	// (E held forever but M's fairness failed), if any.
 	Counterexample *state.Lasso
+	// Stats snapshots the governing meter when the check completed.
+	Stats engine.RunStats
+}
+
+// Verdict maps the decided result onto the three-valued scale.
+func (r *AGResult) Verdict() engine.Verdict {
+	if r.Holds {
+		return engine.Holds
+	}
+	return engine.Violated
 }
 
 // String renders the result.
@@ -63,7 +74,20 @@ func (r *AGResult) String() string {
 //  2. Liveness: within the subgraph where E and M are still alive, every
 //     fair cycle satisfies M's fairness obligations (E ⇒ M on behaviors
 //     where the safety parts never die).
-func WhilePlus(g *ts.Graph, env, sys *spec.Component, mapping map[string]form.Expr) (*AGResult, error) {
+func WhilePlus(g *ts.Graph, env, sys *spec.Component, mapping map[string]form.Expr) (result *AGResult, err error) {
+	m := g.Meter()
+	var cur *state.State
+	defer engine.Capture(&err, "check.WhilePlus", func() (string, string) {
+		fp := ""
+		if cur != nil {
+			fp = cur.Key()
+		}
+		return fp, fmt.Sprintf("%s -+> %s", env.Name, sys.Name)
+	})
+	done := func(r *AGResult) (*AGResult, error) {
+		r.Stats = m.Stats()
+		return r, nil
+	}
 	envInit, envSquares := safetyParts(env, nil)
 	sysInit, sysSquares := safetyParts(sys, mapping)
 
@@ -80,19 +104,26 @@ func WhilePlus(g *ts.Graph, env, sys *spec.Component, mapping map[string]form.Ex
 	// n = 0: M must hold for the first state regardless of E.
 	for _, id := range prod.Inits {
 		s := prod.States[id]
+		cur = s
 		if !aliveM(s) {
-			return &AGResult{
+			return done(&AGResult{
 				Reason: "initial state violates the guarantee's initial predicate (n = 0 case of -+>)",
 				Trace:  state.Behavior{s},
-			}, nil
+			})
 		}
 	}
 
 	// Safety: an edge from an (E alive, M alive) node to an M-dead node is
 	// a behavior where M died at step n+1 with E alive through n.
 	var vio *AGResult
+	var tickErr error
 	prod.ForEachEdge(func(from, to int) bool {
+		if err := m.Tick(); err != nil {
+			tickErr = err
+			return false
+		}
 		s, t := prod.States[from], prod.States[to]
+		cur = s
 		if aliveE(s) && aliveM(s) && !aliveM(t) {
 			path := prod.PathTo(from)
 			vio = &AGResult{
@@ -103,8 +134,11 @@ func WhilePlus(g *ts.Graph, env, sys *spec.Component, mapping map[string]form.Ex
 		}
 		return true
 	})
+	if tickErr != nil {
+		return nil, tickErr
+	}
 	if vio != nil {
-		return vio, nil
+		return done(vio)
 	}
 
 	// Liveness: E ⇒ M on behaviors whose safety parts hold forever. Search
@@ -124,13 +158,13 @@ func WhilePlus(g *ts.Graph, env, sys *spec.Component, mapping map[string]form.Ex
 			return nil, err
 		}
 		if !live.Holds {
-			return &AGResult{
+			return done(&AGResult{
 				Reason:         fmt.Sprintf("assumption held forever but guarantee liveness failed: %s", live.Violated),
 				Counterexample: live.Counterexample,
-			}, nil
+			})
 		}
 	}
-	return &AGResult{Holds: true}, nil
+	return done(&AGResult{Holds: true})
 }
 
 // safetyParts extracts a component's initial predicate and per-step square

@@ -1,0 +1,319 @@
+// Package engine provides resource governance for the explicit-state
+// checking core: wall-clock, state-count, and transition-count budgets with
+// cooperative cancellation, run statistics, three-valued verdicts, and panic
+// containment.
+//
+// The paper's whole value proposition is *decidable* discharge of the
+// Composition Theorem's hypotheses on finite instances (§5). Decidable does
+// not mean feasible: one oversized parameter makes the state graph
+// astronomically large, and an engine that silently hangs or exhausts memory
+// gives no verdict at all. Following the practice of mature explicit-state
+// checkers such as TLC, every entry point of this engine is bounded,
+// resumable in principle, and diagnosable: a check either Holds, is
+// Violated with a counterexample, or is Unknown with the reason and the
+// partial statistics of the aborted exploration.
+package engine
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"runtime/debug"
+	"time"
+)
+
+// Verdict is the three-valued outcome of a resource-governed check.
+type Verdict int
+
+const (
+	// Holds: the property was verified on the full instance.
+	Holds Verdict = iota
+	// Violated: a counterexample was found.
+	Violated
+	// Unknown: the engine could not decide — budget exhausted, cancelled,
+	// or an internal error was contained.
+	Unknown
+)
+
+// String renders the verdict.
+func (v Verdict) String() string {
+	switch v {
+	case Holds:
+		return "HOLDS"
+	case Violated:
+		return "VIOLATED"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+// ExitCode returns the process exit code contract of the CLIs:
+// 0 holds, 1 violated, 2 unknown-or-error.
+func (v Verdict) ExitCode() int {
+	switch v {
+	case Holds:
+		return 0
+	case Violated:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// RunStats records what an exploration actually did — the observability
+// counterpart of the budget. All counters are cumulative over the meter's
+// lifetime, which may span several graph constructions and checks.
+type RunStats struct {
+	// States is the number of distinct states added to graphs.
+	States int
+	// Transitions is the number of graph edges explored.
+	Transitions int
+	// SCCs is the number of strongly connected components examined by
+	// fair-cycle search.
+	SCCs int
+	// PeakFrontier is the largest BFS frontier observed.
+	PeakFrontier int
+	// Elapsed is the wall-clock time since the meter started.
+	Elapsed time.Duration
+}
+
+// String renders the statistics on one line.
+func (s RunStats) String() string {
+	return fmt.Sprintf("%d states, %d transitions, %d SCCs, peak frontier %d, elapsed %v",
+		s.States, s.Transitions, s.SCCs, s.PeakFrontier, s.Elapsed.Round(time.Millisecond))
+}
+
+// Budget bounds an exploration. The zero value is unlimited.
+type Budget struct {
+	// Timeout is the wall-clock budget (0 = unlimited).
+	Timeout time.Duration
+	// MaxStates bounds the cumulative number of states added to graphs
+	// (0 = unlimited).
+	MaxStates int
+	// MaxTransitions bounds the cumulative number of explored transitions
+	// (0 = unlimited).
+	MaxTransitions int
+	// Ctx, if non-nil, cancels the exploration when done.
+	Ctx context.Context
+}
+
+// Meter returns a fresh meter enforcing the budget, with the wall clock
+// started now.
+func (b Budget) Meter() *Meter {
+	m := &Meter{budget: b, start: time.Now()}
+	if b.Timeout > 0 {
+		m.deadline = m.start.Add(b.Timeout)
+	}
+	return m
+}
+
+// NoLimit returns a meter that only counts, never aborts.
+func NoLimit() *Meter { return Budget{}.Meter() }
+
+// timeCheckMask amortises wall-clock and cancellation polls: they run every
+// timeCheckMask+1 ticks. Exploration loops tick at least once per state, so
+// deadline overruns are detected promptly relative to exploration speed.
+const timeCheckMask = 63
+
+// Meter enforces a Budget and accumulates RunStats. It is used
+// cooperatively: exploration loops call Tick/AddState/AddTransitions and
+// abort when one returns an error. Once exhausted, the error latches —
+// every subsequent call fails fast, so deeply nested searches unwind
+// promptly without extra plumbing.
+type Meter struct {
+	budget   Budget
+	start    time.Time
+	deadline time.Time
+	stats    RunStats
+	ticks    int
+	err      error
+}
+
+// Err returns the latched exhaustion error, or nil.
+func (m *Meter) Err() error { return m.err }
+
+// Exhausted reports whether the budget has been exhausted.
+func (m *Meter) Exhausted() bool { return m.err != nil }
+
+// Stats returns a snapshot of the statistics with Elapsed filled in.
+func (m *Meter) Stats() RunStats {
+	s := m.stats
+	s.Elapsed = time.Since(m.start)
+	return s
+}
+
+func (m *Meter) fail(reason string) error {
+	if m.err == nil {
+		m.err = &BudgetError{Reason: reason, Stats: m.Stats()}
+	}
+	return m.err
+}
+
+// Tick is the cooperative cancellation point: call it once per unit of work
+// (state popped, assignment enumerated, SCC root visited). It polls the
+// wall clock and the context on an amortised schedule.
+func (m *Meter) Tick() error {
+	if m.err != nil {
+		return m.err
+	}
+	m.ticks++
+	if m.ticks&timeCheckMask != 0 {
+		return nil
+	}
+	if !m.deadline.IsZero() && time.Now().After(m.deadline) {
+		return m.fail(fmt.Sprintf("wall-clock budget %v exceeded", m.budget.Timeout))
+	}
+	if m.budget.Ctx != nil {
+		select {
+		case <-m.budget.Ctx.Done():
+			return m.fail(fmt.Sprintf("cancelled: %v", m.budget.Ctx.Err()))
+		default:
+		}
+	}
+	return nil
+}
+
+// AddState records one state added to a graph and checks the state budget.
+func (m *Meter) AddState() error {
+	if m.err != nil {
+		return m.err
+	}
+	m.stats.States++
+	if m.budget.MaxStates > 0 && m.stats.States > m.budget.MaxStates {
+		return m.fail(fmt.Sprintf("state budget %d exceeded", m.budget.MaxStates))
+	}
+	return m.Tick()
+}
+
+// AddTransitions records n explored transitions and checks the transition
+// budget.
+func (m *Meter) AddTransitions(n int) error {
+	if m.err != nil {
+		return m.err
+	}
+	m.stats.Transitions += n
+	if m.budget.MaxTransitions > 0 && m.stats.Transitions > m.budget.MaxTransitions {
+		return m.fail(fmt.Sprintf("transition budget %d exceeded", m.budget.MaxTransitions))
+	}
+	return nil
+}
+
+// NoteSCC records one strongly connected component examined.
+func (m *Meter) NoteSCC() { m.stats.SCCs++ }
+
+// NoteFrontier records the current BFS frontier size.
+func (m *Meter) NoteFrontier(n int) {
+	if n > m.stats.PeakFrontier {
+		m.stats.PeakFrontier = n
+	}
+}
+
+// BudgetError reports that an exploration was aborted because its budget
+// was exhausted (or the instance was statically recognised as out of
+// reach). It carries the partial statistics so the aborted run is still
+// diagnosable.
+type BudgetError struct {
+	Reason string
+	Stats  RunStats
+}
+
+// Error renders the exhaustion reason.
+func (e *BudgetError) Error() string { return "budget exhausted: " + e.Reason }
+
+// EngineError is a contained internal failure: a panic recovered inside the
+// exploration core, converted into a diagnosable error carrying the
+// offending state fingerprint and formula instead of crashing the process.
+type EngineError struct {
+	// Op names the engine entry point that failed.
+	Op string
+	// Fingerprint is the key of the state being processed, if known.
+	Fingerprint string
+	// Formula renders the property being evaluated, if known.
+	Formula string
+	// PanicVal is the recovered panic value.
+	PanicVal string
+	// Stack is the goroutine stack at the point of the panic.
+	Stack string
+}
+
+// Error renders the failure without the stack (use Stack for post-mortems).
+func (e *EngineError) Error() string {
+	msg := fmt.Sprintf("internal engine error in %s: %s", e.Op, e.PanicVal)
+	if e.Fingerprint != "" {
+		msg += fmt.Sprintf(" (state %s)", e.Fingerprint)
+	}
+	if e.Formula != "" {
+		msg += fmt.Sprintf(" (formula %s)", e.Formula)
+	}
+	return msg
+}
+
+// Capture converts a panic in the enclosing function into an *EngineError
+// assigned to *err. Use as
+//
+//	defer engine.Capture(&err, "ts.Build", func() (string, string) { return cur.Key(), "" })
+//
+// where the diag callback reports the state fingerprint and formula under
+// examination when the panic fired (either may be empty; diag may be nil).
+func Capture(err *error, op string, diag func() (fingerprint, formula string)) {
+	r := recover()
+	if r == nil {
+		return
+	}
+	fp, f := "", ""
+	if diag != nil {
+		fp, f = diag()
+	}
+	*err = &EngineError{
+		Op:          op,
+		Fingerprint: fp,
+		Formula:     f,
+		PanicVal:    fmt.Sprint(r),
+		Stack:       string(debug.Stack()),
+	}
+}
+
+// AsUnknown classifies an error: budget exhaustion and contained engine
+// panics yield an Unknown verdict (with the reason and any partial
+// statistics); other errors are the caller's problem.
+func AsUnknown(err error) (reason string, stats RunStats, ok bool) {
+	var be *BudgetError
+	if errors.As(err, &be) {
+		return be.Reason, be.Stats, true
+	}
+	var ee *EngineError
+	if errors.As(err, &ee) {
+		return ee.Error(), RunStats{}, true
+	}
+	return "", RunStats{}, false
+}
+
+// BudgetFlags registers the standard budget flags on a FlagSet and returns
+// the bound values; call Meter after parsing.
+type BudgetFlags struct {
+	TimeoutMS      int
+	MaxStates      int
+	MaxTransitions int
+}
+
+// AddBudgetFlags registers -budget-ms, -max-states, and -max-transitions.
+func AddBudgetFlags(fs *flag.FlagSet) *BudgetFlags {
+	b := &BudgetFlags{}
+	fs.IntVar(&b.TimeoutMS, "budget-ms", 0, "wall-clock budget in milliseconds (0 = unlimited)")
+	fs.IntVar(&b.MaxStates, "max-states", 0, "maximum states to explore across all graphs (0 = unlimited)")
+	fs.IntVar(&b.MaxTransitions, "max-transitions", 0, "maximum transitions to explore (0 = unlimited)")
+	return b
+}
+
+// Budget converts the parsed flags into a Budget.
+func (b *BudgetFlags) Budget() Budget {
+	return Budget{
+		Timeout:        time.Duration(b.TimeoutMS) * time.Millisecond,
+		MaxStates:      b.MaxStates,
+		MaxTransitions: b.MaxTransitions,
+	}
+}
+
+// Meter converts the parsed flags into a running meter.
+func (b *BudgetFlags) Meter() *Meter { return b.Budget().Meter() }

@@ -1,0 +1,181 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestVerdictExitCodes(t *testing.T) {
+	cases := []struct {
+		v    Verdict
+		code int
+		str  string
+	}{
+		{Holds, 0, "HOLDS"},
+		{Violated, 1, "VIOLATED"},
+		{Unknown, 2, "UNKNOWN"},
+	}
+	for _, c := range cases {
+		if got := c.v.ExitCode(); got != c.code {
+			t.Errorf("%s.ExitCode() = %d, want %d", c.v, got, c.code)
+		}
+		if got := c.v.String(); got != c.str {
+			t.Errorf("String() = %q, want %q", got, c.str)
+		}
+	}
+}
+
+func TestMeterStateBudget(t *testing.T) {
+	m := Budget{MaxStates: 3}.Meter()
+	for i := 0; i < 3; i++ {
+		if err := m.AddState(); err != nil {
+			t.Fatalf("AddState %d: %v", i, err)
+		}
+	}
+	err := m.AddState()
+	if err == nil {
+		t.Fatal("expected state budget exhaustion")
+	}
+	var be *BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("expected *BudgetError, got %T", err)
+	}
+	if !strings.Contains(be.Reason, "state budget 3") {
+		t.Errorf("reason = %q", be.Reason)
+	}
+	if be.Stats.States != 4 {
+		t.Errorf("partial stats states = %d, want 4", be.Stats.States)
+	}
+	// Latched: everything fails fast now.
+	if err := m.Tick(); err == nil {
+		t.Error("Tick after exhaustion should fail")
+	}
+	if !m.Exhausted() {
+		t.Error("Exhausted() should be true")
+	}
+}
+
+func TestMeterTransitionBudget(t *testing.T) {
+	m := Budget{MaxTransitions: 10}.Meter()
+	if err := m.AddTransitions(10); err != nil {
+		t.Fatalf("AddTransitions: %v", err)
+	}
+	if err := m.AddTransitions(1); err == nil {
+		t.Fatal("expected transition budget exhaustion")
+	}
+}
+
+func TestMeterDeadline(t *testing.T) {
+	m := Budget{Timeout: time.Nanosecond}.Meter()
+	time.Sleep(time.Millisecond)
+	var err error
+	for i := 0; i <= timeCheckMask+1 && err == nil; i++ {
+		err = m.Tick()
+	}
+	if err == nil {
+		t.Fatal("expected deadline exhaustion")
+	}
+	if !strings.Contains(err.Error(), "wall-clock") {
+		t.Errorf("error = %v", err)
+	}
+}
+
+func TestMeterCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	m := Budget{Ctx: ctx}.Meter()
+	var err error
+	for i := 0; i <= timeCheckMask+1 && err == nil; i++ {
+		err = m.Tick()
+	}
+	if err == nil {
+		t.Fatal("expected cancellation")
+	}
+	if !strings.Contains(err.Error(), "cancelled") {
+		t.Errorf("error = %v", err)
+	}
+}
+
+func TestNoLimitNeverAborts(t *testing.T) {
+	m := NoLimit()
+	for i := 0; i < 1000; i++ {
+		if err := m.AddState(); err != nil {
+			t.Fatalf("AddState: %v", err)
+		}
+		if err := m.AddTransitions(5); err != nil {
+			t.Fatalf("AddTransitions: %v", err)
+		}
+	}
+	m.NoteSCC()
+	m.NoteFrontier(7)
+	m.NoteFrontier(3)
+	s := m.Stats()
+	if s.States != 1000 || s.Transitions != 5000 || s.SCCs != 1 || s.PeakFrontier != 7 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.Elapsed <= 0 {
+		t.Error("elapsed should be positive")
+	}
+}
+
+func TestCaptureConvertsPanic(t *testing.T) {
+	boom := func() (err error) {
+		defer Capture(&err, "test.Op", func() (string, string) { return "x=1", "[]P" })
+		panic("invariant broken")
+	}
+	err := boom()
+	if err == nil {
+		t.Fatal("expected contained panic")
+	}
+	var ee *EngineError
+	if !errors.As(err, &ee) {
+		t.Fatalf("expected *EngineError, got %T: %v", err, err)
+	}
+	if ee.Op != "test.Op" || ee.Fingerprint != "x=1" || ee.Formula != "[]P" {
+		t.Errorf("diag fields = %+v", ee)
+	}
+	if !strings.Contains(ee.Error(), "invariant broken") {
+		t.Errorf("error = %v", ee)
+	}
+	if ee.Stack == "" {
+		t.Error("stack should be captured")
+	}
+}
+
+func TestCaptureNoPanicLeavesErrAlone(t *testing.T) {
+	fine := func() (err error) {
+		defer Capture(&err, "test.Op", nil)
+		return nil
+	}
+	if err := fine(); err != nil {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestAsUnknown(t *testing.T) {
+	if r, st, ok := AsUnknown(&BudgetError{Reason: "out of gas", Stats: RunStats{States: 7}}); !ok || r != "out of gas" || st.States != 7 {
+		t.Errorf("budget: %v %v %v", r, st, ok)
+	}
+	if r, _, ok := AsUnknown(&EngineError{Op: "x", PanicVal: "boom"}); !ok || !strings.Contains(r, "boom") {
+		t.Errorf("engine: %v %v", r, ok)
+	}
+	if _, _, ok := AsUnknown(errors.New("plain")); ok {
+		t.Error("plain error should not classify as Unknown")
+	}
+	if _, _, ok := AsUnknown(nil); ok {
+		t.Error("nil should not classify as Unknown")
+	}
+}
+
+func TestRunStatsString(t *testing.T) {
+	s := RunStats{States: 1, Transitions: 2, SCCs: 3, PeakFrontier: 4, Elapsed: 5 * time.Millisecond}
+	str := s.String()
+	for _, want := range []string{"1 states", "2 transitions", "3 SCCs", "peak frontier 4", "5ms"} {
+		if !strings.Contains(str, want) {
+			t.Errorf("stats string %q missing %q", str, want)
+		}
+	}
+}

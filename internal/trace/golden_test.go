@@ -1,0 +1,76 @@
+package trace_test
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"opentla/internal/handshake"
+	"opentla/internal/state"
+	"opentla/internal/trace"
+	"opentla/internal/value"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+// golden compares got against testdata/<name>.golden, rewriting the file
+// under -update.
+func golden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("output differs from %s:\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+// TestGoldenFig2Table pins the rendering of the paper's Figure 2: the
+// two-phase handshake protocol sending 37, 4, 19 on channel c, as a
+// row-per-variable table plus the per-step change narration.
+func TestGoldenFig2Table(t *testing.T) {
+	c := handshake.Chan("c")
+	b, err := c.Trace(value.Int(0), []value.Value{value.Int(37), value.Int(4), value.Int(19)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	sb.WriteString(trace.Table(b, []string{c.Ack(), c.Sig(), c.Val()}))
+	sb.WriteString("\nsteps: " + strings.Join(trace.Diff(b), " ; ") + "\n")
+	golden(t, "fig2_table", sb.String())
+}
+
+// TestGoldenLassoTable pins the lasso rendering: prefix columns, the cycle
+// marker bar, and the repeat footer.
+func TestGoldenLassoTable(t *testing.T) {
+	l := &state.Lasso{
+		Prefix: []*state.State{
+			state.FromPairs("x", value.Int(0), "busy", value.False),
+			state.FromPairs("x", value.Int(1), "busy", value.False),
+		},
+		Cycle: []*state.State{
+			state.FromPairs("x", value.Int(2), "busy", value.True),
+			state.FromPairs("x", value.Int(3), "busy", value.True),
+		},
+	}
+	golden(t, "lasso_table", trace.LassoTable(l, []string{"x", "busy"}))
+}
+
+// TestGoldenDiff pins the change narration, including stutters and
+// unbinding.
+func TestGoldenDiff(t *testing.T) {
+	a := state.FromPairs("x", value.Int(0), "y", value.Int(5))
+	b := a.With("x", value.Int(1))
+	c := b.With("y", value.Int(6)).With("x", value.Int(2))
+	got := strings.Join(trace.Diff(state.Behavior{a, b, b, c}), "\n") + "\n"
+	golden(t, "diff", got)
+}

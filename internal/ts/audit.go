@@ -1,0 +1,99 @@
+package ts
+
+import (
+	"fmt"
+
+	"opentla/internal/engine"
+	"opentla/internal/form"
+	"opentla/internal/spec"
+	"opentla/internal/state"
+)
+
+// ExecDivergence reports a reachable state where an action's executable
+// successor generator (Exec) disagrees with its declarative definition
+// (Def): the Def permits an owned-variable update that the generator never
+// produces. This is the dangerous direction of generator bugs — invalid
+// generator output is already filtered against the Def during Build, but
+// *missing* output silently truncates the state graph, making every check
+// over it vacuously optimistic.
+type ExecDivergence struct {
+	System      string
+	Component   string
+	Action      string
+	Fingerprint string // key of the offending state
+	Missing     string // key of the successor the Def permits but Exec omits
+}
+
+// Error renders the divergence.
+func (e *ExecDivergence) Error() string {
+	return fmt.Sprintf("exec generator diverges from definition: system %s, component %s, action %s: in state %s the definition permits successor %s but the generator never produces it",
+		e.System, e.Component, e.Action, e.Fingerprint, e.Missing)
+}
+
+// AuditExecs cross-checks every action's Exec generator against a
+// brute-force enumeration of its Def over the declared domains, on every
+// state of the graph, and returns the first *ExecDivergence found (nil if
+// the generators are complete). The audit draws from the graph's resource
+// meter; exhaustion aborts with an *engine.BudgetError.
+func (g *Graph) AuditExecs() (err error) {
+	m := g.Meter()
+	sys := g.Sys
+	var cur *state.State
+	var curAction string
+	defer engine.Capture(&err, "ts.AuditExecs("+sys.Name+")", func() (string, string) {
+		if cur != nil {
+			return cur.Key(), curAction
+		}
+		return "", curAction
+	})
+	for _, c := range sys.Components {
+		owned := c.Owned()
+		n, err := updateSpaceSize(owned, sys.Domains)
+		if err != nil {
+			return fmt.Errorf("audit component %s: %w", c.Name, err)
+		}
+		if n > 1_000_000 {
+			return &engine.BudgetError{
+				Reason: fmt.Sprintf("audit component %s: %d brute-force updates per state is out of reach", c.Name, n),
+				Stats:  m.Stats(),
+			}
+		}
+		for _, a := range c.Actions {
+			if a.Exec == nil {
+				continue // Build already uses the brute-force generator
+			}
+			curAction = c.Name + "." + a.Name
+			brute := spec.BruteExec(owned, sys.Domains, a.Def)
+			for _, s := range g.States {
+				if err := m.Tick(); err != nil {
+					return err
+				}
+				cur = s
+				// Successor keys the generator produces (Def-filtered, as
+				// during Build).
+				got := make(map[string]bool)
+				for _, up := range a.Exec(s) {
+					t := s.WithAll(up)
+					ok, err := form.EvalBool(a.Def, state.Step{From: s, To: t}, nil)
+					if err == nil && ok {
+						got[t.Key()] = true
+					}
+				}
+				// Successor keys the definition permits.
+				for _, up := range brute(s) {
+					t := s.WithAll(up)
+					if !got[t.Key()] {
+						return &ExecDivergence{
+							System:      sys.Name,
+							Component:   c.Name,
+							Action:      a.Name,
+							Fingerprint: s.Key(),
+							Missing:     t.Key(),
+						}
+					}
+				}
+			}
+		}
+	}
+	return nil
+}

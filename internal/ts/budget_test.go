@@ -1,0 +1,207 @@
+package ts
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"opentla/internal/engine"
+	"opentla/internal/spec"
+	"opentla/internal/state"
+	"opentla/internal/value"
+)
+
+func TestBuildWithStateBudget(t *testing.T) {
+	m := engine.Budget{MaxStates: 5}.Meter()
+	_, err := counterSystem(50).BuildWith(m)
+	if err == nil {
+		t.Fatal("expected budget exhaustion")
+	}
+	var be *engine.BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("expected *engine.BudgetError, got %T: %v", err, err)
+	}
+	if !strings.Contains(be.Reason, "state budget 5") {
+		t.Errorf("reason = %q", be.Reason)
+	}
+	if be.Stats.States == 0 {
+		t.Error("partial stats should record explored states")
+	}
+}
+
+func TestBuildWithTransitionBudget(t *testing.T) {
+	m := engine.Budget{MaxTransitions: 3}.Meter()
+	_, err := counterSystem(50).BuildWith(m)
+	var be *engine.BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("expected *engine.BudgetError, got %T: %v", err, err)
+	}
+	if !strings.Contains(be.Reason, "transition budget") {
+		t.Errorf("reason = %q", be.Reason)
+	}
+}
+
+func TestBuildWithRecordsStats(t *testing.T) {
+	m := engine.NoLimit()
+	g, err := counterSystem(3).BuildWith(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := m.Stats()
+	if s.States != g.NumStates() {
+		t.Errorf("meter states = %d, graph states = %d", s.States, g.NumStates())
+	}
+	if s.Transitions != g.NumEdges() {
+		t.Errorf("meter transitions = %d, graph edges = %d", s.Transitions, g.NumEdges())
+	}
+	if g.Meter() != m {
+		t.Error("graph should carry the build meter")
+	}
+}
+
+func TestLegacyMaxStatesBecomesBudgetError(t *testing.T) {
+	sys := counterSystem(50)
+	sys.MaxStates = 4
+	_, err := sys.Build()
+	var be *engine.BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("expected *engine.BudgetError, got %T: %v", err, err)
+	}
+	if !strings.Contains(be.Reason, "MaxStates limit 4") {
+		t.Errorf("reason = %q", be.Reason)
+	}
+}
+
+func TestOversizedInitialSpaceIsBudgetError(t *testing.T) {
+	// 12 variables with 5-value domains: 5^12 ≈ 244M assignments.
+	comp := &spec.Component{Name: "wide", Outputs: []string{"a"}}
+	sys := &System{Name: "wide", Components: []*spec.Component{comp}, Domains: map[string][]value.Value{}}
+	vars := []string{"a", "b", "c", "d", "e", "f", "g", "h", "i", "j", "k", "l"}
+	comp.Outputs = vars
+	for _, v := range vars {
+		sys.Domains[v] = value.Ints(0, 4)
+	}
+	_, err := sys.Build()
+	var be *engine.BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("expected *engine.BudgetError, got %T: %v", err, err)
+	}
+	if !strings.Contains(be.Reason, "initial-state space") {
+		t.Errorf("reason = %q", be.Reason)
+	}
+}
+
+func TestBuildContainsPanicsWithFingerprint(t *testing.T) {
+	c := counterComponent(3)
+	c.Actions[0].Exec = func(s *state.State) []map[string]value.Value {
+		x, _ := s.MustGet("x").AsInt()
+		if x == 2 {
+			panic("generator invariant broken")
+		}
+		if x >= 3 {
+			return nil
+		}
+		return []map[string]value.Value{{"x": value.Int(x + 1)}}
+	}
+	sys := &System{
+		Name:       "panicky",
+		Components: []*spec.Component{c},
+		Domains:    map[string][]value.Value{"x": value.Ints(0, 3)},
+	}
+	_, err := sys.Build()
+	if err == nil {
+		t.Fatal("expected contained panic")
+	}
+	var ee *engine.EngineError
+	if !errors.As(err, &ee) {
+		t.Fatalf("expected *engine.EngineError, got %T: %v", err, err)
+	}
+	if !strings.Contains(ee.PanicVal, "generator invariant broken") {
+		t.Errorf("panic val = %q", ee.PanicVal)
+	}
+	if !strings.Contains(ee.Fingerprint, "x=2") {
+		t.Errorf("fingerprint = %q, want the offending state x=2", ee.Fingerprint)
+	}
+}
+
+func TestProductInheritsMeterAndBudget(t *testing.T) {
+	m := engine.Budget{MaxStates: 6}.Meter()
+	g, err := counterSystem(2).BuildWith(m) // 3 states
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A monitor that doubles the state count exceeds the shared budget.
+	mon := &Monitor{
+		Var:    "$m",
+		Domain: value.Bools(),
+		Init: func(s *state.State) ([]value.Value, error) {
+			return []value.Value{value.True, value.False}, nil
+		},
+		Step: func(st state.Step, cur value.Value) ([]value.Value, error) {
+			return []value.Value{value.True, value.False}, nil
+		},
+	}
+	_, err = Product(g, []*Monitor{mon})
+	var be *engine.BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("expected *engine.BudgetError from product, got %T: %v", err, err)
+	}
+}
+
+func TestAuditExecsCatchesIncompleteGenerator(t *testing.T) {
+	c := counterComponent(3)
+	// Generator drops the successor from x=1: states x>=2 vanish silently.
+	c.Actions[0].Exec = func(s *state.State) []map[string]value.Value {
+		x, _ := s.MustGet("x").AsInt()
+		if x != 0 {
+			return nil
+		}
+		return []map[string]value.Value{{"x": value.Int(1)}}
+	}
+	sys := &System{
+		Name:       "truncated",
+		Components: []*spec.Component{c},
+		Domains:    map[string][]value.Value{"x": value.Ints(0, 3)},
+	}
+	g, err := sys.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumStates() != 2 {
+		t.Fatalf("truncated graph should have 2 states, got %d", g.NumStates())
+	}
+	err = g.AuditExecs()
+	if err == nil {
+		t.Fatal("audit should detect the missing successor")
+	}
+	var div *ExecDivergence
+	if !errors.As(err, &div) {
+		t.Fatalf("expected *ExecDivergence, got %T: %v", err, err)
+	}
+	if div.Action != "Inc" || !strings.Contains(div.Fingerprint, "x=1") {
+		t.Errorf("divergence = %+v", div)
+	}
+}
+
+func TestAuditExecsPassesCompleteGenerator(t *testing.T) {
+	c := counterComponent(3)
+	c.Actions[0].Exec = func(s *state.State) []map[string]value.Value {
+		x, _ := s.MustGet("x").AsInt()
+		if x >= 3 {
+			return nil
+		}
+		return []map[string]value.Value{{"x": value.Int(x + 1)}}
+	}
+	sys := &System{
+		Name:       "complete",
+		Components: []*spec.Component{c},
+		Domains:    map[string][]value.Value{"x": value.Ints(0, 3)},
+	}
+	g, err := sys.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AuditExecs(); err != nil {
+		t.Fatalf("complete generator should pass the audit: %v", err)
+	}
+}

@@ -3,6 +3,7 @@ package ts
 import (
 	"fmt"
 
+	"opentla/internal/engine"
 	"opentla/internal/form"
 	"opentla/internal/state"
 )
@@ -18,11 +19,41 @@ type Graph struct {
 	Succ   [][]int
 
 	index map[string]int
+	meter *engine.Meter
+}
+
+// Meter returns the resource meter governing this graph and every check run
+// over it. Graphs built without an explicit budget get an unlimited meter.
+func (g *Graph) Meter() *engine.Meter {
+	if g.meter == nil {
+		g.meter = engine.NoLimit()
+	}
+	return g.meter
 }
 
 // Build explores the reachable states of the system breadth-first and
-// returns the state graph.
+// returns the state graph, without a resource budget.
 func (sys *System) Build() (*Graph, error) {
+	return sys.BuildWith(engine.NoLimit())
+}
+
+// BuildWith explores the reachable states of the system breadth-first under
+// the given resource meter. Exploration aborts with an *engine.BudgetError
+// (carrying partial statistics) when the budget is exhausted, and internal
+// panics are contained as *engine.EngineError with the fingerprint of the
+// state being expanded. The meter stays attached to the returned graph, so
+// subsequent checks and monitor products draw from the same budget.
+func (sys *System) BuildWith(m *engine.Meter) (g *Graph, err error) {
+	if m == nil {
+		m = engine.NoLimit()
+	}
+	var cur *state.State
+	defer engine.Capture(&err, "ts.Build("+sys.Name+")", func() (string, string) {
+		if cur != nil {
+			return cur.Key(), ""
+		}
+		return "", ""
+	})
 	if err := sys.Validate(); err != nil {
 		return nil, err
 	}
@@ -31,9 +62,9 @@ func (sys *System) Build() (*Graph, error) {
 		return nil, err
 	}
 	free := sys.FreeVars()
-	g := &Graph{Sys: sys, Ctx: sys.Ctx(), index: make(map[string]int)}
+	g = &Graph{Sys: sys, Ctx: sys.Ctx(), index: make(map[string]int), meter: m}
 
-	inits, err := sys.InitialStates()
+	inits, err := sys.initialStates(m)
 	if err != nil {
 		return nil, err
 	}
@@ -51,6 +82,7 @@ func (sys *System) Build() (*Graph, error) {
 		g.Succ = append(g.Succ, nil)
 		g.index[k] = id
 		queue = append(queue, id)
+		m.AddState() // exhaustion is latched; the BFS loop aborts below
 		return id
 	}
 	for _, s := range inits {
@@ -58,9 +90,13 @@ func (sys *System) Build() (*Graph, error) {
 	}
 	limit := sys.maxStates()
 	for len(queue) > 0 {
+		if err := m.Tick(); err != nil {
+			return nil, err
+		}
 		id := queue[0]
 		queue = queue[1:]
-		succs, err := sys.successors(compiled, free, g.States[id])
+		cur = g.States[id]
+		succs, err := sys.successors(compiled, free, cur)
 		if err != nil {
 			return nil, err
 		}
@@ -68,8 +104,18 @@ func (sys *System) Build() (*Graph, error) {
 			tid := add(t)
 			g.Succ[id] = append(g.Succ[id], tid)
 		}
+		if err := m.AddTransitions(len(succs)); err != nil {
+			return nil, err
+		}
+		m.NoteFrontier(len(queue))
+		if err := m.Err(); err != nil {
+			return nil, err
+		}
 		if len(g.States) > limit {
-			return nil, fmt.Errorf("system %s: state space exceeds limit %d", sys.Name, limit)
+			return nil, &engine.BudgetError{
+				Reason: fmt.Sprintf("system %s: state space exceeds MaxStates limit %d", sys.Name, limit),
+				Stats:  m.Stats(),
+			}
 		}
 	}
 	return g, nil
@@ -182,11 +228,17 @@ func (g *Graph) SCCs(allowedState func(int) bool, allowedEdge func(from, to int)
 	var sccs [][]int
 	counter := 0
 
+	m := g.Meter()
 	type frame struct {
 		v    int
 		succ int
 	}
 	for root := 0; root < n; root++ {
+		// Cooperative cancellation: budget exhaustion latches in the meter,
+		// so callers observe it via Meter().Err() after the (partial) result.
+		if m.Tick() != nil {
+			break
+		}
 		if indexOf[root] != unvisited || (allowedState != nil && !allowedState(root)) {
 			continue
 		}
@@ -240,6 +292,7 @@ func (g *Graph) SCCs(allowedState func(int) bool, allowedEdge func(from, to int)
 					}
 				}
 				sccs = append(sccs, comp)
+				m.NoteSCC()
 			}
 			call = call[:len(call)-1]
 			if len(call) > 0 {

@@ -3,6 +3,7 @@ package ts
 import (
 	"fmt"
 
+	"opentla/internal/engine"
 	"opentla/internal/form"
 	"opentla/internal/state"
 	"opentla/internal/value"
@@ -31,7 +32,21 @@ type Monitor struct {
 // product graph. Product states extend base states with the monitor
 // variables; edges exist where the base edge exists and every monitor
 // permits it. The product context's domains include the monitor variables.
-func Product(g *Graph, mons []*Monitor) (*Graph, error) {
+//
+// The product inherits the base graph's resource meter: product states and
+// edges draw from the same budget as the base exploration, and exhaustion
+// aborts with an *engine.BudgetError. Panics inside monitor callbacks are
+// contained as *engine.EngineError with the current product state's
+// fingerprint.
+func Product(g *Graph, mons []*Monitor) (p *Graph, err error) {
+	meter := g.Meter()
+	var curState *state.State
+	defer engine.Capture(&err, "ts.Product", func() (string, string) {
+		if curState != nil {
+			return curState.Key(), ""
+		}
+		return "", ""
+	})
 	domains := make(map[string][]value.Value, len(g.Ctx.Domains)+len(mons))
 	for k, v := range g.Ctx.Domains {
 		domains[k] = v
@@ -42,10 +57,11 @@ func Product(g *Graph, mons []*Monitor) (*Graph, error) {
 		}
 		domains[m.Var] = m.Domain
 	}
-	p := &Graph{
+	p = &Graph{
 		Sys:   g.Sys,
 		Ctx:   form.NewCtx(domains),
 		index: make(map[string]int),
+		meter: meter,
 	}
 	// Product node bookkeeping: base ID + monitor values are recoverable
 	// from the state itself (monitor vars are part of the state), so the
@@ -64,6 +80,7 @@ func Product(g *Graph, mons []*Monitor) (*Graph, error) {
 		baseOf = append(baseOf, baseID)
 		p.index[k] = id
 		queue = append(queue, id)
+		meter.AddState() // exhaustion latches; the BFS loop aborts below
 		return id
 	}
 
@@ -82,10 +99,15 @@ func Product(g *Graph, mons []*Monitor) (*Graph, error) {
 
 	limit := g.Sys.maxStates()
 	for len(queue) > 0 {
+		if err := meter.Tick(); err != nil {
+			return nil, err
+		}
 		pid := queue[0]
 		queue = queue[1:]
 		bid := baseOf[pid]
 		cur := p.States[pid]
+		curState = cur
+		edges := 0
 		for _, tbid := range g.Succ[bid] {
 			baseStep := state.Step{From: g.States[bid], To: g.States[tbid]}
 			combos, err := monitorStepCombos(mons, baseStep, cur)
@@ -96,10 +118,21 @@ func Product(g *Graph, mons []*Monitor) (*Graph, error) {
 				t := g.States[tbid].WithAll(combo)
 				tid := add(tbid, t)
 				p.Succ[pid] = append(p.Succ[pid], tid)
+				edges++
 			}
 		}
+		if err := meter.AddTransitions(edges); err != nil {
+			return nil, err
+		}
+		meter.NoteFrontier(len(queue))
+		if err := meter.Err(); err != nil {
+			return nil, err
+		}
 		if len(p.States) > limit {
-			return nil, fmt.Errorf("monitor product: state space exceeds limit %d", limit)
+			return nil, &engine.BudgetError{
+				Reason: fmt.Sprintf("monitor product: state space exceeds MaxStates limit %d", limit),
+				Stats:  meter.Stats(),
+			}
 		}
 	}
 	return p, nil

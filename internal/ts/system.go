@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sort"
 
+	"opentla/internal/engine"
 	"opentla/internal/form"
 	"opentla/internal/spec"
 	"opentla/internal/state"
@@ -176,13 +177,23 @@ func updateSpaceSize(vars []string, domains map[string][]value.Value) (int, erro
 // InitialStates enumerates the states over the full variable set whose
 // assignments satisfy every component's Init and every initial constraint.
 func (sys *System) InitialStates() ([]*state.State, error) {
+	return sys.initialStates(engine.NoLimit())
+}
+
+// initialStates is InitialStates under a resource meter: the enumeration is
+// a cooperative cancellation point, and a statically oversized instance
+// fails informatively with an *engine.BudgetError instead of grinding.
+func (sys *System) initialStates(m *engine.Meter) ([]*state.State, error) {
 	vars := sys.Vars()
 	total, err := updateSpaceSize(vars, sys.Domains)
 	if err != nil {
 		return nil, err
 	}
 	if total > 10_000_000 {
-		return nil, fmt.Errorf("system %s: initial-state space %d too large", sys.Name, total)
+		return nil, &engine.BudgetError{
+			Reason: fmt.Sprintf("system %s: initial-state space %d exceeds the enumeration limit; shrink the instance or its domains", sys.Name, total),
+			Stats:  m.Stats(),
+		}
 	}
 	var preds []form.Expr
 	for _, c := range sys.Components {
@@ -194,6 +205,10 @@ func (sys *System) InitialStates() ([]*state.State, error) {
 	var out []*state.State
 	var evalErr error
 	value.ForEachAssignment(vars, sys.Domains, func(a map[string]value.Value) bool {
+		if err := m.Tick(); err != nil {
+			evalErr = err
+			return false
+		}
 		s := state.New(a)
 		for _, p := range preds {
 			ok, err := form.EvalStateBool(p, s)
