@@ -301,3 +301,47 @@ func BenchmarkGraphBuild(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkBuild_Parallel measures parallel frontier exploration of the
+// closed double-queue system (Fig. 8) at several worker counts. The graph
+// is identical at every setting; only wall time differs.
+func BenchmarkBuild_Parallel(b *testing.B) {
+	cfg := queue.Config{N: 1, Vals: 3}
+	for _, workers := range []int{1, 2, 4, 0} {
+		workers := workers
+		name := fmt.Sprintf("CDQ/N=%d,K=%d/workers=%d", cfg.N, cfg.Vals, workers)
+		if workers == 0 {
+			name = fmt.Sprintf("CDQ/N=%d,K=%d/workers=GOMAXPROCS", cfg.N, cfg.Vals)
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sys := cfg.DoubleSystem(true)
+				sys.Workers = workers
+				g, err := sys.Build()
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(g.NumStates()), "states")
+			}
+		})
+	}
+}
+
+// BenchmarkFig9_Parallel measures the full Fig. 9 Composition Theorem check
+// with parallel exploration of every constructed state graph.
+func BenchmarkFig9_Parallel(b *testing.B) {
+	cfg := queue.Config{N: 1, Vals: 2}
+	for _, workers := range []int{1, 4} {
+		workers := workers
+		b.Run(fmt.Sprintf("N=%d,K=%d/workers=%d", cfg.N, cfg.Vals, workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				th := cfg.Fig9Theorem()
+				th.Workers = workers
+				report, err := th.Check()
+				if err != nil || !report.Valid {
+					b.Fatalf("valid=%v err=%v", report != nil && report.Valid, err)
+				}
+			}
+		})
+	}
+}

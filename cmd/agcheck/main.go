@@ -43,6 +43,7 @@ func run(args []string) int {
 	fs.IntVar(&k, "k", 2, "value-domain size K (>= 2)")
 	fs.IntVar(&k, "K", 2, "alias for -k")
 	bf := engine.AddBudgetFlags(fs)
+	workers := engine.AddWorkersFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -60,18 +61,27 @@ func run(args []string) int {
 	var err error
 	switch *model {
 	case "circular":
-		report, err = circular.SafetyTheorem().CheckWith(m)
+		th := circular.SafetyTheorem()
+		th.Workers = *workers
+		report, err = th.CheckWith(m)
 	case "queues":
-		report, err = cfg.Fig9Theorem().CheckWith(m)
+		th := cfg.Fig9Theorem()
+		th.Workers = *workers
+		report, err = th.CheckWith(m)
 	case "queues-no-g":
 		th := cfg.Fig9Theorem()
 		th.Name += " WITHOUT G (expected to fail, §A.5 formula (3))"
 		th.Pairs = th.Pairs[1:]
+		th.Workers = *workers
 		report, err = th.CheckWith(m)
 	case "corollary":
-		report, err = cfg.CorollaryRefinement().CheckWith(m)
+		rf := cfg.CorollaryRefinement()
+		rf.Workers = *workers
+		report, err = rf.CheckWith(m)
 	case "arbiter":
-		report, err = arbiter.Theorem().CheckWith(m)
+		th := arbiter.Theorem()
+		th.Workers = *workers
+		report, err = th.CheckWith(m)
 	default:
 		fmt.Fprintf(os.Stderr, "agcheck: unknown model %q\n", *model)
 		return 2

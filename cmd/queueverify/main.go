@@ -40,6 +40,7 @@ func run(args []string) int {
 	fs.IntVar(&k, "K", 2, "alias for -k")
 	verbose := fs.Bool("v", false, "print graph sizes")
 	bf := engine.AddBudgetFlags(fs)
+	workers := engine.AddWorkersFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -53,7 +54,7 @@ func run(args []string) int {
 	}
 	cfg := queue.Config{N: n, Vals: k}
 	m := bf.Meter()
-	verdict, err := verify(cfg, m, *verbose)
+	verdict, err := verify(cfg, m, *verbose, *workers)
 	if err != nil {
 		if reason, _, ok := engine.AsUnknown(err); ok {
 			fmt.Printf("UNKNOWN: %s\n  partial progress: %s\n", reason, m.Stats())
@@ -69,13 +70,15 @@ func run(args []string) int {
 // verify runs every Appendix A obligation under the shared meter and
 // returns the overall verdict. Budget and engine errors propagate to the
 // caller, which classifies them as UNKNOWN.
-func verify(cfg queue.Config, m *engine.Meter, verbose bool) (engine.Verdict, error) {
+func verify(cfg queue.Config, m *engine.Meter, verbose bool, workers int) (engine.Verdict, error) {
 	fmt.Printf("== Appendix A with N=%d, K=%d: values 0..%d, double capacity %d ==\n\n",
 		cfg.N, cfg.Vals, cfg.Vals-1, 2*cfg.N+1)
 
 	// §A.2: the complete single queue CQ.
 	start := time.Now()
-	gq, err := cfg.SingleSystem().BuildWith(m)
+	singleSys := cfg.SingleSystem()
+	singleSys.Workers = workers
+	gq, err := singleSys.BuildWith(m)
 	if err != nil {
 		return engine.Unknown, fmt.Errorf("building CQ: %w", err)
 	}
@@ -84,7 +87,9 @@ func verify(cfg queue.Config, m *engine.Meter, verbose bool) (engine.Verdict, er
 
 	// §A.4: CDQ implements CQ^dbl.
 	start = time.Now()
-	gd, err := cfg.DoubleSystem(true).BuildWith(m)
+	doubleSys := cfg.DoubleSystem(true)
+	doubleSys.Workers = workers
+	gd, err := doubleSys.BuildWith(m)
 	if err != nil {
 		return engine.Unknown, fmt.Errorf("building CDQ: %w", err)
 	}
@@ -108,7 +113,9 @@ func verify(cfg queue.Config, m *engine.Meter, verbose bool) (engine.Verdict, er
 
 	// §A.5 / Fig. 9: the open-queue composition via the Composition Theorem.
 	start = time.Now()
-	report, err := cfg.Fig9Theorem().CheckWith(m)
+	fig9 := cfg.Fig9Theorem()
+	fig9.Workers = workers
+	report, err := fig9.CheckWith(m)
 	if err != nil {
 		return engine.Unknown, err
 	}
@@ -123,6 +130,7 @@ func verify(cfg queue.Config, m *engine.Meter, verbose bool) (engine.Verdict, er
 	noG := cfg.Fig9Theorem()
 	noG.Name = "formula (3): composition WITHOUT G"
 	noG.Pairs = noG.Pairs[1:]
+	noG.Workers = workers
 	reportNoG, err := noG.CheckWith(m)
 	if err != nil {
 		return engine.Unknown, err

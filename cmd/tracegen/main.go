@@ -17,6 +17,7 @@ import (
 	"strconv"
 	"strings"
 
+	"opentla/internal/engine"
 	"opentla/internal/handshake"
 	"opentla/internal/trace"
 	"opentla/internal/value"
@@ -30,6 +31,9 @@ func run(args []string) int {
 	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
 	valsFlag := fs.String("values", "37,4,19", "comma-separated values to send (at least one)")
 	chanName := fs.String("chan", "c", "channel name (no dots, commas, or spaces)")
+	// Accepted for CLI uniformity with agcheck and queueverify; trace
+	// generation builds no state graphs, so the setting has no effect here.
+	_ = engine.AddWorkersFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}

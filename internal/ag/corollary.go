@@ -37,6 +37,9 @@ type Refinement struct {
 	Domains map[string][]value.Value
 	// MaxStates bounds graph construction.
 	MaxStates int
+	// Workers is the goroutine count used to explore each state graph
+	// (0 = GOMAXPROCS); results are identical at any setting.
+	Workers int
 }
 
 func (rf *Refinement) plusSub() form.Expr {
@@ -100,6 +103,7 @@ func (rf *Refinement) checkBoth(r *Report, m *engine.Meter) error {
 		Components: []*spec.Component{rf.Low.SafetyOnly()},
 		Domains:    rf.Domains,
 		MaxStates:  rf.MaxStates,
+		Workers:    rf.Workers,
 	}
 	baseG, err := baseSys.BuildWith(m)
 	if err != nil {
@@ -129,6 +133,7 @@ func (rf *Refinement) checkBoth(r *Report, m *engine.Meter) error {
 		Components: []*spec.Component{rf.Low},
 		Domains:    rf.Domains,
 		MaxStates:  rf.MaxStates,
+		Workers:    rf.Workers,
 	}
 	if rf.Env != nil {
 		fullSys.Components = append([]*spec.Component{rf.Env}, fullSys.Components...)

@@ -76,6 +76,10 @@ type Theorem struct {
 	Domains map[string][]value.Value
 	// MaxStates bounds each constructed state graph.
 	MaxStates int
+	// Workers is the goroutine count used to explore each state graph
+	// (0 = GOMAXPROCS). The verdict and every counterexample are identical
+	// at any setting.
+	Workers int
 }
 
 // HypothesisResult reports one discharged (or failed) proof obligation.
@@ -246,6 +250,7 @@ func (th *Theorem) lhsSystem(name string, withEnv, safetyOnly bool) *ts.System {
 		Constraints: cons,
 		Domains:     th.Domains,
 		MaxStates:   th.MaxStates,
+		Workers:     th.Workers,
 	}
 }
 

@@ -132,19 +132,20 @@ func reachableFrom(g *ts.Graph, starts []int, sm StateMask, em EdgeMask) []bool 
 	for len(queue) > 0 {
 		u := queue[0]
 		queue = queue[1:]
-		for _, v := range g.Succ[u] {
+		g.ForEachSucc(u, func(v int) bool {
 			if seen[v] {
-				continue
+				return true
 			}
 			if sm != nil && !sm(v) {
-				continue
+				return true
 			}
 			if em != nil && !em(u, v) {
-				continue
+				return true
 			}
 			seen[v] = true
 			queue = append(queue, v)
-		}
+			return true
+		})
 	}
 	return seen
 }
@@ -191,15 +192,16 @@ func examineSCC(g *ts.Graph, comp []int, sm StateMask, em EdgeMask, conds []Cycl
 	type edge struct{ from, to int }
 	var edges []edge
 	for _, u := range comp {
-		for _, v := range g.Succ[u] {
+		g.ForEachSucc(u, func(v int) bool {
 			if !inComp[v] {
-				continue
+				return true
 			}
 			if em != nil && !em(u, v) {
-				continue
+				return true
 			}
 			edges = append(edges, edge{u, v})
-		}
+			return true
+		})
 	}
 	if len(edges) == 0 {
 		return nil // trivial SCC: no cycle at all
@@ -307,15 +309,16 @@ func buildCycle(g *ts.Graph, comp []int, inComp map[int]bool, em EdgeMask, requi
 		for len(queue) > 0 {
 			u := queue[0]
 			queue = queue[1:]
-			for _, v := range g.Succ[u] {
+			var found []int
+			g.ForEachSucc(u, func(v int) bool {
 				if !allowed(v) {
-					continue
+					return true
 				}
 				if em != nil && !em(u, v) {
-					continue
+					return true
 				}
 				if _, seen := prev[v]; seen {
-					continue
+					return true
 				}
 				prev[v] = u
 				if v == to {
@@ -326,9 +329,14 @@ func buildCycle(g *ts.Graph, comp []int, inComp map[int]bool, em EdgeMask, requi
 					for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
 						path[i], path[j] = path[j], path[i]
 					}
-					return path
+					found = path
+					return false
 				}
 				queue = append(queue, v)
+				return true
+			})
+			if found != nil {
+				return found
 			}
 		}
 		return nil // unreachable: SCC is strongly connected under the mask

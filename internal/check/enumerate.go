@@ -73,23 +73,18 @@ func GraphLassos(g *ts.Graph, maxPrefix, maxCycle int, f func(*state.Lasso) bool
 	// edges start→c1→…→cm→start and total length ≤ maxCycle.
 	var findCycles func(start, cur int, cyc, prefix []int) bool
 	findCycles = func(start, cur int, cyc, prefix []int) bool {
-		for _, nxt := range g.Succ[cur] {
+		return g.ForEachSucc(cur, func(nxt int) bool {
 			if nxt == start {
 				cycle := make([]int, 0, len(cyc)+1)
 				cycle = append(cycle, start)
 				cycle = append(cycle, cyc...)
-				if !f(&state.Lasso{Prefix: toStates(prefix), Cycle: toStates(cycle)}) {
-					return false
-				}
-				continue
+				return f(&state.Lasso{Prefix: toStates(prefix), Cycle: toStates(cycle)})
 			}
 			if len(cyc)+2 <= maxCycle {
-				if !findCycles(start, nxt, append(cyc, nxt), prefix) {
-					return false
-				}
+				return findCycles(start, nxt, append(cyc, nxt), prefix)
 			}
-		}
-		return true
+			return true
+		})
 	}
 	// walk extends the prefix path; the last path element is the cycle head.
 	var walk func(path []int) bool
@@ -99,14 +94,12 @@ func GraphLassos(g *ts.Graph, maxPrefix, maxCycle int, f func(*state.Lasso) bool
 			return false
 		}
 		if len(path)-1 < maxPrefix {
-			for _, nxt := range g.Succ[head] {
+			return g.ForEachSucc(head, func(nxt int) bool {
 				next := make([]int, 0, len(path)+1)
 				next = append(next, path...)
 				next = append(next, nxt)
-				if !walk(next) {
-					return false
-				}
-			}
+				return walk(next)
+			})
 		}
 		return true
 	}

@@ -19,7 +19,10 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"runtime"
 	"runtime/debug"
+	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -121,31 +124,57 @@ const timeCheckMask = 63
 // abort when one returns an error. Once exhausted, the error latches —
 // every subsequent call fails fast, so deeply nested searches unwind
 // promptly without extra plumbing.
+//
+// Concurrency contract: a Meter is safe for concurrent use. The parallel
+// frontier exploration of package ts shares one meter across its whole
+// worker pool, so all counters are atomic and the latched error is guarded;
+// budget overruns detected by racing workers latch exactly one error.
 type Meter struct {
 	budget   Budget
 	start    time.Time
 	deadline time.Time
-	stats    RunStats
-	ticks    int
-	err      error
+
+	states       atomic.Int64
+	transitions  atomic.Int64
+	sccs         atomic.Int64
+	peakFrontier atomic.Int64
+	ticks        atomic.Int64
+
+	failed atomic.Bool // fast path: true once err is latched
+	mu     sync.Mutex
+	err    error
 }
 
 // Err returns the latched exhaustion error, or nil.
-func (m *Meter) Err() error { return m.err }
+func (m *Meter) Err() error {
+	if !m.failed.Load() {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.err
+}
 
 // Exhausted reports whether the budget has been exhausted.
-func (m *Meter) Exhausted() bool { return m.err != nil }
+func (m *Meter) Exhausted() bool { return m.failed.Load() }
 
 // Stats returns a snapshot of the statistics with Elapsed filled in.
 func (m *Meter) Stats() RunStats {
-	s := m.stats
-	s.Elapsed = time.Since(m.start)
-	return s
+	return RunStats{
+		States:       int(m.states.Load()),
+		Transitions:  int(m.transitions.Load()),
+		SCCs:         int(m.sccs.Load()),
+		PeakFrontier: int(m.peakFrontier.Load()),
+		Elapsed:      time.Since(m.start),
+	}
 }
 
 func (m *Meter) fail(reason string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if m.err == nil {
 		m.err = &BudgetError{Reason: reason, Stats: m.Stats()}
+		m.failed.Store(true)
 	}
 	return m.err
 }
@@ -154,11 +183,10 @@ func (m *Meter) fail(reason string) error {
 // (state popped, assignment enumerated, SCC root visited). It polls the
 // wall clock and the context on an amortised schedule.
 func (m *Meter) Tick() error {
-	if m.err != nil {
-		return m.err
+	if m.failed.Load() {
+		return m.Err()
 	}
-	m.ticks++
-	if m.ticks&timeCheckMask != 0 {
+	if m.ticks.Add(1)&timeCheckMask != 0 {
 		return nil
 	}
 	if !m.deadline.IsZero() && time.Now().After(m.deadline) {
@@ -176,11 +204,11 @@ func (m *Meter) Tick() error {
 
 // AddState records one state added to a graph and checks the state budget.
 func (m *Meter) AddState() error {
-	if m.err != nil {
-		return m.err
+	if m.failed.Load() {
+		return m.Err()
 	}
-	m.stats.States++
-	if m.budget.MaxStates > 0 && m.stats.States > m.budget.MaxStates {
+	n := m.states.Add(1)
+	if m.budget.MaxStates > 0 && n > int64(m.budget.MaxStates) {
 		return m.fail(fmt.Sprintf("state budget %d exceeded", m.budget.MaxStates))
 	}
 	return m.Tick()
@@ -189,23 +217,28 @@ func (m *Meter) AddState() error {
 // AddTransitions records n explored transitions and checks the transition
 // budget.
 func (m *Meter) AddTransitions(n int) error {
-	if m.err != nil {
-		return m.err
+	if m.failed.Load() {
+		return m.Err()
 	}
-	m.stats.Transitions += n
-	if m.budget.MaxTransitions > 0 && m.stats.Transitions > m.budget.MaxTransitions {
+	total := m.transitions.Add(int64(n))
+	if m.budget.MaxTransitions > 0 && total > int64(m.budget.MaxTransitions) {
 		return m.fail(fmt.Sprintf("transition budget %d exceeded", m.budget.MaxTransitions))
 	}
 	return nil
 }
 
 // NoteSCC records one strongly connected component examined.
-func (m *Meter) NoteSCC() { m.stats.SCCs++ }
+func (m *Meter) NoteSCC() { m.sccs.Add(1) }
 
-// NoteFrontier records the current BFS frontier size.
+// NoteFrontier records the current BFS frontier size (for the level-
+// synchronous exploration, the width of a level).
 func (m *Meter) NoteFrontier(n int) {
-	if n > m.stats.PeakFrontier {
-		m.stats.PeakFrontier = n
+	v := int64(n)
+	for {
+		cur := m.peakFrontier.Load()
+		if v <= cur || m.peakFrontier.CompareAndSwap(cur, v) {
+			return
+		}
 	}
 }
 
@@ -317,3 +350,13 @@ func (b *BudgetFlags) Budget() Budget {
 
 // Meter converts the parsed flags into a running meter.
 func (b *BudgetFlags) Meter() *Meter { return b.Budget().Meter() }
+
+// AddWorkersFlag registers the -workers flag shared by the CLIs: the number
+// of goroutines used by parallel frontier exploration (0 = GOMAXPROCS).
+// Exploration results are deterministic regardless of the worker count.
+func AddWorkersFlag(fs *flag.FlagSet) *int {
+	w := fs.Int("workers", 0, fmt.Sprintf(
+		"worker goroutines for state-graph exploration (0 = GOMAXPROCS, currently %d); results are identical at any setting",
+		runtime.GOMAXPROCS(0)))
+	return w
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -177,5 +178,96 @@ func TestRunStatsString(t *testing.T) {
 		if !strings.Contains(str, want) {
 			t.Errorf("stats string %q missing %q", str, want)
 		}
+	}
+}
+
+// TestMeterConcurrent hammers one meter from several goroutines, checking
+// that counters stay exact and that a budget overrun latches exactly one
+// error visible to every goroutine. Run with -race.
+func TestMeterConcurrent(t *testing.T) {
+	m := NoLimit()
+	const (
+		goroutines = 8
+		perG       = 1000
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				if err := m.AddState(); err != nil {
+					t.Error(err)
+					return
+				}
+				if err := m.AddTransitions(2); err != nil {
+					t.Error(err)
+					return
+				}
+				m.NoteFrontier(i)
+				m.NoteSCC()
+			}
+		}()
+	}
+	wg.Wait()
+	st := m.Stats()
+	if st.States != goroutines*perG {
+		t.Errorf("states = %d, want %d", st.States, goroutines*perG)
+	}
+	if st.Transitions != 2*goroutines*perG {
+		t.Errorf("transitions = %d, want %d", st.Transitions, 2*goroutines*perG)
+	}
+	if st.SCCs != goroutines*perG {
+		t.Errorf("sccs = %d, want %d", st.SCCs, goroutines*perG)
+	}
+	if st.PeakFrontier != perG-1 {
+		t.Errorf("peak frontier = %d, want %d", st.PeakFrontier, perG-1)
+	}
+}
+
+// TestMeterConcurrentBudgetLatch checks that racing workers overrunning the
+// state budget all converge on the same latched error.
+func TestMeterConcurrentBudgetLatch(t *testing.T) {
+	m := Budget{MaxStates: 50}.Meter()
+	const goroutines = 8
+	errs := make([]error, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if err := m.AddState(); err != nil {
+					errs[g] = err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	var latched error
+	for g := 0; g < goroutines; g++ {
+		if errs[g] == nil {
+			continue
+		}
+		if latched == nil {
+			latched = errs[g]
+		}
+		var be *BudgetError
+		if !errors.As(errs[g], &be) {
+			t.Fatalf("goroutine %d: got %v, want *BudgetError", g, errs[g])
+		}
+		if !strings.Contains(be.Reason, "state budget 50 exceeded") {
+			t.Errorf("goroutine %d: reason %q", g, be.Reason)
+		}
+	}
+	if latched == nil {
+		t.Fatal("no goroutine observed the budget error")
+	}
+	if m.Err() != latched {
+		t.Error("Err() should return the single latched error")
+	}
+	if !m.Exhausted() {
+		t.Error("meter should report exhausted")
 	}
 }

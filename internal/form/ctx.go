@@ -169,6 +169,73 @@ func (c *Ctx) enabledConj(conjs []Expr, s *state.State) (bool, error) {
 	// Conjuncts still needing verification on each candidate: the rest,
 	// plus determined conjuncts only if their variables interact (already
 	// satisfied by construction otherwise).
+	//
+	// When every varied variable is already bound in s (the normal case:
+	// system states bind the full variable set), candidates are built with
+	// one positional slice copy each; otherwise fall back to map merging.
+	detUps := make([]state.PosUpdate, 0, len(determined))
+	positional := true
+	for k, v := range determined {
+		p, ok := s.PosOf(k)
+		if !ok {
+			positional = false
+			break
+		}
+		detUps = append(detUps, state.PosUpdate{Pos: p, Val: v})
+	}
+	freeUps := make([]state.PosUpdate, len(free))
+	freeDoms := make([][]value.Value, len(free))
+	if positional {
+		for i, v := range free {
+			p, ok := s.PosOf(v)
+			if !ok {
+				positional = false
+				break
+			}
+			freeUps[i] = state.PosUpdate{Pos: p}
+			freeDoms[i] = c.Domains[v]
+		}
+	}
+	if positional {
+		// Mixed-radix enumeration with the LAST variable varying fastest,
+		// matching value.ForEachAssignment's order. Candidates only need to
+		// live for one evaluation, so they share one scratch state.
+		freeIdx := make([]int, len(free))
+		scratch := state.New(nil)
+		for {
+			for i := range free {
+				freeUps[i].Val = freeDoms[i][freeIdx[i]]
+			}
+			s.OverwriteInto(scratch, detUps, freeUps)
+			st := state.Step{From: s, To: scratch}
+			sat := true
+			for _, cj := range rest {
+				ok, err := EvalBool(cj, st, nil)
+				if err != nil {
+					return false, err
+				}
+				if !ok {
+					sat = false
+					break
+				}
+			}
+			if sat {
+				return true, nil
+			}
+			fi := len(free) - 1
+			for fi >= 0 {
+				freeIdx[fi]++
+				if freeIdx[fi] < len(freeDoms[fi]) {
+					break
+				}
+				freeIdx[fi] = 0
+				fi--
+			}
+			if fi < 0 {
+				return false, nil
+			}
+		}
+	}
 	enabled := false
 	var evalErr error
 	value.ForEachAssignment(free, c.Domains, func(asgn map[string]value.Value) bool {

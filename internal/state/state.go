@@ -6,9 +6,9 @@ package state
 
 import (
 	"fmt"
-	"hash/fnv"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"opentla/internal/value"
 )
@@ -22,9 +22,14 @@ type binding struct {
 // In the paper a state assigns values to all variables of the universe; here
 // a State mentions only the variables relevant to the systems under check,
 // which is sound because every formula we evaluate mentions only those.
+//
+// Concurrency contract: a State is immutable after construction and safe to
+// share across goroutines without synchronization. The only mutable word is
+// the lazily cached fingerprint, which is maintained with atomic loads and
+// stores (see Fingerprint).
 type State struct {
 	bindings []binding // sorted by name
-	fp       uint64    // lazily cached fingerprint (0 = not yet computed)
+	fp       uint64    // lazily cached fingerprint (0 = not yet computed); atomic access only
 }
 
 // New constructs a state from a variable→value map.
@@ -60,11 +65,21 @@ func FromPairs(pairs ...any) *State {
 }
 
 // Get returns the value of variable name. The second result is false if the
-// state does not bind name.
+// state does not bind name. The binary search is hand-rolled: Get is the
+// innermost call of formula evaluation and sort.Search's closure defeats
+// inlining.
 func (s *State) Get(name string) (value.Value, bool) {
-	i := sort.Search(len(s.bindings), func(i int) bool { return s.bindings[i].name >= name })
-	if i < len(s.bindings) && s.bindings[i].name == name {
-		return s.bindings[i].val, true
+	lo, hi := 0, len(s.bindings)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s.bindings[mid].name < name {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(s.bindings) && s.bindings[lo].name == name {
+		return s.bindings[lo].val, true
 	}
 	return value.Value{}, false
 }
@@ -131,6 +146,77 @@ func (s *State) WithAll(updates map[string]value.Value) *State {
 	out = append(out, s.bindings[i:]...)
 	out = append(out, news[j:]...)
 	return &State{bindings: out}
+}
+
+// PosUpdate assigns Val to the binding at index Pos in a state's sorted
+// binding order (see PosOf). Positional updates let the successor generator
+// build candidate states with a single slice copy instead of repeated
+// map-merge-sort passes.
+type PosUpdate struct {
+	Pos int
+	Val value.Value
+}
+
+// PosOf returns the index of name within the state's sorted bindings, for
+// use with CloneWith.
+func (s *State) PosOf(name string) (int, bool) {
+	lo, hi := 0, len(s.bindings)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s.bindings[mid].name < name {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(s.bindings) && s.bindings[lo].name == name {
+		return lo, true
+	}
+	return -1, false
+}
+
+// CloneWith returns a copy of s with every update group applied in order.
+// Groups may be nil or empty; positions must come from PosOf on a state
+// with the same variable set. Unlike WithAll it cannot introduce new
+// variables — it only reassigns existing ones.
+func (s *State) CloneWith(groups ...[]PosUpdate) *State {
+	bs := make([]binding, len(s.bindings))
+	copy(bs, s.bindings)
+	for _, g := range groups {
+		for _, u := range g {
+			bs[u.Pos].val = u.Val
+		}
+	}
+	return &State{bindings: bs}
+}
+
+// OverwriteInto copies s's bindings into dst (reusing its capacity), applies
+// the update groups, and invalidates dst's cached fingerprint. It exists so
+// successor enumeration can evaluate millions of candidate states against a
+// single scratch State instead of allocating one per candidate; dst must be
+// goroutine-local and must not escape while being reused — materialize an
+// accepted candidate with Clone.
+func (s *State) OverwriteInto(dst *State, groups ...[]PosUpdate) {
+	if cap(dst.bindings) < len(s.bindings) {
+		dst.bindings = make([]binding, len(s.bindings))
+	}
+	dst.bindings = dst.bindings[:len(s.bindings)]
+	copy(dst.bindings, s.bindings)
+	for _, g := range groups {
+		for _, u := range g {
+			dst.bindings[u.Pos].val = u.Val
+		}
+	}
+	atomic.StoreUint64(&dst.fp, 0)
+}
+
+// Clone returns an immutable snapshot of s, preserving the cached
+// fingerprint. It materializes a scratch state (see OverwriteInto) into one
+// that may be shared and retained.
+func (s *State) Clone() *State {
+	bs := make([]binding, len(s.bindings))
+	copy(bs, s.bindings)
+	return &State{bindings: bs, fp: atomic.LoadUint64(&s.fp)}
 }
 
 // Restrict returns the state containing only the named variables (those of
@@ -214,32 +300,46 @@ func (s *State) EqualOn(t *State, names []string) bool {
 }
 
 // Fingerprint returns the 64-bit hash of the state, computed lazily and
-// cached. States are confined to a single goroutine during model checking,
-// so the unsynchronized cache is safe.
+// cached. It is safe for concurrent use: states are shared across the
+// worker goroutines of the parallel frontier exploration, so the cache word
+// is read and written atomically. Racing callers may each compute the
+// (identical, deterministic) hash; whichever store lands last is the same
+// value, so no caller ever observes a torn or stale fingerprint.
 func (s *State) Fingerprint() uint64 {
-	if s.fp == 0 {
-		s.fp = s.computeFingerprint()
-		if s.fp == 0 {
-			s.fp = 1 // reserve 0 as the "not yet computed" sentinel
-		}
+	if fp := atomic.LoadUint64(&s.fp); fp != 0 {
+		return fp
 	}
-	return s.fp
+	fp := s.computeFingerprint()
+	if fp == 0 {
+		fp = 1 // reserve 0 as the "not yet computed" sentinel
+	}
+	atomic.StoreUint64(&s.fp, fp)
+	return fp
 }
 
+// FNV-1a 64-bit constants; the hash is unrolled by hand because this is the
+// hottest function of graph exploration and hash/fnv's interface-based
+// Writer both allocates and defeats inlining. The byte stream (and hence
+// every fingerprint) is identical to the previous hash/fnv implementation.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
 func (s *State) computeFingerprint() uint64 {
-	h := fnv.New64a()
+	h := uint64(fnvOffset64)
 	for _, b := range s.bindings {
-		h.Write([]byte(b.name))
-		h.Write([]byte{'='})
-		var buf [8]byte
+		for i := 0; i < len(b.name); i++ {
+			h = (h ^ uint64(b.name[i])) * fnvPrime64
+		}
+		h = (h ^ '=') * fnvPrime64
 		f := b.val.Fingerprint()
 		for i := 0; i < 8; i++ {
-			buf[i] = byte(f >> (8 * i))
+			h = (h ^ uint64(byte(f>>(8*i)))) * fnvPrime64
 		}
-		h.Write(buf[:])
-		h.Write([]byte{';'})
+		h = (h ^ ';') * fnvPrime64
 	}
-	return h.Sum64()
+	return h
 }
 
 // Key returns a canonical string key for the state, usable as a map key

@@ -1,6 +1,7 @@
 package state
 
 import (
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -242,5 +243,30 @@ func TestBehaviorHelpers(t *testing.T) {
 	})
 	if steps != 1 {
 		t.Error("Steps should stop early")
+	}
+}
+
+// TestFingerprintConcurrent exercises the atomic lazy-cache contract: many
+// goroutines racing to fingerprint the same fresh state must all observe the
+// same nonzero value. Run with -race.
+func TestFingerprintConcurrent(t *testing.T) {
+	for round := 0; round < 50; round++ {
+		st := s("x", value.Int(int64(round)), "y", value.True)
+		const goroutines = 8
+		got := make([]uint64, goroutines)
+		var wg sync.WaitGroup
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				got[g] = st.Fingerprint()
+			}(g)
+		}
+		wg.Wait()
+		for g := 1; g < goroutines; g++ {
+			if got[g] != got[0] || got[g] == 0 {
+				t.Fatalf("round %d: inconsistent fingerprints %v", round, got)
+			}
+		}
 	}
 }

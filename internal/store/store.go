@@ -1,0 +1,207 @@
+// Package store provides interned-state storage for explicit-state model
+// checking: states are deduplicated by their 64-bit fingerprint with
+// collision-verified structural equality, so the string serialization
+// state.Key() never enters a hot path (it survives only in diagnostics and
+// golden files).
+//
+// Two families of containers are provided:
+//
+//   - Store: a sharded, concurrency-safe interner used by the parallel
+//     frontier exploration of package ts. Interning returns a stable Ref;
+//     many goroutines may intern concurrently and exactly one of them is
+//     told a given state was new.
+//   - Index and Set: single-goroutine fingerprint-keyed id maps and
+//     membership sets for the sequential portions of the checker
+//     (successor dedup, generator audits, final graph lookup).
+//
+// All containers fall back to structural equality (state.Equal) when two
+// distinct states share a fingerprint, so a 64-bit collision can never
+// merge distinct states — the failure mode that silently truncates state
+// graphs in fingerprint-only checkers.
+package store
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"opentla/internal/state"
+)
+
+// shardBits is log2 of the shard count. 64 shards keeps lock contention
+// negligible for worker pools up to a few dozen goroutines.
+const (
+	shardBits = 6
+	numShards = 1 << shardBits
+	shardMask = numShards - 1
+)
+
+// Ref is an opaque handle to an interned state, stable for the lifetime of
+// its Store. Refs order is an implementation detail (arrival order within a
+// shard); deterministic numbering is the caller's concern.
+type Ref uint64
+
+// Hash maps a state to its dedup fingerprint. The default is
+// (*state.State).Fingerprint; tests inject degenerate hashes to exercise
+// the collision path.
+type Hash func(*state.State) uint64
+
+type entry struct {
+	st  *state.State
+	ref Ref
+}
+
+type shard struct {
+	mu      sync.Mutex
+	buckets map[uint64][]entry
+	states  []*state.State // slot-indexed backing store for Ref resolution
+}
+
+// Store is a sharded, concurrency-safe interned-state store.
+type Store struct {
+	hash   Hash
+	count  atomic.Int64
+	shards [numShards]shard
+}
+
+// New returns an empty store deduplicating by state.Fingerprint.
+func New() *Store { return NewWithHash(nil) }
+
+// NewWithHash returns an empty store deduplicating by the given hash (nil
+// means state.Fingerprint). Injecting a colliding hash exercises the
+// structural-equality fallback.
+func NewWithHash(h Hash) *Store {
+	if h == nil {
+		h = (*state.State).Fingerprint
+	}
+	s := &Store{hash: h}
+	for i := range s.shards {
+		s.shards[i].buckets = make(map[uint64][]entry)
+	}
+	return s
+}
+
+// Intern deduplicates s into the store, returning its Ref and whether this
+// call added it. For concurrent interns of equal states exactly one caller
+// observes added == true. The caller must not mutate s afterwards (states
+// are immutable by construction).
+func (st *Store) Intern(s *state.State) (Ref, bool) {
+	fp := st.hash(s)
+	sh := &st.shards[fp&shardMask]
+	sh.mu.Lock()
+	for _, e := range sh.buckets[fp] {
+		if e.st.Equal(s) {
+			sh.mu.Unlock()
+			return e.ref, false
+		}
+	}
+	ref := Ref(len(sh.states))<<shardBits | Ref(fp&shardMask)
+	sh.states = append(sh.states, s)
+	sh.buckets[fp] = append(sh.buckets[fp], entry{st: s, ref: ref})
+	sh.mu.Unlock()
+	st.count.Add(1)
+	return ref, true
+}
+
+// Lookup returns the Ref of a state equal to s, if interned.
+func (st *Store) Lookup(s *state.State) (Ref, bool) {
+	fp := st.hash(s)
+	sh := &st.shards[fp&shardMask]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for _, e := range sh.buckets[fp] {
+		if e.st.Equal(s) {
+			return e.ref, true
+		}
+	}
+	return 0, false
+}
+
+// State resolves a Ref produced by Intern.
+func (st *Store) State(r Ref) *state.State {
+	sh := &st.shards[r&shardMask]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.states[r>>shardBits]
+}
+
+// Len returns the number of interned states.
+func (st *Store) Len() int { return int(st.count.Load()) }
+
+// Index maps states to caller-chosen integer ids, keyed by fingerprint with
+// structural-equality collision verification. Puts must be serialized, but
+// once construction is done any number of goroutines may Get concurrently
+// (package ts relies on this: the monitor-product workers resolve base-state
+// ids against the finished base graph's index).
+type Index struct {
+	hash    Hash
+	buckets map[uint64][]idEntry
+	n       int
+}
+
+type idEntry struct {
+	st *state.State
+	id int
+}
+
+// NewIndex returns an empty index keyed by state.Fingerprint.
+func NewIndex() *Index { return NewIndexWithHash(nil) }
+
+// NewIndexWithHash returns an empty index keyed by the given hash (nil
+// means state.Fingerprint).
+func NewIndexWithHash(h Hash) *Index {
+	if h == nil {
+		h = (*state.State).Fingerprint
+	}
+	return &Index{hash: h, buckets: make(map[uint64][]idEntry)}
+}
+
+// Put records id for s. A state equal to s must not already be present.
+func (ix *Index) Put(s *state.State, id int) {
+	fp := ix.hash(s)
+	ix.buckets[fp] = append(ix.buckets[fp], idEntry{st: s, id: id})
+	ix.n++
+}
+
+// Get returns the id recorded for a state equal to s.
+func (ix *Index) Get(s *state.State) (int, bool) {
+	for _, e := range ix.buckets[ix.hash(s)] {
+		if e.st.Equal(s) {
+			return e.id, true
+		}
+	}
+	return 0, false
+}
+
+// Len returns the number of states in the index.
+func (ix *Index) Len() int { return ix.n }
+
+// Set is a fingerprint-keyed state membership set with structural-equality
+// collision fallback, replacing string-keyed map[string]bool sets in hot
+// paths. Not safe for concurrent use.
+type Set struct {
+	ix *Index
+}
+
+// NewSet returns an empty set keyed by state.Fingerprint.
+func NewSet() *Set { return &Set{ix: NewIndex()} }
+
+// NewSetWithHash returns an empty set keyed by the given hash.
+func NewSetWithHash(h Hash) *Set { return &Set{ix: NewIndexWithHash(h)} }
+
+// Add inserts s and reports whether it was newly added.
+func (se *Set) Add(s *state.State) bool {
+	if _, ok := se.ix.Get(s); ok {
+		return false
+	}
+	se.ix.Put(s, se.ix.Len())
+	return true
+}
+
+// Has reports membership of a state equal to s.
+func (se *Set) Has(s *state.State) bool {
+	_, ok := se.ix.Get(s)
+	return ok
+}
+
+// Len returns the number of states in the set.
+func (se *Set) Len() int { return se.ix.Len() }

@@ -7,6 +7,7 @@ import (
 	"opentla/internal/form"
 	"opentla/internal/spec"
 	"opentla/internal/state"
+	"opentla/internal/store"
 )
 
 // ExecDivergence reports a reachable state where an action's executable
@@ -69,20 +70,21 @@ func (g *Graph) AuditExecs() (err error) {
 					return err
 				}
 				cur = s
-				// Successor keys the generator produces (Def-filtered, as
-				// during Build).
-				got := make(map[string]bool)
+				// Successors the generator produces (Def-filtered, as during
+				// Build), deduplicated by fingerprint with structural
+				// verification; Key() survives only in the divergence report.
+				got := store.NewSet()
 				for _, up := range a.Exec(s) {
 					t := s.WithAll(up)
 					ok, err := form.EvalBool(a.Def, state.Step{From: s, To: t}, nil)
 					if err == nil && ok {
-						got[t.Key()] = true
+						got.Add(t)
 					}
 				}
-				// Successor keys the definition permits.
+				// Successors the definition permits.
 				for _, up := range brute(s) {
 					t := s.WithAll(up)
-					if !got[t.Key()] {
+					if !got.Has(t) {
 						return &ExecDivergence{
 							System:      sys.Name,
 							Component:   c.Name,

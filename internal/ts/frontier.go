@@ -1,0 +1,285 @@
+package ts
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"opentla/internal/engine"
+	"opentla/internal/state"
+	"opentla/internal/store"
+)
+
+// exploreParams configures one frontier exploration (a graph build or a
+// monitor product). The expand callback must be deterministic and safe for
+// concurrent invocation on distinct states: it is called exactly once per
+// reachable state, possibly from several worker goroutines at once.
+type exploreParams struct {
+	// op names the exploration for contained-panic diagnostics
+	// (engine.EngineError.Op), e.g. "ts.Build(counter)".
+	op string
+	// workers is the goroutine pool size; <= 0 means GOMAXPROCS.
+	workers int
+	// limit is the legacy per-system MaxStates cap; limitName prefixes its
+	// BudgetError reason ("system X", "monitor product").
+	limit     int
+	limitName string
+	meter     *engine.Meter
+	// inits seeds the exploration, in a deterministic order.
+	inits []*state.State
+	// expand returns the successor states of s (duplicates allowed; the
+	// store dedups). Successor order must be deterministic in s.
+	expand func(s *state.State) ([]*state.State, error)
+}
+
+// exploreResult is the finalized, deterministic exploration outcome.
+type exploreResult struct {
+	states  []*state.State // numbered level-by-level, fingerprint-sorted within a level
+	inits   []int          // final ids of params.inits, in seed order (deduped to first occurrence)
+	idx     *store.Index   // state -> final id lookup for the finished graph
+	offsets []int          // CSR row offsets, len(states)+1
+	targets []int32        // CSR adjacency, offsets[i]:offsets[i+1] are i's successors
+}
+
+// explore runs a level-synchronous parallel frontier BFS over the states
+// reachable from params.inits.
+//
+// Determinism guarantee: the returned numbering, initial-state ids, and
+// adjacency are byte-identical for every worker count. States are interned
+// concurrently into a sharded store (arrival order is scheduling-dependent),
+// but final ids are assigned only at level barriers: the states first
+// reached during a level are sorted by fingerprint (ties — genuine 64-bit
+// collisions between distinct states — broken by the canonical Key string)
+// and numbered in that order. A state's level is its BFS distance from the
+// seed set, which no schedule can change, so the numbering depends only on
+// the graph itself. Successor lists are produced by the deterministic
+// expand callback and recorded per source state, preserving callback order.
+func explore(p exploreParams) (*exploreResult, error) {
+	m := p.meter
+	workers := p.workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	interned := store.New()
+	res := &exploreResult{idx: store.NewIndex()}
+	var adj [][]int32 // indexed by final id, flattened into CSR at the end
+
+	// finals maps intern refs to final ids; written only at level barriers
+	// and by the single-threaded seeding below, read by the (sequential)
+	// edge remapping.
+	finals := make(map[store.Ref]int)
+
+	// assign numbers a level's newly discovered states: fingerprint-sorted,
+	// Key-tiebroken (total and schedule-independent).
+	assign := func(news []newlyInterned) error {
+		sort.Slice(news, func(i, j int) bool {
+			fi, fj := news[i].st.Fingerprint(), news[j].st.Fingerprint()
+			if fi != fj {
+				return fi < fj
+			}
+			return news[i].st.Key() < news[j].st.Key()
+		})
+		for _, ns := range news {
+			id := len(res.states)
+			res.states = append(res.states, ns.st)
+			res.idx.Put(ns.st, id)
+			finals[ns.ref] = id
+		}
+		if p.limit > 0 && len(res.states) > p.limit {
+			return &engine.BudgetError{
+				Reason: fmt.Sprintf("%s: state space exceeds MaxStates limit %d", p.limitName, p.limit),
+				Stats:  m.Stats(),
+			}
+		}
+		return nil
+	}
+
+	// Seed level 0.
+	var seedNews []newlyInterned
+	seedRefs := make([]store.Ref, 0, len(p.inits))
+	for _, s := range p.inits {
+		ref, added := interned.Intern(s)
+		if added {
+			seedNews = append(seedNews, newlyInterned{ref: ref, st: s})
+			if err := m.AddState(); err != nil {
+				return nil, err
+			}
+		}
+		seedRefs = append(seedRefs, ref)
+	}
+	if err := assign(seedNews); err != nil {
+		return nil, err
+	}
+	for _, ref := range seedRefs {
+		res.inits = append(res.inits, finals[ref])
+	}
+
+	levelStart := 0
+	for levelStart < len(res.states) {
+		levelEnd := len(res.states)
+		lv := levelRun{
+			params:   &p,
+			store:    interned,
+			states:   res.states[levelStart:levelEnd],
+			succRefs: make([][]store.Ref, levelEnd-levelStart),
+			news:     make([][]newlyInterned, workers),
+		}
+		n := levelEnd - levelStart
+		w := workers
+		if w > n {
+			w = n
+		}
+		if w <= 1 {
+			lv.work(0)
+		} else {
+			var wg sync.WaitGroup
+			for wid := 0; wid < w; wid++ {
+				wg.Add(1)
+				go func(wid int) {
+					defer wg.Done()
+					lv.work(wid)
+				}(wid)
+			}
+			wg.Wait()
+		}
+		if err := lv.firstErr(); err != nil {
+			return nil, err
+		}
+
+		// Barrier: number this level's discoveries, then remap and commit
+		// the level's successor lists to final ids.
+		var merged []newlyInterned
+		for _, ws := range lv.news {
+			merged = append(merged, ws...)
+		}
+		if err := assign(merged); err != nil {
+			return nil, err
+		}
+		for _, refs := range lv.succRefs {
+			row := make([]int32, len(refs))
+			for j, r := range refs {
+				row[j] = int32(finals[r])
+			}
+			adj = append(adj, row)
+		}
+		m.NoteFrontier(len(res.states) - levelEnd)
+		levelStart = levelEnd
+	}
+
+	// Finalize the compressed-sparse-row adjacency.
+	total := 0
+	for _, row := range adj {
+		total += len(row)
+	}
+	res.offsets = make([]int, len(res.states)+1)
+	res.targets = make([]int32, 0, total)
+	for i, row := range adj {
+		res.offsets[i] = len(res.targets)
+		res.targets = append(res.targets, row...)
+	}
+	res.offsets[len(res.states)] = len(res.targets)
+	return res, nil
+}
+
+// newlyInterned records a state first reached during the current level,
+// awaiting its final id at the barrier.
+type newlyInterned struct {
+	ref store.Ref
+	st  *state.State
+}
+
+// levelRun is the shared scratch of one level's worker pool.
+type levelRun struct {
+	params   *exploreParams
+	store    *store.Store
+	states   []*state.State    // the frontier (current level), final-id order
+	succRefs [][]store.Ref     // per frontier index: successor intern refs
+	news     [][]newlyInterned // per worker: states first interned this level
+
+	next atomic.Int64 // frontier work index
+	stop atomic.Bool
+	mu   sync.Mutex
+	err  error
+}
+
+func (lv *levelRun) setErr(err error) {
+	lv.mu.Lock()
+	if lv.err == nil {
+		lv.err = err
+	}
+	lv.mu.Unlock()
+	lv.stop.Store(true)
+}
+
+func (lv *levelRun) firstErr() error {
+	lv.mu.Lock()
+	defer lv.mu.Unlock()
+	return lv.err
+}
+
+// work drains frontier indices until the level (or the budget) is
+// exhausted. Panics in the expand callback are contained as
+// *engine.EngineError carrying the fingerprint of the state being expanded.
+func (lv *levelRun) work(wid int) {
+	p := lv.params
+	m := p.meter
+	var cur *state.State
+	var perr error
+	defer func() {
+		if perr != nil {
+			lv.setErr(perr)
+		}
+	}()
+	defer engine.Capture(&perr, p.op, func() (string, string) {
+		if cur != nil {
+			return cur.Key(), ""
+		}
+		return "", ""
+	})
+	for {
+		if lv.stop.Load() {
+			return
+		}
+		i := int(lv.next.Add(1)) - 1
+		if i >= len(lv.states) {
+			return
+		}
+		cur = lv.states[i]
+		if err := m.Tick(); err != nil {
+			lv.setErr(err)
+			return
+		}
+		succs, err := p.expand(cur)
+		if err != nil {
+			lv.setErr(err)
+			return
+		}
+		refs := make([]store.Ref, len(succs))
+		for j, t := range succs {
+			ref, added := lv.store.Intern(t)
+			if added {
+				lv.news[wid] = append(lv.news[wid], newlyInterned{ref: ref, st: t})
+				if err := m.AddState(); err != nil {
+					lv.setErr(err)
+					return
+				}
+				if p.limit > 0 && lv.store.Len() > p.limit {
+					lv.setErr(&engine.BudgetError{
+						Reason: fmt.Sprintf("%s: state space exceeds MaxStates limit %d", p.limitName, p.limit),
+						Stats:  m.Stats(),
+					})
+					return
+				}
+			}
+			refs[j] = ref
+		}
+		lv.succRefs[i] = refs
+		if err := m.AddTransitions(len(succs)); err != nil {
+			lv.setErr(err)
+			return
+		}
+	}
+}

@@ -6,20 +6,28 @@ import (
 	"opentla/internal/engine"
 	"opentla/internal/form"
 	"opentla/internal/state"
+	"opentla/internal/store"
 )
 
 // Graph is the reachable state graph of a System. Every state has a
 // stuttering self-loop (TLA behaviors always permit stuttering), so every
 // finite path extends to an infinite behavior.
+//
+// Adjacency is stored in compressed-sparse-row form, finalized once
+// exploration completes: offsets[i]:offsets[i+1] index the successor ids of
+// state i in targets. Consumers iterate through ForEachSucc and Degree
+// rather than touching the arrays. State numbering is deterministic
+// regardless of how many workers built the graph (see explore).
 type Graph struct {
 	Sys    *System
 	Ctx    *form.Ctx
 	States []*state.State
 	Inits  []int
-	Succ   [][]int
 
-	index map[string]int
-	meter *engine.Meter
+	offsets []int
+	targets []int32
+	idx     *store.Index
+	meter   *engine.Meter
 }
 
 // Meter returns the resource meter governing this graph and every check run
@@ -37,23 +45,19 @@ func (sys *System) Build() (*Graph, error) {
 	return sys.BuildWith(engine.NoLimit())
 }
 
-// BuildWith explores the reachable states of the system breadth-first under
-// the given resource meter. Exploration aborts with an *engine.BudgetError
-// (carrying partial statistics) when the budget is exhausted, and internal
-// panics are contained as *engine.EngineError with the fingerprint of the
-// state being expanded. The meter stays attached to the returned graph, so
-// subsequent checks and monitor products draw from the same budget.
-func (sys *System) BuildWith(m *engine.Meter) (g *Graph, err error) {
+// BuildWith explores the reachable states of the system under the given
+// resource meter, using a level-synchronous parallel frontier BFS with
+// sys.Workers goroutines (0 = GOMAXPROCS); the resulting graph — numbering,
+// initial ids, adjacency — is identical at every worker count. Exploration
+// aborts with an *engine.BudgetError (carrying partial statistics) when the
+// budget is exhausted, and internal panics are contained as
+// *engine.EngineError with the fingerprint of the state being expanded. The
+// meter stays attached to the returned graph, so subsequent checks and
+// monitor products draw from the same budget.
+func (sys *System) BuildWith(m *engine.Meter) (*Graph, error) {
 	if m == nil {
 		m = engine.NoLimit()
 	}
-	var cur *state.State
-	defer engine.Capture(&err, "ts.Build("+sys.Name+")", func() (string, string) {
-		if cur != nil {
-			return cur.Key(), ""
-		}
-		return "", ""
-	})
 	if err := sys.Validate(); err != nil {
 		return nil, err
 	}
@@ -62,8 +66,6 @@ func (sys *System) BuildWith(m *engine.Meter) (g *Graph, err error) {
 		return nil, err
 	}
 	free := sys.FreeVars()
-	g = &Graph{Sys: sys, Ctx: sys.Ctx(), index: make(map[string]int), meter: m}
-
 	inits, err := sys.initialStates(m)
 	if err != nil {
 		return nil, err
@@ -71,71 +73,56 @@ func (sys *System) BuildWith(m *engine.Meter) (g *Graph, err error) {
 	if len(inits) == 0 {
 		return nil, fmt.Errorf("system %s: no initial states", sys.Name)
 	}
-	var queue []int
-	add := func(s *state.State) int {
-		k := s.Key()
-		if id, ok := g.index[k]; ok {
-			return id
-		}
-		id := len(g.States)
-		g.States = append(g.States, s)
-		g.Succ = append(g.Succ, nil)
-		g.index[k] = id
-		queue = append(queue, id)
-		m.AddState() // exhaustion is latched; the BFS loop aborts below
-		return id
+	res, err := explore(exploreParams{
+		op:        "ts.Build(" + sys.Name + ")",
+		workers:   sys.Workers,
+		limit:     sys.maxStates(),
+		limitName: "system " + sys.Name,
+		meter:     m,
+		inits:     inits,
+		expand: func(s *state.State) ([]*state.State, error) {
+			return sys.successors(compiled, free, s)
+		},
+	})
+	if err != nil {
+		return nil, err
 	}
-	for _, s := range inits {
-		g.Inits = append(g.Inits, add(s))
-	}
-	limit := sys.maxStates()
-	for len(queue) > 0 {
-		if err := m.Tick(); err != nil {
-			return nil, err
-		}
-		id := queue[0]
-		queue = queue[1:]
-		cur = g.States[id]
-		succs, err := sys.successors(compiled, free, cur)
-		if err != nil {
-			return nil, err
-		}
-		for _, t := range succs {
-			tid := add(t)
-			g.Succ[id] = append(g.Succ[id], tid)
-		}
-		if err := m.AddTransitions(len(succs)); err != nil {
-			return nil, err
-		}
-		m.NoteFrontier(len(queue))
-		if err := m.Err(); err != nil {
-			return nil, err
-		}
-		if len(g.States) > limit {
-			return nil, &engine.BudgetError{
-				Reason: fmt.Sprintf("system %s: state space exceeds MaxStates limit %d", sys.Name, limit),
-				Stats:  m.Stats(),
-			}
-		}
-	}
-	return g, nil
+	return &Graph{
+		Sys:     sys,
+		Ctx:     sys.Ctx(),
+		States:  res.states,
+		Inits:   res.inits,
+		offsets: res.offsets,
+		targets: res.targets,
+		idx:     res.idx,
+		meter:   m,
+	}, nil
 }
 
 // NumStates returns the number of reachable states.
 func (g *Graph) NumStates() int { return len(g.States) }
 
 // NumEdges returns the number of edges (including self-loops).
-func (g *Graph) NumEdges() int {
-	n := 0
-	for _, s := range g.Succ {
-		n += len(s)
+func (g *Graph) NumEdges() int { return len(g.targets) }
+
+// Degree returns the number of successors of state id.
+func (g *Graph) Degree(id int) int { return g.offsets[id+1] - g.offsets[id] }
+
+// ForEachSucc calls f for every successor of from, in adjacency order,
+// stopping early if f returns false. It reports whether the iteration ran to
+// completion (false = stopped early).
+func (g *Graph) ForEachSucc(from int, f func(to int) bool) bool {
+	for _, to := range g.targets[g.offsets[from]:g.offsets[from+1]] {
+		if !f(int(to)) {
+			return false
+		}
 	}
-	return n
+	return true
 }
 
 // ID returns the identifier of a state, or -1 if unreachable.
 func (g *Graph) ID(s *state.State) int {
-	if id, ok := g.index[s.Key()]; ok {
+	if id, ok := g.idx.Get(s); ok {
 		return id
 	}
 	return -1
@@ -143,11 +130,9 @@ func (g *Graph) ID(s *state.State) int {
 
 // ForEachEdge calls f for every edge, stopping early if f returns false.
 func (g *Graph) ForEachEdge(f func(from, to int) bool) {
-	for from, succs := range g.Succ {
-		for _, to := range succs {
-			if !f(from, to) {
-				return
-			}
+	for from := 0; from < len(g.States); from++ {
+		if !g.ForEachSucc(from, func(to int) bool { return f(from, to) }) {
+			return
 		}
 	}
 }
@@ -189,16 +174,17 @@ func (g *Graph) PathBetween(from []int, target int, allowed func(int) bool) []in
 			}
 			return path
 		}
-		for _, v := range g.Succ[u] {
+		g.ForEachSucc(u, func(v int) bool {
 			if prev[v] != -2 {
-				continue
+				return true
 			}
 			if allowed != nil && !allowed(v) {
-				continue
+				return true
 			}
 			prev[v] = u
 			queue = append(queue, v)
-		}
+			return true
+		})
 	}
 	return nil
 }
@@ -253,8 +239,9 @@ func (g *Graph) SCCs(allowedState func(int) bool, allowedEdge func(from, to int)
 			f := &call[len(call)-1]
 			v := f.v
 			advanced := false
-			for f.succ < len(g.Succ[v]) {
-				w := g.Succ[v][f.succ]
+			row := g.targets[g.offsets[v]:g.offsets[v+1]]
+			for f.succ < len(row) {
+				w := int(row[f.succ])
 				f.succ++
 				if allowedState != nil && !allowedState(w) {
 					continue
@@ -308,10 +295,5 @@ func (g *Graph) SCCs(allowedState func(int) bool, allowedEdge func(from, to int)
 
 // HasEdge reports whether the graph has an edge from → to.
 func (g *Graph) HasEdge(from, to int) bool {
-	for _, v := range g.Succ[from] {
-		if v == to {
-			return true
-		}
-	}
-	return false
+	return !g.ForEachSucc(from, func(v int) bool { return v != to })
 }

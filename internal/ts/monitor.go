@@ -33,20 +33,15 @@ type Monitor struct {
 // variables; edges exist where the base edge exists and every monitor
 // permits it. The product context's domains include the monitor variables.
 //
-// The product inherits the base graph's resource meter: product states and
-// edges draw from the same budget as the base exploration, and exhaustion
-// aborts with an *engine.BudgetError. Panics inside monitor callbacks are
-// contained as *engine.EngineError with the current product state's
-// fingerprint.
+// The product is explored by the same parallel frontier engine as BuildWith
+// (worker count g.Sys.Workers, deterministic numbering at any setting) and
+// inherits the base graph's resource meter: product states and edges draw
+// from the same budget as the base exploration, and exhaustion aborts with
+// an *engine.BudgetError. Panics inside monitor callbacks are contained as
+// *engine.EngineError with the current product state's fingerprint.
 func Product(g *Graph, mons []*Monitor) (p *Graph, err error) {
 	meter := g.Meter()
-	var curState *state.State
-	defer engine.Capture(&err, "ts.Product", func() (string, string) {
-		if curState != nil {
-			return curState.Key(), ""
-		}
-		return "", ""
-	})
+	defer engine.Capture(&err, "ts.Product", nil)
 	domains := make(map[string][]value.Value, len(g.Ctx.Domains)+len(mons))
 	for k, v := range g.Ctx.Domains {
 		domains[k] = v
@@ -57,34 +52,11 @@ func Product(g *Graph, mons []*Monitor) (p *Graph, err error) {
 		}
 		domains[m.Var] = m.Domain
 	}
-	p = &Graph{
-		Sys:   g.Sys,
-		Ctx:   form.NewCtx(domains),
-		index: make(map[string]int),
-		meter: meter,
-	}
-	// Product node bookkeeping: base ID + monitor values are recoverable
-	// from the state itself (monitor vars are part of the state), so the
-	// standard key-based index suffices. We track the base ID alongside
-	// each product state for successor expansion.
-	baseOf := make([]int, 0)
-	var queue []int
-	add := func(baseID int, s *state.State) int {
-		k := s.Key()
-		if id, ok := p.index[k]; ok {
-			return id
-		}
-		id := len(p.States)
-		p.States = append(p.States, s)
-		p.Succ = append(p.Succ, nil)
-		baseOf = append(baseOf, baseID)
-		p.index[k] = id
-		queue = append(queue, id)
-		meter.AddState() // exhaustion latches; the BFS loop aborts below
-		return id
-	}
 
-	// Initial product states.
+	// Initial product states. A base init may admit no monitor values, and
+	// all of them may: an empty product graph is a legal (vacuous) outcome,
+	// unlike an empty base graph.
+	var inits []*state.State
 	for _, bid := range g.Inits {
 		base := g.States[bid]
 		combos, err := monitorInitCombos(mons, base)
@@ -92,50 +64,61 @@ func Product(g *Graph, mons []*Monitor) (p *Graph, err error) {
 			return nil, err
 		}
 		for _, combo := range combos {
-			s := base.WithAll(combo)
-			p.Inits = append(p.Inits, add(bid, s))
+			inits = append(inits, base.WithAll(combo))
 		}
 	}
 
-	limit := g.Sys.maxStates()
-	for len(queue) > 0 {
-		if err := meter.Tick(); err != nil {
-			return nil, err
-		}
-		pid := queue[0]
-		queue = queue[1:]
-		bid := baseOf[pid]
-		cur := p.States[pid]
-		curState = cur
-		edges := 0
-		for _, tbid := range g.Succ[bid] {
-			baseStep := state.Step{From: g.States[bid], To: g.States[tbid]}
-			combos, err := monitorStepCombos(mons, baseStep, cur)
-			if err != nil {
-				return nil, err
+	// The base id of a product state is recoverable from the state itself:
+	// stripping the monitor variables yields the base state, which the base
+	// graph's fingerprint index resolves. This replaces the baseOf side
+	// table of the sequential implementation and keeps expansion stateless,
+	// hence safe for concurrent workers.
+	res, err := explore(exploreParams{
+		op:        "ts.Product",
+		workers:   g.Sys.Workers,
+		limit:     g.Sys.maxStates(),
+		limitName: "monitor product",
+		meter:     meter,
+		inits:     inits,
+		expand: func(cur *state.State) ([]*state.State, error) {
+			base := BaseState(cur, mons)
+			bid := g.ID(base)
+			if bid < 0 {
+				return nil, fmt.Errorf("ts.Product: base state %s not in base graph", base)
 			}
-			for _, combo := range combos {
-				t := g.States[tbid].WithAll(combo)
-				tid := add(tbid, t)
-				p.Succ[pid] = append(p.Succ[pid], tid)
-				edges++
+			var out []*state.State
+			var expErr error
+			g.ForEachSucc(bid, func(tbid int) bool {
+				baseStep := state.Step{From: g.States[bid], To: g.States[tbid]}
+				combos, cerr := monitorStepCombos(mons, baseStep, cur)
+				if cerr != nil {
+					expErr = cerr
+					return false
+				}
+				for _, combo := range combos {
+					out = append(out, g.States[tbid].WithAll(combo))
+				}
+				return true
+			})
+			if expErr != nil {
+				return nil, expErr
 			}
-		}
-		if err := meter.AddTransitions(edges); err != nil {
-			return nil, err
-		}
-		meter.NoteFrontier(len(queue))
-		if err := meter.Err(); err != nil {
-			return nil, err
-		}
-		if len(p.States) > limit {
-			return nil, &engine.BudgetError{
-				Reason: fmt.Sprintf("monitor product: state space exceeds MaxStates limit %d", limit),
-				Stats:  meter.Stats(),
-			}
-		}
+			return out, nil
+		},
+	})
+	if err != nil {
+		return nil, err
 	}
-	return p, nil
+	return &Graph{
+		Sys:     g.Sys,
+		Ctx:     form.NewCtx(domains),
+		States:  res.states,
+		Inits:   res.inits,
+		offsets: res.offsets,
+		targets: res.targets,
+		idx:     res.idx,
+		meter:   meter,
+	}, nil
 }
 
 // BaseState strips monitor variables from a product state.

@@ -19,6 +19,7 @@ import (
 	"opentla/internal/form"
 	"opentla/internal/spec"
 	"opentla/internal/state"
+	"opentla/internal/store"
 	"opentla/internal/value"
 )
 
@@ -42,6 +43,9 @@ type System struct {
 	Domains map[string][]value.Value
 	// MaxStates bounds graph construction (default 500000).
 	MaxStates int
+	// Workers is the goroutine count for parallel frontier exploration
+	// (0 = GOMAXPROCS). The built graph is identical at any setting.
+	Workers int
 }
 
 // Vars returns the sorted union of all variables of the system.
@@ -131,17 +135,35 @@ type compiledComponent struct {
 }
 
 type compiledAction struct {
-	name string
-	def  form.Expr
-	exec spec.ExecFunc
+	name   string
+	def    form.Expr
+	exec   spec.ExecFunc
+	primed []string // primed variables of def, for free-dependence analysis
 }
 
-func (sys *System) compile() ([]compiledComponent, error) {
-	out := make([]compiledComponent, len(sys.Components))
+// compiledConstraint is a step constraint with its primed variables
+// precomputed (see successors: a constraint whose primed variables avoid the
+// free set has the same verdict for every free assignment).
+type compiledConstraint struct {
+	name   string
+	action form.Expr
+	primed []string
+}
+
+// compiledSystem caches everything successor generation needs: per-component
+// actions with executable update generators, plus the step constraints.
+// It is immutable after compile and shared across exploration workers.
+type compiledSystem struct {
+	comps       []compiledComponent
+	constraints []compiledConstraint
+}
+
+func (sys *System) compile() (*compiledSystem, error) {
+	cs := &compiledSystem{comps: make([]compiledComponent, len(sys.Components))}
 	for i, c := range sys.Components {
 		cc := compiledComponent{comp: c, owned: c.Owned()}
 		for _, a := range c.Actions {
-			ca := compiledAction{name: a.Name, def: a.Def, exec: a.Exec}
+			ca := compiledAction{name: a.Name, def: a.Def, exec: a.Exec, primed: form.PrimedVars(a.Def)}
 			if ca.exec == nil {
 				n, err := updateSpaceSize(cc.owned, sys.Domains)
 				if err != nil {
@@ -154,9 +176,14 @@ func (sys *System) compile() ([]compiledComponent, error) {
 			}
 			cc.actions = append(cc.actions, ca)
 		}
-		out[i] = cc
+		cs.comps[i] = cc
 	}
-	return out, nil
+	for _, sc := range sys.Constraints {
+		cs.constraints = append(cs.constraints, compiledConstraint{
+			name: sc.Name, action: sc.Action, primed: form.PrimedVars(sc.Action),
+		})
+	}
+	return cs, nil
 }
 
 func updateSpaceSize(vars []string, domains map[string][]value.Value) (int, error) {
@@ -229,124 +256,302 @@ func (sys *System) initialStates(m *engine.Meter) ([]*state.State, error) {
 	return out, nil
 }
 
-// choice is one component's contribution to a joint step: either a stutter
-// (action == nil, empty update) or a named action with an owned-variable
-// update.
+// choice is one component's contribution to a joint step with its update
+// resolved to positional form: either a stutter (action == nil, no updates)
+// or a named action reassigning its owned variables. Positional updates let
+// each candidate successor be built with a single slice copy (CloneWith)
+// instead of one map-merge-sort per component. defFreeDep records whether
+// the action's definition primes any free variable; when it does not, its
+// verdict on a candidate step is the same under every free assignment and
+// is cached per choice combination.
 type choice struct {
-	action *compiledAction
-	update map[string]value.Value
+	action     *compiledAction
+	ups        []state.PosUpdate
+	defFreeDep bool
+}
+
+// posUpdates resolves an action's update map against s's binding positions.
+// Every updated variable must already be bound: successor generation works
+// over the full variable set, so an unbound name means the action writes a
+// variable outside the system.
+func (sys *System) posUpdates(ca *compiledAction, s *state.State, up map[string]value.Value) ([]state.PosUpdate, error) {
+	ups := make([]state.PosUpdate, 0, len(up))
+	for n, v := range up {
+		p, ok := s.PosOf(n)
+		if !ok {
+			return nil, fmt.Errorf("system %s: action %s updates variable %q not bound in state %s", sys.Name, ca.name, n, s)
+		}
+		ups = append(ups, state.PosUpdate{Pos: p, Val: v})
+	}
+	return ups, nil
 }
 
 // Successors computes all states t such that ⟨s, t⟩ satisfies every
 // component's [N_i]_⟨m_i,x_i⟩, every step constraint, and changes free
 // variables arbitrarily. The result always includes s itself (stuttering).
 func (sys *System) Successors(s *state.State) ([]*state.State, error) {
-	compiled, err := sys.compile()
+	cs, err := sys.compile()
 	if err != nil {
 		return nil, err
 	}
-	return sys.successors(compiled, sys.FreeVars(), s)
+	return sys.successors(cs, sys.FreeVars(), s)
 }
 
-func (sys *System) successors(compiled []compiledComponent, free []string, s *state.State) ([]*state.State, error) {
-	// Gather each component's choices in state s.
+// Combo-cache verdicts for the free-independent part of a step's validity.
+const (
+	comboUnknown int8 = iota
+	comboPass
+	comboFail
+)
+
+// maxComboCache bounds the per-state verdict cache; a system with more
+// choice combinations than this per state falls back to uncached checking.
+const maxComboCache = 1 << 20
+
+// successors enumerates every candidate step from s and verifies each
+// against the declarative definitions: each chosen action's Def and every
+// step constraint, evaluated on the merged pair. Verifying Def on the merged
+// pair is what rejects cross-component conflicts (e.g. an action asserting
+// z' = z merged with another component's change to z).
+//
+// Candidates are the cross product of free-variable assignments and
+// per-component choice combinations. An expression that primes no free
+// variable has the same verdict for a given choice combination under every
+// free assignment (unprimed variables read s, which is fixed), so those
+// verdicts are computed once per combination and cached.
+func (sys *System) successors(cs *compiledSystem, free []string, s *state.State) ([]*state.State, error) {
+	compiled := cs.comps
+	freeSet := make(map[string]bool, len(free))
+	for _, v := range free {
+		freeSet[v] = true
+	}
+	primesFree := func(vars []string) bool {
+		for _, v := range vars {
+			if freeSet[v] {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Split the step constraints by free-dependence.
+	var consIndep, consDep []*compiledConstraint
+	for i := range cs.constraints {
+		c := &cs.constraints[i]
+		if primesFree(c.primed) {
+			consDep = append(consDep, c)
+		} else {
+			consIndep = append(consIndep, c)
+		}
+	}
+
+	// Gather each component's choices in state s, resolving update maps to
+	// positional form once so each candidate below costs one slice copy.
 	perComp := make([][]choice, len(compiled))
+	comboCount := 1
 	for i, cc := range compiled {
-		chs := []choice{{action: nil, update: nil}} // stutter
+		chs := []choice{{action: nil}} // stutter
 		for ai := range cc.actions {
 			ca := &cc.actions[ai]
+			dep := primesFree(ca.primed)
 			for _, up := range ca.exec(s) {
-				chs = append(chs, choice{action: ca, update: up})
+				ups, err := sys.posUpdates(ca, s, up)
+				if err != nil {
+					return nil, err
+				}
+				chs = append(chs, choice{action: ca, ups: ups, defFreeDep: dep})
 			}
 		}
 		perComp[i] = chs
+		if comboCount <= maxComboCache {
+			comboCount *= len(chs)
+		}
+	}
+	var comboCache []int8
+	strides := make([]int, len(compiled))
+	if comboCount <= maxComboCache {
+		comboCache = make([]int8, comboCount)
+		stride := 1
+		for ci := range compiled {
+			strides[ci] = stride
+			stride *= len(perComp[ci])
+		}
 	}
 
-	seen := make(map[string]bool)
-	var out []*state.State
-	var evalErr error
-
-	// Enumerate free-variable assignments (held fixed per combination);
-	// most systems have none, in which case this loop body runs once with
-	// an empty update.
-	freeOK := value.ForEachAssignment(free, sys.Domains, func(fa map[string]value.Value) bool {
-		freeUpdate := make(map[string]value.Value, len(fa))
-		for k, v := range fa {
-			freeUpdate[k] = v
+	// Resolve free-variable positions and domains once; most systems have
+	// none, in which case the outer loop body runs exactly once.
+	freePos := make([]state.PosUpdate, len(free))
+	freeDoms := make([][]value.Value, len(free))
+	freeIdx := make([]int, len(free))
+	for i, v := range free {
+		p, ok := s.PosOf(v)
+		if !ok {
+			return nil, fmt.Errorf("system %s: free variable %q not bound in state %s", sys.Name, v, s)
 		}
-		// Enumerate per-component choice combinations.
-		idx := make([]int, len(compiled))
+		freePos[i] = state.PosUpdate{Pos: p}
+		freeDoms[i] = sys.Domains[v]
+	}
+
+	evalOn := func(kind, name string, e form.Expr, st state.Step) (bool, error) {
+		ok, err := form.EvalBool(e, st, nil)
+		if err != nil {
+			return false, fmt.Errorf("system %s: %s %s on %s: %w", sys.Name, kind, name, st, err)
+		}
+		return ok, nil
+	}
+
+	seen := store.NewSet() // fingerprint dedup; Key() stays out of this hot path
+	var out []*state.State
+	groups := make([][]state.PosUpdate, len(compiled)+1)
+	idx := make([]int, len(compiled))
+	var chosen []*choice
+	// All candidates are built in one goroutine-local scratch state; only
+	// accepted ones are materialized (Clone), so rejected and duplicate
+	// candidates cost no allocation.
+	scratch := state.New(nil)
+
+	for {
+		for i := range free {
+			freePos[i].Val = freeDoms[i][freeIdx[i]]
+		}
+		groups[0] = freePos
+		// Enumerate per-component choice combinations under this free
+		// assignment.
+		for i := range idx {
+			idx[i] = 0
+		}
 		for {
-			t := s.WithAll(freeUpdate)
-			var chosen []*compiledAction
-			for ci := range compiled {
-				ch := perComp[ci][idx[ci]]
-				if ch.update != nil {
-					t = t.WithAll(ch.update)
+			cv, lin := comboUnknown, 0
+			if comboCache != nil {
+				for ci := range idx {
+					lin += idx[ci] * strides[ci]
 				}
-				if ch.action != nil {
-					chosen = append(chosen, ch.action)
+				cv = comboCache[lin]
+				if cv == comboFail {
+					// Known invalid under every free assignment: skip
+					// without even building the candidate.
+					if !advance(idx, perComp) {
+						break
+					}
+					continue
 				}
 			}
-			if !seen[t.Key()] {
-				ok, err := sys.validStep(compiled, s, t, chosen)
-				if err != nil {
-					evalErr = err
-					return false
+			chosen = chosen[:0]
+			for ci := range compiled {
+				ch := &perComp[ci][idx[ci]]
+				groups[ci+1] = ch.ups
+				if ch.action != nil {
+					chosen = append(chosen, ch)
 				}
-				if ok {
-					seen[t.Key()] = true
+			}
+			s.OverwriteInto(scratch, groups...)
+			if !seen.Has(scratch) {
+				st := state.Step{From: s, To: scratch}
+				valid := true
+				if cv == comboUnknown {
+					// Free-independent part: chosen defs and constraints
+					// that prime no free variable.
+					for _, ch := range chosen {
+						if ch.defFreeDep {
+							continue
+						}
+						ok, err := evalOn("action", ch.action.name, ch.action.def, st)
+						if err != nil {
+							return nil, err
+						}
+						if !ok {
+							valid = false
+							break
+						}
+					}
+					if valid {
+						for _, c := range consIndep {
+							ok, err := evalOn("constraint", c.name, c.action, st)
+							if err != nil {
+								return nil, err
+							}
+							if !ok {
+								valid = false
+								break
+							}
+						}
+					}
+					if comboCache != nil {
+						if valid {
+							comboCache[lin] = comboPass
+						} else {
+							comboCache[lin] = comboFail
+						}
+					}
+				}
+				if valid {
+					// Free-dependent part, re-checked per free assignment.
+					for _, ch := range chosen {
+						if !ch.defFreeDep {
+							continue
+						}
+						ok, err := evalOn("action", ch.action.name, ch.action.def, st)
+						if err != nil {
+							return nil, err
+						}
+						if !ok {
+							valid = false
+							break
+						}
+					}
+					if valid {
+						for _, c := range consDep {
+							ok, err := evalOn("constraint", c.name, c.action, st)
+							if err != nil {
+								return nil, err
+							}
+							if !ok {
+								valid = false
+								break
+							}
+						}
+					}
+				}
+				if valid {
+					t := scratch.Clone()
+					seen.Add(t)
 					out = append(out, t)
 				}
 			}
-			// Advance the mixed-radix counter.
-			ci := 0
-			for ci < len(compiled) {
-				idx[ci]++
-				if idx[ci] < len(perComp[ci]) {
-					break
-				}
-				idx[ci] = 0
-				ci++
-			}
-			if ci == len(compiled) {
+			if !advance(idx, perComp) {
 				break
 			}
 		}
-		return true
-	})
-	_ = freeOK
-	if evalErr != nil {
-		return nil, evalErr
+		// Advance the free-variable counter. The LAST variable varies
+		// fastest, matching value.ForEachAssignment's enumeration order, so
+		// successor order — and hence state numbering — is unchanged.
+		fi := len(free) - 1
+		for fi >= 0 {
+			freeIdx[fi]++
+			if freeIdx[fi] < len(freeDoms[fi]) {
+				break
+			}
+			freeIdx[fi] = 0
+			fi--
+		}
+		if fi < 0 {
+			break
+		}
 	}
 	return out, nil
 }
 
-// validStep verifies a candidate step against the declarative definitions:
-// each chosen action's Def, each unchosen component's stuttering (which
-// holds by construction, since owned sets are disjoint), and every step
-// constraint. Verifying Def on the merged pair is what rejects cross-
-// component conflicts (e.g. an action asserting z' = z merged with another
-// component's change to z).
-func (sys *System) validStep(compiled []compiledComponent, s, t *state.State, chosen []*compiledAction) (bool, error) {
-	st := state.Step{From: s, To: t}
-	for _, ca := range chosen {
-		ok, err := form.EvalBool(ca.def, st, nil)
-		if err != nil {
-			return false, fmt.Errorf("system %s: action %s on %s: %w", sys.Name, ca.name, st, err)
+// advance increments the per-component mixed-radix counter; it returns
+// false when the counter wraps (all combinations exhausted).
+func advance(idx []int, perComp [][]choice) bool {
+	ci := 0
+	for ci < len(idx) {
+		idx[ci]++
+		if idx[ci] < len(perComp[ci]) {
+			return true
 		}
-		if !ok {
-			return false, nil
-		}
+		idx[ci] = 0
+		ci++
 	}
-	for _, sc := range sys.Constraints {
-		ok, err := form.EvalBool(sc.Action, st, nil)
-		if err != nil {
-			return false, fmt.Errorf("system %s: constraint %s on %s: %w", sys.Name, sc.Name, st, err)
-		}
-		if !ok {
-			return false, nil
-		}
-	}
-	return true, nil
+	return false
 }

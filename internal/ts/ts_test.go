@@ -43,14 +43,14 @@ func TestBuildCounterGraph(t *testing.T) {
 		t.Fatalf("inits = %d", len(g.Inits))
 	}
 	// Every state has a self-loop; non-top states have one more successor.
-	for id, succs := range g.Succ {
+	for id := 0; id < g.NumStates(); id++ {
 		x, _ := g.States[id].MustGet("x").AsInt()
 		want := 2
 		if x == 3 {
 			want = 1
 		}
-		if len(succs) != want {
-			t.Errorf("state x=%d has %d successors, want %d", x, len(succs), want)
+		if g.Degree(id) != want {
+			t.Errorf("state x=%d has %d successors, want %d", x, g.Degree(id), want)
 		}
 	}
 }
@@ -104,11 +104,12 @@ func TestFreeVarsChangeArbitrarily(t *testing.T) {
 		t.Fatal("state not found")
 	}
 	foundFlip := false
-	for _, to := range g.Succ[id] {
+	g.ForEachSucc(id, func(to int) bool {
 		if g.States[to].MustGet("x").Equal(value.Int(1)) {
 			foundFlip = true
 		}
-	}
+		return true
+	})
 	if !foundFlip {
 		t.Error("free variable x should be able to change on any step")
 	}

@@ -8,7 +8,6 @@ package value
 
 import (
 	"fmt"
-	"hash/fnv"
 	"sort"
 	"strconv"
 	"strings"
@@ -300,51 +299,54 @@ func (v Value) write(sb *strings.Builder) {
 	}
 }
 
+// FNV-1a 64-bit constants. The hash is unrolled by hand: fingerprints are
+// computed once per candidate successor state during exploration, and
+// hash/fnv's allocation plus interface-dispatched writes dominated that
+// path. The byte stream (and hence every fingerprint) is identical to the
+// previous hash/fnv implementation.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
 // Fingerprint returns a 64-bit hash of the value, stable across runs.
 // Distinct values may collide only with FNV-64 probability; equality
 // checks in hot paths should pair Fingerprint with Equal.
 func (v Value) Fingerprint() uint64 {
-	h := fnv.New64a()
-	v.hashInto(h)
-	return h.Sum64()
+	return v.fingerprintInto(fnvOffset64)
 }
 
-type hasher interface {
-	Write(p []byte) (int, error)
-}
-
-func (v Value) hashInto(h hasher) {
-	var kb [1]byte
-	kb[0] = byte(v.kind)
-	h.Write(kb[:])
+// fingerprintInto folds v's canonical byte encoding into the running
+// FNV-1a hash h.
+func (v Value) fingerprintInto(h uint64) uint64 {
+	h = (h ^ uint64(byte(v.kind))) * fnvPrime64
 	switch v.kind {
 	case KindBool:
 		if v.b {
-			h.Write([]byte{1})
+			h = (h ^ 1) * fnvPrime64
 		} else {
-			h.Write([]byte{0})
+			h = h * fnvPrime64
 		}
 	case KindInt:
-		var buf [8]byte
 		u := uint64(v.i)
 		for i := 0; i < 8; i++ {
-			buf[i] = byte(u >> (8 * i))
+			h = (h ^ uint64(byte(u>>(8*i)))) * fnvPrime64
 		}
-		h.Write(buf[:])
 	case KindString:
-		h.Write([]byte(v.s))
-		h.Write([]byte{0})
+		for i := 0; i < len(v.s); i++ {
+			h = (h ^ uint64(v.s[i])) * fnvPrime64
+		}
+		h = h * fnvPrime64 // the terminating 0 byte
 	case KindTuple:
-		var lb [4]byte
 		n := uint32(len(v.t))
 		for i := 0; i < 4; i++ {
-			lb[i] = byte(n >> (8 * i))
+			h = (h ^ uint64(byte(n>>(8*i)))) * fnvPrime64
 		}
-		h.Write(lb[:])
 		for i := range v.t {
-			v.t[i].hashInto(h)
+			h = v.t[i].fingerprintInto(h)
 		}
 	}
+	return h
 }
 
 // Ints returns the domain {lo, lo+1, …, hi} as a slice of integer values.

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# bench.sh — run the PR 2 exploration benchmark and emit BENCH_PR2.json.
+#
+# Measures the Fig. 9 open-queue theorem (N=1, K=3 by default) sequentially
+# and with a parallel worker pool, plus the raw double-queue graph build, and
+# compares against the pre-refactor baseline embedded in scripts/benchpr2.
+#
+# Usage:
+#   scripts/bench.sh                 # defaults: N=1 K=3 workers=4 -> BENCH_PR2.json
+#   scripts/bench.sh -n 1 -k 2 -workers 2 -out /tmp/bench.json
+#
+# Also runs the Go benchmark suite briefly (BenchmarkBuild_Parallel,
+# BenchmarkFig9_Parallel) so regressions show up next to the JSON numbers;
+# set BENCH_SKIP_GO=1 to skip that step.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+go run ./scripts/benchpr2 "$@"
+
+if [ "${BENCH_SKIP_GO:-0}" != "1" ]; then
+    echo
+    echo "== go test -bench (short) =="
+    go test -run '^$' -bench 'Build_Parallel|Fig9_Parallel' -benchtime 1x .
+fi

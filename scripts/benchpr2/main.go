@@ -1,0 +1,182 @@
+// Command benchpr2 measures explicit-state exploration throughput on the
+// Fig. 9 open-queue theorem and emits a JSON report (BENCH_PR2.json) so the
+// performance trajectory of the checker has comparable data points across
+// PRs.
+//
+// It reports, for the configured instance:
+//
+//   - raw graph construction of the closed double-queue system (states/sec)
+//     at 1 worker and at -workers workers;
+//   - the full Fig. 9 Composition Theorem check (wall time, cumulative
+//     states, states/sec) at 1 worker and at -workers workers.
+//
+// Usage:
+//
+//	go run ./scripts/benchpr2 -n 1 -k 3 -workers 4 -out BENCH_PR2.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"opentla/internal/engine"
+	"opentla/internal/queue"
+)
+
+// Measurement is one timed exploration run.
+type Measurement struct {
+	Workers      int     `json:"workers"`
+	States       int     `json:"states"`
+	Transitions  int     `json:"transitions"`
+	PeakFrontier int     `json:"peak_frontier"`
+	WallSeconds  float64 `json:"wall_seconds"`
+	StatesPerSec float64 `json:"states_per_sec"`
+}
+
+// Report is the emitted BENCH_PR2.json document.
+type Report struct {
+	Instance     string        `json:"instance"`
+	GOMAXPROCS   int           `json:"gomaxprocs"`
+	BuildSeq     Measurement   `json:"build_sequential"`
+	BuildPar     Measurement   `json:"build_parallel"`
+	Fig9Seq      Measurement   `json:"fig9_theorem_sequential"`
+	Fig9Par      Measurement   `json:"fig9_theorem_parallel"`
+	Fig9Speedup  float64       `json:"fig9_speedup_vs_sequential"`
+	BuildSpeedup float64       `json:"build_speedup_vs_sequential"`
+	// PrePRBaseline records the pre-PR (string-keyed, single-goroutine)
+	// states/sec on the same instance, measured on this machine before the
+	// store/CSR/parallel-frontier refactor landed, for the ≥2x acceptance
+	// comparison.
+	PrePRBaseline      float64 `json:"pre_pr_fig9_states_per_sec_baseline"`
+	SpeedupVsPrePR     float64 `json:"fig9_speedup_vs_pre_pr_baseline"`
+	PrePRBaselineNote  string  `json:"pre_pr_baseline_note"`
+	GeneratedAtSeconds int64   `json:"generated_at_unix"`
+}
+
+func measure(run func(m *engine.Meter) error) (Measurement, error) {
+	m := engine.NoLimit()
+	start := time.Now()
+	if err := run(m); err != nil {
+		return Measurement{}, err
+	}
+	wall := time.Since(start)
+	st := m.Stats()
+	out := Measurement{
+		States:       st.States,
+		Transitions:  st.Transitions,
+		PeakFrontier: st.PeakFrontier,
+		WallSeconds:  wall.Seconds(),
+	}
+	if wall > 0 {
+		out.StatesPerSec = float64(st.States) / wall.Seconds()
+	}
+	return out, nil
+}
+
+func main() {
+	var n, k, workers int
+	var out, baselineNote string
+	var baseline float64
+	flag.IntVar(&n, "n", 1, "queue capacity N")
+	flag.IntVar(&k, "k", 3, "value-domain size K")
+	flag.IntVar(&workers, "workers", 4, "worker count for the parallel runs")
+	flag.StringVar(&out, "out", "BENCH_PR2.json", "output JSON path")
+	flag.Float64Var(&baseline, "pre-pr-baseline", 0,
+		"pre-PR sequential Fig9 states/sec on this instance (0 = use the recorded default)")
+	flag.StringVar(&baselineNote, "pre-pr-baseline-note", "", "provenance note for the baseline")
+	flag.Parse()
+
+	cfg := queue.Config{N: n, Vals: k}
+	rep := Report{
+		Instance:           fmt.Sprintf("Fig9 open-queue theorem, N=%d K=%d", n, k),
+		GOMAXPROCS:         maxprocs(),
+		GeneratedAtSeconds: time.Now().Unix(),
+	}
+	if baseline == 0 && n == 1 && k == 3 {
+		// Measured on the pre-PR tree (commit 06838d0) on this machine:
+		// Fig9Theorem().CheckWith over N=1,K=3 explored its states at this
+		// cumulative rate with the string-keyed single-goroutine BFS.
+		baseline = prePRDefaultBaseline
+		baselineNote = prePRDefaultBaselineNote
+	}
+	rep.PrePRBaseline = baseline
+	rep.PrePRBaselineNote = baselineNote
+
+	fig9 := func(w int) func(m *engine.Meter) error {
+		return func(m *engine.Meter) error {
+			th := cfg.Fig9Theorem()
+			th.Workers = w
+			report, err := th.CheckWith(m)
+			if err != nil {
+				return err
+			}
+			if !report.Valid {
+				return fmt.Errorf("Fig9 theorem unexpectedly invalid:\n%s", report)
+			}
+			return nil
+		}
+	}
+	build := func(w int) func(m *engine.Meter) error {
+		return func(m *engine.Meter) error {
+			sys := cfg.DoubleSystem(true)
+			sys.Workers = w
+			_, err := sys.BuildWith(m)
+			return err
+		}
+	}
+
+	var err error
+	if rep.BuildSeq, err = measure(build(1)); err != nil {
+		fatal(err)
+	}
+	if rep.BuildPar, err = measure(build(workers)); err != nil {
+		fatal(err)
+	}
+	if rep.Fig9Seq, err = measure(fig9(1)); err != nil {
+		fatal(err)
+	}
+	if rep.Fig9Par, err = measure(fig9(workers)); err != nil {
+		fatal(err)
+	}
+	rep.BuildSeq.Workers, rep.Fig9Seq.Workers = 1, 1
+	rep.BuildPar.Workers, rep.Fig9Par.Workers = workers, workers
+	if rep.Fig9Seq.StatesPerSec > 0 {
+		rep.Fig9Speedup = rep.Fig9Par.StatesPerSec / rep.Fig9Seq.StatesPerSec
+	}
+	if rep.BuildSeq.StatesPerSec > 0 {
+		rep.BuildSpeedup = rep.BuildPar.StatesPerSec / rep.BuildSeq.StatesPerSec
+	}
+	if rep.PrePRBaseline > 0 {
+		rep.SpeedupVsPrePR = rep.Fig9Par.StatesPerSec / rep.PrePRBaseline
+	}
+
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s\nwrote %s\n", data, out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchpr2:", err)
+	os.Exit(2)
+}
+
+func maxprocs() int { return runtime.GOMAXPROCS(0) }
+
+// prePRDefaultBaseline is the sequential Fig9 N=1,K=3 throughput measured on
+// this machine immediately before the store/CSR/parallel-frontier refactor
+// (commit 06838d0): 34092 distinct double-system states, 8.33s wall,
+// string-keyed single-goroutine BFS.
+const (
+	prePRDefaultBaseline     = 4093.0
+	prePRDefaultBaselineNote = "measured pre-refactor at commit 06838d0: Fig9 N=1 K=3, 34092 states in 8.33s, string-keyed sequential BFS"
+)
