@@ -14,6 +14,11 @@
 // the check; an exhausted budget yields an UNKNOWN verdict with partial
 // statistics rather than a hang.
 //
+// Observability: -progress <dur> prints a live status line to stderr,
+// -report <file> writes a machine-readable JSON run report (span tree,
+// per-phase stats, flight-recorder tail on UNKNOWN), and
+// -cpuprofile/-memprofile capture pprof profiles.
+//
 // Exit codes: 0 = all hypotheses hold, 1 = some hypothesis violated,
 // 2 = undecided (budget exhausted, internal failure, or usage error).
 package main
@@ -21,21 +26,27 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"opentla/internal/ag"
 	"opentla/internal/arbiter"
 	"opentla/internal/circular"
 	"opentla/internal/engine"
+	"opentla/internal/obs"
 	"opentla/internal/queue"
 )
 
 func main() {
-	os.Exit(run(os.Args[1:]))
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string) int {
+// modelNames lists the valid -model values, in help order.
+var modelNames = []string{"circular", "queues", "queues-no-g", "corollary", "arbiter"}
+
+func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("agcheck", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	model := fs.String("model", "circular", "model to check: circular | queues | queues-no-g | corollary | arbiter")
 	var n, k int
 	fs.IntVar(&n, "n", 1, "queue capacity N (>= 1)")
@@ -44,53 +55,117 @@ func run(args []string) int {
 	fs.IntVar(&k, "K", 2, "alias for -k")
 	bf := engine.AddBudgetFlags(fs)
 	workers := engine.AddWorkersFlag(fs)
+	of := obs.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if n < 1 {
-		fmt.Fprintf(os.Stderr, "agcheck: queue capacity N must be >= 1, got %d\n", n)
+		fmt.Fprintf(stderr, "agcheck: queue capacity N must be >= 1, got %d\n", n)
 		return 2
 	}
 	if k < 2 {
-		fmt.Fprintf(os.Stderr, "agcheck: value-domain size K must be >= 2, got %d\n", k)
+		fmt.Fprintf(stderr, "agcheck: value-domain size K must be >= 2, got %d\n", k)
 		return 2
 	}
 	cfg := queue.Config{N: n, Vals: k}
-	m := bf.Meter()
-	var report *ag.Report
-	var err error
+
+	// Resolve the model before spending anything on meters or profiles, so
+	// a typo fails fast with the valid list.
+	var checkModel func(m *engine.Meter) (*ag.Report, error)
 	switch *model {
 	case "circular":
-		th := circular.SafetyTheorem()
-		th.Workers = *workers
-		report, err = th.CheckWith(m)
+		checkModel = func(m *engine.Meter) (*ag.Report, error) {
+			th := circular.SafetyTheorem()
+			th.Workers = *workers
+			return th.CheckWith(m)
+		}
 	case "queues":
-		th := cfg.Fig9Theorem()
-		th.Workers = *workers
-		report, err = th.CheckWith(m)
+		checkModel = func(m *engine.Meter) (*ag.Report, error) {
+			th := cfg.Fig9Theorem()
+			th.Workers = *workers
+			return th.CheckWith(m)
+		}
 	case "queues-no-g":
-		th := cfg.Fig9Theorem()
-		th.Name += " WITHOUT G (expected to fail, §A.5 formula (3))"
-		th.Pairs = th.Pairs[1:]
-		th.Workers = *workers
-		report, err = th.CheckWith(m)
+		checkModel = func(m *engine.Meter) (*ag.Report, error) {
+			th := cfg.Fig9Theorem()
+			th.Name += " WITHOUT G (expected to fail, §A.5 formula (3))"
+			th.Pairs = th.Pairs[1:]
+			th.Workers = *workers
+			return th.CheckWith(m)
+		}
 	case "corollary":
-		rf := cfg.CorollaryRefinement()
-		rf.Workers = *workers
-		report, err = rf.CheckWith(m)
+		checkModel = func(m *engine.Meter) (*ag.Report, error) {
+			rf := cfg.CorollaryRefinement()
+			rf.Workers = *workers
+			return rf.CheckWith(m)
+		}
 	case "arbiter":
-		th := arbiter.Theorem()
-		th.Workers = *workers
-		report, err = th.CheckWith(m)
+		checkModel = func(m *engine.Meter) (*ag.Report, error) {
+			th := arbiter.Theorem()
+			th.Workers = *workers
+			return th.CheckWith(m)
+		}
 	default:
-		fmt.Fprintf(os.Stderr, "agcheck: unknown model %q\n", *model)
+		fmt.Fprintf(stderr, "agcheck: unknown model %q; valid models:\n", *model)
+		for _, name := range modelNames {
+			fmt.Fprintf(stderr, "  %s\n", name)
+		}
 		return 2
+	}
+
+	stopProfiles, err := of.Start()
+	if err != nil {
+		fmt.Fprintln(stderr, "agcheck:", err)
+		return 2
+	}
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			fmt.Fprintln(stderr, "agcheck:", err)
+		}
+	}()
+
+	m := bf.Meter()
+	var rec *obs.Recorder
+	if of.Enabled() {
+		rec = obs.New(m)
+	}
+	stopProgress := rec.StartProgress(stderr, of.Progress)
+	report, err := checkModel(m)
+	stopProgress()
+
+	verdict := engine.Unknown
+	unknown := ""
+	if report != nil {
+		verdict = report.Verdict
+		unknown = report.Unknown
+	} else if err != nil {
+		unknown = err.Error()
+	}
+	if of.Report != "" {
+		doc := rec.Finish("agcheck", obs.Config{
+			Model:          *model,
+			N:              n,
+			K:              k,
+			Workers:        *workers,
+			BudgetMS:       int64(bf.TimeoutMS),
+			MaxStates:      bf.MaxStates,
+			MaxTransitions: bf.MaxTransitions,
+		}, verdict, unknown)
+		if report != nil {
+			for _, h := range report.Hypotheses {
+				doc.Hypotheses = append(doc.Hypotheses, obs.Hypothesis{Name: h.Name, Holds: h.Holds, Detail: h.Detail})
+			}
+		}
+		if werr := obs.WriteFile(of.Report, doc); werr != nil {
+			fmt.Fprintln(stderr, "agcheck:", werr)
+			return 2
+		}
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "agcheck:", err)
+		fmt.Fprintln(stderr, "agcheck:", err)
 		return 2
 	}
-	fmt.Print(report)
-	fmt.Printf("run stats: %s\n", report.Stats)
-	return report.Verdict.ExitCode()
+	fmt.Fprint(stdout, report)
+	fmt.Fprintf(stdout, "run stats: %s\n", report.Stats)
+	return verdict.ExitCode()
 }

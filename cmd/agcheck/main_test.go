@@ -1,0 +1,151 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"opentla/internal/obs"
+)
+
+func TestUnknownModelListsValidModels(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-model", "nonesuch"}, &out, &errb)
+	if code != 2 {
+		t.Errorf("exit code = %d, want 2", code)
+	}
+	msg := errb.String()
+	if !strings.Contains(msg, `unknown model "nonesuch"`) {
+		t.Errorf("stderr %q missing the unknown model name", msg)
+	}
+	for _, name := range modelNames {
+		if !strings.Contains(msg, name) {
+			t.Errorf("stderr %q missing valid model %q", msg, name)
+		}
+	}
+	if out.Len() != 0 {
+		t.Errorf("stdout should be empty, got %q", out.String())
+	}
+}
+
+func TestBadDimensions(t *testing.T) {
+	tests := [][]string{
+		{"-model", "queues", "-n", "0"},
+		{"-model", "queues", "-k", "1"},
+	}
+	for _, args := range tests {
+		var out, errb bytes.Buffer
+		if code := run(args, &out, &errb); code != 2 {
+			t.Errorf("run(%v) = %d, want 2 (stderr %q)", args, code, errb.String())
+		}
+	}
+}
+
+func TestCircularReport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "report.json")
+	var out, errb bytes.Buffer
+	code := run([]string{"-model", "circular", "-report", path}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0 (stderr %q)", code, errb.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep obs.Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if rep.SchemaVersion != obs.SchemaVersion {
+		t.Errorf("schema_version = %d, want %d", rep.SchemaVersion, obs.SchemaVersion)
+	}
+	if rep.Tool != "agcheck" || rep.Verdict != "HOLDS" || rep.Config.Model != "circular" {
+		t.Errorf("report header = %s/%s/%s, want agcheck/HOLDS/circular",
+			rep.Tool, rep.Verdict, rep.Config.Model)
+	}
+	if len(rep.Hypotheses) == 0 {
+		t.Error("report has no hypotheses")
+	}
+	for _, h := range rep.Hypotheses {
+		if !h.Holds {
+			t.Errorf("hypothesis %q failed in a HOLDS report", h.Name)
+		}
+	}
+	if rep.Span == nil || rep.Span.Name != "run" {
+		t.Fatalf("report span root = %+v, want run", rep.Span)
+	}
+	// Exploration spans must account for every state the meter counted.
+	var sum func(s *obs.Span) int
+	sum = func(s *obs.Span) int {
+		n := 0
+		if strings.HasPrefix(s.Name, "build:") || strings.HasPrefix(s.Name, "product:") {
+			n = s.Stats.States
+		}
+		for _, c := range s.Children {
+			n += sum(c)
+		}
+		return n
+	}
+	if got := sum(rep.Span); got != rep.Stats.States || got == 0 {
+		t.Errorf("exploration spans account for %d states, top-level stats say %d",
+			got, rep.Stats.States)
+	}
+	if len(rep.Events) != 0 {
+		t.Errorf("HOLDS report should not carry flight-recorder events, got %d", len(rep.Events))
+	}
+}
+
+func TestBudgetExhaustedReport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "report.json")
+	var out, errb bytes.Buffer
+	code := run([]string{"-model", "queues", "-n", "1", "-k", "2", "-max-states", "50", "-report", path}, &out, &errb)
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2 (stderr %q)", code, errb.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep obs.Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if rep.Verdict != "UNKNOWN" {
+		t.Errorf("verdict = %q, want UNKNOWN", rep.Verdict)
+	}
+	if !strings.Contains(rep.UnknownReason, "state budget 50 exceeded") {
+		t.Errorf("unknown_reason = %q, want the exhausted state budget", rep.UnknownReason)
+	}
+	if rep.ExhaustedPhase == "" || !strings.HasPrefix(rep.ExhaustedPhase, "run/") {
+		t.Errorf("exhausted_phase = %q, want a span path under run/", rep.ExhaustedPhase)
+	}
+	if len(rep.Events) == 0 {
+		t.Error("UNKNOWN report should carry the flight-recorder tail")
+	}
+	var sawExhausted bool
+	for _, e := range rep.Events {
+		if e.Kind == "budget-exhausted" {
+			sawExhausted = true
+		}
+	}
+	if !sawExhausted {
+		t.Errorf("events missing budget-exhausted entry: %+v", rep.Events)
+	}
+}
+
+func TestProgressFlagWritesToStderr(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-model", "queues", "-n", "1", "-k", "2", "-progress", "1ms"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0 (stderr %q)", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "progress: ") {
+		t.Errorf("stderr %q missing progress lines", errb.String())
+	}
+	if strings.Contains(out.String(), "progress: ") {
+		t.Error("progress lines leaked to stdout")
+	}
+}

@@ -12,6 +12,10 @@
 // reports an UNKNOWN verdict with partial statistics and exits 2 instead
 // of hanging on an oversized instance.
 //
+// Observability: -progress <dur> prints a live status line to stderr,
+// -report <file> writes a machine-readable JSON run report, and
+// -cpuprofile/-memprofile capture pprof profiles.
+//
 // Exit codes: 0 = everything verified, 1 = a property violated,
 // 2 = undecided (budget exhausted, internal failure, or usage error).
 package main
@@ -19,20 +23,23 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
 	"opentla/internal/check"
 	"opentla/internal/engine"
+	"opentla/internal/obs"
 	"opentla/internal/queue"
 )
 
 func main() {
-	os.Exit(run(os.Args[1:]))
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string) int {
+func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("queueverify", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var n, k int
 	fs.IntVar(&n, "n", 1, "queue capacity N (>= 1)")
 	fs.IntVar(&n, "N", 1, "alias for -n")
@@ -41,74 +48,121 @@ func run(args []string) int {
 	verbose := fs.Bool("v", false, "print graph sizes")
 	bf := engine.AddBudgetFlags(fs)
 	workers := engine.AddWorkersFlag(fs)
+	of := obs.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if n < 1 {
-		fmt.Fprintf(os.Stderr, "queueverify: queue capacity N must be >= 1, got %d\n", n)
+		fmt.Fprintf(stderr, "queueverify: queue capacity N must be >= 1, got %d\n", n)
 		return 2
 	}
 	if k < 2 {
-		fmt.Fprintf(os.Stderr, "queueverify: value-domain size K must be >= 2, got %d\n", k)
+		fmt.Fprintf(stderr, "queueverify: value-domain size K must be >= 2, got %d\n", k)
 		return 2
 	}
 	cfg := queue.Config{N: n, Vals: k}
-	m := bf.Meter()
-	verdict, err := verify(cfg, m, *verbose, *workers)
+
+	stopProfiles, err := of.Start()
 	if err != nil {
-		if reason, _, ok := engine.AsUnknown(err); ok {
-			fmt.Printf("UNKNOWN: %s\n  partial progress: %s\n", reason, m.Stats())
-			return engine.Unknown.ExitCode()
-		}
-		fmt.Fprintln(os.Stderr, "queueverify:", err)
+		fmt.Fprintln(stderr, "queueverify:", err)
 		return 2
 	}
-	fmt.Printf("run stats: %s\n", m.Stats())
-	return verdict.ExitCode()
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			fmt.Fprintln(stderr, "queueverify:", err)
+		}
+	}()
+
+	m := bf.Meter()
+	var rec *obs.Recorder
+	if of.Enabled() {
+		rec = obs.New(m)
+	}
+	stopProgress := rec.StartProgress(stderr, of.Progress)
+	verdict, err := verify(stdout, cfg, m, *verbose, *workers)
+	stopProgress()
+
+	unknown := ""
+	code := verdict.ExitCode()
+	if err != nil {
+		if reason, _, ok := engine.AsUnknown(err); ok {
+			fmt.Fprintf(stdout, "UNKNOWN: %s\n  partial progress: %s\n", reason, m.Stats())
+			verdict, unknown = engine.Unknown, reason
+			code = engine.Unknown.ExitCode()
+		} else {
+			fmt.Fprintln(stderr, "queueverify:", err)
+			verdict, unknown = engine.Unknown, err.Error()
+			code = 2
+		}
+	} else {
+		fmt.Fprintf(stdout, "run stats: %s\n", m.Stats())
+	}
+	if of.Report != "" {
+		doc := rec.Finish("queueverify", obs.Config{
+			Model:          "appendix-a",
+			N:              n,
+			K:              k,
+			Workers:        *workers,
+			BudgetMS:       int64(bf.TimeoutMS),
+			MaxStates:      bf.MaxStates,
+			MaxTransitions: bf.MaxTransitions,
+		}, verdict, unknown)
+		if werr := obs.WriteFile(of.Report, doc); werr != nil {
+			fmt.Fprintln(stderr, "queueverify:", werr)
+			return 2
+		}
+	}
+	return code
 }
 
 // verify runs every Appendix A obligation under the shared meter and
 // returns the overall verdict. Budget and engine errors propagate to the
 // caller, which classifies them as UNKNOWN.
-func verify(cfg queue.Config, m *engine.Meter, verbose bool, workers int) (engine.Verdict, error) {
-	fmt.Printf("== Appendix A with N=%d, K=%d: values 0..%d, double capacity %d ==\n\n",
+func verify(w io.Writer, cfg queue.Config, m *engine.Meter, verbose bool, workers int) (engine.Verdict, error) {
+	fmt.Fprintf(w, "== Appendix A with N=%d, K=%d: values 0..%d, double capacity %d ==\n\n",
 		cfg.N, cfg.Vals, cfg.Vals-1, 2*cfg.N+1)
 
 	// §A.2: the complete single queue CQ.
 	start := time.Now()
+	endCQ := obs.SpanFromMeter(m, "phase:CQ")
 	singleSys := cfg.SingleSystem()
 	singleSys.Workers = workers
 	gq, err := singleSys.BuildWith(m)
+	endCQ()
 	if err != nil {
 		return engine.Unknown, fmt.Errorf("building CQ: %w", err)
 	}
-	fmt.Printf("CQ (Fig. 6): %d states, %d edges (%v)\n",
+	fmt.Fprintf(w, "CQ (Fig. 6): %d states, %d edges (%v)\n",
 		gq.NumStates(), gq.NumEdges(), time.Since(start).Round(time.Millisecond))
 
 	// §A.4: CDQ implements CQ^dbl.
 	start = time.Now()
+	endCDQ := obs.SpanFromMeter(m, "phase:CDQ=>CQdbl")
 	doubleSys := cfg.DoubleSystem(true)
 	doubleSys.Workers = workers
 	gd, err := doubleSys.BuildWith(m)
 	if err != nil {
+		endCDQ()
 		return engine.Unknown, fmt.Errorf("building CDQ: %w", err)
 	}
 	if verbose {
-		fmt.Printf("CDQ (Fig. 8): %d states, %d edges\n", gd.NumStates(), gd.NumEdges())
+		fmt.Fprintf(w, "CDQ (Fig. 8): %d states, %d edges\n", gd.NumStates(), gd.NumEdges())
 	}
 	envRes, err := check.Safety(gd, queue.QE("QEdbl", queue.In, queue.Out, cfg.ValueDomain()).SafetyFormula())
 	if err != nil {
+		endCDQ()
 		return engine.Unknown, err
 	}
 	sysRes, err := check.Component(gd, cfg.DoubleQueueSpec(), queue.DoubleMapping())
+	endCDQ()
 	if err != nil {
 		return engine.Unknown, err
 	}
 	if !envRes.Holds || !sysRes.Holds() {
-		fmt.Printf("CDQ => CQ^dbl (§A.4): FAILED\n%s\n%s\n", envRes, sysRes)
+		fmt.Fprintf(w, "CDQ => CQ^dbl (§A.4): FAILED\n%s\n%s\n", envRes, sysRes)
 		return engine.Violated, nil
 	}
-	fmt.Printf("CDQ => CQ^dbl (§A.4): OK  [refinement mapping q = q2 o z-in-flight o q1]  (%v)\n\n",
+	fmt.Fprintf(w, "CDQ => CQ^dbl (§A.4): OK  [refinement mapping q = q2 o z-in-flight o q1]  (%v)\n\n",
 		time.Since(start).Round(time.Millisecond))
 
 	// §A.5 / Fig. 9: the open-queue composition via the Composition Theorem.
@@ -119,8 +173,8 @@ func verify(cfg queue.Config, m *engine.Meter, verbose bool, workers int) (engin
 	if err != nil {
 		return engine.Unknown, err
 	}
-	fmt.Print(report)
-	fmt.Printf("(%v)\n\n", time.Since(start).Round(time.Millisecond))
+	fmt.Fprint(w, report)
+	fmt.Fprintf(w, "(%v)\n\n", time.Since(start).Round(time.Millisecond))
 	if report.Verdict != engine.Holds {
 		return report.Verdict, nil
 	}
@@ -141,11 +195,11 @@ func verify(cfg queue.Config, m *engine.Meter, verbose bool, workers int) (engin
 	if reportNoG.Valid {
 		return engine.Violated, fmt.Errorf("composition without G unexpectedly validated")
 	}
-	fmt.Printf("formula (3) without G: correctly NOT established (%v)\n",
+	fmt.Fprintf(w, "formula (3) without G: correctly NOT established (%v)\n",
 		time.Since(start).Round(time.Millisecond))
 	for _, h := range reportNoG.Hypotheses {
 		if !h.Holds {
-			fmt.Printf("  first failing hypothesis: %s\n", h.Name)
+			fmt.Fprintf(w, "  first failing hypothesis: %s\n", h.Name)
 			break
 		}
 	}

@@ -19,6 +19,7 @@ import (
 
 	"opentla/internal/engine"
 	"opentla/internal/handshake"
+	"opentla/internal/obs"
 	"opentla/internal/trace"
 	"opentla/internal/value"
 )
@@ -34,9 +35,20 @@ func run(args []string) int {
 	// Accepted for CLI uniformity with agcheck and queueverify; trace
 	// generation builds no state graphs, so the setting has no effect here.
 	_ = engine.AddWorkersFlag(fs)
+	pf := obs.AddProfileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	stopProfiles, err := pf.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		return 2
+	}
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			fmt.Fprintln(os.Stderr, "tracegen:", err)
+		}
+	}()
 	if *chanName == "" || strings.ContainsAny(*chanName, ". ,") {
 		fmt.Fprintf(os.Stderr, "tracegen: invalid channel name %q (must be non-empty, no dots, commas, or spaces)\n", *chanName)
 		return 2

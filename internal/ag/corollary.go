@@ -7,6 +7,7 @@ import (
 	"opentla/internal/check"
 	"opentla/internal/engine"
 	"opentla/internal/form"
+	"opentla/internal/obs"
 	"opentla/internal/spec"
 	"opentla/internal/ts"
 	"opentla/internal/value"
@@ -91,13 +92,24 @@ func (rf *Refinement) CheckWith(m *engine.Meter) (*Report, error) {
 		Valid:       true,
 		Conclusion:  "(E -+> M') => (E -+> M)",
 	}
-	return finishReport(r, m, rf.checkBoth(r, m))
+	end := obs.SpanFromMeter(m, "corollary:"+rf.Name)
+	err := rf.checkBoth(r, m)
+	end()
+	return finishReport(r, m, err)
 }
 
 // checkBoth runs hypotheses (a) and (b), accumulating results into r.
 func (rf *Refinement) checkBoth(r *Report, m *engine.Meter) error {
-	// (a) E+v ∧ C(M') ⇒ C(M), via the +v monitor product over the graph of
-	// C(M') with environment variables unconstrained.
+	if err := rf.checkHypA(r, m); err != nil {
+		return err
+	}
+	return rf.checkHypB(r, m)
+}
+
+// checkHypA discharges (a) E+v ∧ C(M') ⇒ C(M), via the +v monitor product
+// over the graph of C(M') with environment variables unconstrained.
+func (rf *Refinement) checkHypA(r *Report, m *engine.Meter) error {
+	defer obs.SpanFromMeter(m, "hyp-a")()
 	baseSys := &ts.System{
 		Name:       rf.Name + "/low-closure",
 		Components: []*spec.Component{rf.Low.SafetyOnly()},
@@ -126,8 +138,12 @@ func (rf *Refinement) checkBoth(r *Report, m *engine.Meter) error {
 		return fmt.Errorf("refinement %s hypothesis (a): %w", rf.Name, err)
 	}
 	r.add("(a): E+v /\\ C(M') => C(M)", resA.Holds, resA.String())
+	return nil
+}
 
-	// (b) E ∧ M' ⇒ M with fairness.
+// checkHypB discharges (b) E ∧ M' ⇒ M with fairness.
+func (rf *Refinement) checkHypB(r *Report, m *engine.Meter) error {
+	defer obs.SpanFromMeter(m, "hyp-b")()
 	fullSys := &ts.System{
 		Name:       rf.Name + "/full",
 		Components: []*spec.Component{rf.Low},

@@ -20,6 +20,7 @@ import (
 	"opentla/internal/check"
 	"opentla/internal/engine"
 	"opentla/internal/form"
+	"opentla/internal/obs"
 	"opentla/internal/spec"
 	"opentla/internal/ts"
 	"opentla/internal/value"
@@ -154,6 +155,9 @@ func finishReport(r *Report, m *engine.Meter, err error) (*Report, error) {
 			r.Valid = false
 			r.Verdict = engine.Unknown
 			r.Unknown = reason
+			// Terminal flight-recorder entry: contained engine failures
+			// never pass through Meter.fail, so note the reason here.
+			m.Note("unknown-verdict", reason)
 			return r, nil
 		}
 		return nil, err
@@ -313,8 +317,11 @@ func (th *Theorem) CheckWith(m *engine.Meter) (*Report, error) {
 	if err := th.validate(); err != nil {
 		return nil, err
 	}
+	end := obs.SpanFromMeter(m, "theorem:"+th.Name)
 	r := &Report{TheoremName: th.Name, Valid: true}
-	return finishReport(r, m, th.checkAll(r, m))
+	err := th.checkAll(r, m)
+	end()
+	return finishReport(r, m, err)
 }
 
 // checkAll runs every hypothesis check, accumulating results into r.
@@ -328,16 +335,8 @@ func (th *Theorem) checkAll(r *Report, m *engine.Meter) error {
 	r.noteStates(closedG.NumStates())
 
 	// Hypothesis (1): each assumption is implied.
-	for _, p := range th.Pairs {
-		if p.Env == nil {
-			r.add(fmt.Sprintf("H1[%s]: C(E) /\\ conj C(Mj) => TRUE", p.Name), true, "trivial (E_i = TRUE)")
-			continue
-		}
-		res, err := check.Safety(closedG, p.Env.SafetyFormula())
-		if err != nil {
-			return fmt.Errorf("hypothesis 1 for %s: %w", p.Name, err)
-		}
-		r.add(fmt.Sprintf("H1[%s]: C(E) /\\ conj C(Mj) => E_%s", p.Name, p.Name), res.Holds, res.String())
+	if err := th.checkHyp1(r, m, closedG); err != nil {
+		return err
 	}
 
 	// Hypothesis (2a), route A (Propositions 3 + 4).
@@ -358,6 +357,24 @@ func (r *Report) noteStates(n int) {
 	if n > r.States {
 		r.States = n
 	}
+}
+
+// checkHyp1 discharges hypothesis (1) for every pair: each assumption is
+// implied by the closure of the environment-constrained composition.
+func (th *Theorem) checkHyp1(r *Report, m *engine.Meter, closedG *ts.Graph) error {
+	defer obs.SpanFromMeter(m, "H1")()
+	for _, p := range th.Pairs {
+		if p.Env == nil {
+			r.add(fmt.Sprintf("H1[%s]: C(E) /\\ conj C(Mj) => TRUE", p.Name), true, "trivial (E_i = TRUE)")
+			continue
+		}
+		res, err := check.Safety(closedG, p.Env.SafetyFormula())
+		if err != nil {
+			return fmt.Errorf("hypothesis 1 for %s: %w", p.Name, err)
+		}
+		r.add(fmt.Sprintf("H1[%s]: C(E) /\\ conj C(Mj) => E_%s", p.Name, p.Name), res.Holds, res.String())
+	}
+	return nil
 }
 
 // CheckHyp2aPropositionsOnly discharges only hypothesis 2a, along the
@@ -400,6 +417,7 @@ func (th *Theorem) CheckHyp2aDirectOnly() (*Report, error) {
 //
 // Proposition 3 then yields ⊨ C(E)+v ∧ ⋀C(M_j) ⇒ C(M).
 func (th *Theorem) checkHyp2aViaPropositions(r *Report, closedG *ts.Graph) error {
+	defer obs.SpanFromMeter(closedG.Meter(), "H2a-A")()
 	m := th.Concl.Sys
 	// (i) plain closure implication on the env-constrained graph.
 	res, err := check.SafetyUnder(closedG, m.SafetyOnly().SafetyFormula(), th.Concl.Mapping)
@@ -504,6 +522,7 @@ func (th *Theorem) conclusionGuaranteeFreeVars() []string {
 // "C(E) held for a prefix, after which v froze"; C(M) is then checked on
 // the product.
 func (th *Theorem) checkHyp2aDirect(r *Report, m *engine.Meter) error {
+	defer obs.SpanFromMeter(m, "H2a-B")()
 	baseSys := th.lhsSystem(th.Name+"/plus-base", false, true)
 	baseG, err := baseSys.BuildWith(m)
 	if err != nil {
@@ -534,6 +553,7 @@ func (th *Theorem) checkHyp2aDirect(r *Report, m *engine.Meter) error {
 
 // checkHyp2b discharges ⊨ E ∧ ⋀M_j ⇒ M with fairness on both sides.
 func (th *Theorem) checkHyp2b(r *Report, m *engine.Meter) error {
+	defer obs.SpanFromMeter(m, "H2b")()
 	fullSys := th.lhsSystem(th.Name+"/full-lhs", true, false)
 	fullG, err := fullSys.BuildWith(m)
 	if err != nil {

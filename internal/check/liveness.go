@@ -6,6 +6,7 @@ import (
 
 	"opentla/internal/engine"
 	"opentla/internal/form"
+	"opentla/internal/obs"
 	"opentla/internal/state"
 	"opentla/internal/ts"
 )
@@ -132,6 +133,7 @@ func Liveness(g *ts.Graph, target form.Formula, mapping map[string]form.Expr) (r
 		target = target.Subst(mapping)
 	}
 	m := g.Meter()
+	defer obs.SpanFromMeter(m, "check:liveness")()
 	var curTarget form.Formula
 	defer engine.Capture(&err, "check.Liveness", func() (string, string) {
 		if curTarget != nil {

@@ -16,6 +16,7 @@ import (
 
 	"opentla/internal/engine"
 	"opentla/internal/form"
+	"opentla/internal/obs"
 	"opentla/internal/state"
 	"opentla/internal/ts"
 )
@@ -119,6 +120,7 @@ func SafetyUnder(g *ts.Graph, f form.Formula, mapping map[string]form.Expr) (res
 		f = f.Subst(mapping)
 	}
 	m := g.Meter()
+	defer obs.SpanFromMeter(m, "check:safety")()
 	var cur *state.State
 	defer engine.Capture(&err, "check.Safety", func() (string, string) {
 		if cur != nil {

@@ -87,6 +87,25 @@ func (s RunStats) String() string {
 		s.States, s.Transitions, s.SCCs, s.PeakFrontier, s.Elapsed.Round(time.Millisecond))
 }
 
+// Observer receives engine-level observability callbacks: flight-recorder
+// events (budget warnings, exhaustion, SCC milestones) and frontier level
+// barriers. The obs package provides the standard implementation; a nil
+// observer costs one pointer load and branch per callback site.
+//
+// Concurrency contract: an Observer must be installed with SetObserver
+// before the exploration it observes starts and must itself be safe for
+// concurrent use — callbacks arrive from worker goroutines.
+type Observer interface {
+	// ObserveEvent records one flight-recorder event. kind is a short stable
+	// tag ("budget", "budget-exhausted", "scc", "level", "unknown-verdict");
+	// msg is human-readable.
+	ObserveEvent(kind, msg string)
+	// ObserveLevel records a frontier level barrier of exploration op:
+	// the level index (BFS depth), the level's width in states, the worker
+	// goroutines that drained it, and the total states explored so far.
+	ObserveLevel(op string, level, width, workers, totalStates int)
+}
+
 // Budget bounds an exploration. The zero value is unlimited.
 type Budget struct {
 	// Timeout is the wall-clock budget (0 = unlimited).
@@ -107,6 +126,16 @@ func (b Budget) Meter() *Meter {
 	m := &Meter{budget: b, start: time.Now()}
 	if b.Timeout > 0 {
 		m.deadline = m.start.Add(b.Timeout)
+		m.warnTime80 = m.start.Add(b.Timeout * 8 / 10)
+		m.warnTime95 = m.start.Add(b.Timeout * 19 / 20)
+	}
+	if b.MaxStates > 0 {
+		m.warn80s = int64(b.MaxStates) * 8 / 10
+		m.warn95s = int64(b.MaxStates) * 19 / 20
+	}
+	if b.MaxTransitions > 0 {
+		m.warn80t = int64(b.MaxTransitions) * 8 / 10
+		m.warn95t = int64(b.MaxTransitions) * 19 / 20
 	}
 	return m
 }
@@ -143,6 +172,56 @@ type Meter struct {
 	failed atomic.Bool // fast path: true once err is latched
 	mu     sync.Mutex
 	err    error
+
+	// obs, when non-nil, receives flight-recorder events. It must be set
+	// with SetObserver before the metered exploration starts (the field is
+	// read without synchronization on hot paths).
+	obs Observer
+	// warn80/warn95 are precomputed budget-warning thresholds (0 = none):
+	// [0]/[1] states, [2]/[3] transitions at 80%/95%. Time warnings use
+	// warnTime80/95. Each fires at most once, latched in warned.
+	warn80s, warn95s int64
+	warn80t, warn95t int64
+	warnTime80       time.Time
+	warnTime95       time.Time
+	warned           [6]atomic.Bool
+}
+
+// Indexes into Meter.warned.
+const (
+	warnIdxStates80 = iota
+	warnIdxStates95
+	warnIdxTrans80
+	warnIdxTrans95
+	warnIdxTime80
+	warnIdxTime95
+)
+
+// SetObserver installs the observer receiving this meter's events. It must
+// be called before the metered exploration starts; the observer itself must
+// be safe for concurrent use.
+func (m *Meter) SetObserver(o Observer) { m.obs = o }
+
+// Observer returns the installed observer, or nil.
+func (m *Meter) Observer() Observer { return m.obs }
+
+// Budget returns the budget this meter enforces.
+func (m *Meter) Budget() Budget { return m.budget }
+
+// Note forwards one flight-recorder event to the observer, if any. Layers
+// above the engine use it to drop diagnostics into the flight recorder
+// without depending on the obs package.
+func (m *Meter) Note(kind, msg string) {
+	if m.obs != nil {
+		m.obs.ObserveEvent(kind, msg)
+	}
+}
+
+// warnOnce fires the i-th budget warning exactly once.
+func (m *Meter) warnOnce(i int, msg string) {
+	if !m.warned[i].Swap(true) {
+		m.obs.ObserveEvent("budget", msg)
+	}
 }
 
 // Err returns the latched exhaustion error, or nil.
@@ -171,12 +250,19 @@ func (m *Meter) Stats() RunStats {
 
 func (m *Meter) fail(reason string) error {
 	m.mu.Lock()
-	defer m.mu.Unlock()
+	first := false
 	if m.err == nil {
 		m.err = &BudgetError{Reason: reason, Stats: m.Stats()}
 		m.failed.Store(true)
+		first = true
 	}
-	return m.err
+	err := m.err
+	m.mu.Unlock()
+	// Emit outside the lock: the observer may read meter state.
+	if first && m.obs != nil {
+		m.obs.ObserveEvent("budget-exhausted", reason)
+	}
+	return err
 }
 
 // Tick is the cooperative cancellation point: call it once per unit of work
@@ -189,8 +275,18 @@ func (m *Meter) Tick() error {
 	if m.ticks.Add(1)&timeCheckMask != 0 {
 		return nil
 	}
-	if !m.deadline.IsZero() && time.Now().After(m.deadline) {
-		return m.fail(fmt.Sprintf("wall-clock budget %v exceeded", m.budget.Timeout))
+	if !m.deadline.IsZero() {
+		now := time.Now()
+		if now.After(m.deadline) {
+			return m.fail(fmt.Sprintf("wall-clock budget %v exceeded", m.budget.Timeout))
+		}
+		if m.obs != nil {
+			if now.After(m.warnTime95) {
+				m.warnOnce(warnIdxTime95, fmt.Sprintf("95%% of wall-clock budget %v used", m.budget.Timeout))
+			} else if now.After(m.warnTime80) {
+				m.warnOnce(warnIdxTime80, fmt.Sprintf("80%% of wall-clock budget %v used", m.budget.Timeout))
+			}
+		}
 	}
 	if m.budget.Ctx != nil {
 		select {
@@ -211,6 +307,13 @@ func (m *Meter) AddState() error {
 	if m.budget.MaxStates > 0 && n > int64(m.budget.MaxStates) {
 		return m.fail(fmt.Sprintf("state budget %d exceeded", m.budget.MaxStates))
 	}
+	if m.obs != nil && m.warn80s > 0 {
+		if n >= m.warn95s {
+			m.warnOnce(warnIdxStates95, fmt.Sprintf("95%% of state budget used (%d of %d)", n, m.budget.MaxStates))
+		} else if n >= m.warn80s {
+			m.warnOnce(warnIdxStates80, fmt.Sprintf("80%% of state budget used (%d of %d)", n, m.budget.MaxStates))
+		}
+	}
 	return m.Tick()
 }
 
@@ -224,11 +327,27 @@ func (m *Meter) AddTransitions(n int) error {
 	if m.budget.MaxTransitions > 0 && total > int64(m.budget.MaxTransitions) {
 		return m.fail(fmt.Sprintf("transition budget %d exceeded", m.budget.MaxTransitions))
 	}
+	if m.obs != nil && m.warn80t > 0 {
+		if total >= m.warn95t {
+			m.warnOnce(warnIdxTrans95, fmt.Sprintf("95%% of transition budget used (%d of %d)", total, m.budget.MaxTransitions))
+		} else if total >= m.warn80t {
+			m.warnOnce(warnIdxTrans80, fmt.Sprintf("80%% of transition budget used (%d of %d)", total, m.budget.MaxTransitions))
+		}
+	}
 	return nil
 }
 
+// sccMilestoneMask amortises SCC milestone events: one fires every
+// sccMilestoneMask+1 components examined.
+const sccMilestoneMask = 8191
+
 // NoteSCC records one strongly connected component examined.
-func (m *Meter) NoteSCC() { m.sccs.Add(1) }
+func (m *Meter) NoteSCC() {
+	n := m.sccs.Add(1)
+	if m.obs != nil && n&sccMilestoneMask == 0 {
+		m.obs.ObserveEvent("scc", fmt.Sprintf("%d SCCs examined", n))
+	}
+}
 
 // NoteFrontier records the current BFS frontier size (for the level-
 // synchronous exploration, the width of a level).

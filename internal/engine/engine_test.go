@@ -171,16 +171,6 @@ func TestAsUnknown(t *testing.T) {
 	}
 }
 
-func TestRunStatsString(t *testing.T) {
-	s := RunStats{States: 1, Transitions: 2, SCCs: 3, PeakFrontier: 4, Elapsed: 5 * time.Millisecond}
-	str := s.String()
-	for _, want := range []string{"1 states", "2 transitions", "3 SCCs", "peak frontier 4", "5ms"} {
-		if !strings.Contains(str, want) {
-			t.Errorf("stats string %q missing %q", str, want)
-		}
-	}
-}
-
 // TestMeterConcurrent hammers one meter from several goroutines, checking
 // that counters stay exact and that a budget overrun latches exactly one
 // error visible to every goroutine. Run with -race.

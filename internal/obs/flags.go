@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"time"
+)
+
+// ProfileFlags carries the pprof flags shared by every CLI.
+type ProfileFlags struct {
+	CPUProfile string
+	MemProfile string
+}
+
+// AddProfileFlags registers -cpuprofile and -memprofile.
+func AddProfileFlags(fs *flag.FlagSet) *ProfileFlags {
+	p := &ProfileFlags{}
+	fs.StringVar(&p.CPUProfile, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&p.MemProfile, "memprofile", "", "write a heap profile to this file on exit")
+	return p
+}
+
+// Start begins CPU profiling if requested and returns the stop func, which
+// finishes the CPU profile and writes the heap profile. The stop func is
+// safe to call when no profiling was requested.
+func (p *ProfileFlags) Start() (func() error, error) {
+	var cpu *os.File
+	if p.CPUProfile != "" {
+		f, err := os.Create(p.CPUProfile)
+		if err != nil {
+			return nil, fmt.Errorf("creating CPU profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("starting CPU profile: %w", err)
+		}
+		cpu = f
+	}
+	return func() error {
+		var first error
+		if cpu != nil {
+			pprof.StopCPUProfile()
+			if err := cpu.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+		if p.MemProfile != "" {
+			f, err := os.Create(p.MemProfile)
+			if err != nil {
+				if first == nil {
+					first = fmt.Errorf("creating heap profile: %w", err)
+				}
+				return first
+			}
+			runtime.GC() // materialize up-to-date allocation statistics
+			if err := pprof.WriteHeapProfile(f); err != nil && first == nil {
+				first = fmt.Errorf("writing heap profile: %w", err)
+			}
+			if err := f.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}, nil
+}
+
+// Flags bundles the observability flags of the checking CLIs.
+type Flags struct {
+	// Progress is the live-progress interval (0 = off).
+	Progress time.Duration
+	// Report is the run-report output path ("" = none).
+	Report string
+	*ProfileFlags
+}
+
+// AddFlags registers -progress, -report, -cpuprofile, and -memprofile.
+func AddFlags(fs *flag.FlagSet) *Flags {
+	f := &Flags{ProfileFlags: AddProfileFlags(fs)}
+	fs.DurationVar(&f.Progress, "progress", 0,
+		"print a live progress line to stderr at this interval (e.g. 1s; 0 = off)")
+	fs.StringVar(&f.Report, "report", "",
+		"write a machine-readable JSON run report to this file")
+	return f
+}
+
+// Enabled reports whether the flags call for a recorder.
+func (f *Flags) Enabled() bool { return f.Progress > 0 || f.Report != "" }

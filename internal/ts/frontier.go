@@ -117,7 +117,8 @@ func explore(p exploreParams) (*exploreResult, error) {
 		res.inits = append(res.inits, finals[ref])
 	}
 
-	levelStart := 0
+	obs := m.Observer()
+	levelStart, level := 0, 0
 	for levelStart < len(res.states) {
 		levelEnd := len(res.states)
 		lv := levelRun{
@@ -166,6 +167,13 @@ func explore(p exploreParams) (*exploreResult, error) {
 			adj = append(adj, row)
 		}
 		m.NoteFrontier(len(res.states) - levelEnd)
+		if obs != nil {
+			// Per-level counters for live progress and the flight recorder:
+			// BFS depth, the width just drained, the workers that drained it,
+			// and the running state total.
+			obs.ObserveLevel(p.op, level, levelEnd-levelStart, w, len(res.states))
+		}
+		level++
 		levelStart = levelEnd
 	}
 

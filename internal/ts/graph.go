@@ -5,6 +5,7 @@ import (
 
 	"opentla/internal/engine"
 	"opentla/internal/form"
+	"opentla/internal/obs"
 	"opentla/internal/state"
 	"opentla/internal/store"
 )
@@ -58,6 +59,7 @@ func (sys *System) BuildWith(m *engine.Meter) (*Graph, error) {
 	if m == nil {
 		m = engine.NoLimit()
 	}
+	defer obs.SpanFromMeter(m, "build:"+sys.Name)()
 	if err := sys.Validate(); err != nil {
 		return nil, err
 	}

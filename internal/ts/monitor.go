@@ -5,6 +5,7 @@ import (
 
 	"opentla/internal/engine"
 	"opentla/internal/form"
+	"opentla/internal/obs"
 	"opentla/internal/state"
 	"opentla/internal/value"
 )
@@ -41,6 +42,7 @@ type Monitor struct {
 // *engine.EngineError with the current product state's fingerprint.
 func Product(g *Graph, mons []*Monitor) (p *Graph, err error) {
 	meter := g.Meter()
+	defer obs.SpanFromMeter(meter, "product:"+g.Sys.Name)()
 	defer engine.Capture(&err, "ts.Product", nil)
 	domains := make(map[string][]value.Value, len(g.Ctx.Domains)+len(mons))
 	for k, v := range g.Ctx.Domains {

@@ -1,0 +1,106 @@
+package ts
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"opentla/internal/engine"
+)
+
+// levelRecord is one ObserveLevel callback.
+type levelRecord struct {
+	op          string
+	level       int
+	width       int
+	workers     int
+	totalStates int
+}
+
+// levelObserver collects ObserveLevel calls; concurrency-safe because
+// exploration may invoke the observer from the coordinating goroutine while
+// tests read afterwards.
+type levelObserver struct {
+	mu     sync.Mutex
+	levels []levelRecord
+	events []string
+}
+
+func (o *levelObserver) ObserveEvent(kind, msg string) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.events = append(o.events, kind+": "+msg)
+}
+
+func (o *levelObserver) ObserveLevel(op string, level, width, workers, totalStates int) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.levels = append(o.levels, levelRecord{op, level, width, workers, totalStates})
+}
+
+// TestExploreReportsLevels verifies that graph exploration emits one
+// ObserveLevel per BFS level barrier with consistent counters: levels
+// strictly increasing from 0, widths summing to the number of states, and
+// the final cumulative total matching the graph.
+func TestExploreReportsLevels(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		obs := &levelObserver{}
+		m := engine.NoLimit()
+		m.SetObserver(obs)
+		sys := pairSystem(4)
+		sys.Workers = workers
+		g, err := sys.BuildWith(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(obs.levels) == 0 {
+			t.Fatalf("workers=%d: no ObserveLevel calls", workers)
+		}
+		widthSum, prevTotal := 0, 0
+		for i, l := range obs.levels {
+			if l.level != i {
+				t.Errorf("workers=%d: level %d reported as %d", workers, i, l.level)
+			}
+			if !strings.Contains(l.op, "ts.Build") {
+				t.Errorf("workers=%d: op = %q, want a ts.Build label", workers, l.op)
+			}
+			if l.workers < 1 {
+				t.Errorf("workers=%d: reported worker count %d", workers, l.workers)
+			}
+			widthSum += l.width
+			// totalStates counts everything discovered so far, including the
+			// next level found while draining this one: at least the drained
+			// states, never shrinking.
+			if l.totalStates < widthSum || l.totalStates < prevTotal {
+				t.Errorf("workers=%d: level %d total %d, want >= drained %d and >= previous %d",
+					workers, i, l.totalStates, widthSum, prevTotal)
+			}
+			prevTotal = l.totalStates
+		}
+		if widthSum != g.NumStates() {
+			t.Errorf("workers=%d: level widths sum to %d, graph has %d states",
+				workers, widthSum, g.NumStates())
+		}
+		final := obs.levels[len(obs.levels)-1]
+		if final.totalStates != g.NumStates() {
+			t.Errorf("workers=%d: final total %d, want %d", workers, final.totalStates, g.NumStates())
+		}
+	}
+}
+
+// TestExploreNoObserverStillCounts pins the disabled path: no observer, same
+// graph, frontier peak still recorded by the meter.
+func TestExploreNoObserverStillCounts(t *testing.T) {
+	m := engine.NoLimit()
+	g, err := pairSystem(4).BuildWith(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := m.Stats()
+	if st.States != g.NumStates() {
+		t.Errorf("meter states %d, graph %d", st.States, g.NumStates())
+	}
+	if st.PeakFrontier <= 0 {
+		t.Errorf("peak frontier %d, want > 0", st.PeakFrontier)
+	}
+}

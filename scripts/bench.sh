@@ -1,12 +1,15 @@
 #!/usr/bin/env bash
-# bench.sh — run the PR 2 exploration benchmark and emit BENCH_PR2.json.
+# bench.sh — run the PR 3 benchmark and emit BENCH_PR3.json.
 #
-# Measures the Fig. 9 open-queue theorem (N=1, K=3 by default) sequentially
-# and with a parallel worker pool, plus the raw double-queue graph build, and
-# compares against the pre-refactor baseline embedded in scripts/benchpr2.
+# The Fig. 9 open-queue theorem (N=1, K=3 by default) is measured through
+# agcheck's machine-readable -report run reports — the same artifact CI
+# validates — at 1 worker and at a parallel worker pool; the raw double-queue
+# graph build is timed in-process; and the recorder-on vs recorder-off
+# overhead comparison backs the "observability costs < 3%" contract. Prior
+# PRs' numbers are embedded in the trajectory section of the output.
 #
 # Usage:
-#   scripts/bench.sh                 # defaults: N=1 K=3 workers=4 -> BENCH_PR2.json
+#   scripts/bench.sh                 # defaults: N=1 K=3 workers=4 -> BENCH_PR3.json
 #   scripts/bench.sh -n 1 -k 2 -workers 2 -out /tmp/bench.json
 #
 # Also runs the Go benchmark suite briefly (BenchmarkBuild_Parallel,
@@ -15,7 +18,11 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-go run ./scripts/benchpr2 "$@"
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+go build -o "$tmp/agcheck" ./cmd/agcheck
+
+go run ./scripts/benchpr3 -agcheck "$tmp/agcheck" "$@"
 
 if [ "${BENCH_SKIP_GO:-0}" != "1" ]; then
     echo
