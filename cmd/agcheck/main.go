@@ -19,6 +19,11 @@
 // per-phase stats, flight-recorder tail on UNKNOWN), and
 // -cpuprofile/-memprofile capture pprof profiles.
 //
+// Caching: -cache-dir <dir> keeps a persistent content-addressed graph
+// cache, so re-checking an unchanged model skips exploration entirely;
+// -resume continues a budget-interrupted build from its checkpoint, and
+// -no-cache forces a cold build against a populated cache.
+//
 // Exit codes: 0 = all hypotheses hold, 1 = some hypothesis violated,
 // 2 = undecided (budget exhausted, internal failure, or usage error).
 package main
@@ -28,13 +33,16 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"opentla/internal/ag"
 	"opentla/internal/arbiter"
+	"opentla/internal/cache"
 	"opentla/internal/circular"
 	"opentla/internal/engine"
 	"opentla/internal/obs"
 	"opentla/internal/queue"
+	"opentla/internal/ts"
 )
 
 func main() {
@@ -56,33 +64,64 @@ func run(args []string, stdout, stderr io.Writer) int {
 	bf := engine.AddBudgetFlags(fs)
 	workers := engine.AddWorkersFlag(fs)
 	of := obs.AddFlags(fs)
+	var cf cache.Flags
+	cf.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	if n < 1 {
-		fmt.Fprintf(stderr, "agcheck: queue capacity N must be >= 1, got %d\n", n)
+
+	// fail reports a usage or startup error. When -report was requested the
+	// run still gets a minimal UNKNOWN report, so automation reading reports
+	// sees the failure reason instead of a missing file.
+	fail := func(format string, fargs ...any) int {
+		msg := fmt.Sprintf(format, fargs...)
+		fmt.Fprintf(stderr, "agcheck: %s\n", msg)
+		if of.Report != "" {
+			doc := (*obs.Recorder)(nil).Finish("agcheck", obs.Config{
+				Model:          *model,
+				N:              n,
+				K:              k,
+				Workers:        *workers,
+				BudgetMS:       int64(bf.TimeoutMS),
+				MaxStates:      bf.MaxStates,
+				MaxTransitions: bf.MaxTransitions,
+			}, engine.Unknown, msg)
+			if werr := obs.WriteFile(of.Report, doc); werr != nil {
+				fmt.Fprintln(stderr, "agcheck:", werr)
+			}
+		}
 		return 2
 	}
+
+	if n < 1 {
+		return fail("queue capacity N must be >= 1, got %d", n)
+	}
 	if k < 2 {
-		fmt.Fprintf(stderr, "agcheck: value-domain size K must be >= 2, got %d\n", k)
-		return 2
+		return fail("value-domain size K must be >= 2, got %d", k)
+	}
+	if err := cf.Validate(); err != nil {
+		return fail("%v", err)
 	}
 	cfg := queue.Config{N: n, Vals: k}
 
 	// Resolve the model before spending anything on meters or profiles, so
-	// a typo fails fast with the valid list.
+	// a typo fails fast with the valid list. gc is assigned after the cache
+	// opens; the closures read it at call time.
+	var gc ts.GraphCache
 	var checkModel func(m *engine.Meter) (*ag.Report, error)
 	switch *model {
 	case "circular":
 		checkModel = func(m *engine.Meter) (*ag.Report, error) {
 			th := circular.SafetyTheorem()
 			th.Workers = *workers
+			th.Cache, th.Resume = gc, cf.Resume
 			return th.CheckWith(m)
 		}
 	case "queues":
 		checkModel = func(m *engine.Meter) (*ag.Report, error) {
 			th := cfg.Fig9Theorem()
 			th.Workers = *workers
+			th.Cache, th.Resume = gc, cf.Resume
 			return th.CheckWith(m)
 		}
 	case "queues-no-g":
@@ -91,32 +130,36 @@ func run(args []string, stdout, stderr io.Writer) int {
 			th.Name += " WITHOUT G (expected to fail, §A.5 formula (3))"
 			th.Pairs = th.Pairs[1:]
 			th.Workers = *workers
+			th.Cache, th.Resume = gc, cf.Resume
 			return th.CheckWith(m)
 		}
 	case "corollary":
 		checkModel = func(m *engine.Meter) (*ag.Report, error) {
 			rf := cfg.CorollaryRefinement()
 			rf.Workers = *workers
+			rf.Cache, rf.Resume = gc, cf.Resume
 			return rf.CheckWith(m)
 		}
 	case "arbiter":
 		checkModel = func(m *engine.Meter) (*ag.Report, error) {
 			th := arbiter.Theorem()
 			th.Workers = *workers
+			th.Cache, th.Resume = gc, cf.Resume
 			return th.CheckWith(m)
 		}
 	default:
-		fmt.Fprintf(stderr, "agcheck: unknown model %q; valid models:\n", *model)
-		for _, name := range modelNames {
-			fmt.Fprintf(stderr, "  %s\n", name)
-		}
-		return 2
+		return fail("unknown model %q; valid models: %s", *model, strings.Join(modelNames, " | "))
+	}
+
+	if c, err := cf.Open(); err != nil {
+		return fail("opening cache: %v", err)
+	} else if c != nil {
+		gc = c
 	}
 
 	stopProfiles, err := of.Start()
 	if err != nil {
-		fmt.Fprintln(stderr, "agcheck:", err)
-		return 2
+		return fail("%v", err)
 	}
 	defer func() {
 		if err := stopProfiles(); err != nil {

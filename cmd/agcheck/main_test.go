@@ -136,6 +136,124 @@ func TestBudgetExhaustedReport(t *testing.T) {
 	}
 }
 
+// TestErrorPathsStillWriteReport pins the bugfix for startup failures
+// (unknown model, bad dimensions, bad flag combinations, profile setup):
+// when -report is requested, these paths must still write a minimal UNKNOWN
+// report naming the failure instead of silently skipping the file.
+func TestErrorPathsStillWriteReport(t *testing.T) {
+	tests := []struct {
+		name   string
+		args   []string
+		reason string
+	}{
+		{"unknown model", []string{"-model", "nonesuch"}, `unknown model "nonesuch"`},
+		{"bad n", []string{"-model", "queues", "-n", "0"}, "capacity N must be >= 1"},
+		{"bad k", []string{"-model", "queues", "-k", "1"}, "value-domain size K must be >= 2"},
+		{"resume without cache-dir", []string{"-model", "circular", "-resume"}, "-resume requires -cache-dir"},
+		{"resume with no-cache", []string{"-model", "circular", "-cache-dir", "d", "-no-cache", "-resume"}, "-resume requires -cache-dir"},
+		{"profile start failure", []string{"-model", "circular", "-cpuprofile", "no/such/dir/cpu.prof"}, "cpu"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "report.json")
+			var out, errb bytes.Buffer
+			code := run(append(tt.args, "-report", path), &out, &errb)
+			if code != 2 {
+				t.Fatalf("exit code = %d, want 2 (stderr %q)", code, errb.String())
+			}
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("no report written on the error path: %v", err)
+			}
+			var rep obs.Report
+			if err := json.Unmarshal(data, &rep); err != nil {
+				t.Fatalf("report is not valid JSON: %v", err)
+			}
+			if rep.SchemaVersion != obs.SchemaVersion || rep.Tool != "agcheck" {
+				t.Errorf("report header = %d/%s, want %d/agcheck", rep.SchemaVersion, rep.Tool, obs.SchemaVersion)
+			}
+			if rep.Verdict != "UNKNOWN" {
+				t.Errorf("verdict = %q, want UNKNOWN", rep.Verdict)
+			}
+			if !strings.Contains(rep.UnknownReason, tt.reason) {
+				t.Errorf("unknown_reason = %q, want substring %q", rep.UnknownReason, tt.reason)
+			}
+		})
+	}
+}
+
+// TestWarmCacheSecondRunSkipsExploration runs the same model twice against
+// one cache directory: the second run must report at least one cache hit,
+// zero explored states, and the same verdict.
+func TestWarmCacheSecondRunSkipsExploration(t *testing.T) {
+	dir := t.TempDir()
+	cacheDir := filepath.Join(dir, "cache")
+	args := func(report string) []string {
+		return []string{"-model", "queues", "-n", "1", "-k", "2", "-cache-dir", cacheDir, "-report", report}
+	}
+	cold := filepath.Join(dir, "cold.json")
+	warm := filepath.Join(dir, "warm.json")
+	var out, errb bytes.Buffer
+	if code := run(args(cold), &out, &errb); code != 0 {
+		t.Fatalf("cold run exit code = %d, want 0 (stderr %q)", code, errb.String())
+	}
+	if code := run(args(warm), &out, &errb); code != 0 {
+		t.Fatalf("warm run exit code = %d, want 0 (stderr %q)", code, errb.String())
+	}
+	var coldRep, warmRep obs.Report
+	for path, rep := range map[string]*obs.Report{cold: &coldRep, warm: &warmRep} {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.Unmarshal(data, rep); err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+	}
+	if coldRep.Cache == nil || coldRep.Cache.Misses == 0 {
+		t.Errorf("cold run cache section = %+v, want misses > 0", coldRep.Cache)
+	}
+	if warmRep.Cache == nil || warmRep.Cache.Hits == 0 {
+		t.Fatalf("warm run cache section = %+v, want hits > 0", warmRep.Cache)
+	}
+	if warmRep.Stats.States != 0 {
+		t.Errorf("warm run explored %d states, want 0 (all graphs served from cache)", warmRep.Stats.States)
+	}
+	if warmRep.Verdict != coldRep.Verdict {
+		t.Errorf("warm verdict %q != cold verdict %q", warmRep.Verdict, coldRep.Verdict)
+	}
+	if len(warmRep.Hypotheses) != len(coldRep.Hypotheses) {
+		t.Errorf("warm run has %d hypotheses, cold had %d", len(warmRep.Hypotheses), len(coldRep.Hypotheses))
+	}
+}
+
+func TestNoCacheForcesColdBuild(t *testing.T) {
+	dir := t.TempDir()
+	cacheDir := filepath.Join(dir, "cache")
+	var out, errb bytes.Buffer
+	if code := run([]string{"-model", "circular", "-cache-dir", cacheDir}, &out, &errb); code != 0 {
+		t.Fatalf("priming run exit code = %d (stderr %q)", code, errb.String())
+	}
+	report := filepath.Join(dir, "report.json")
+	if code := run([]string{"-model", "circular", "-cache-dir", cacheDir, "-no-cache", "-report", report}, &out, &errb); code != 0 {
+		t.Fatalf("no-cache run exit code = %d (stderr %q)", code, errb.String())
+	}
+	data, err := os.ReadFile(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep obs.Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Cache != nil {
+		t.Errorf("-no-cache run still touched the cache: %+v", rep.Cache)
+	}
+	if rep.Stats.States == 0 {
+		t.Error("-no-cache run explored no states; the cache was not bypassed")
+	}
+}
+
 func TestProgressFlagWritesToStderr(t *testing.T) {
 	var out, errb bytes.Buffer
 	code := run([]string{"-model", "queues", "-n", "1", "-k", "2", "-progress", "1ms"}, &out, &errb)

@@ -16,8 +16,13 @@
 // -report <file> writes a machine-readable JSON run report, and
 // -cpuprofile/-memprofile capture pprof profiles.
 //
+// Caching: -cache-dir <dir> keeps a persistent content-addressed graph
+// cache across runs, -resume continues a budget-interrupted build from its
+// checkpoint, and -no-cache forces a cold build.
+//
 // Exit codes: 0 = everything verified, 1 = a property violated,
 // 2 = undecided (budget exhausted, internal failure, or usage error).
+// Flag, startup, and report-write failures always exit 2, never 1.
 package main
 
 import (
@@ -27,10 +32,12 @@ import (
 	"os"
 	"time"
 
+	"opentla/internal/cache"
 	"opentla/internal/check"
 	"opentla/internal/engine"
 	"opentla/internal/obs"
 	"opentla/internal/queue"
+	"opentla/internal/ts"
 )
 
 func main() {
@@ -49,23 +56,55 @@ func run(args []string, stdout, stderr io.Writer) int {
 	bf := engine.AddBudgetFlags(fs)
 	workers := engine.AddWorkersFlag(fs)
 	of := obs.AddFlags(fs)
+	var cf cache.Flags
+	cf.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	if n < 1 {
-		fmt.Fprintf(stderr, "queueverify: queue capacity N must be >= 1, got %d\n", n)
+
+	// fail mirrors agcheck: startup failures exit 2 and, when -report was
+	// requested, still produce a minimal UNKNOWN report with the reason.
+	fail := func(format string, fargs ...any) int {
+		msg := fmt.Sprintf(format, fargs...)
+		fmt.Fprintf(stderr, "queueverify: %s\n", msg)
+		if of.Report != "" {
+			doc := (*obs.Recorder)(nil).Finish("queueverify", obs.Config{
+				Model:          "appendix-a",
+				N:              n,
+				K:              k,
+				Workers:        *workers,
+				BudgetMS:       int64(bf.TimeoutMS),
+				MaxStates:      bf.MaxStates,
+				MaxTransitions: bf.MaxTransitions,
+			}, engine.Unknown, msg)
+			if werr := obs.WriteFile(of.Report, doc); werr != nil {
+				fmt.Fprintln(stderr, "queueverify:", werr)
+			}
+		}
 		return 2
 	}
+
+	if n < 1 {
+		return fail("queue capacity N must be >= 1, got %d", n)
+	}
 	if k < 2 {
-		fmt.Fprintf(stderr, "queueverify: value-domain size K must be >= 2, got %d\n", k)
-		return 2
+		return fail("value-domain size K must be >= 2, got %d", k)
+	}
+	if err := cf.Validate(); err != nil {
+		return fail("%v", err)
 	}
 	cfg := queue.Config{N: n, Vals: k}
 
+	var gc ts.GraphCache
+	if c, err := cf.Open(); err != nil {
+		return fail("opening cache: %v", err)
+	} else if c != nil {
+		gc = c
+	}
+
 	stopProfiles, err := of.Start()
 	if err != nil {
-		fmt.Fprintln(stderr, "queueverify:", err)
-		return 2
+		return fail("%v", err)
 	}
 	defer func() {
 		if err := stopProfiles(); err != nil {
@@ -79,7 +118,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		rec = obs.New(m)
 	}
 	stopProgress := rec.StartProgress(stderr, of.Progress)
-	verdict, err := verify(stdout, cfg, m, *verbose, *workers)
+	verdict, err := verify(stdout, cfg, m, *verbose, *workers, gc, cf.Resume)
 	stopProgress()
 
 	unknown := ""
@@ -117,8 +156,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 // verify runs every Appendix A obligation under the shared meter and
 // returns the overall verdict. Budget and engine errors propagate to the
-// caller, which classifies them as UNKNOWN.
-func verify(w io.Writer, cfg queue.Config, m *engine.Meter, verbose bool, workers int) (engine.Verdict, error) {
+// caller, which classifies them as UNKNOWN. A non-nil gc serves complete
+// graphs from the cache and persists new ones; resume continues
+// interrupted builds from their checkpoints.
+func verify(w io.Writer, cfg queue.Config, m *engine.Meter, verbose bool, workers int, gc ts.GraphCache, resume bool) (engine.Verdict, error) {
 	fmt.Fprintf(w, "== Appendix A with N=%d, K=%d: values 0..%d, double capacity %d ==\n\n",
 		cfg.N, cfg.Vals, cfg.Vals-1, 2*cfg.N+1)
 
@@ -127,6 +168,7 @@ func verify(w io.Writer, cfg queue.Config, m *engine.Meter, verbose bool, worker
 	endCQ := obs.SpanFromMeter(m, "phase:CQ")
 	singleSys := cfg.SingleSystem()
 	singleSys.Workers = workers
+	singleSys.Cache, singleSys.Resume = gc, resume
 	gq, err := singleSys.BuildWith(m)
 	endCQ()
 	if err != nil {
@@ -140,6 +182,7 @@ func verify(w io.Writer, cfg queue.Config, m *engine.Meter, verbose bool, worker
 	endCDQ := obs.SpanFromMeter(m, "phase:CDQ=>CQdbl")
 	doubleSys := cfg.DoubleSystem(true)
 	doubleSys.Workers = workers
+	doubleSys.Cache, doubleSys.Resume = gc, resume
 	gd, err := doubleSys.BuildWith(m)
 	if err != nil {
 		endCDQ()
@@ -169,6 +212,7 @@ func verify(w io.Writer, cfg queue.Config, m *engine.Meter, verbose bool, worker
 	start = time.Now()
 	fig9 := cfg.Fig9Theorem()
 	fig9.Workers = workers
+	fig9.Cache, fig9.Resume = gc, resume
 	report, err := fig9.CheckWith(m)
 	if err != nil {
 		return engine.Unknown, err
@@ -185,6 +229,7 @@ func verify(w io.Writer, cfg queue.Config, m *engine.Meter, verbose bool, worker
 	noG.Name = "formula (3): composition WITHOUT G"
 	noG.Pairs = noG.Pairs[1:]
 	noG.Workers = workers
+	noG.Cache, noG.Resume = gc, resume
 	reportNoG, err := noG.CheckWith(m)
 	if err != nil {
 		return engine.Unknown, err

@@ -1,0 +1,142 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"opentla/internal/obs"
+)
+
+// TestExitCodes pins the exit-code contract shared with agcheck: 0 when
+// everything verifies, 2 on usage errors, startup failures, and undecided
+// (budget-exhausted) runs — never 1 for anything but a genuine violation.
+func TestExitCodes(t *testing.T) {
+	tests := []struct {
+		name   string
+		args   []string
+		code   int
+		stderr string // required stderr substring, "" = don't care
+	}{
+		{"verifies", []string{"-n", "1", "-k", "2"}, 0, ""},
+		{"bad flag", []string{"-nonesuch"}, 2, "flag provided but not defined"},
+		{"bad n", []string{"-n", "0"}, 2, "capacity N must be >= 1"},
+		{"bad k", []string{"-k", "1"}, 2, "value-domain size K must be >= 2"},
+		{"resume without cache-dir", []string{"-resume"}, 2, "-resume requires -cache-dir"},
+		{"resume with no-cache", []string{"-cache-dir", "d", "-no-cache", "-resume"}, 2, "-resume requires -cache-dir"},
+		{"profile start failure", []string{"-cpuprofile", "no/such/dir/cpu.prof"}, 2, ""},
+		{"budget exhausted", []string{"-n", "1", "-k", "2", "-max-states", "10"}, 2, ""},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var out, errb bytes.Buffer
+			code := run(tt.args, &out, &errb)
+			if code != tt.code {
+				t.Errorf("run(%v) = %d, want %d (stderr %q)", tt.args, code, tt.code, errb.String())
+			}
+			if tt.stderr != "" && !strings.Contains(errb.String(), tt.stderr) {
+				t.Errorf("stderr %q missing %q", errb.String(), tt.stderr)
+			}
+		})
+	}
+}
+
+// TestBudgetExhaustedWritesReport: an undecided run still writes a
+// schema-valid report with the UNKNOWN verdict and partial statistics.
+func TestBudgetExhaustedWritesReport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "report.json")
+	var out, errb bytes.Buffer
+	code := run([]string{"-n", "1", "-k", "2", "-max-states", "10", "-report", path}, &out, &errb)
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2 (stderr %q)", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "UNKNOWN") {
+		t.Errorf("stdout %q missing the UNKNOWN verdict", out.String())
+	}
+	rep := readReport(t, path)
+	if rep.Verdict != "UNKNOWN" {
+		t.Errorf("verdict = %q, want UNKNOWN", rep.Verdict)
+	}
+	if !strings.Contains(rep.UnknownReason, "state budget 10 exceeded") {
+		t.Errorf("unknown_reason = %q, want the exhausted state budget", rep.UnknownReason)
+	}
+}
+
+// TestStartupFailureStillWritesReport pins the agcheck-parity bugfix:
+// usage errors detected before verification must not skip -report.
+func TestStartupFailureStillWritesReport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "report.json")
+	var out, errb bytes.Buffer
+	code := run([]string{"-n", "0", "-report", path}, &out, &errb)
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2 (stderr %q)", code, errb.String())
+	}
+	rep := readReport(t, path)
+	if rep.Tool != "queueverify" || rep.Verdict != "UNKNOWN" {
+		t.Errorf("report header = %s/%s, want queueverify/UNKNOWN", rep.Tool, rep.Verdict)
+	}
+	if !strings.Contains(rep.UnknownReason, "capacity N must be >= 1") {
+		t.Errorf("unknown_reason = %q, want the dimension error", rep.UnknownReason)
+	}
+}
+
+// TestReportWriteFailureExitsTwo: a run that verifies but cannot write its
+// report is a tooling failure (exit 2), not a verification verdict.
+func TestReportWriteFailureExitsTwo(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-n", "1", "-k", "2", "-report", filepath.Join(t.TempDir(), "no", "such", "dir", "r.json")}, &out, &errb)
+	if code != 2 {
+		t.Errorf("exit code = %d, want 2 (stderr %q)", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "writing run report") {
+		t.Errorf("stderr %q missing the report-write failure", errb.String())
+	}
+}
+
+// TestWarmCacheRun: the second run against a populated cache reports hits
+// and explores nothing, with the same verdict.
+func TestWarmCacheRun(t *testing.T) {
+	dir := t.TempDir()
+	cacheDir := filepath.Join(dir, "cache")
+	args := func(report string) []string {
+		return []string{"-n", "1", "-k", "2", "-cache-dir", cacheDir, "-report", report}
+	}
+	cold := filepath.Join(dir, "cold.json")
+	warm := filepath.Join(dir, "warm.json")
+	var out, errb bytes.Buffer
+	if code := run(args(cold), &out, &errb); code != 0 {
+		t.Fatalf("cold run exit code = %d (stderr %q)", code, errb.String())
+	}
+	if code := run(args(warm), &out, &errb); code != 0 {
+		t.Fatalf("warm run exit code = %d (stderr %q)", code, errb.String())
+	}
+	coldRep, warmRep := readReport(t, cold), readReport(t, warm)
+	if warmRep.Cache == nil || warmRep.Cache.Hits == 0 {
+		t.Fatalf("warm run cache section = %+v, want hits > 0", warmRep.Cache)
+	}
+	if warmRep.Stats.States != 0 {
+		t.Errorf("warm run explored %d states, want 0", warmRep.Stats.States)
+	}
+	if warmRep.Verdict != coldRep.Verdict {
+		t.Errorf("warm verdict %q != cold verdict %q", warmRep.Verdict, coldRep.Verdict)
+	}
+}
+
+func readReport(t *testing.T, path string) *obs.Report {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("no report written: %v", err)
+	}
+	var rep obs.Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if rep.SchemaVersion != obs.SchemaVersion {
+		t.Errorf("schema_version = %d, want %d", rep.SchemaVersion, obs.SchemaVersion)
+	}
+	return &rep
+}

@@ -17,6 +17,7 @@ import (
 	"strconv"
 	"strings"
 
+	"opentla/internal/cache"
 	"opentla/internal/engine"
 	"opentla/internal/handshake"
 	"opentla/internal/obs"
@@ -33,10 +34,17 @@ func run(args []string) int {
 	valsFlag := fs.String("values", "37,4,19", "comma-separated values to send (at least one)")
 	chanName := fs.String("chan", "c", "channel name (no dots, commas, or spaces)")
 	// Accepted for CLI uniformity with agcheck and queueverify; trace
-	// generation builds no state graphs, so the setting has no effect here.
+	// generation builds no state graphs, so these settings have no effect
+	// here (invalid cache flag combinations still fail).
 	_ = engine.AddWorkersFlag(fs)
+	var cf cache.Flags
+	cf.AddFlags(fs)
 	pf := obs.AddProfileFlags(fs)
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if err := cf.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
 		return 2
 	}
 	stopProfiles, err := pf.Start()

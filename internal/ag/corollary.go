@@ -41,6 +41,12 @@ type Refinement struct {
 	// Workers is the goroutine count used to explore each state graph
 	// (0 = GOMAXPROCS); results are identical at any setting.
 	Workers int
+	// Cache, when non-nil, is consulted before each graph construction and
+	// persisted after (see ts.GraphCache).
+	Cache ts.GraphCache
+	// Resume, when true (with Cache set), continues interrupted graph
+	// builds from their saved checkpoints.
+	Resume bool
 }
 
 func (rf *Refinement) plusSub() form.Expr {
@@ -116,6 +122,8 @@ func (rf *Refinement) checkHypA(r *Report, m *engine.Meter) error {
 		Domains:    rf.Domains,
 		MaxStates:  rf.MaxStates,
 		Workers:    rf.Workers,
+		Cache:      rf.Cache,
+		Resume:     rf.Resume,
 	}
 	baseG, err := baseSys.BuildWith(m)
 	if err != nil {
@@ -150,6 +158,8 @@ func (rf *Refinement) checkHypB(r *Report, m *engine.Meter) error {
 		Domains:    rf.Domains,
 		MaxStates:  rf.MaxStates,
 		Workers:    rf.Workers,
+		Cache:      rf.Cache,
+		Resume:     rf.Resume,
 	}
 	if rf.Env != nil {
 		fullSys.Components = append([]*spec.Component{rf.Env}, fullSys.Components...)

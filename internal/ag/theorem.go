@@ -81,6 +81,12 @@ type Theorem struct {
 	// (0 = GOMAXPROCS). The verdict and every counterexample are identical
 	// at any setting.
 	Workers int
+	// Cache, when non-nil, is consulted before each graph construction and
+	// persisted after (see ts.GraphCache).
+	Cache ts.GraphCache
+	// Resume, when true (with Cache set), continues interrupted graph
+	// builds from their saved checkpoints.
+	Resume bool
 }
 
 // HypothesisResult reports one discharged (or failed) proof obligation.
@@ -255,6 +261,8 @@ func (th *Theorem) lhsSystem(name string, withEnv, safetyOnly bool) *ts.System {
 		Domains:     th.Domains,
 		MaxStates:   th.MaxStates,
 		Workers:     th.Workers,
+		Cache:       th.Cache,
+		Resume:      th.Resume,
 	}
 }
 

@@ -1,0 +1,113 @@
+package cache
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"opentla/internal/ts"
+)
+
+// Cache is a disk-backed ts.GraphCache rooted at one directory. Complete
+// graphs live in <fnv64>-<sha8>.snap files, checkpoints in .ckpt files with
+// the same stem; both are written atomically (temp file + rename) so a
+// crashed writer leaves at worst a stale temp file, never a torn entry.
+type Cache struct {
+	dir string
+}
+
+var _ ts.GraphCache = (*Cache)(nil)
+
+// Open creates the cache directory if needed and returns a cache over it.
+func Open(dir string) (*Cache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("cache: %w", err)
+	}
+	return &Cache{dir: dir}, nil
+}
+
+// Dir returns the cache's root directory.
+func (c *Cache) Dir() string { return c.dir }
+
+// EntryPath returns the path a complete-graph snapshot for desc occupies,
+// whether or not it exists. CI uses it to byte-compare snapshot files.
+func (c *Cache) EntryPath(desc string) string { return c.path(desc, ".snap") }
+
+// CheckpointPath returns the path a checkpoint for desc occupies.
+func (c *Cache) CheckpointPath(desc string) string { return c.path(desc, ".ckpt") }
+
+func (c *Cache) path(desc, ext string) string {
+	fnv, sum := Digest(desc)
+	return filepath.Join(c.dir, fmt.Sprintf("%016x-%x%s", fnv, sum[:8], ext))
+}
+
+// Load returns the cached complete graph for desc, (nil, nil) on a miss, or
+// an error describing why an existing entry is unusable.
+func (c *Cache) Load(desc string) (*ts.Snapshot, error) {
+	return c.load(desc, ".snap")
+}
+
+// LoadCheckpoint returns the saved checkpoint for desc, (nil, nil) if none.
+func (c *Cache) LoadCheckpoint(desc string) (*ts.Snapshot, error) {
+	return c.load(desc, ".ckpt")
+}
+
+func (c *Cache) load(desc, ext string) (*ts.Snapshot, error) {
+	data, err := os.ReadFile(c.path(desc, ext))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("cache: %w", err)
+	}
+	_, sum := Digest(desc)
+	snap, err := Decode(data, sum)
+	if err != nil {
+		return nil, fmt.Errorf("cache %s: %w", filepath.Base(c.path(desc, ext)), err)
+	}
+	return snap, nil
+}
+
+// Store persists a complete graph for desc and removes any checkpoint left
+// from an interrupted build of the same system (the snapshot supersedes it).
+func (c *Cache) Store(desc string, snap *ts.Snapshot) error {
+	if err := c.store(desc, ".snap", snap); err != nil {
+		return err
+	}
+	if err := os.Remove(c.path(desc, ".ckpt")); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("cache: removing stale checkpoint: %w", err)
+	}
+	return nil
+}
+
+// StoreCheckpoint persists a partial-exploration checkpoint for desc.
+func (c *Cache) StoreCheckpoint(desc string, snap *ts.Snapshot) error {
+	return c.store(desc, ".ckpt", snap)
+}
+
+func (c *Cache) store(desc, ext string, snap *ts.Snapshot) error {
+	_, sum := Digest(desc)
+	data, err := Encode(snap, sum)
+	if err != nil {
+		return fmt.Errorf("cache: %w", err)
+	}
+	f, err := os.CreateTemp(c.dir, "snap-*.tmp")
+	if err != nil {
+		return fmt.Errorf("cache: %w", err)
+	}
+	tmp := f.Name()
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("cache: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("cache: %w", err)
+	}
+	if err := os.Rename(tmp, c.path(desc, ext)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("cache: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,323 @@
+package cache
+
+import (
+	"crypto/sha256"
+	"crypto/subtle"
+	"encoding/binary"
+	"fmt"
+
+	"opentla/internal/state"
+	"opentla/internal/ts"
+	"opentla/internal/value"
+)
+
+// Snapshot file layout (all integers are unsigned varints unless noted):
+//
+//	magic    [8]byte  "OTLASNAP"
+//	version  uint16 little-endian (codecVersion)
+//	descSum  [32]byte SHA-256 of the canonical system description
+//	flags    byte     bit 0: complete graph (vs checkpoint)
+//	level    varint   next BFS level (checkpoints)
+//	nvars    varint   shared variable-name table (every state in one graph
+//	                  binds the same variable set); names are len-prefixed
+//	nstates  varint   per state, one value per table entry, in table order
+//	ninits   varint   initial-state ids
+//	nrows    varint   committed CSR row lengths, then all targets
+//	checksum [32]byte SHA-256 of everything above
+//
+// The encoding is fully deterministic: encoding the same snapshot always
+// yields the same bytes, so byte-comparing two snapshot files is a valid
+// graph-identity check (CI's resume-determinism job relies on this).
+
+const codecVersion = 1
+
+var magic = [8]byte{'O', 'T', 'L', 'A', 'S', 'N', 'A', 'P'}
+
+const (
+	headerLen   = 8 + 2 + sha256.Size // magic + version + descSum
+	checksumLen = sha256.Size
+)
+
+// Encode serializes a snapshot, binding it to the description digest. It
+// fails if the states do not share one variable set (graphs always do; a
+// caller handing anything else gets an error instead of a junk file).
+func Encode(snap *ts.Snapshot, descSum [sha256.Size]byte) ([]byte, error) {
+	var buf []byte
+	buf = append(buf, magic[:]...)
+	buf = binary.LittleEndian.AppendUint16(buf, codecVersion)
+	buf = append(buf, descSum[:]...)
+	var flags byte
+	if snap.Complete {
+		flags |= 1
+	}
+	buf = append(buf, flags)
+	buf = binary.AppendUvarint(buf, uint64(snap.Level))
+
+	var vars []string
+	if len(snap.States) > 0 {
+		vars = snap.States[0].Vars()
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(vars)))
+	for _, v := range vars {
+		buf = appendString(buf, v)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(snap.States)))
+	for i, s := range snap.States {
+		if s.Len() != len(vars) {
+			return nil, fmt.Errorf("state %d binds %d variables, table has %d", i, s.Len(), len(vars))
+		}
+		for _, v := range vars {
+			val, ok := s.Get(v)
+			if !ok {
+				return nil, fmt.Errorf("state %d does not bind %q", i, v)
+			}
+			buf = appendValue(buf, val)
+		}
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(snap.Inits)))
+	for _, id := range snap.Inits {
+		buf = binary.AppendUvarint(buf, uint64(id))
+	}
+	rows := snap.Rows()
+	buf = binary.AppendUvarint(buf, uint64(rows))
+	for i := 0; i < rows; i++ {
+		buf = binary.AppendUvarint(buf, uint64(snap.Offsets[i+1]-snap.Offsets[i]))
+	}
+	for _, t := range snap.Targets {
+		buf = binary.AppendUvarint(buf, uint64(t))
+	}
+	sum := sha256.Sum256(buf)
+	return append(buf, sum[:]...), nil
+}
+
+// Decode parses and verifies a snapshot file. Every failure mode names its
+// cause: wrong magic, unsupported version, a description digest that does
+// not match the requesting system, truncation, or checksum mismatch.
+func Decode(data []byte, descSum [sha256.Size]byte) (*ts.Snapshot, error) {
+	if len(data) < headerLen+1+checksumLen {
+		return nil, fmt.Errorf("snapshot truncated: %d bytes", len(data))
+	}
+	if string(data[:8]) != string(magic[:]) {
+		return nil, fmt.Errorf("bad snapshot magic %q", data[:8])
+	}
+	if v := binary.LittleEndian.Uint16(data[8:10]); v != codecVersion {
+		return nil, fmt.Errorf("snapshot version %d, this build reads %d", v, codecVersion)
+	}
+	if subtle.ConstantTimeCompare(data[10:10+sha256.Size], descSum[:]) != 1 {
+		return nil, fmt.Errorf("snapshot was written for a different system description")
+	}
+	payload := data[: len(data)-checksumLen : len(data)-checksumLen]
+	sum := sha256.Sum256(payload)
+	if subtle.ConstantTimeCompare(sum[:], data[len(data)-checksumLen:]) != 1 {
+		return nil, fmt.Errorf("snapshot checksum mismatch (file corrupted)")
+	}
+
+	r := &reader{buf: payload, off: headerLen}
+	flags, err := r.byte()
+	if err != nil {
+		return nil, err
+	}
+	snap := &ts.Snapshot{Complete: flags&1 != 0}
+	level, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	snap.Level = int(level)
+
+	nvars, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	vars := make([]string, nvars)
+	for i := range vars {
+		if vars[i], err = r.string(); err != nil {
+			return nil, err
+		}
+	}
+	nstates, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	snap.States = make([]*state.State, nstates)
+	binding := make(map[string]value.Value, len(vars))
+	for i := range snap.States {
+		for _, v := range vars {
+			val, err := r.value(0)
+			if err != nil {
+				return nil, err
+			}
+			binding[v] = val
+		}
+		snap.States[i] = state.New(binding)
+	}
+	ninits, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	snap.Inits = make([]int, ninits)
+	for i := range snap.Inits {
+		id, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		snap.Inits[i] = int(id)
+	}
+	nrows, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	snap.Offsets = make([]int, nrows+1)
+	total := 0
+	for i := 0; i < int(nrows); i++ {
+		snap.Offsets[i] = total
+		n, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		total += int(n)
+	}
+	snap.Offsets[nrows] = total
+	snap.Targets = make([]int32, total)
+	for i := range snap.Targets {
+		t, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		snap.Targets[i] = int32(t)
+	}
+	if r.off != len(r.buf) {
+		return nil, fmt.Errorf("snapshot has %d trailing bytes", len(r.buf)-r.off)
+	}
+	return snap, nil
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+// appendValue encodes a value: kind byte, then the payload (bool: one byte;
+// int: zigzag varint; string: length-prefixed bytes; tuple: length then
+// elements).
+func appendValue(buf []byte, v value.Value) []byte {
+	buf = append(buf, byte(v.Kind()))
+	switch v.Kind() {
+	case value.KindBool:
+		b, _ := v.AsBool()
+		if b {
+			return append(buf, 1)
+		}
+		return append(buf, 0)
+	case value.KindInt:
+		i, _ := v.AsInt()
+		return binary.AppendVarint(buf, i)
+	case value.KindString:
+		s, _ := v.AsString()
+		return appendString(buf, s)
+	default: // KindTuple; invalid kinds cannot reach a built graph
+		elems := v.Elems()
+		buf = binary.AppendUvarint(buf, uint64(len(elems)))
+		for _, e := range elems {
+			buf = appendValue(buf, e)
+		}
+		return buf
+	}
+}
+
+// maxNesting bounds tuple recursion during decode; no graph in this
+// repository nests values remotely this deep, and the bound keeps a crafted
+// file from exhausting the stack.
+const maxNesting = 64
+
+// reader is a bounds-checked cursor over the verified payload.
+type reader struct {
+	buf []byte
+	off int
+}
+
+func (r *reader) byte() (byte, error) {
+	if r.off >= len(r.buf) {
+		return 0, fmt.Errorf("snapshot truncated at offset %d", r.off)
+	}
+	b := r.buf[r.off]
+	r.off++
+	return b, nil
+}
+
+func (r *reader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("bad varint at offset %d", r.off)
+	}
+	r.off += n
+	return v, nil
+}
+
+func (r *reader) varint() (int64, error) {
+	v, n := binary.Varint(r.buf[r.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("bad varint at offset %d", r.off)
+	}
+	r.off += n
+	return v, nil
+}
+
+func (r *reader) string() (string, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if uint64(len(r.buf)-r.off) < n {
+		return "", fmt.Errorf("string of %d bytes overruns snapshot at offset %d", n, r.off)
+	}
+	s := string(r.buf[r.off : r.off+int(n)])
+	r.off += int(n)
+	return s, nil
+}
+
+func (r *reader) value(depth int) (value.Value, error) {
+	if depth > maxNesting {
+		return value.Value{}, fmt.Errorf("value nesting exceeds %d", maxNesting)
+	}
+	k, err := r.byte()
+	if err != nil {
+		return value.Value{}, err
+	}
+	switch value.Kind(k) {
+	case value.KindBool:
+		b, err := r.byte()
+		if err != nil {
+			return value.Value{}, err
+		}
+		return value.Bool(b != 0), nil
+	case value.KindInt:
+		i, err := r.varint()
+		if err != nil {
+			return value.Value{}, err
+		}
+		return value.Int(i), nil
+	case value.KindString:
+		s, err := r.string()
+		if err != nil {
+			return value.Value{}, err
+		}
+		return value.Str(s), nil
+	case value.KindTuple:
+		n, err := r.uvarint()
+		if err != nil {
+			return value.Value{}, err
+		}
+		if uint64(len(r.buf)-r.off) < n {
+			return value.Value{}, fmt.Errorf("tuple of %d elements overruns snapshot", n)
+		}
+		elems := make([]value.Value, n)
+		for i := range elems {
+			if elems[i], err = r.value(depth + 1); err != nil {
+				return value.Value{}, err
+			}
+		}
+		return value.Tuple(elems...), nil
+	default:
+		return value.Value{}, fmt.Errorf("unknown value kind %d at offset %d", k, r.off-1)
+	}
+}

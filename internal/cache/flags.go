@@ -1,0 +1,43 @@
+package cache
+
+import (
+	"flag"
+	"fmt"
+)
+
+// Flags is the standard command-line surface of the graph cache, shared by
+// every CLI (agcheck, queueverify, tracegen).
+type Flags struct {
+	// Dir is the cache directory; empty disables caching entirely.
+	Dir string
+	// Resume asks interrupted builds to continue from their saved
+	// checkpoint. Requires Dir.
+	Resume bool
+	// NoCache disables cache reads and writes even when Dir is set, for
+	// forcing a cold build against a populated cache.
+	NoCache bool
+}
+
+// AddFlags registers the cache flags on a flag set.
+func (f *Flags) AddFlags(fs *flag.FlagSet) {
+	fs.StringVar(&f.Dir, "cache-dir", "", "directory for the persistent graph cache (empty = no caching)")
+	fs.BoolVar(&f.Resume, "resume", false, "resume an interrupted build from its checkpoint (requires -cache-dir)")
+	fs.BoolVar(&f.NoCache, "no-cache", false, "force a cold build: ignore and do not write the cache")
+}
+
+// Validate reports flag combinations that cannot mean what the user
+// intended. CLIs treat a failure as a usage error (exit 2).
+func (f *Flags) Validate() error {
+	if f.Resume && (f.Dir == "" || f.NoCache) {
+		return fmt.Errorf("-resume requires -cache-dir (and is incompatible with -no-cache)")
+	}
+	return nil
+}
+
+// Open returns the configured cache, or nil when caching is disabled.
+func (f *Flags) Open() (*Cache, error) {
+	if f.Dir == "" || f.NoCache {
+		return nil, nil
+	}
+	return Open(f.Dir)
+}

@@ -3,6 +3,8 @@ package check
 import (
 	"fmt"
 	"math/rand"
+	"os"
+	"strconv"
 	"testing"
 
 	"opentla/internal/form"
@@ -11,6 +13,24 @@ import (
 	"opentla/internal/ts"
 	"opentla/internal/value"
 )
+
+// newRand seeds a deterministic generator with def, or with the
+// OPENTLA_RAND_SEED environment variable when set (for exploring other seeds
+// or reproducing a CI failure). The seed is logged, so any failure message
+// carries what is needed to replay it.
+func newRand(t *testing.T, def int64) *rand.Rand {
+	t.Helper()
+	seed := def
+	if env := os.Getenv("OPENTLA_RAND_SEED"); env != "" {
+		n, err := strconv.ParseInt(env, 10, 64)
+		if err != nil {
+			t.Fatalf("OPENTLA_RAND_SEED=%q: %v", env, err)
+		}
+		seed = n
+	}
+	t.Logf("random seed %d (override with OPENTLA_RAND_SEED)", seed)
+	return rand.New(rand.NewSource(seed))
+}
 
 // Randomized cross-validation: generate small random systems and
 // properties, and validate the model checker's verdicts two independent
@@ -83,7 +103,7 @@ func fairnessFormulas(sys *ts.System) []form.Formula {
 // TestRandomSafetyAgreesWithEnumeration compares Invariant verdicts with
 // exhaustive small-lasso enumeration.
 func TestRandomSafetyAgreesWithEnumeration(t *testing.T) {
-	r := rand.New(rand.NewSource(7))
+	r := newRand(t, 7)
 	for trial := 0; trial < 60; trial++ {
 		sys := randomSystem(r, false)
 		g, err := sys.Build()
@@ -133,7 +153,7 @@ func TestRandomSafetyAgreesWithEnumeration(t *testing.T) {
 // TestRandomLivenessCounterexamplesAreGenuine validates every liveness
 // counterexample semantically: target false, fairness true.
 func TestRandomLivenessCounterexamplesAreGenuine(t *testing.T) {
-	r := rand.New(rand.NewSource(11))
+	r := newRand(t, 11)
 	violatedSeen := 0
 	heldSeen := 0
 	for trial := 0; trial < 80; trial++ {
@@ -200,7 +220,7 @@ func TestRandomLivenessCounterexamplesAreGenuine(t *testing.T) {
 // liveness property holds under fairness, every enumerated fair lasso must
 // satisfy it.
 func TestRandomLivenessHoldsMatchesEnumeration(t *testing.T) {
-	r := rand.New(rand.NewSource(13))
+	r := newRand(t, 13)
 	for trial := 0; trial < 40; trial++ {
 		sys := randomSystem(r, true)
 		g, err := sys.Build()

@@ -97,8 +97,9 @@ func (s RunStats) String() string {
 // concurrent use — callbacks arrive from worker goroutines.
 type Observer interface {
 	// ObserveEvent records one flight-recorder event. kind is a short stable
-	// tag ("budget", "budget-exhausted", "scc", "level", "unknown-verdict");
-	// msg is human-readable.
+	// tag ("budget", "budget-exhausted", "scc", "level", "unknown-verdict",
+	// and the graph-cache outcomes "cache-hit", "cache-miss", "cache-corrupt",
+	// "checkpoint-saved", "resume"); msg is human-readable.
 	ObserveEvent(kind, msg string)
 	// ObserveLevel records a frontier level barrier of exploration op:
 	// the level index (BFS depth), the level's width in states, the worker

@@ -44,7 +44,8 @@ type Event struct {
 	// T is the event time relative to the recorder's start.
 	T time.Duration
 	// Kind is a short stable tag: "level", "budget", "budget-exhausted",
-	// "scc", "unknown-verdict".
+	// "scc", "unknown-verdict", or a graph-cache outcome ("cache-hit",
+	// "cache-miss", "cache-corrupt", "checkpoint-saved", "resume").
 	Kind string
 	// Msg is the human-readable payload.
 	Msg string
@@ -78,7 +79,8 @@ type Recorder struct {
 	ring      [ringSize]Event
 	ringNext  int
 	ringCount int
-	exhausted string // span path when the budget latched
+	exhausted string     // span path when the budget latched
+	cache     CacheStats // graph-cache outcome counters, fed by ObserveEvent
 
 	// Progress gauges, written at frontier level barriers.
 	gaugeOp      atomic.Value // string: the exploration op label
@@ -179,7 +181,8 @@ func (r *Recorder) pathLocked() string {
 
 // ObserveEvent implements engine.Observer: it records the event in the
 // flight-recorder ring. The first budget-exhausted event additionally pins
-// the open-span path, naming the phase that exhausted the budget.
+// the open-span path, naming the phase that exhausted the budget, and
+// graph-cache outcomes bump the report's cache counters.
 func (r *Recorder) ObserveEvent(kind, msg string) {
 	if r == nil {
 		return
@@ -188,6 +191,18 @@ func (r *Recorder) ObserveEvent(kind, msg string) {
 	r.pushEvent(Event{T: r.now().Sub(r.start), Kind: kind, Msg: msg})
 	if kind == "budget-exhausted" && r.exhausted == "" {
 		r.exhausted = r.pathLocked()
+	}
+	switch kind {
+	case "cache-hit":
+		r.cache.Hits++
+	case "cache-miss":
+		r.cache.Misses++
+	case "cache-corrupt":
+		r.cache.Corrupt++
+	case "checkpoint-saved":
+		r.cache.CheckpointsSaved++
+	case "resume":
+		r.cache.Resumes++
 	}
 	r.mu.Unlock()
 }
@@ -227,6 +242,16 @@ func (r *Recorder) Events() []Event {
 		out = append(out, r.ring[(start+i)%ringSize])
 	}
 	return out
+}
+
+// CacheStats returns the graph-cache outcome counters accumulated so far.
+func (r *Recorder) CacheStats() CacheStats {
+	if r == nil {
+		return CacheStats{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.cache
 }
 
 // ExhaustedPhase returns the open-span path at the moment the budget

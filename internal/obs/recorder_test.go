@@ -185,6 +185,37 @@ func TestExhaustedPhaseCapture(t *testing.T) {
 	}
 }
 
+func TestCacheStatsFromEvents(t *testing.T) {
+	m := engine.NoLimit()
+	r := newFakeRecorder(m)
+	// Cache events arrive through the ordinary Observer seam (ts emits them
+	// via Meter.Note); the recorder aggregates them into the report section.
+	m.Note("cache-miss", "no cached graph")
+	m.Note("checkpoint-saved", "checkpoint at level 3")
+	m.Note("resume", "resuming from level 3")
+	m.Note("cache-hit", "reusing cached graph")
+	m.Note("cache-hit", "reusing cached product")
+	m.Note("cache-corrupt", "cache entry unusable")
+	want := CacheStats{Hits: 2, Misses: 1, Corrupt: 1, CheckpointsSaved: 1, Resumes: 1}
+	if got := r.CacheStats(); got != want {
+		t.Errorf("CacheStats() = %+v, want %+v", got, want)
+	}
+	rep := r.Finish("t", Config{}, engine.Holds, "")
+	if rep.Cache == nil || *rep.Cache != want {
+		t.Errorf("report cache = %+v, want %+v", rep.Cache, want)
+	}
+
+	// A run that never touched a cache omits the section entirely.
+	r2 := newFakeRecorder(engine.NoLimit())
+	if rep2 := r2.Finish("t", Config{}, engine.Holds, ""); rep2.Cache != nil {
+		t.Errorf("cache-free run should omit the cache section, got %+v", rep2.Cache)
+	}
+	var nilRec *Recorder
+	if got := nilRec.CacheStats(); got != (CacheStats{}) {
+		t.Errorf("nil recorder CacheStats() = %+v", got)
+	}
+}
+
 func TestObserveLevelUpdatesGauges(t *testing.T) {
 	m := engine.NoLimit()
 	r := newFakeRecorder(m)

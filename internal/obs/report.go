@@ -13,8 +13,9 @@ import (
 
 // SchemaVersion identifies the run-report JSON schema. Bump it on any
 // incompatible change; the golden file internal/obs/testdata/report.golden
-// pins the current shape.
-const SchemaVersion = 1
+// pins the current shape. Version 2 added the cache section (graph-cache
+// hit/miss/corruption and checkpoint/resume counters).
+const SchemaVersion = 2
 
 // Report is the versioned machine-readable run report written by -report.
 type Report struct {
@@ -32,6 +33,9 @@ type Report struct {
 	Stats Stats `json:"stats"`
 	// Hypotheses lists per-obligation outcomes, for theorem-shaped runs.
 	Hypotheses []Hypothesis `json:"hypotheses,omitempty"`
+	// Cache summarizes graph-cache activity, present when any counter is
+	// nonzero (i.e. a cache was configured and consulted).
+	Cache *CacheStats `json:"cache,omitempty"`
 	// Span is the root of the phase tree; child spans carry per-phase
 	// RunStats deltas that account for the top-level Stats.
 	Span *Span `json:"span"`
@@ -69,6 +73,28 @@ type Stats struct {
 	SCCs         int     `json:"sccs"`
 	PeakFrontier int     `json:"peak_frontier"`
 	ElapsedMS    float64 `json:"elapsed_ms"`
+}
+
+// CacheStats counts graph-cache outcomes over one run, aggregated from the
+// corresponding flight-recorder events.
+type CacheStats struct {
+	// Hits counts complete graphs served from the cache (graph construction
+	// skipped entirely).
+	Hits int `json:"hits"`
+	// Misses counts cache consultations that found no entry.
+	Misses int `json:"misses"`
+	// Corrupt counts entries or checkpoints that existed but were unusable
+	// (decode failure, validation failure, write failure); each degraded to
+	// a cold build.
+	Corrupt int `json:"corrupt"`
+	// CheckpointsSaved counts budget-exhaustion checkpoints persisted.
+	CheckpointsSaved int `json:"checkpoints_saved"`
+	// Resumes counts explorations continued from a saved checkpoint.
+	Resumes int `json:"resumes"`
+}
+
+func (c CacheStats) any() bool {
+	return c.Hits != 0 || c.Misses != 0 || c.Corrupt != 0 || c.CheckpointsSaved != 0 || c.Resumes != 0
 }
 
 // Hypothesis is one discharged (or failed) proof obligation.
@@ -161,6 +187,9 @@ func (r *Recorder) Finish(tool string, cfg Config, v engine.Verdict, unknownReas
 	rep.Span = r.spanJSON(r.root)
 	r.mu.Unlock()
 	rep.Stats = statsJSON(r.meter.Stats())
+	if cs := r.CacheStats(); cs.any() {
+		rep.Cache = &cs
+	}
 	if v == engine.Unknown {
 		for _, e := range r.Events() {
 			rep.Events = append(rep.Events, EventJSON{TMS: ms(e.T), Kind: e.Kind, Msg: e.Msg})

@@ -155,6 +155,17 @@ func NewIndexWithHash(h Hash) *Index {
 	return &Index{hash: h, buckets: make(map[uint64][]idEntry)}
 }
 
+// NewIndexFrom builds an index mapping each state to its slice position,
+// the lookup structure of a graph reconstructed from a snapshot (state ids
+// are their positions in the snapshot's final-id ordering).
+func NewIndexFrom(states []*state.State) *Index {
+	ix := NewIndex()
+	for i, s := range states {
+		ix.Put(s, i)
+	}
+	return ix
+}
+
 // Put records id for s. A state equal to s must not already be present.
 func (ix *Index) Put(s *state.State, id int) {
 	fp := ix.hash(s)

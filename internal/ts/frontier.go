@@ -1,6 +1,7 @@
 package ts
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
@@ -32,6 +33,17 @@ type exploreParams struct {
 	// expand returns the successor states of s (duplicates allowed; the
 	// store dedups). Successor order must be deterministic in s.
 	expand func(s *state.State) ([]*state.State, error)
+	// resume, when non-nil, restores a checkpoint: the committed states,
+	// inits, and adjacency rows are adopted verbatim (without consuming
+	// state budget — restored work was paid for by the interrupted run) and
+	// the BFS continues from the saved frontier. inits is ignored.
+	resume *Snapshot
+	// onCheckpoint, when non-nil, receives a checkpoint snapshot of the
+	// last fully committed level barrier if exploration aborts on budget
+	// exhaustion. Mid-level partial work is discarded — checkpoints have
+	// level granularity, so a resumed run re-expands the saved frontier and
+	// rediscovers exactly the same states.
+	onCheckpoint func(*Snapshot)
 }
 
 // exploreResult is the finalized, deterministic exploration outcome.
@@ -72,6 +84,22 @@ func explore(p exploreParams) (*exploreResult, error) {
 	// edge remapping.
 	finals := make(map[store.Ref]int)
 
+	// Checkpoint bookkeeping: the state count, committed row count, and next
+	// level as of the last clean barrier. ckStates < 0 means no consistent
+	// point exists yet (mid-seeding).
+	ckStates, ckRows, ckLevel := -1, 0, 0
+	// fail wraps an abort: budget exhaustion emits a checkpoint of the last
+	// clean barrier so a later run can resume instead of restarting.
+	fail := func(err error) (*exploreResult, error) {
+		if p.onCheckpoint != nil && ckStates >= 0 {
+			var be *engine.BudgetError
+			if errors.As(err, &be) {
+				p.onCheckpoint(checkpointSnapshot(res, adj, ckStates, ckRows, ckLevel))
+			}
+		}
+		return nil, err
+	}
+
 	// assign numbers a level's newly discovered states: fingerprint-sorted,
 	// Key-tiebroken (total and schedule-independent).
 	assign := func(news []newlyInterned) error {
@@ -97,28 +125,50 @@ func explore(p exploreParams) (*exploreResult, error) {
 		return nil
 	}
 
-	// Seed level 0.
-	var seedNews []newlyInterned
-	seedRefs := make([]store.Ref, 0, len(p.inits))
-	for _, s := range p.inits {
-		ref, added := interned.Intern(s)
-		if added {
-			seedNews = append(seedNews, newlyInterned{ref: ref, st: s})
-			if err := m.AddState(); err != nil {
-				return nil, err
-			}
+	levelStart, level := 0, 0
+	if p.resume != nil {
+		// Restore the checkpoint: adopt the committed numbering, inits, and
+		// adjacency verbatim. Interning in final-id order rebuilds finals and
+		// the index deterministically; restored states bypass the meter so
+		// budgets govern only new work, letting repeated bounded runs make
+		// incremental progress.
+		for i, s := range p.resume.States {
+			ref, _ := interned.Intern(s)
+			res.states = append(res.states, s)
+			res.idx.Put(s, i)
+			finals[ref] = i
 		}
-		seedRefs = append(seedRefs, ref)
-	}
-	if err := assign(seedNews); err != nil {
-		return nil, err
-	}
-	for _, ref := range seedRefs {
-		res.inits = append(res.inits, finals[ref])
+		res.inits = append(res.inits, p.resume.Inits...)
+		rows := p.resume.Rows()
+		for i := 0; i < rows; i++ {
+			adj = append(adj, p.resume.Targets[p.resume.Offsets[i]:p.resume.Offsets[i+1]])
+		}
+		levelStart, level = rows, p.resume.Level
+		ckStates, ckRows, ckLevel = len(res.states), rows, level
+	} else {
+		// Seed level 0.
+		var seedNews []newlyInterned
+		seedRefs := make([]store.Ref, 0, len(p.inits))
+		for _, s := range p.inits {
+			ref, added := interned.Intern(s)
+			if added {
+				seedNews = append(seedNews, newlyInterned{ref: ref, st: s})
+				if err := m.AddState(); err != nil {
+					return nil, err
+				}
+			}
+			seedRefs = append(seedRefs, ref)
+		}
+		if err := assign(seedNews); err != nil {
+			return nil, err
+		}
+		for _, ref := range seedRefs {
+			res.inits = append(res.inits, finals[ref])
+		}
+		ckStates, ckRows, ckLevel = len(res.states), 0, 0
 	}
 
 	obs := m.Observer()
-	levelStart, level := 0, 0
 	for levelStart < len(res.states) {
 		levelEnd := len(res.states)
 		lv := levelRun{
@@ -147,7 +197,7 @@ func explore(p exploreParams) (*exploreResult, error) {
 			wg.Wait()
 		}
 		if err := lv.firstErr(); err != nil {
-			return nil, err
+			return fail(err)
 		}
 
 		// Barrier: number this level's discoveries, then remap and commit
@@ -157,7 +207,7 @@ func explore(p exploreParams) (*exploreResult, error) {
 			merged = append(merged, ws...)
 		}
 		if err := assign(merged); err != nil {
-			return nil, err
+			return fail(err)
 		}
 		for _, refs := range lv.succRefs {
 			row := make([]int32, len(refs))
@@ -175,6 +225,8 @@ func explore(p exploreParams) (*exploreResult, error) {
 		}
 		level++
 		levelStart = levelEnd
+		// The barrier is complete: this is a consistent point to resume from.
+		ckStates, ckRows, ckLevel = len(res.states), len(adj), level
 	}
 
 	// Finalize the compressed-sparse-row adjacency.
@@ -190,6 +242,31 @@ func explore(p exploreParams) (*exploreResult, error) {
 	}
 	res.offsets[len(res.states)] = len(res.targets)
 	return res, nil
+}
+
+// checkpointSnapshot copies the committed prefix of an aborted exploration
+// into a Snapshot: the first nStates states (levels up to the last barrier),
+// the first nRows adjacency rows, and the level to run next. The copy
+// detaches the snapshot from the aborted run's scratch (res.states may hold
+// partially assigned states past the barrier).
+func checkpointSnapshot(res *exploreResult, adj [][]int32, nStates, nRows, level int) *Snapshot {
+	snap := &Snapshot{
+		Level:  level,
+		States: append([]*state.State(nil), res.states[:nStates]...),
+		Inits:  append([]int(nil), res.inits...),
+	}
+	total := 0
+	for _, row := range adj[:nRows] {
+		total += len(row)
+	}
+	snap.Offsets = make([]int, nRows+1)
+	snap.Targets = make([]int32, 0, total)
+	for i, row := range adj[:nRows] {
+		snap.Offsets[i] = len(snap.Targets)
+		snap.Targets = append(snap.Targets, row...)
+	}
+	snap.Offsets[nRows] = len(snap.Targets)
+	return snap
 }
 
 // newlyInterned records a state first reached during the current level,

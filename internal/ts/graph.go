@@ -63,17 +63,31 @@ func (sys *System) BuildWith(m *engine.Meter) (*Graph, error) {
 	if err := sys.Validate(); err != nil {
 		return nil, err
 	}
+
+	// Cache consultation happens before compiling or enumerating anything: a
+	// warm hit skips graph construction entirely. A corrupt entry degrades
+	// to a cold build, never to a wrong graph.
+	desc, resume := sys.cacheSetup(m)
+	if desc != "" {
+		if snap := cacheLoad(sys.Cache, m, desc); snap != nil {
+			return graphFromSnapshot(sys, sys.Ctx(), m, snap), nil
+		}
+	}
+
 	compiled, err := sys.compile()
 	if err != nil {
 		return nil, err
 	}
 	free := sys.FreeVars()
-	inits, err := sys.initialStates(m)
-	if err != nil {
-		return nil, err
-	}
-	if len(inits) == 0 {
-		return nil, fmt.Errorf("system %s: no initial states", sys.Name)
+	var inits []*state.State
+	if resume == nil {
+		inits, err = sys.initialStates(m)
+		if err != nil {
+			return nil, err
+		}
+		if len(inits) == 0 {
+			return nil, fmt.Errorf("system %s: no initial states", sys.Name)
+		}
 	}
 	res, err := explore(exploreParams{
 		op:        "ts.Build(" + sys.Name + ")",
@@ -85,11 +99,13 @@ func (sys *System) BuildWith(m *engine.Meter) (*Graph, error) {
 		expand: func(s *state.State) ([]*state.State, error) {
 			return sys.successors(compiled, free, s)
 		},
+		resume:       resume,
+		onCheckpoint: checkpointSaver(sys.Cache, m, desc),
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &Graph{
+	g := &Graph{
 		Sys:     sys,
 		Ctx:     sys.Ctx(),
 		States:  res.states,
@@ -98,7 +114,83 @@ func (sys *System) BuildWith(m *engine.Meter) (*Graph, error) {
 		targets: res.targets,
 		idx:     res.idx,
 		meter:   m,
-	}, nil
+	}
+	cacheStore(sys.Cache, m, desc, g)
+	return g, nil
+}
+
+// cacheSetup resolves the system's cache key and, when resuming, loads the
+// saved checkpoint. It returns ("", nil) when caching is disabled or the
+// system is not content-addressable.
+func (sys *System) cacheSetup(m *engine.Meter) (string, *Snapshot) {
+	if sys.Cache == nil {
+		return "", nil
+	}
+	desc, ok := sys.CanonicalDesc()
+	if !ok {
+		return "", nil
+	}
+	var resume *Snapshot
+	if sys.Resume {
+		snap, err := sys.Cache.LoadCheckpoint(desc)
+		switch {
+		case err != nil:
+			m.Note("cache-corrupt", fmt.Sprintf("checkpoint for %s unusable, cold build: %v", sys.Name, err))
+		case snap != nil && !validSnapshot(snap, false):
+			m.Note("cache-corrupt", fmt.Sprintf("checkpoint for %s fails validation, cold build", sys.Name))
+		case snap != nil:
+			resume = snap
+			m.Note("resume", fmt.Sprintf("%s: resuming from level %d (%d states, %d committed rows)",
+				sys.Name, snap.Level, len(snap.States), snap.Rows()))
+		}
+	}
+	return desc, resume
+}
+
+// cacheLoad consults the cache for a complete graph, noting the outcome in
+// the flight recorder. Corruption and validation failures degrade to a miss.
+func cacheLoad(c GraphCache, m *engine.Meter, desc string) *Snapshot {
+	snap, err := c.Load(desc)
+	switch {
+	case err != nil:
+		m.Note("cache-corrupt", fmt.Sprintf("cache entry unusable, cold build: %v", err))
+		return nil
+	case snap == nil:
+		m.Note("cache-miss", "no cached graph")
+		return nil
+	case !validSnapshot(snap, true):
+		m.Note("cache-corrupt", "cache entry fails validation, cold build")
+		return nil
+	}
+	m.Note("cache-hit", fmt.Sprintf("reusing cached graph: %d states, %d edges", len(snap.States), len(snap.Targets)))
+	return snap
+}
+
+// cacheStore persists a complete graph, noting write failures (which are
+// nonfatal: the build already succeeded).
+func cacheStore(c GraphCache, m *engine.Meter, desc string, g *Graph) {
+	if c == nil || desc == "" {
+		return
+	}
+	if err := c.Store(desc, g.Snapshot()); err != nil {
+		m.Note("cache-corrupt", fmt.Sprintf("storing cache entry: %v", err))
+	}
+}
+
+// checkpointSaver returns the explore onCheckpoint callback persisting
+// budget-exhaustion checkpoints, or nil when caching is disabled.
+func checkpointSaver(c GraphCache, m *engine.Meter, desc string) func(*Snapshot) {
+	if c == nil || desc == "" {
+		return nil
+	}
+	return func(snap *Snapshot) {
+		if err := c.StoreCheckpoint(desc, snap); err != nil {
+			m.Note("cache-corrupt", fmt.Sprintf("storing checkpoint: %v", err))
+			return
+		}
+		m.Note("checkpoint-saved", fmt.Sprintf("checkpoint at level %d: %d states, %d committed rows; rerun with -resume to continue",
+			snap.Level, len(snap.States), snap.Rows()))
+	}
 }
 
 // NumStates returns the number of reachable states.

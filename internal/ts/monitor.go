@@ -2,6 +2,7 @@ package ts
 
 import (
 	"fmt"
+	"strings"
 
 	"opentla/internal/engine"
 	"opentla/internal/form"
@@ -21,6 +22,12 @@ type Monitor struct {
 	// Domain lists the monitor's possible values (used for the product
 	// context's domains).
 	Domain []value.Value
+	// Desc is a canonical description of the monitor's semantics, used to
+	// content-address monitor products in the graph cache. Constructors
+	// (SafetyMonitor, PlusMonitor) fill it from their defining formulas; a
+	// hand-rolled monitor may leave it empty, which disables caching for any
+	// product it participates in (opaque callbacks cannot be fingerprinted).
+	Desc string
 	// Init returns the allowed starting values in an initial state
 	// (empty = state disallowed).
 	Init func(s *state.State) ([]value.Value, error)
@@ -55,18 +62,47 @@ func Product(g *Graph, mons []*Monitor) (p *Graph, err error) {
 		domains[m.Var] = m.Domain
 	}
 
+	// Products are cached like base graphs, keyed by the base system's
+	// description extended with the monitors' semantic descriptions. A
+	// monitor without a Desc disables caching for this product.
+	var desc string
+	var resumeSnap *Snapshot
+	if g.Sys.Cache != nil {
+		if d, ok := productDesc(g.Sys, mons); ok {
+			desc = d
+			if snap := cacheLoad(g.Sys.Cache, meter, desc); snap != nil {
+				return graphFromSnapshot(g.Sys, form.NewCtx(domains), meter, snap), nil
+			}
+			if g.Sys.Resume {
+				snap, lerr := g.Sys.Cache.LoadCheckpoint(desc)
+				switch {
+				case lerr != nil:
+					meter.Note("cache-corrupt", fmt.Sprintf("product checkpoint unusable, cold build: %v", lerr))
+				case snap != nil && !validSnapshot(snap, false):
+					meter.Note("cache-corrupt", "product checkpoint fails validation, cold build")
+				case snap != nil:
+					resumeSnap = snap
+					meter.Note("resume", fmt.Sprintf("product of %s: resuming from level %d (%d states)",
+						g.Sys.Name, snap.Level, len(snap.States)))
+				}
+			}
+		}
+	}
+
 	// Initial product states. A base init may admit no monitor values, and
 	// all of them may: an empty product graph is a legal (vacuous) outcome,
 	// unlike an empty base graph.
 	var inits []*state.State
-	for _, bid := range g.Inits {
-		base := g.States[bid]
-		combos, err := monitorInitCombos(mons, base)
-		if err != nil {
-			return nil, err
-		}
-		for _, combo := range combos {
-			inits = append(inits, base.WithAll(combo))
+	if resumeSnap == nil {
+		for _, bid := range g.Inits {
+			base := g.States[bid]
+			combos, err := monitorInitCombos(mons, base)
+			if err != nil {
+				return nil, err
+			}
+			for _, combo := range combos {
+				inits = append(inits, base.WithAll(combo))
+			}
 		}
 	}
 
@@ -107,11 +143,13 @@ func Product(g *Graph, mons []*Monitor) (p *Graph, err error) {
 			}
 			return out, nil
 		},
+		resume:       resumeSnap,
+		onCheckpoint: checkpointSaver(g.Sys.Cache, meter, desc),
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &Graph{
+	prod := &Graph{
 		Sys:     g.Sys,
 		Ctx:     form.NewCtx(domains),
 		States:  res.states,
@@ -120,7 +158,9 @@ func Product(g *Graph, mons []*Monitor) (p *Graph, err error) {
 		targets: res.targets,
 		idx:     res.idx,
 		meter:   meter,
-	}, nil
+	}
+	cacheStore(g.Sys.Cache, meter, desc, prod)
+	return prod, nil
 }
 
 // BaseState strips monitor variables from a product state.
@@ -184,6 +224,33 @@ func extendCombos(combos []map[string]value.Value, name string, vals []value.Val
 	return out
 }
 
+// monitorDesc renders the canonical description of a constructor-built
+// monitor from its defining formulas, so equal semantics yield equal cache
+// keys regardless of how the closures were assembled.
+func monitorDesc(kind string, init form.Expr, squares []form.Expr, v form.Expr, strict bool) string {
+	var sb strings.Builder
+	sb.WriteString(kind)
+	sb.WriteString("-monitor(init=")
+	writeExpr(&sb, init)
+	sb.WriteString(", squares=[")
+	for i, sq := range squares {
+		if i > 0 {
+			sb.WriteString("; ")
+		}
+		writeExpr(&sb, sq)
+	}
+	sb.WriteString("]")
+	if v != nil {
+		sb.WriteString(", v=")
+		writeExpr(&sb, v)
+	}
+	if strict {
+		sb.WriteString(", strict")
+	}
+	sb.WriteString(")")
+	return sb.String()
+}
+
 // SafetyMonitor builds a two-state monitor tracking whether the safety
 // formula with initial predicate init and step actions boxes (each already
 // in [A]_v form) has held so far: the monitor value is TRUE while the
@@ -198,6 +265,7 @@ func SafetyMonitor(varName string, init form.Expr, squares []form.Expr, strict b
 	return &Monitor{
 		Var:    varName,
 		Domain: value.Bools(),
+		Desc:   monitorDesc("safety", init, squares, nil, strict),
 		Init: func(s *state.State) ([]value.Value, error) {
 			ok := true
 			if init != nil {
@@ -249,6 +317,7 @@ func PlusMonitor(varName string, init form.Expr, squares []form.Expr, v form.Exp
 	return &Monitor{
 		Var:    varName,
 		Domain: value.Bools(),
+		Desc:   monitorDesc("plus", init, squares, v, false),
 		Init: func(s *state.State) ([]value.Value, error) {
 			ok := true
 			if init != nil {

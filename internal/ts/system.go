@@ -46,6 +46,14 @@ type System struct {
 	// Workers is the goroutine count for parallel frontier exploration
 	// (0 = GOMAXPROCS). The built graph is identical at any setting.
 	Workers int
+	// Cache, when non-nil, is consulted before exploring and persisted to
+	// after a complete build (see GraphCache). Entries are keyed by
+	// CanonicalDesc, so Name/Workers/MaxStates do not affect cache identity.
+	Cache GraphCache
+	// Resume, when true (and Cache is set), restores a checkpoint saved by
+	// an earlier budget-exhausted run and continues the exploration from its
+	// last completed level instead of restarting.
+	Resume bool
 }
 
 // Vars returns the sorted union of all variables of the system.

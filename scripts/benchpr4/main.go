@@ -1,21 +1,20 @@
-// Command benchpr3 measures checker throughput for the PR 3 observability
-// layer and emits BENCH_PR3.json, keeping the PR 2 numbers inline so the
-// performance trajectory stays comparable across PRs.
+// Command benchpr4 measures checker throughput for the PR 4 persistent
+// graph cache and emits BENCH_PR4.json, keeping the PR 2/3 numbers inline
+// so the performance trajectory stays comparable across PRs.
 //
-// Unlike benchpr2 (which timed everything in-process), the Fig. 9 theorem
-// numbers now come from agcheck's own -report run reports: the benchmark
-// consumes the same machine-readable JSON as CI, exercising the report
-// pipeline end to end.
+// The headline PR 4 number is the warm-cache comparison: the Fig. 9 theorem
+// is checked twice through agcheck against one -cache-dir, and the report
+// records both wall clocks. The warm run must serve every graph from the
+// cache (stats.states == 0) and reach the same verdict — the benchmark
+// fails otherwise, so the number can never describe a partially-warm run.
 //
-// The recorder_overhead section answers the PR 3 acceptance question — what
-// does an *enabled* recorder cost? — by timing the closed double-queue graph
-// build best-of-N with and without a recorder attached. A disabled recorder
-// is one nil-check per callback site and is not separately measurable.
+// The recorder_overhead section carries the PR 3 acceptance gate forward:
+// what does an *enabled* recorder cost on the double-queue graph build?
 //
 // Usage:
 //
-//	go run ./scripts/benchpr3 -n 1 -k 3 -workers 4 -out BENCH_PR3.json
-//	go run ./scripts/benchpr3 -overhead-check            # CI gate: exit 1 if
+//	go run ./scripts/benchpr4 -n 1 -k 3 -workers 4 -out BENCH_PR4.json
+//	go run ./scripts/benchpr4 -overhead-check            # CI gate: exit 1 if
 //	                                                     # overhead > threshold
 package main
 
@@ -44,6 +43,20 @@ type Measurement struct {
 	StatesPerSec float64 `json:"states_per_sec"`
 }
 
+// CacheComparison is the PR 4 headline: the same agcheck invocation cold
+// (populating the cache) and warm (served entirely from it).
+type CacheComparison struct {
+	ColdWallSeconds float64 `json:"cold_wall_seconds"`
+	WarmWallSeconds float64 `json:"warm_wall_seconds"`
+	// Speedup is cold/warm wall clock.
+	Speedup float64 `json:"speedup"`
+	// ColdStates is what the cold run explored; the warm run explored zero
+	// (enforced, not merely reported).
+	ColdStates float64 `json:"cold_states"`
+	WarmHits   int     `json:"warm_cache_hits"`
+	Verdict    string  `json:"verdict"`
+}
+
 // Overhead compares the graph build with and without an attached recorder.
 type Overhead struct {
 	Rounds              int     `json:"rounds"`
@@ -55,42 +68,40 @@ type Overhead struct {
 }
 
 // Trajectory carries the prior PRs' numbers on the same instance and
-// machine, so BENCH_PR3.json is self-contained for trend analysis.
+// machine, so BENCH_PR4.json is self-contained for trend analysis.
 type Trajectory struct {
 	PrePR2Fig9StatesPerSec float64 `json:"pre_pr2_fig9_seq_states_per_sec"`
 	PR2Fig9SeqStatesPerSec float64 `json:"pr2_fig9_seq_states_per_sec"`
-	PR2Fig9ParStatesPerSec float64 `json:"pr2_fig9_par_states_per_sec"`
+	PR3Fig9SeqStatesPerSec float64 `json:"pr3_fig9_seq_states_per_sec"`
 	Note                   string  `json:"note"`
 }
 
-// Report is the emitted BENCH_PR3.json document.
+// Report is the emitted BENCH_PR4.json document.
 type Report struct {
 	Instance   string      `json:"instance"`
 	GOMAXPROCS int         `json:"gomaxprocs"`
 	BuildSeq   Measurement `json:"build_sequential"`
 	BuildPar   Measurement `json:"build_parallel"`
 	// The Fig. 9 numbers are parsed from agcheck -report run reports.
-	Fig9Seq Measurement `json:"fig9_theorem_sequential"`
-	Fig9Par Measurement `json:"fig9_theorem_parallel"`
-	// Fig9SeqNoRecorder times the same sequential check in-process with no
-	// recorder attached (best of two), the configuration the PR 3 "within 3%
-	// of BENCH_PR2.json" acceptance comparison is defined on.
-	Fig9SeqNoRecorder  Measurement `json:"fig9_theorem_sequential_norecorder"`
-	Fig9Speedup        float64     `json:"fig9_speedup_vs_sequential"`
-	BuildSpeedup       float64     `json:"build_speedup_vs_sequential"`
-	SpeedupVsPR2       float64     `json:"fig9_norecorder_seq_ratio_vs_pr2"`
-	RecorderOverhead   Overhead    `json:"recorder_overhead"`
-	Trajectory         Trajectory  `json:"trajectory"`
-	GeneratedAtSeconds int64       `json:"generated_at_unix"`
+	Fig9Seq          Measurement     `json:"fig9_theorem_sequential"`
+	Fig9Par          Measurement     `json:"fig9_theorem_parallel"`
+	Fig9Speedup      float64         `json:"fig9_speedup_vs_sequential"`
+	BuildSpeedup     float64         `json:"build_speedup_vs_sequential"`
+	WarmCache        CacheComparison `json:"warm_cache"`
+	RecorderOverhead Overhead        `json:"recorder_overhead"`
+	Trajectory       Trajectory      `json:"trajectory"`
+
+	GeneratedAtSeconds int64 `json:"generated_at_unix"`
 }
 
-// PR 2 numbers on this machine (BENCH_PR2.json, commit 114722f) and the
-// pre-PR 2 string-keyed sequential BFS baseline (commit 06838d0).
+// Prior PRs' numbers on this machine: pre-PR 2 string-keyed sequential BFS
+// (commit 06838d0), BENCH_PR2.json (commit 114722f), BENCH_PR3.json
+// (commit a52c53f).
 const (
 	prePR2Baseline = 4093.0
 	pr2Fig9Seq     = 8549.969311410969
-	pr2Fig9Par     = 8798.414380998085
-	trajectoryNote = "pre-PR2: string-keyed sequential BFS. PR2: interned store + CSR + parallel frontier (BENCH_PR2.json). PR3 adds the observability layer; fig9 numbers now parsed from agcheck run reports."
+	pr3Fig9Seq     = 9009.67991161761
+	trajectoryNote = "pre-PR2: string-keyed sequential BFS. PR2: interned store + CSR + parallel frontier. PR3: observability layer. PR4 adds the persistent graph cache; the warm_cache section is the new headline."
 )
 
 func main() {
@@ -102,7 +113,7 @@ func main() {
 	flag.IntVar(&k, "k", 3, "value-domain size K")
 	flag.IntVar(&workers, "workers", 4, "worker count for the parallel runs")
 	flag.IntVar(&rounds, "rounds", 5, "best-of rounds for the overhead comparison")
-	flag.StringVar(&out, "out", "BENCH_PR3.json", "output JSON path")
+	flag.StringVar(&out, "out", "BENCH_PR4.json", "output JSON path")
 	flag.StringVar(&agcheckPath, "agcheck", "", "path to a built agcheck binary ('' = go build one)")
 	flag.BoolVar(&overheadCheck, "overhead-check", false,
 		"only compare recorder-on vs recorder-off builds; exit 1 when over the threshold")
@@ -117,14 +128,14 @@ func main() {
 		fmt.Printf("recorder overhead on %s build (best of %d): disabled %.3fs, enabled %.3fs, overhead %.2f%% (threshold %.1f%%)\n",
 			instance(n, k), rounds, ov.DisabledBestSeconds, ov.EnabledBestSeconds, ov.OverheadPct, threshold)
 		if ov.OverheadPct > threshold {
-			fmt.Fprintf(os.Stderr, "benchpr3: recorder overhead %.2f%% exceeds %.1f%%\n", ov.OverheadPct, threshold)
+			fmt.Fprintf(os.Stderr, "benchpr4: recorder overhead %.2f%% exceeds %.1f%%\n", ov.OverheadPct, threshold)
 			os.Exit(1)
 		}
 		return
 	}
 
 	if agcheckPath == "" {
-		dir, err := os.MkdirTemp("", "benchpr3-")
+		dir, err := os.MkdirTemp("", "benchpr4-")
 		if err != nil {
 			fatal(err)
 		}
@@ -143,7 +154,7 @@ func main() {
 		Trajectory: Trajectory{
 			PrePR2Fig9StatesPerSec: prePR2Baseline,
 			PR2Fig9SeqStatesPerSec: pr2Fig9Seq,
-			PR2Fig9ParStatesPerSec: pr2Fig9Par,
+			PR3Fig9SeqStatesPerSec: pr3Fig9Seq,
 			Note:                   trajectoryNote,
 		},
 		GeneratedAtSeconds: time.Now().Unix(),
@@ -156,13 +167,13 @@ func main() {
 	if rep.BuildPar, err = measureBuild(cfg, workers); err != nil {
 		fatal(err)
 	}
-	if rep.Fig9Seq, err = fig9FromReport(agcheckPath, n, k, 1); err != nil {
+	if rep.Fig9Seq, _, err = fig9FromReport(agcheckPath, n, k, 1, ""); err != nil {
 		fatal(err)
 	}
-	if rep.Fig9Par, err = fig9FromReport(agcheckPath, n, k, workers); err != nil {
+	if rep.Fig9Par, _, err = fig9FromReport(agcheckPath, n, k, workers, ""); err != nil {
 		fatal(err)
 	}
-	if rep.Fig9SeqNoRecorder, err = fig9InProcess(cfg, 1, 2); err != nil {
+	if rep.WarmCache, err = measureWarmCache(agcheckPath, n, k, workers); err != nil {
 		fatal(err)
 	}
 	rep.RecorderOverhead = measureOverhead(cfg, workers, rounds)
@@ -172,9 +183,6 @@ func main() {
 	}
 	if rep.BuildSeq.StatesPerSec > 0 {
 		rep.BuildSpeedup = rep.BuildPar.StatesPerSec / rep.BuildSeq.StatesPerSec
-	}
-	if n == 1 && k == 3 {
-		rep.SpeedupVsPR2 = rep.Fig9SeqNoRecorder.StatesPerSec / pr2Fig9Seq
 	}
 
 	data, err := json.MarshalIndent(&rep, "", "  ")
@@ -194,35 +202,46 @@ func instance(n, k int) string {
 
 // fig9FromReport runs the built agcheck on the Fig. 9 instance with -report
 // and extracts the measurement from the run report — the same artifact CI
-// validates.
-func fig9FromReport(agcheck string, n, k, workers int) (Measurement, error) {
-	dir, err := os.MkdirTemp("", "benchpr3-report-")
+// validates. A non-empty cacheDir enables the persistent cache.
+func fig9FromReport(agcheck string, n, k, workers int, cacheDir string) (Measurement, *obs.Report, error) {
+	dir, err := os.MkdirTemp("", "benchpr4-report-")
 	if err != nil {
-		return Measurement{}, err
+		return Measurement{}, nil, err
 	}
 	defer os.RemoveAll(dir)
 	path := filepath.Join(dir, "report.json")
-	cmd := exec.Command(agcheck,
+	args := []string{
 		"-model", "queues",
 		"-n", fmt.Sprint(n), "-k", fmt.Sprint(k),
 		"-workers", fmt.Sprint(workers),
-		"-report", path)
-	cmd.Stderr = os.Stderr
-	if err := cmd.Run(); err != nil {
-		return Measurement{}, fmt.Errorf("agcheck fig9 workers=%d: %w", workers, err)
+		"-report", path,
 	}
+	if cacheDir != "" {
+		args = append(args, "-cache-dir", cacheDir)
+	}
+	cmd := exec.Command(agcheck, args...)
+	cmd.Stderr = os.Stderr
+	start := time.Now()
+	if err := cmd.Run(); err != nil {
+		return Measurement{}, nil, fmt.Errorf("agcheck fig9 workers=%d: %w", workers, err)
+	}
+	wallWhole := time.Since(start).Seconds()
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return Measurement{}, err
+		return Measurement{}, nil, err
 	}
 	var rep obs.Report
 	if err := json.Unmarshal(data, &rep); err != nil {
-		return Measurement{}, fmt.Errorf("parsing run report: %w", err)
+		return Measurement{}, nil, fmt.Errorf("parsing run report: %w", err)
 	}
 	if rep.SchemaVersion != obs.SchemaVersion || rep.Verdict != "HOLDS" {
-		return Measurement{}, fmt.Errorf("unexpected run report: schema %d, verdict %s", rep.SchemaVersion, rep.Verdict)
+		return Measurement{}, nil, fmt.Errorf("unexpected run report: schema %d, verdict %s", rep.SchemaVersion, rep.Verdict)
 	}
 	wall := rep.Stats.ElapsedMS / 1000
+	if wall == 0 {
+		// A fully warm run meters no exploration; fall back to process wall.
+		wall = wallWhole
+	}
 	m := Measurement{
 		Workers:      workers,
 		States:       rep.Stats.States,
@@ -233,40 +252,44 @@ func fig9FromReport(agcheck string, n, k, workers int) (Measurement, error) {
 	if wall > 0 {
 		m.StatesPerSec = float64(m.States) / wall
 	}
-	return m, nil
+	return m, &rep, nil
 }
 
-// fig9InProcess times the full Fig. 9 theorem check in-process with no
-// recorder attached, keeping the best of the given rounds.
-func fig9InProcess(cfg queue.Config, workers, rounds int) (Measurement, error) {
-	var out Measurement
-	for i := 0; i < rounds; i++ {
-		m := engine.NoLimit()
-		th := cfg.Fig9Theorem()
-		th.Workers = workers
-		start := time.Now()
-		report, err := th.CheckWith(m)
-		if err != nil {
-			return Measurement{}, err
-		}
-		wall := time.Since(start)
-		if !report.Valid {
-			return Measurement{}, fmt.Errorf("Fig9 theorem unexpectedly invalid:\n%s", report)
-		}
-		if out.WallSeconds != 0 && wall.Seconds() >= out.WallSeconds {
-			continue
-		}
-		st := m.Stats()
-		out = Measurement{
-			Workers:      workers,
-			States:       st.States,
-			Transitions:  st.Transitions,
-			PeakFrontier: st.PeakFrontier,
-			WallSeconds:  wall.Seconds(),
-		}
-		if wall > 0 {
-			out.StatesPerSec = float64(st.States) / wall.Seconds()
-		}
+// measureWarmCache runs the Fig. 9 check twice against one cache directory
+// and compares the wall clocks. The warm run must be fully warm: every
+// graph served from the cache, zero states explored, same verdict.
+func measureWarmCache(agcheck string, n, k, workers int) (CacheComparison, error) {
+	cacheDir, err := os.MkdirTemp("", "benchpr4-cache-")
+	if err != nil {
+		return CacheComparison{}, err
+	}
+	defer os.RemoveAll(cacheDir)
+	cold, coldRep, err := fig9FromReport(agcheck, n, k, workers, cacheDir)
+	if err != nil {
+		return CacheComparison{}, fmt.Errorf("cold cache run: %w", err)
+	}
+	warm, warmRep, err := fig9FromReport(agcheck, n, k, workers, cacheDir)
+	if err != nil {
+		return CacheComparison{}, fmt.Errorf("warm cache run: %w", err)
+	}
+	if warmRep.Stats.States != 0 {
+		return CacheComparison{}, fmt.Errorf("warm run explored %d states, want 0 (cache not fully warm)", warmRep.Stats.States)
+	}
+	if warmRep.Cache == nil || warmRep.Cache.Hits == 0 {
+		return CacheComparison{}, fmt.Errorf("warm run reports no cache hits")
+	}
+	if warmRep.Verdict != coldRep.Verdict {
+		return CacheComparison{}, fmt.Errorf("warm verdict %s != cold verdict %s", warmRep.Verdict, coldRep.Verdict)
+	}
+	out := CacheComparison{
+		ColdWallSeconds: cold.WallSeconds,
+		WarmWallSeconds: warm.WallSeconds,
+		ColdStates:      float64(cold.States),
+		WarmHits:        warmRep.Cache.Hits,
+		Verdict:         warmRep.Verdict,
+	}
+	if warm.WallSeconds > 0 {
+		out.Speedup = cold.WallSeconds / warm.WallSeconds
 	}
 	return out, nil
 }
@@ -313,7 +336,7 @@ func measureOverhead(cfg queue.Config, workers, rounds int) Overhead {
 		}
 		wall := time.Since(start).Seconds()
 		if rec != nil {
-			rec.Finish("benchpr3", obs.Config{}, engine.Holds, "")
+			rec.Finish("benchpr4", obs.Config{}, engine.Holds, "")
 		}
 		return wall
 	}
@@ -336,6 +359,6 @@ func measureOverhead(cfg queue.Config, workers, rounds int) Overhead {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "benchpr3:", err)
+	fmt.Fprintln(os.Stderr, "benchpr4:", err)
 	os.Exit(2)
 }
