@@ -24,8 +24,17 @@
 // -resume continues a budget-interrupted build from its checkpoint, and
 // -no-cache forces a cold build against a populated cache.
 //
+// Static analysis: before any state is explored, -vet runs the specvet
+// analyzer over the theorem instance. The default warn mode prints
+// findings to stderr and proceeds; strict mode refuses to check an
+// instance with vet errors (exit 2, UNKNOWN report with a vet section);
+// off skips the pre-check. -mutate <name> plants a named ill-formed-spec
+// mutation from the faultinject vet catalog first — a testing aid for the
+// analyzer itself.
+//
 // Exit codes: 0 = all hypotheses hold, 1 = some hypothesis violated,
-// 2 = undecided (budget exhausted, internal failure, or usage error).
+// 2 = undecided (budget exhausted, internal failure, vet-strict
+// rejection, or usage error).
 package main
 
 import (
@@ -40,9 +49,11 @@ import (
 	"opentla/internal/cache"
 	"opentla/internal/circular"
 	"opentla/internal/engine"
+	"opentla/internal/faultinject"
 	"opentla/internal/obs"
 	"opentla/internal/queue"
 	"opentla/internal/ts"
+	"opentla/internal/vet"
 )
 
 func main() {
@@ -61,6 +72,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.IntVar(&n, "N", 1, "alias for -n")
 	fs.IntVar(&k, "k", 2, "value-domain size K (>= 2)")
 	fs.IntVar(&k, "K", 2, "alias for -k")
+	vetFlag := fs.String("vet", "warn", "static pre-check mode: strict | warn | off")
+	mutate := fs.String("mutate", "", "plant a named faultinject vet mutation before checking (analyzer testing aid)")
 	bf := engine.AddBudgetFlags(fs)
 	workers := engine.AddWorkersFlag(fs)
 	of := obs.AddFlags(fs)
@@ -70,6 +83,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	conf := obs.Config{
+		Model:          *model,
+		N:              n,
+		K:              k,
+		Workers:        *workers,
+		BudgetMS:       int64(bf.TimeoutMS),
+		MaxStates:      bf.MaxStates,
+		MaxTransitions: bf.MaxTransitions,
+	}
+
 	// fail reports a usage or startup error. When -report was requested the
 	// run still gets a minimal UNKNOWN report, so automation reading reports
 	// sees the failure reason instead of a missing file.
@@ -77,15 +100,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		msg := fmt.Sprintf(format, fargs...)
 		fmt.Fprintf(stderr, "agcheck: %s\n", msg)
 		if of.Report != "" {
-			doc := (*obs.Recorder)(nil).Finish("agcheck", obs.Config{
-				Model:          *model,
-				N:              n,
-				K:              k,
-				Workers:        *workers,
-				BudgetMS:       int64(bf.TimeoutMS),
-				MaxStates:      bf.MaxStates,
-				MaxTransitions: bf.MaxTransitions,
-			}, engine.Unknown, msg)
+			doc := (*obs.Recorder)(nil).Finish("agcheck", conf, engine.Unknown, msg)
 			if werr := obs.WriteFile(of.Report, doc); werr != nil {
 				fmt.Fprintln(stderr, "agcheck:", werr)
 			}
@@ -103,52 +118,82 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return fail("%v", err)
 	}
 	cfg := queue.Config{N: n, Vals: k}
+	mode, err := vet.ParseMode(*vetFlag)
+	if err != nil {
+		return fail("%v", err)
+	}
 
 	// Resolve the model before spending anything on meters or profiles, so
-	// a typo fails fast with the valid list. gc is assigned after the cache
-	// opens; the closures read it at call time.
+	// a typo fails fast with the valid list. Theorem models share one
+	// constructor, so the vet pre-check and the check itself analyze the
+	// same instance — including any fault planted by -mutate. gc is
+	// assigned after the cache opens; the closures read it at call time.
 	var gc ts.GraphCache
-	var checkModel func(m *engine.Meter) (*ag.Report, error)
+	var makeTheorem func() (*ag.Theorem, error)
+	var makeRefinement func() *ag.Refinement
 	switch *model {
 	case "circular":
-		checkModel = func(m *engine.Meter) (*ag.Report, error) {
-			th := circular.SafetyTheorem()
-			th.Workers = *workers
-			th.Cache, th.Resume = gc, cf.Resume
-			return th.CheckWith(m)
-		}
+		makeTheorem = func() (*ag.Theorem, error) { return circular.SafetyTheorem(), nil }
 	case "queues":
-		checkModel = func(m *engine.Meter) (*ag.Report, error) {
-			th := cfg.Fig9Theorem()
-			th.Workers = *workers
-			th.Cache, th.Resume = gc, cf.Resume
-			return th.CheckWith(m)
-		}
+		makeTheorem = func() (*ag.Theorem, error) { return cfg.Fig9Theorem(), nil }
 	case "queues-no-g":
-		checkModel = func(m *engine.Meter) (*ag.Report, error) {
+		makeTheorem = func() (*ag.Theorem, error) {
 			th := cfg.Fig9Theorem()
 			th.Name += " WITHOUT G (expected to fail, §A.5 formula (3))"
 			th.Pairs = th.Pairs[1:]
-			th.Workers = *workers
-			th.Cache, th.Resume = gc, cf.Resume
-			return th.CheckWith(m)
+			return th, nil
 		}
 	case "corollary":
-		checkModel = func(m *engine.Meter) (*ag.Report, error) {
-			rf := cfg.CorollaryRefinement()
+		makeRefinement = cfg.CorollaryRefinement
+	case "arbiter":
+		makeTheorem = func() (*ag.Theorem, error) { return arbiter.Theorem(), nil }
+	default:
+		return fail("unknown model %q; valid models: %s", *model, strings.Join(modelNames, " | "))
+	}
+
+	if *mutate != "" {
+		if makeTheorem == nil {
+			return fail("-mutate applies only to theorem models, not %q", *model)
+		}
+		var mu *faultinject.VetMutation
+		var known []string
+		for _, cand := range faultinject.VetCatalog(cfg) {
+			cand := cand
+			known = append(known, cand.Name)
+			if cand.Name == *mutate {
+				mu = &cand
+			}
+		}
+		if mu == nil {
+			return fail("unknown vet mutation %q; valid: %s", *mutate, strings.Join(known, " | "))
+		}
+		base := makeTheorem
+		makeTheorem = func() (*ag.Theorem, error) {
+			th, err := base()
+			if err != nil {
+				return nil, err
+			}
+			if err := mu.Apply(th); err != nil {
+				return nil, fmt.Errorf("mutation %s: %w", mu.Name, err)
+			}
+			return th, nil
+		}
+	}
+
+	checkModel := func(m *engine.Meter) (*ag.Report, error) {
+		if makeRefinement != nil {
+			rf := makeRefinement()
 			rf.Workers = *workers
 			rf.Cache, rf.Resume = gc, cf.Resume
 			return rf.CheckWith(m)
 		}
-	case "arbiter":
-		checkModel = func(m *engine.Meter) (*ag.Report, error) {
-			th := arbiter.Theorem()
-			th.Workers = *workers
-			th.Cache, th.Resume = gc, cf.Resume
-			return th.CheckWith(m)
+		th, err := makeTheorem()
+		if err != nil {
+			return nil, err
 		}
-	default:
-		return fail("unknown model %q; valid models: %s", *model, strings.Join(modelNames, " | "))
+		th.Workers = *workers
+		th.Cache, th.Resume = gc, cf.Resume
+		return th.CheckWith(m)
 	}
 
 	if c, err := cf.Open(); err != nil {
@@ -172,6 +217,44 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if of.Enabled() {
 		rec = obs.New(m)
 	}
+
+	// The vet pre-check: analyze the instance before exploring any state.
+	// Warn-and-above findings go to stderr in every mode; strict mode
+	// refuses to check an instance with errors, since its verdict would
+	// not mean what the Composition Theorem says it means.
+	var vetSection *obs.VetReport
+	if mode != vet.ModeOff {
+		endVet := obs.SpanFromMeter(m, "vet")
+		var res *vet.Result
+		if makeRefinement != nil {
+			res = makeRefinement().Vet()
+		} else {
+			th, err := makeTheorem()
+			if err != nil {
+				endVet()
+				return fail("%v", err)
+			}
+			res = th.Vet()
+		}
+		endVet()
+		vetSection = res.Section(mode)
+		for _, d := range res.Filter(vet.Warn) {
+			fmt.Fprintf(stderr, "agcheck: vet: %s\n", d)
+		}
+		if mode == vet.ModeStrict && res.HasErrors() {
+			msg := fmt.Sprintf("vet found %d errors in strict mode; refusing to check an ill-formed instance", res.Errors())
+			fmt.Fprintf(stderr, "agcheck: %s\n", msg)
+			if of.Report != "" {
+				doc := rec.Finish("agcheck", conf, engine.Unknown, msg)
+				doc.Vet = vetSection
+				if werr := obs.WriteFile(of.Report, doc); werr != nil {
+					fmt.Fprintln(stderr, "agcheck:", werr)
+				}
+			}
+			return 2
+		}
+	}
+
 	stopProgress := rec.StartProgress(stderr, of.Progress)
 	report, err := checkModel(m)
 	stopProgress()
@@ -185,15 +268,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		unknown = err.Error()
 	}
 	if of.Report != "" {
-		doc := rec.Finish("agcheck", obs.Config{
-			Model:          *model,
-			N:              n,
-			K:              k,
-			Workers:        *workers,
-			BudgetMS:       int64(bf.TimeoutMS),
-			MaxStates:      bf.MaxStates,
-			MaxTransitions: bf.MaxTransitions,
-		}, verdict, unknown)
+		doc := rec.Finish("agcheck", conf, verdict, unknown)
+		doc.Vet = vetSection
 		if report != nil {
 			for _, h := range report.Hypotheses {
 				doc.Hypotheses = append(doc.Hypotheses, obs.Hypothesis{Name: h.Name, Holds: h.Holds, Detail: h.Detail})

@@ -267,3 +267,117 @@ func TestProgressFlagWritesToStderr(t *testing.T) {
 		t.Error("progress lines leaked to stdout")
 	}
 }
+
+// TestVetStrictMutantExits2 pins the pre-check contract: planting an
+// ill-formed-spec mutant and running with -vet strict must refuse the
+// check (exit 2) and write an UNKNOWN report whose vet section carries
+// the cross-component-write diagnostic.
+func TestVetStrictMutantExits2(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "report.json")
+	var out, errb bytes.Buffer
+	code := run([]string{"-model", "queues", "-n", "1", "-k", "2",
+		"-mutate", "vet-unowned-write", "-vet", "strict", "-report", path}, &out, &errb)
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2 (stderr %q)", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "SV003") || !strings.Contains(errb.String(), "refusing to check") {
+		t.Errorf("stderr %q missing the vet rejection", errb.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep obs.Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if rep.Verdict != "UNKNOWN" {
+		t.Errorf("verdict = %q, want UNKNOWN", rep.Verdict)
+	}
+	if rep.Vet == nil {
+		t.Fatal("report has no vet section")
+	}
+	if rep.Vet.Mode != "strict" || rep.Vet.Errors < 1 {
+		t.Errorf("vet section = mode %q, %d errors; want strict with >= 1 error", rep.Vet.Mode, rep.Vet.Errors)
+	}
+	found := false
+	for _, d := range rep.Vet.Diagnostics {
+		if d.Code == "SV003" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("vet diagnostics missing SV003: %+v", rep.Vet.Diagnostics)
+	}
+}
+
+// TestVetWarnModeStillChecks runs a clean model in the default warn mode:
+// the check proceeds, succeeds, and the report carries a warn-mode vet
+// section with zero errors.
+func TestVetWarnModeStillChecks(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "report.json")
+	var out, errb bytes.Buffer
+	code := run([]string{"-model", "circular", "-report", path}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0 (stderr %q)", code, errb.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep obs.Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Vet == nil {
+		t.Fatal("HOLDS report has no vet section (default -vet=warn should attach one)")
+	}
+	if rep.Vet.Mode != "warn" || rep.Vet.Errors != 0 {
+		t.Errorf("vet section = mode %q, %d errors; want warn with 0 errors", rep.Vet.Mode, rep.Vet.Errors)
+	}
+}
+
+// TestVetOffSkipsSection confirms -vet=off runs no analysis: the report
+// has no vet section at all.
+func TestVetOffSkipsSection(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "report.json")
+	var out, errb bytes.Buffer
+	code := run([]string{"-model", "circular", "-vet", "off", "-report", path}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0 (stderr %q)", code, errb.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep obs.Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Vet != nil {
+		t.Errorf("-vet=off report still has a vet section: %+v", rep.Vet)
+	}
+}
+
+func TestVetUsageErrors(t *testing.T) {
+	tests := []struct {
+		name   string
+		args   []string
+		reason string
+	}{
+		{"bad vet mode", []string{"-model", "circular", "-vet", "bogus"}, `invalid vet mode "bogus"`},
+		{"unknown mutation", []string{"-model", "queues", "-mutate", "nonesuch"}, `unknown vet mutation "nonesuch"`},
+		{"mutate on refinement", []string{"-model", "corollary", "-mutate", "vet-unowned-write"}, "-mutate applies only to theorem models"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var out, errb bytes.Buffer
+			if code := run(tt.args, &out, &errb); code != 2 {
+				t.Fatalf("exit code = %d, want 2 (stderr %q)", code, errb.String())
+			}
+			if !strings.Contains(errb.String(), tt.reason) {
+				t.Errorf("stderr %q missing %q", errb.String(), tt.reason)
+			}
+		})
+	}
+}

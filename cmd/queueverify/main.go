@@ -20,9 +20,16 @@
 // cache across runs, -resume continues a budget-interrupted build from its
 // checkpoint, and -no-cache forces a cold build.
 //
+// Static analysis: before any state is explored, -vet runs the specvet
+// analyzer over the Figure 9 theorem and the complete single queue. The
+// default warn mode prints findings to stderr and proceeds; strict mode
+// refuses to run with vet errors (exit 2, UNKNOWN report with a vet
+// section); off skips the pre-check.
+//
 // Exit codes: 0 = everything verified, 1 = a property violated,
 // 2 = undecided (budget exhausted, internal failure, or usage error).
-// Flag, startup, and report-write failures always exit 2, never 1.
+// Flag, startup, vet-strict, and report-write failures always exit 2,
+// never 1.
 package main
 
 import (
@@ -37,7 +44,9 @@ import (
 	"opentla/internal/engine"
 	"opentla/internal/obs"
 	"opentla/internal/queue"
+	"opentla/internal/spec"
 	"opentla/internal/ts"
+	"opentla/internal/vet"
 )
 
 func main() {
@@ -53,6 +62,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.IntVar(&k, "k", 2, "value-domain size K (>= 2)")
 	fs.IntVar(&k, "K", 2, "alias for -k")
 	verbose := fs.Bool("v", false, "print graph sizes")
+	vetFlag := fs.String("vet", "warn", "static pre-check mode: strict | warn | off")
 	bf := engine.AddBudgetFlags(fs)
 	workers := engine.AddWorkersFlag(fs)
 	of := obs.AddFlags(fs)
@@ -62,21 +72,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	conf := obs.Config{
+		Model:          "appendix-a",
+		N:              n,
+		K:              k,
+		Workers:        *workers,
+		BudgetMS:       int64(bf.TimeoutMS),
+		MaxStates:      bf.MaxStates,
+		MaxTransitions: bf.MaxTransitions,
+	}
+
 	// fail mirrors agcheck: startup failures exit 2 and, when -report was
 	// requested, still produce a minimal UNKNOWN report with the reason.
 	fail := func(format string, fargs ...any) int {
 		msg := fmt.Sprintf(format, fargs...)
 		fmt.Fprintf(stderr, "queueverify: %s\n", msg)
 		if of.Report != "" {
-			doc := (*obs.Recorder)(nil).Finish("queueverify", obs.Config{
-				Model:          "appendix-a",
-				N:              n,
-				K:              k,
-				Workers:        *workers,
-				BudgetMS:       int64(bf.TimeoutMS),
-				MaxStates:      bf.MaxStates,
-				MaxTransitions: bf.MaxTransitions,
-			}, engine.Unknown, msg)
+			doc := (*obs.Recorder)(nil).Finish("queueverify", conf, engine.Unknown, msg)
 			if werr := obs.WriteFile(of.Report, doc); werr != nil {
 				fmt.Fprintln(stderr, "queueverify:", werr)
 			}
@@ -94,6 +106,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return fail("%v", err)
 	}
 	cfg := queue.Config{N: n, Vals: k}
+	mode, err := vet.ParseMode(*vetFlag)
+	if err != nil {
+		return fail("%v", err)
+	}
 
 	var gc ts.GraphCache
 	if c, err := cf.Open(); err != nil {
@@ -117,6 +133,42 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if of.Enabled() {
 		rec = obs.New(m)
 	}
+
+	// The vet pre-check covers everything the run will explore: the open
+	// Figure 9 composition (with its Disjoint hypotheses) and the complete
+	// single queue CQ used by the §A.4 refinement. Building the Figure 9
+	// instance materializes sequence domains up to length 2N+1, so the
+	// phase is skipped on instances too large to even enumerate — the
+	// budgeted build rejects those with an UNKNOWN verdict anyway.
+	var vetSection *obs.VetReport
+	if mode != vet.ModeOff && !vetTractable(cfg, 1<<20) {
+		fmt.Fprintln(stderr, "queueverify: vet: skipped (instance domains too large to materialize; shrink -n/-k to vet)")
+	} else if mode != vet.ModeOff {
+		endVet := obs.SpanFromMeter(m, "vet")
+		res := cfg.Fig9Theorem().Vet()
+		res.Merge(vet.Composition("CQ", []*spec.Component{
+			queue.QE("QE", queue.In, queue.Out, cfg.ValueDomain()),
+			queue.QM("QM", cfg.N, queue.In, queue.Out, "q", cfg.ValueDomain()),
+		}, nil, vet.Options{Domains: cfg.Domains()}))
+		endVet()
+		vetSection = res.Section(mode)
+		for _, d := range res.Filter(vet.Warn) {
+			fmt.Fprintf(stderr, "queueverify: vet: %s\n", d)
+		}
+		if mode == vet.ModeStrict && res.HasErrors() {
+			msg := fmt.Sprintf("vet found %d errors in strict mode; refusing to verify an ill-formed instance", res.Errors())
+			fmt.Fprintf(stderr, "queueverify: %s\n", msg)
+			if of.Report != "" {
+				doc := rec.Finish("queueverify", conf, engine.Unknown, msg)
+				doc.Vet = vetSection
+				if werr := obs.WriteFile(of.Report, doc); werr != nil {
+					fmt.Fprintln(stderr, "queueverify:", werr)
+				}
+			}
+			return 2
+		}
+	}
+
 	stopProgress := rec.StartProgress(stderr, of.Progress)
 	verdict, err := verify(stdout, cfg, m, *verbose, *workers, gc, cf.Resume)
 	stopProgress()
@@ -137,21 +189,29 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "run stats: %s\n", m.Stats())
 	}
 	if of.Report != "" {
-		doc := rec.Finish("queueverify", obs.Config{
-			Model:          "appendix-a",
-			N:              n,
-			K:              k,
-			Workers:        *workers,
-			BudgetMS:       int64(bf.TimeoutMS),
-			MaxStates:      bf.MaxStates,
-			MaxTransitions: bf.MaxTransitions,
-		}, verdict, unknown)
+		doc := rec.Finish("queueverify", conf, verdict, unknown)
+		doc.Vet = vetSection
 		if werr := obs.WriteFile(of.Report, doc); werr != nil {
 			fmt.Fprintln(stderr, "queueverify:", werr)
 			return 2
 		}
 	}
 	return code
+}
+
+// vetTractable reports whether the instance's largest sequence domain —
+// the abstract (2N+1)-queue's contents — stays under limit values, so the
+// vet pre-check can afford to materialize the Figure 9 domains.
+func vetTractable(cfg queue.Config, limit int) bool {
+	total, count := 1, 1
+	for l := 1; l <= 2*cfg.N+1; l++ {
+		count *= cfg.Vals
+		total += count
+		if total > limit {
+			return false
+		}
+	}
+	return true
 }
 
 // verify runs every Appendix A obligation under the shared meter and

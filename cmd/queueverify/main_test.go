@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"opentla/internal/obs"
+	"opentla/internal/queue"
 )
 
 // TestExitCodes pins the exit-code contract shared with agcheck: 0 when
@@ -139,4 +140,76 @@ func readReport(t *testing.T, path string) *obs.Report {
 		t.Errorf("schema_version = %d, want %d", rep.SchemaVersion, obs.SchemaVersion)
 	}
 	return &rep
+}
+
+func TestVetModeUsageError(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-vet", "bogus"}, &out, &errb); code != 2 {
+		t.Fatalf("exit code = %d, want 2 (stderr %q)", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), `invalid vet mode "bogus"`) {
+		t.Errorf("stderr %q missing the vet mode error", errb.String())
+	}
+}
+
+// TestReportCarriesVetSection pins that a default (warn-mode) run attaches
+// the vet section to the run report, with zero errors on the shipped spec.
+func TestReportCarriesVetSection(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "report.json")
+	var out, errb bytes.Buffer
+	code := run([]string{"-n", "1", "-k", "2", "-report", path}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0 (stderr %q)", code, errb.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep obs.Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Vet == nil {
+		t.Fatal("report has no vet section")
+	}
+	if rep.Vet.Mode != "warn" || rep.Vet.Errors != 0 {
+		t.Errorf("vet section = mode %q, %d errors; want warn with 0", rep.Vet.Mode, rep.Vet.Errors)
+	}
+}
+
+// TestOversizedInstanceSkipsVet pins the fast-failure property of
+// oversized runs: the vet pre-check must not materialize the Figure 9
+// domains for an instance the budgeted build is about to reject, so
+// -N 6 -K 8 still returns UNKNOWN promptly instead of hanging.
+func TestOversizedInstanceSkipsVet(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-N", "6", "-K", "8", "-budget-ms", "5000"}, &out, &errb)
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2 (stderr %q)", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "vet: skipped") {
+		t.Errorf("stderr %q missing the vet-skipped notice", errb.String())
+	}
+	if !strings.Contains(out.String(), "UNKNOWN") {
+		t.Errorf("stdout %q missing the UNKNOWN verdict", out.String())
+	}
+}
+
+func TestVetTractable(t *testing.T) {
+	tests := []struct {
+		n, k, limit int
+		want        bool
+	}{
+		{1, 2, 1 << 20, true},  // 1+2+4+8 = 15 sequences
+		{2, 3, 1 << 20, true},  // lengths <= 5 over 3 values: 364
+		{1, 2, 15, true},       // exactly at the limit
+		{1, 2, 14, false},      // one under
+		{6, 8, 1 << 20, false}, // 8^13 blows any sane limit
+	}
+	for _, tt := range tests {
+		got := vetTractable(queue.Config{N: tt.n, Vals: tt.k}, tt.limit)
+		if got != tt.want {
+			t.Errorf("vetTractable(N=%d,K=%d,limit=%d) = %v, want %v", tt.n, tt.k, tt.limit, got, tt.want)
+		}
+	}
 }

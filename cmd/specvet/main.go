@@ -1,0 +1,136 @@
+// Command specvet statically analyzes the bundled example systems for
+// violations of the canonical-form side conditions of Abadi & Lamport,
+// "Open Systems in TLA": a clean input/output/internal partition (§2.2),
+// actions that constrain only owned variables, well-formed fairness
+// conditions, and Disjoint-hypothesis coverage for interleaved
+// compositions (Proposition 4, §2.3).
+//
+// Usage:
+//
+//	specvet                  vet every registered model
+//	specvet -model queue     vet one model
+//	specvet -json            machine-readable output
+//	specvet -strict          warnings also fail (infos never do)
+//
+// Exit codes: 0 = no findings above the failure threshold, 1 = errors
+// (or warnings with -strict), 2 = usage error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"opentla/internal/models"
+	"opentla/internal/obs"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// jsonSchemaVersion versions specvet's -json output, independently of the
+// run-report schema of internal/obs.
+const jsonSchemaVersion = 1
+
+// output is the -json document: one entry per vetted model, with the
+// diagnostics array always present so consumers can index it unguarded.
+type output struct {
+	Tool          string       `json:"tool"`
+	SchemaVersion int          `json:"schema_version"`
+	Models        []modelEntry `json:"models"`
+}
+
+type modelEntry struct {
+	Model       string              `json:"model"`
+	Errors      int                 `json:"errors"`
+	Warnings    int                 `json:"warnings"`
+	Infos       int                 `json:"infos"`
+	Diagnostics []obs.VetDiagnostic `json:"diagnostics"`
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("specvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	model := fs.String("model", "", "model to vet (default: all): "+strings.Join(models.Names(), " | "))
+	asJSON := fs.Bool("json", false, "emit machine-readable JSON instead of human output")
+	strict := fs.Bool("strict", false, "treat warnings as failures (infos never fail)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "specvet: unexpected argument %q\n", fs.Arg(0))
+		return 2
+	}
+
+	var targets []models.Model
+	if *model == "" {
+		targets = models.All()
+	} else {
+		m, err := models.ByName(*model)
+		if err != nil {
+			fmt.Fprintf(stderr, "specvet: %v\n", err)
+			return 2
+		}
+		targets = []models.Model{m}
+	}
+
+	doc := output{Tool: "specvet", SchemaVersion: jsonSchemaVersion}
+	errors, warnings := 0, 0
+	for _, m := range targets {
+		res := m.Vet()
+		errors += res.Errors()
+		warnings += res.Warnings()
+		if *asJSON {
+			entry := modelEntry{
+				Model:       m.Name,
+				Errors:      res.Errors(),
+				Warnings:    res.Warnings(),
+				Infos:       res.Infos(),
+				Diagnostics: []obs.VetDiagnostic{},
+			}
+			for _, d := range res.Diagnostics {
+				entry.Diagnostics = append(entry.Diagnostics, obs.VetDiagnostic{
+					Code:      d.Code,
+					Severity:  d.Severity.String(),
+					Component: d.Component,
+					Action:    d.Action,
+					Message:   d.Message,
+					Hint:      d.Hint,
+				})
+			}
+			doc.Models = append(doc.Models, entry)
+			continue
+		}
+		if len(res.Diagnostics) == 0 {
+			fmt.Fprintf(stdout, "%s: clean\n", m.Name)
+			continue
+		}
+		for _, d := range res.Diagnostics {
+			fmt.Fprintf(stdout, "%s: %s\n", m.Name, d)
+		}
+		fmt.Fprintf(stdout, "%s: %d errors, %d warnings, %d infos\n",
+			m.Name, res.Errors(), res.Warnings(), res.Infos())
+	}
+	if *asJSON {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			fmt.Fprintf(stderr, "specvet: %v\n", err)
+			return 2
+		}
+	}
+	return exitCode(errors, warnings, *strict)
+}
+
+// exitCode maps the finding totals to the process exit code: errors always
+// fail, warnings fail only under -strict, infos never fail.
+func exitCode(errors, warnings int, strict bool) int {
+	if errors > 0 || (strict && warnings > 0) {
+		return 1
+	}
+	return 0
+}

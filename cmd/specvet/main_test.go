@@ -1,0 +1,159 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"opentla/internal/models"
+)
+
+var update = flag.Bool("update", false, "rewrite the specvet -json golden file")
+
+func TestAllModelsPass(t *testing.T) {
+	// The bundled models carry a handful of info-level findings (the
+	// paper's own queue fairness subscript triggers SV034) but nothing
+	// that fails: every model line is either "clean" or a 0-errors,
+	// 0-warnings summary.
+	var out, errb bytes.Buffer
+	code := run(nil, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+	for _, name := range models.Names() {
+		clean := strings.Contains(out.String(), name+": clean")
+		summary := strings.Contains(out.String(), name+": 0 errors, 0 warnings")
+		if !clean && !summary {
+			t.Errorf("model %s neither clean nor 0-errors in stdout:\n%s", name, out.String())
+		}
+	}
+}
+
+func TestStrictAllModelsStillClean(t *testing.T) {
+	// The bundled models carry no warnings either, so -strict passes too.
+	var out, errb bytes.Buffer
+	if code := run([]string{"-strict"}, &out, &errb); code != 0 {
+		t.Errorf("exit code = %d, want 0\nstdout: %s", code, out.String())
+	}
+}
+
+func TestSingleModel(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-model", "queue"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0 (stderr %q)", code, errb.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "queue: 0 errors, 0 warnings") {
+		t.Errorf("stdout missing the queue summary line:\n%s", got)
+	}
+	for _, other := range []string{"handshake", "doublequeue", "arbiter", "circular"} {
+		if strings.Contains(got, other+":") {
+			t.Errorf("-model queue output mentions %s:\n%s", other, got)
+		}
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	tests := []struct {
+		name   string
+		args   []string
+		reason string
+	}{
+		{"unknown model", []string{"-model", "nonesuch"}, `unknown model "nonesuch"`},
+		{"unknown flag", []string{"-bogus"}, "flag provided but not defined"},
+		{"stray argument", []string{"extra"}, `unexpected argument "extra"`},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var out, errb bytes.Buffer
+			if code := run(tt.args, &out, &errb); code != 2 {
+				t.Fatalf("exit code = %d, want 2", code)
+			}
+			if !strings.Contains(errb.String(), tt.reason) {
+				t.Errorf("stderr %q missing %q", errb.String(), tt.reason)
+			}
+		})
+	}
+}
+
+func TestExitCode(t *testing.T) {
+	tests := []struct {
+		errors, warnings int
+		strict           bool
+		want             int
+	}{
+		{0, 0, false, 0},
+		{0, 0, true, 0},
+		{1, 0, false, 1},
+		{1, 0, true, 1},
+		{0, 1, false, 0},
+		{0, 1, true, 1},
+		{2, 3, true, 1},
+	}
+	for _, tt := range tests {
+		if got := exitCode(tt.errors, tt.warnings, tt.strict); got != tt.want {
+			t.Errorf("exitCode(%d, %d, %v) = %d, want %d",
+				tt.errors, tt.warnings, tt.strict, got, tt.want)
+		}
+	}
+}
+
+// TestJSONGolden freezes the -json schema: the exact bytes are compared
+// against testdata/specvet.golden (regenerate with go test -update).
+func TestJSONGolden(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-json"}, &out, &errb); code != 0 {
+		t.Fatalf("exit code = %d, want 0 (stderr %q)", code, errb.String())
+	}
+
+	golden := filepath.Join("testdata", "specvet.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, out.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden file (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(out.Bytes(), want) {
+		t.Errorf("-json output drifted from golden file; run go test -update if intended\ngot:\n%s\nwant:\n%s",
+			out.String(), want)
+	}
+
+	// Structural checks on top of the byte comparison, so a deliberate
+	// -update can't silently break the contract CI's jq relies on.
+	var doc output
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatalf("-json output is not valid JSON: %v", err)
+	}
+	if doc.Tool != "specvet" || doc.SchemaVersion != jsonSchemaVersion {
+		t.Errorf("header = %s/%d, want specvet/%d", doc.Tool, doc.SchemaVersion, jsonSchemaVersion)
+	}
+	if len(doc.Models) != len(models.Names()) {
+		t.Fatalf("got %d models, want %d", len(doc.Models), len(models.Names()))
+	}
+	for i, m := range doc.Models {
+		if m.Model != models.Names()[i] {
+			t.Errorf("models[%d] = %q, want %q (registry order)", i, m.Model, models.Names()[i])
+		}
+		if m.Errors != 0 {
+			t.Errorf("model %s has %d errors in the golden output", m.Model, m.Errors)
+		}
+		if m.Diagnostics == nil {
+			t.Errorf("model %s: diagnostics array absent, want []", m.Model)
+		}
+	}
+	// The array must serialize as [] (never null) for unguarded jq access.
+	if strings.Contains(out.String(), `"diagnostics": null`) {
+		t.Error("diagnostics serialized as null")
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"opentla/internal/spec"
 	"opentla/internal/ts"
 	"opentla/internal/value"
+	"opentla/internal/vet"
 )
 
 // plusVar is the monitor variable recording whether the conclusion's
@@ -295,6 +296,13 @@ func (th *Theorem) validate() error {
 	if len(th.Concl.Sys.Internals) > 0 && th.Concl.Mapping == nil {
 		return fmt.Errorf("conclusion guarantee %s has internal variables %v: a refinement mapping is required",
 			th.Concl.Sys.Name, th.Concl.Sys.Internals)
+	}
+	// Canonical-form gate: a component that writes unowned variables or
+	// breaks its partition would still model-check — to a meaningless
+	// verdict — so error-severity analyzer findings refuse the check.
+	if res := th.Vet(); res.HasErrors() {
+		return fmt.Errorf("theorem is not in canonical form (%d vet errors; run specvet for the full list): %s",
+			res.Errors(), res.Filter(vet.Error)[0])
 	}
 	return nil
 }

@@ -1,0 +1,70 @@
+package ag
+
+import (
+	"opentla/internal/spec"
+	"opentla/internal/vet"
+)
+
+// Vet statically analyzes the theorem instance before any state
+// exploration: the composed guarantees (the pairs' Sys components plus
+// their step constraints) are checked as one composition — including the
+// Disjoint-hypothesis coverage Proposition 4 relies on — and the
+// environment assumptions and the conclusion guarantee are checked
+// individually. Components appearing in several roles (e.g. the arbiter as
+// both a pair's Sys and a client's Env) are analyzed once, by name.
+func (th *Theorem) Vet() *vet.Result {
+	opt := vet.Options{Domains: th.Domains, RequireDisjoint: true}
+
+	var comps []*spec.Component
+	if th.Concl.Env != nil {
+		comps = append(comps, th.Concl.Env)
+	}
+	sysComps, cons := th.guaranteeComponents(false)
+	comps = append(comps, sysComps...)
+	res := vet.Composition(th.Name, comps, cons, opt)
+
+	vetted := make(map[string]bool, len(comps))
+	for _, c := range comps {
+		vetted[c.Name] = true
+	}
+	single := func(c *spec.Component) {
+		if c == nil || vetted[c.Name] {
+			return
+		}
+		vetted[c.Name] = true
+		res.Merge(vet.Component(c, opt))
+	}
+	for _, p := range th.Pairs {
+		single(p.Env)
+	}
+	single(th.Concl.Sys)
+	return res
+}
+
+// Vet statically analyzes the corollary instance: environment and
+// low-level guarantee as a composition (no Disjoint requirement — the
+// corollary makes no interleaving hypothesis), plus the high-level
+// guarantee individually.
+func (rf *Refinement) Vet() *vet.Result {
+	opt := vet.Options{Domains: rf.Domains}
+	var comps []*spec.Component
+	if rf.Env != nil {
+		comps = append(comps, rf.Env)
+	}
+	if rf.Low != nil {
+		comps = append(comps, rf.Low)
+	}
+	res := vet.Composition(rf.Name, comps, nil, opt)
+	if rf.High != nil {
+		dup := false
+		for _, c := range comps {
+			if c.Name == rf.High.Name {
+				dup = true
+			}
+		}
+		if !dup {
+			res.Merge(vet.Component(rf.High, opt))
+		}
+	}
+	return res
+}

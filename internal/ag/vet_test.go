@@ -1,0 +1,100 @@
+package ag
+
+import (
+	"strings"
+	"testing"
+
+	"opentla/internal/form"
+	"opentla/internal/spec"
+)
+
+// countComp is a minimal canonical component: out counts modulo 2.
+func countComp(name, out string) *spec.Component {
+	inc := form.Eq(form.PrimedVar(out), form.Mod(form.Add(form.Var(out), form.IntC(1)), form.IntC(2)))
+	return &spec.Component{
+		Name:    name,
+		Outputs: []string{out},
+		Init:    form.Eq(form.Var(out), form.IntC(0)),
+		Actions: []spec.Action{{Name: "Inc", Def: inc}},
+	}
+}
+
+func vetTheorem() *Theorem {
+	return &Theorem{
+		Name:  "vet-demo",
+		Pairs: []Pair{{Name: "P", Sys: countComp("low", "x")}},
+		Concl: Conclusion{Sys: countComp("high", "x")},
+	}
+}
+
+func TestTheoremVet(t *testing.T) {
+	th := vetTheorem()
+	if res := th.Vet(); res.HasErrors() {
+		t.Errorf("clean theorem has vet errors:\n%s", res)
+	}
+	if err := th.validate(); err != nil {
+		t.Errorf("clean theorem rejected: %v", err)
+	}
+
+	// A guarantee writing its own input is not in canonical form: the
+	// analyzer reports SV002 and validate refuses the instance.
+	bad := vetTheorem()
+	bad.Pairs[0].Sys.Inputs = []string{"d"}
+	bad.Pairs[0].Sys.Actions = append(bad.Pairs[0].Sys.Actions, spec.Action{
+		Name: "Rogue", Def: form.Eq(form.PrimedVar("d"), form.IntC(1)),
+	})
+	res := bad.Vet()
+	if !res.HasErrors() {
+		t.Fatalf("input-writing theorem has no vet errors:\n%s", res)
+	}
+	err := bad.validate()
+	if err == nil {
+		t.Fatal("validate accepted an input-writing guarantee")
+	}
+	if !strings.Contains(err.Error(), "canonical form") || !strings.Contains(err.Error(), "SV002") {
+		t.Errorf("validate error = %v", err)
+	}
+}
+
+func TestTheoremVetDedupesByName(t *testing.T) {
+	// The same component used as a pair's Env and the conclusion's Env is
+	// analyzed once: its diagnostics appear once, not twice.
+	env := stays0("env", "e")
+	env.Inputs = []string{"spare"} // never referenced → one SV060
+	th := &Theorem{
+		Name:  "dedup",
+		Pairs: []Pair{{Name: "P", Env: env, Sys: countComp("low", "x")}},
+		Concl: Conclusion{Env: env, Sys: countComp("high", "x")},
+	}
+	n := 0
+	for _, d := range th.Vet().Diagnostics {
+		if d.Code == "SV060" && d.Component == "env" {
+			n++
+		}
+	}
+	if n != 1 {
+		t.Errorf("shared env analyzed %d times, want 1", n)
+	}
+}
+
+func TestRefinementVet(t *testing.T) {
+	rf := &Refinement{
+		Name: "ref-demo",
+		Low:  countComp("low", "x"),
+		High: countComp("high", "x"),
+	}
+	if res := rf.Vet(); res.HasErrors() {
+		t.Errorf("clean refinement has vet errors:\n%s", res)
+	}
+	rf.Low.Actions[0].Def = form.Eq(form.PrimedVar("ghost"), form.IntC(1))
+	res := rf.Vet()
+	found := false
+	for _, d := range res.Diagnostics {
+		if d.Code == "SV001" && d.Component == "low" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("undeclared write not reported:\n%s", res)
+	}
+}

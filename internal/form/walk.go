@@ -1,0 +1,55 @@
+package form
+
+// Walk traverses the expression tree rooted at e in pre-order, calling
+// visit on every node. If visit returns false the node's sub-expressions
+// are skipped. Walk covers every Expr implementation in this package;
+// static analyses (package vet) rely on that completeness.
+func Walk(e Expr, visit func(Expr) bool) {
+	if e == nil || !visit(e) {
+		return
+	}
+	switch x := e.(type) {
+	case VarE, ConstE:
+		// leaves
+	case PrimeE:
+		Walk(x.X, visit)
+	case AndE:
+		for _, c := range x.Xs {
+			Walk(c, visit)
+		}
+	case OrE:
+		for _, c := range x.Xs {
+			Walk(c, visit)
+		}
+	case NotE:
+		Walk(x.X, visit)
+	case ImpliesE:
+		Walk(x.A, visit)
+		Walk(x.B, visit)
+	case EquivE:
+		Walk(x.A, visit)
+		Walk(x.B, visit)
+	case CmpE:
+		Walk(x.A, visit)
+		Walk(x.B, visit)
+	case ArithE:
+		Walk(x.A, visit)
+		Walk(x.B, visit)
+	case IfE:
+		Walk(x.C, visit)
+		Walk(x.T, visit)
+		Walk(x.E, visit)
+	case TupleE:
+		for _, c := range x.Xs {
+			Walk(c, visit)
+		}
+	case SeqUnE:
+		Walk(x.X, visit)
+	case ConcatE:
+		Walk(x.A, visit)
+		Walk(x.B, visit)
+	case QuantE:
+		// The domain is a constant value list, not an expression tree.
+		Walk(x.Body, visit)
+	}
+}

@@ -1,0 +1,79 @@
+package form
+
+import (
+	"testing"
+
+	"opentla/internal/value"
+)
+
+// TestWalkVisitsEveryNodeKind builds one expression containing every Expr
+// implementation and checks Walk reaches each of them.
+func TestWalkVisitsEveryNodeKind(t *testing.T) {
+	e := And(
+		Or(Not(Implies(Var("a"), Equiv(Var("b"), TrueE))), FalseE),
+		Eq(Prime(Var("x")), Add(Var("x"), IntC(1))),
+		If(Gt(Len(Var("q")), IntC(0)), Head(Var("q")), Concat(Var("q"), TupleOf(Var("y")))),
+		Exists("v", value.Ints(0, 1), Eq(Var("v"), Var("z"))),
+	)
+	seen := map[string]bool{}
+	Walk(e, func(n Expr) bool {
+		switch n.(type) {
+		case VarE:
+			seen["var"] = true
+		case PrimeE:
+			seen["prime"] = true
+		case ConstE:
+			seen["const"] = true
+		case AndE:
+			seen["and"] = true
+		case OrE:
+			seen["or"] = true
+		case NotE:
+			seen["not"] = true
+		case ImpliesE:
+			seen["implies"] = true
+		case EquivE:
+			seen["equiv"] = true
+		case CmpE:
+			seen["cmp"] = true
+		case ArithE:
+			seen["arith"] = true
+		case IfE:
+			seen["if"] = true
+		case TupleE:
+			seen["tuple"] = true
+		case SeqUnE:
+			seen["sequn"] = true
+		case ConcatE:
+			seen["concat"] = true
+		case QuantE:
+			seen["quant"] = true
+		}
+		return true
+	})
+	for _, kind := range []string{"var", "prime", "const", "and", "or", "not", "implies",
+		"equiv", "cmp", "arith", "if", "tuple", "sequn", "concat", "quant"} {
+		if !seen[kind] {
+			t.Errorf("Walk never visited a %s node", kind)
+		}
+	}
+}
+
+// TestWalkPrune checks that returning false stops descent into a subtree.
+func TestWalkPrune(t *testing.T) {
+	e := And(Not(Var("hidden")), Var("visible"))
+	var names []string
+	Walk(e, func(n Expr) bool {
+		if _, ok := n.(NotE); ok {
+			return false
+		}
+		if v, ok := n.(VarE); ok {
+			names = append(names, v.Name)
+		}
+		return true
+	})
+	if len(names) != 1 || names[0] != "visible" {
+		t.Errorf("pruned walk saw %v, want [visible]", names)
+	}
+	Walk(nil, func(Expr) bool { t.Error("visited nil"); return true })
+}

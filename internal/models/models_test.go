@@ -1,0 +1,65 @@
+package models
+
+import (
+	"testing"
+
+	"opentla/internal/vet"
+)
+
+// TestAllModelsVetClean is the in-tree version of the CI specvet gate:
+// every bundled model must analyze with zero error-severity findings.
+func TestAllModelsVetClean(t *testing.T) {
+	for _, m := range All() {
+		t.Run(m.Name, func(t *testing.T) {
+			res := m.Vet()
+			if res.HasErrors() {
+				t.Errorf("model %s has vet errors:\n%s", m.Name, res)
+			}
+			for _, d := range res.Filter(vet.Warn) {
+				t.Logf("%s: %s", m.Name, d)
+			}
+		})
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	names := Names()
+	want := []string{"handshake", "queue", "doublequeue", "arbiter", "circular"}
+	if len(names) != len(want) {
+		t.Fatalf("Names() = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Errorf("Names()[%d] = %q, want %q", i, names[i], want[i])
+		}
+	}
+	for _, n := range want {
+		m, err := ByName(n)
+		if err != nil || m.Name != n {
+			t.Errorf("ByName(%q) = %v, %v", n, m.Name, err)
+		}
+		if len(m.Components) == 0 || m.Doc == "" || m.Domains == nil {
+			t.Errorf("model %s is underspecified: %+v", n, m)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("ByName accepted an unknown model")
+	}
+}
+
+// TestInterleavedModelsHaveCoverage pins that the models claiming the
+// Disjoint hypothesis actually carry recognizable constraints: no SV020 or
+// SV021 findings.
+func TestInterleavedModelsHaveCoverage(t *testing.T) {
+	for _, m := range All() {
+		if !m.Interleaved {
+			continue
+		}
+		res := m.Vet()
+		for _, d := range res.Diagnostics {
+			if d.Code == "SV020" || d.Code == "SV021" {
+				t.Errorf("model %s: %s", m.Name, d)
+			}
+		}
+	}
+}

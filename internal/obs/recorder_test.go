@@ -353,6 +353,16 @@ func goldenReport(t *testing.T) *Report {
 		MaxStates: 10,
 	}, engine.Unknown, lastErr.Error())
 	rep.Hypotheses = append(rep.Hypotheses, Hypothesis{Name: "H1: C(E) => E_1", Holds: true})
+	rep.Vet = &VetReport{
+		Mode: "strict", Errors: 1, Warnings: 0, Infos: 1,
+		Diagnostics: []VetDiagnostic{
+			{Code: "SV002", Severity: "error", Component: "QM1", Action: "Enq",
+				Message: `action constrains the next-state value of input "i.val"`,
+				Hint:    `only the environment may change "i.val"; make it an output or drop the constraint`},
+			{Code: "SV034", Severity: "info", Component: "QM1", Action: "WF[0]",
+				Message: "fairness subscript mixes inputs with owned variables; an input change alone satisfies the angle-action"},
+		},
+	}
 	return rep
 }
 

@@ -14,8 +14,9 @@ import (
 // SchemaVersion identifies the run-report JSON schema. Bump it on any
 // incompatible change; the golden file internal/obs/testdata/report.golden
 // pins the current shape. Version 2 added the cache section (graph-cache
-// hit/miss/corruption and checkpoint/resume counters).
-const SchemaVersion = 2
+// hit/miss/corruption and checkpoint/resume counters); version 3 added the
+// vet section (static-analysis pre-check results).
+const SchemaVersion = 3
 
 // Report is the versioned machine-readable run report written by -report.
 type Report struct {
@@ -33,6 +34,9 @@ type Report struct {
 	Stats Stats `json:"stats"`
 	// Hypotheses lists per-obligation outcomes, for theorem-shaped runs.
 	Hypotheses []Hypothesis `json:"hypotheses,omitempty"`
+	// Vet summarizes the static-analysis pre-check, present when the run
+	// executed one (-vet=strict or -vet=warn).
+	Vet *VetReport `json:"vet,omitempty"`
 	// Cache summarizes graph-cache activity, present when any counter is
 	// nonzero (i.e. a cache was configured and consulted).
 	Cache *CacheStats `json:"cache,omitempty"`
@@ -95,6 +99,29 @@ type CacheStats struct {
 
 func (c CacheStats) any() bool {
 	return c.Hits != 0 || c.Misses != 0 || c.Corrupt != 0 || c.CheckpointsSaved != 0 || c.Resumes != 0
+}
+
+// VetReport summarizes a static-analysis pre-check (package vet) inside a
+// run report.
+type VetReport struct {
+	// Mode is the -vet mode the run used ("strict" or "warn").
+	Mode string `json:"mode"`
+	// Errors, Warnings, and Infos count diagnostics by severity.
+	Errors   int `json:"errors"`
+	Warnings int `json:"warnings"`
+	Infos    int `json:"infos"`
+	// Diagnostics lists the individual findings, in analyzer order.
+	Diagnostics []VetDiagnostic `json:"diagnostics,omitempty"`
+}
+
+// VetDiagnostic is one serialized analyzer finding.
+type VetDiagnostic struct {
+	Code      string `json:"code"`
+	Severity  string `json:"severity"`
+	Component string `json:"component,omitempty"`
+	Action    string `json:"action,omitempty"`
+	Message   string `json:"message"`
+	Hint      string `json:"hint,omitempty"`
 }
 
 // Hypothesis is one discharged (or failed) proof obligation.

@@ -162,15 +162,48 @@ func (c *Component) SafetyOnly() *Component {
 	return &cp
 }
 
+// DuplicateVarError reports a variable declared more than once across (or
+// within) a component's Inputs, Outputs, and Internals lists — a broken
+// partition that would make "owned" ambiguous (§2.2).
+type DuplicateVarError struct {
+	// Component is the component's name.
+	Component string
+	// Var is the doubly-declared variable.
+	Var string
+	// First and Second are the classes ("input", "output", "internal") of
+	// the two declarations; they are equal when the same list repeats the
+	// variable.
+	First, Second string
+}
+
+func (e *DuplicateVarError) Error() string {
+	if e.First == e.Second {
+		return fmt.Sprintf("component %s: variable %q declared twice as %s", e.Component, e.Var, e.First)
+	}
+	return fmt.Sprintf("component %s: variable %q declared as both %s and %s", e.Component, e.Var, e.First, e.Second)
+}
+
+// New validates c and returns it, so construction sites can reject
+// ill-formed components (duplicate declarations, undeclared action
+// variables, primed Init) before any checking begins. The returned pointer
+// is c itself; no copy is made.
+func New(c *Component) (*Component, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
 // Validate checks structural well-formedness: variable classes are
 // disjoint, action definitions only prime declared variables, and fairness
-// actions only prime owned variables.
+// actions only prime owned variables. Duplicate declarations are reported
+// as a *DuplicateVarError.
 func (c *Component) Validate() error {
 	seen := make(map[string]string)
 	add := func(class string, names []string) error {
 		for _, n := range names {
 			if prev, dup := seen[n]; dup {
-				return fmt.Errorf("component %s: variable %q declared as both %s and %s", c.Name, n, prev, class)
+				return &DuplicateVarError{Component: c.Name, Var: n, First: prev, Second: class}
 			}
 			seen[n] = class
 		}

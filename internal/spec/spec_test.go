@@ -1,6 +1,7 @@
 package spec
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -44,8 +45,26 @@ func TestValidate(t *testing.T) {
 		t.Errorf("valid component rejected: %v", err)
 	}
 	dup := &Component{Name: "d", Inputs: []string{"x"}, Outputs: []string{"x"}}
-	if err := dup.Validate(); err == nil {
+	err := dup.Validate()
+	if err == nil {
 		t.Error("duplicate variable should be rejected")
+	}
+	var dve *DuplicateVarError
+	if !errors.As(err, &dve) {
+		t.Errorf("duplicate declaration error is %T, want *DuplicateVarError", err)
+	} else if dve.Var != "x" || dve.First != "input" || dve.Second != "output" {
+		t.Errorf("DuplicateVarError = %+v", dve)
+	}
+	same := &Component{Name: "s", Outputs: []string{"y", "y"}}
+	err = same.Validate()
+	if !errors.As(err, &dve) {
+		t.Fatalf("same-class duplicate error is %T, want *DuplicateVarError", err)
+	}
+	if dve.First != "output" || dve.Second != "output" {
+		t.Errorf("same-class DuplicateVarError = %+v", dve)
+	}
+	if !strings.Contains(dve.Error(), "declared twice as output") {
+		t.Errorf("same-class message = %q", dve.Error())
 	}
 	undeclared := &Component{
 		Name:    "u",
@@ -62,6 +81,16 @@ func TestValidate(t *testing.T) {
 	}
 	if err := primedInit.Validate(); err == nil {
 		t.Error("primed Init should be rejected")
+	}
+}
+
+func TestNewRejectsIllFormed(t *testing.T) {
+	if _, err := New(counter()); err != nil {
+		t.Errorf("New rejected a valid component: %v", err)
+	}
+	bad := &Component{Name: "b", Inputs: []string{"x"}, Internals: []string{"x"}}
+	if _, err := New(bad); err == nil {
+		t.Error("New accepted a duplicate declaration")
 	}
 }
 

@@ -1,0 +1,171 @@
+package vet
+
+import (
+	"fmt"
+	"strings"
+
+	"opentla/internal/form"
+	"opentla/internal/spec"
+	"opentla/internal/ts"
+)
+
+// checkDisjointCoverage implements the Disjoint-hypothesis analyses:
+//
+//	SV020 — no step constraint forces the outputs of two components to
+//	        change in separate steps. Proposition 4 reduces the
+//	        conditional implementation E ∧ Disjoint(v1,…,vn) ⊆ M to an
+//	        unconditional one only when the Disjoint hypothesis actually
+//	        covers every pair; a missing pair silently weakens the
+//	        theorem being checked. Severity is Warn when the caller
+//	        requires interleaving (Options.RequireDisjoint), Info
+//	        otherwise.
+//	SV021 — a step constraint is not recognized as a Disjoint shape, so
+//	        the coverage analysis cannot credit it.
+//
+// A constraint counts toward pair (A, B) when every one of its disjuncts
+// freezes all of A's outputs or all of B's outputs — exactly the shape
+// produced by form.DisjointSteps: [(vi'=vi) ∨ (vj'=vj)]_⟨vi,vj⟩, whose
+// three disjuncts freeze vi, vj, and ⟨vi,vj⟩ respectively. Components with
+// no actions or no outputs need no interleaving and are skipped.
+func checkDisjointCoverage(res *Result, name string, comps []*spec.Component, cons []ts.StepConstraint, opt Options) {
+	var recognized [][]map[string]bool
+	for _, con := range cons {
+		sets, ok := parseDisjoint(con.Action)
+		if !ok {
+			res.add(Diagnostic{
+				Code: "SV021", Severity: Info, Component: name, Action: con.Name,
+				Message: "step constraint is not a recognized Disjoint shape; it is ignored by the coverage analysis",
+				Hint:    "build interleaving constraints with form.DisjointSteps",
+			})
+			continue
+		}
+		recognized = append(recognized, sets)
+	}
+
+	sev := Info
+	if opt.RequireDisjoint {
+		sev = Warn
+	}
+	for i, a := range comps {
+		if len(a.Actions) == 0 || len(a.Outputs) == 0 {
+			continue
+		}
+		for _, b := range comps[i+1:] {
+			if len(b.Actions) == 0 || len(b.Outputs) == 0 {
+				continue
+			}
+			if coveredBy(recognized, a.Outputs, b.Outputs) {
+				continue
+			}
+			res.add(Diagnostic{
+				Code: "SV020", Severity: sev, Component: name,
+				Message: fmt.Sprintf("no Disjoint constraint separates the outputs of %s (%s) and %s (%s)",
+					a.Name, strings.Join(a.Outputs, ","), b.Name, strings.Join(b.Outputs, ",")),
+				Hint: fmt.Sprintf("add form.DisjointSteps for the pair (%s, %s) or accept simultaneous steps", a.Name, b.Name),
+			})
+		}
+	}
+}
+
+// coveredBy reports whether some recognized constraint interleaves the
+// two output sets: every one of its disjuncts freezes all of outA or all
+// of outB.
+func coveredBy(recognized [][]map[string]bool, outA, outB []string) bool {
+	for _, sets := range recognized {
+		all := len(sets) > 0
+		for _, s := range sets {
+			if !subset(outA, s) && !subset(outB, s) {
+				all = false
+				break
+			}
+		}
+		if all {
+			return true
+		}
+	}
+	return false
+}
+
+func subset(names []string, set map[string]bool) bool {
+	for _, n := range names {
+		if !set[n] {
+			return false
+		}
+	}
+	return true
+}
+
+// parseDisjoint decomposes a step constraint into disjuncts that each
+// freeze a set of variables, returning the frozen set per disjunct. It
+// recognizes the shapes form.DisjointSteps emits — disjunctions of
+// UNCHANGED conjunctions and tuple-stutter equalities — and fails on
+// anything else.
+func parseDisjoint(e form.Expr) ([]map[string]bool, bool) {
+	var sets []map[string]bool
+	for _, leaf := range orLeaves(e) {
+		s, ok := unchangedSet(leaf)
+		if !ok {
+			return nil, false
+		}
+		sets = append(sets, s)
+	}
+	return sets, len(sets) > 0
+}
+
+// orLeaves flattens nested disjunctions into their leaves.
+func orLeaves(e form.Expr) []form.Expr {
+	if o, ok := e.(form.OrE); ok {
+		var out []form.Expr
+		for _, c := range o.Xs {
+			out = append(out, orLeaves(c)...)
+		}
+		return out
+	}
+	return []form.Expr{e}
+}
+
+// unchangedSet parses an expression asserting that a set of variables is
+// unchanged — v' = v, ⟨v1,…,vn⟩' = ⟨v1,…,vn⟩, or a conjunction of such —
+// and returns that set.
+func unchangedSet(e form.Expr) (map[string]bool, bool) {
+	switch x := e.(type) {
+	case form.AndE:
+		out := make(map[string]bool)
+		for _, c := range x.Xs {
+			s, ok := unchangedSet(c)
+			if !ok {
+				return nil, false
+			}
+			for v := range s {
+				out[v] = true
+			}
+		}
+		return out, true
+	case form.CmpE:
+		if x.Op != form.OpEq || !isStutterEq(x) {
+			return nil, false
+		}
+		f := x.A
+		if p, ok := x.A.(form.PrimeE); ok {
+			f = p.X
+		} else if p, ok := x.B.(form.PrimeE); ok {
+			f = p.X
+		}
+		switch sub := f.(type) {
+		case form.VarE:
+			return map[string]bool{sub.Name: true}, true
+		case form.TupleE:
+			out := make(map[string]bool, len(sub.Xs))
+			for _, c := range sub.Xs {
+				v, ok := c.(form.VarE)
+				if !ok {
+					return nil, false
+				}
+				out[v.Name] = true
+			}
+			return out, true
+		}
+		return nil, false
+	}
+	return nil, false
+}

@@ -1,0 +1,103 @@
+package vet
+
+import (
+	"fmt"
+	"sort"
+
+	"opentla/internal/spec"
+	"opentla/internal/state"
+	"opentla/internal/value"
+)
+
+// checkExecs audits the executable successor generators:
+//
+//	SV040 — an Exec returned an update assigning a variable outside the
+//	        component's owned set. The ExecFunc contract (package spec)
+//	        allows only owned-variable updates; a rogue key either writes
+//	        another component's variable or invents one, and the engine's
+//	        declarative cross-check (ts.AuditExecs) would only catch it
+//	        during a full run.
+//	SV041 — an Exec panicked while sampling.
+//
+// The audit samples at most Options.ExecSamples states drawn from
+// Options.Domains; it is skipped when Domains is nil or does not cover
+// every declared variable of the component. Sampling is deterministic:
+// assignments are enumerated in sorted-variable order.
+func checkExecs(res *Result, c *spec.Component, opt Options) {
+	if opt.Domains == nil {
+		return
+	}
+	names := c.Vars()
+	sort.Strings(names)
+	for _, n := range names {
+		if len(opt.Domains[n]) == 0 {
+			return
+		}
+	}
+	owned := stringSet(c.Owned())
+	limit := opt.execSamples()
+
+	type finding struct {
+		rogue    map[string]bool
+		panicked bool
+	}
+	findings := make([]finding, len(c.Actions))
+	for i := range findings {
+		findings[i].rogue = make(map[string]bool)
+	}
+
+	sampled := 0
+	value.ForEachAssignment(names, opt.Domains, func(a map[string]value.Value) bool {
+		// ForEachAssignment reuses the map; copy before building a state.
+		cp := make(map[string]value.Value, len(a))
+		for k, v := range a {
+			cp[k] = v
+		}
+		s := state.New(cp)
+		for i, act := range c.Actions {
+			if act.Exec == nil || findings[i].panicked {
+				continue
+			}
+			ups, panicked := callExec(act.Exec, s)
+			if panicked {
+				findings[i].panicked = true
+				continue
+			}
+			for _, up := range ups {
+				for k := range up {
+					if !owned[k] {
+						findings[i].rogue[k] = true
+					}
+				}
+			}
+		}
+		sampled++
+		return sampled < limit
+	})
+
+	for i, act := range c.Actions {
+		if findings[i].panicked {
+			res.add(Diagnostic{
+				Code: "SV041", Severity: Error, Component: c.Name, Action: act.Name,
+				Message: "Exec generator panicked while sampling states over the declared domains",
+				Hint:    "guard the generator against states outside its expected reachable set",
+			})
+		}
+		for _, v := range sortedKeys(findings[i].rogue) {
+			res.add(Diagnostic{
+				Code: "SV040", Severity: Error, Component: c.Name, Action: act.Name,
+				Message: fmt.Sprintf("Exec generator writes %q, which is outside the component's owned set", v),
+				Hint:    fmt.Sprintf("Exec updates may only assign outputs and internals; drop %q from the update map", v),
+			})
+		}
+	}
+}
+
+func callExec(fn spec.ExecFunc, s *state.State) (ups []map[string]value.Value, panicked bool) {
+	defer func() {
+		if recover() != nil {
+			panicked = true
+		}
+	}()
+	return fn(s), false
+}

@@ -1,0 +1,108 @@
+package vet
+
+import (
+	"testing"
+
+	"opentla/internal/state"
+	"opentla/internal/value"
+)
+
+func execDomains() map[string][]value.Value {
+	return map[string][]value.Value{
+		"d": value.Ints(0, 1),
+		"x": value.Ints(0, 2),
+		"h": value.Ints(0, 2),
+	}
+}
+
+func TestExecDiagnostics(t *testing.T) {
+	t.Run("clean-exec", func(t *testing.T) {
+		c := clean()
+		c.Actions[0].Exec = func(s *state.State) []map[string]value.Value {
+			x, _ := s.MustGet("x").AsInt()
+			d, _ := s.MustGet("d").AsInt()
+			return []map[string]value.Value{{"x": value.Int((x + d) % 3)}}
+		}
+		res := Component(c, Options{Domains: execDomains()})
+		if len(res.Diagnostics) != 0 {
+			t.Errorf("clean exec flagged:\n%s", res)
+		}
+	})
+	t.Run("rogue-write", func(t *testing.T) {
+		c := clean()
+		c.Actions[0].Exec = func(s *state.State) []map[string]value.Value {
+			return []map[string]value.Value{{"x": value.Int(0), "d": value.Int(1)}}
+		}
+		res := Component(c, Options{Domains: execDomains()})
+		d := diag(t, res, "SV040")
+		if d.Action != "Inc" || d.Severity != Error {
+			t.Errorf("SV040 = %+v", d)
+		}
+	})
+	t.Run("rogue-write-deduplicated", func(t *testing.T) {
+		c := clean()
+		c.Actions[0].Exec = func(s *state.State) []map[string]value.Value {
+			return []map[string]value.Value{{"ghost": value.Int(1)}}
+		}
+		res := Component(c, Options{Domains: execDomains()})
+		n := 0
+		for _, d := range res.Diagnostics {
+			if d.Code == "SV040" {
+				n++
+			}
+		}
+		if n != 1 {
+			t.Errorf("SV040 reported %d times, want once per action+variable", n)
+		}
+	})
+	t.Run("panicking-exec", func(t *testing.T) {
+		c := clean()
+		c.Actions[0].Exec = func(s *state.State) []map[string]value.Value {
+			panic("boom")
+		}
+		res := Component(c, Options{Domains: execDomains()})
+		if d := diag(t, res, "SV041"); d.Action != "Inc" {
+			t.Errorf("SV041 = %+v", d)
+		}
+	})
+	t.Run("skipped-without-domains", func(t *testing.T) {
+		c := clean()
+		c.Actions[0].Exec = func(s *state.State) []map[string]value.Value {
+			panic("boom")
+		}
+		res := Component(c, Options{})
+		if hasCode(res, "SV040") || hasCode(res, "SV041") {
+			t.Errorf("audit ran without domains:\n%s", res)
+		}
+	})
+	t.Run("skipped-with-partial-domains", func(t *testing.T) {
+		c := clean()
+		c.Actions[0].Exec = func(s *state.State) []map[string]value.Value {
+			panic("boom")
+		}
+		dom := execDomains()
+		delete(dom, "h")
+		res := Component(c, Options{Domains: dom})
+		if hasCode(res, "SV041") {
+			t.Errorf("audit ran with a partial domain map:\n%s", res)
+		}
+	})
+	t.Run("sample-limit", func(t *testing.T) {
+		c := clean()
+		calls := 0
+		c.Actions[0].Exec = func(s *state.State) []map[string]value.Value {
+			calls++
+			return nil
+		}
+		Component(c, Options{Domains: execDomains(), ExecSamples: 3})
+		if calls != 3 {
+			t.Errorf("sampled %d states, want 3", calls)
+		}
+	})
+	t.Run("nil-exec-uses-declarative-def-only", func(t *testing.T) {
+		res := Component(clean(), Options{Domains: execDomains()})
+		if len(res.Diagnostics) != 0 {
+			t.Errorf("nil exec flagged:\n%s", res)
+		}
+	})
+}

@@ -1,0 +1,125 @@
+package vet
+
+import (
+	"fmt"
+	"strings"
+
+	"opentla/internal/form"
+	"opentla/internal/spec"
+)
+
+// checkFreeVars implements the free-variable analyses:
+//
+//	SV001 — Init, an action, or a fairness condition mentions a variable
+//	        the component never declared.
+//	SV002 — an action constrains the next-state value of an input. Inputs
+//	        belong to the environment (§2.2); a component that writes its
+//	        own inputs is not in canonical form and the Composition
+//	        Theorem's hypotheses cannot be discharged for it.
+//	SV004 — Init contains primed variables (it must be a state predicate).
+func checkFreeVars(res *Result, c *spec.Component) {
+	declared := stringSet(c.Vars())
+	inputs := stringSet(c.Inputs)
+
+	if c.Init != nil {
+		for _, v := range form.AllVars(c.Init) {
+			if !declared[v] {
+				res.add(Diagnostic{
+					Code: "SV001", Severity: Error, Component: c.Name,
+					Message: fmt.Sprintf("Init mentions undeclared variable %q", v),
+					Hint:    fmt.Sprintf("declare %q as an input, output, or internal", v),
+				})
+			}
+		}
+		if prm := form.PrimedVars(c.Init); len(prm) > 0 {
+			res.add(Diagnostic{
+				Code: "SV004", Severity: Error, Component: c.Name,
+				Message: fmt.Sprintf("Init primes variables %s; an initial predicate must be a state function", strings.Join(prm, ", ")),
+				Hint:    "move next-state constraints into an action",
+			})
+		}
+	}
+
+	for _, a := range c.Actions {
+		for _, v := range form.AllVars(a.Def) {
+			if !declared[v] {
+				res.add(Diagnostic{
+					Code: "SV001", Severity: Error, Component: c.Name, Action: a.Name,
+					Message: fmt.Sprintf("action mentions undeclared variable %q", v),
+					Hint:    fmt.Sprintf("declare %q as an input, output, or internal", v),
+				})
+			}
+		}
+		for _, v := range sortedKeys(writes(a.Def)) {
+			if inputs[v] {
+				res.add(Diagnostic{
+					Code: "SV002", Severity: Error, Component: c.Name, Action: a.Name,
+					Message: fmt.Sprintf("action constrains the next-state value of input %q", v),
+					Hint:    fmt.Sprintf("only the environment may change %q; make it an output or drop the constraint", v),
+				})
+			}
+		}
+	}
+}
+
+// writes returns the variables whose next-state values e genuinely
+// constrains. Benign stuttering conjuncts of the form f' = f — the
+// UNCHANGED idiom every interleaving action uses for the variables it
+// leaves alone — are not writes: [A]_v would otherwise make every action
+// "write" every subscript variable. The analysis descends through the
+// boolean structure so that stutter equations are recognized wherever the
+// action places them; any other construct mentioning a primed variable
+// (inequalities, arithmetic, negations) counts as a write.
+func writes(e form.Expr) map[string]bool {
+	out := make(map[string]bool)
+	collectWrites(e, out)
+	return out
+}
+
+func collectWrites(e form.Expr, out map[string]bool) {
+	switch x := e.(type) {
+	case form.AndE:
+		for _, c := range x.Xs {
+			collectWrites(c, out)
+		}
+	case form.OrE:
+		for _, c := range x.Xs {
+			collectWrites(c, out)
+		}
+	case form.QuantE:
+		sub := make(map[string]bool)
+		collectWrites(x.Body, sub)
+		// The bound name is rigid within the body, not a state variable.
+		delete(sub, x.Name)
+		for v := range sub {
+			out[v] = true
+		}
+	case form.CmpE:
+		if x.Op == form.OpEq && isStutterEq(x) {
+			return
+		}
+		for _, v := range form.PrimedVars(x) {
+			out[v] = true
+		}
+	default:
+		if e == nil {
+			return
+		}
+		for _, v := range form.PrimedVars(e) {
+			out[v] = true
+		}
+	}
+}
+
+// isStutterEq reports whether the equality has the shape f' = f (either
+// operand order) for some state function f — i.e. it keeps f unchanged
+// rather than writing it.
+func isStutterEq(x form.CmpE) bool {
+	if p, ok := x.A.(form.PrimeE); ok && p.X.String() == x.B.String() {
+		return true
+	}
+	if p, ok := x.B.(form.PrimeE); ok && p.X.String() == x.A.String() {
+		return true
+	}
+	return false
+}

@@ -1,0 +1,26 @@
+package vet
+
+import "fmt"
+
+// Mode selects how a checker CLI reacts to analyzer findings.
+type Mode string
+
+// The three vet modes of the -vet flag.
+const (
+	// ModeStrict fails the run (exit 2, UNKNOWN report) on any
+	// error-severity diagnostic.
+	ModeStrict Mode = "strict"
+	// ModeWarn prints warn-and-above diagnostics but never fails the run.
+	ModeWarn Mode = "warn"
+	// ModeOff skips the analysis entirely.
+	ModeOff Mode = "off"
+)
+
+// ParseMode parses a -vet flag value.
+func ParseMode(s string) (Mode, error) {
+	switch Mode(s) {
+	case ModeStrict, ModeWarn, ModeOff:
+		return Mode(s), nil
+	}
+	return "", fmt.Errorf("invalid vet mode %q (want strict, warn, or off)", s)
+}

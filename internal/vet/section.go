@@ -1,0 +1,25 @@
+package vet
+
+import "opentla/internal/obs"
+
+// Section renders the result as the run report's vet section. mode records
+// the -vet mode that produced it ("strict" or "warn").
+func (r *Result) Section(mode Mode) *obs.VetReport {
+	out := &obs.VetReport{
+		Mode:     string(mode),
+		Errors:   r.Errors(),
+		Warnings: r.Warnings(),
+		Infos:    r.Infos(),
+	}
+	for _, d := range r.Diagnostics {
+		out.Diagnostics = append(out.Diagnostics, obs.VetDiagnostic{
+			Code:      d.Code,
+			Severity:  d.Severity.String(),
+			Component: d.Component,
+			Action:    d.Action,
+			Message:   d.Message,
+			Hint:      d.Hint,
+		})
+	}
+	return out
+}

@@ -1,0 +1,78 @@
+package vet
+
+import (
+	"fmt"
+
+	"opentla/internal/form"
+	"opentla/internal/spec"
+)
+
+// checkVarUsage implements the variable-hygiene analyses:
+//
+//	SV060 — a declared variable is never referenced by Init, any action,
+//	        or any fairness condition. Harmless, but it inflates the state
+//	        space (every declared variable is enumerated over its domain)
+//	        and usually signals a stale declaration.
+//	SV061 — a quantifier binds a name that shadows a declared variable;
+//	        inside the body the bound (rigid) name wins, which is almost
+//	        never what the author meant.
+func checkVarUsage(res *Result, c *spec.Component) {
+	exprs := componentExprs(c)
+
+	referenced := make(map[string]bool)
+	for _, e := range exprs {
+		for _, v := range form.AllVars(e.expr) {
+			referenced[v] = true
+		}
+	}
+	for _, v := range c.Vars() {
+		if !referenced[v] {
+			res.add(Diagnostic{
+				Code: "SV060", Severity: Info, Component: c.Name,
+				Message: fmt.Sprintf("declared variable %q is never referenced", v),
+				Hint:    fmt.Sprintf("drop the declaration of %q or wire it into the specification", v),
+			})
+		}
+	}
+
+	declared := stringSet(c.Vars())
+	for _, e := range exprs {
+		seen := make(map[string]bool)
+		form.Walk(e.expr, func(n form.Expr) bool {
+			if q, ok := n.(form.QuantE); ok && declared[q.Name] && !seen[q.Name] {
+				seen[q.Name] = true
+				res.add(Diagnostic{
+					Code: "SV061", Severity: Warn, Component: c.Name, Action: e.loc,
+					Message: fmt.Sprintf("quantifier binds %q, shadowing the declared variable of the same name", q.Name),
+					Hint:    fmt.Sprintf("rename the bound variable so references to %q stay unambiguous", q.Name),
+				})
+			}
+			return true
+		})
+	}
+}
+
+type locatedExpr struct {
+	loc  string
+	expr form.Expr
+}
+
+// componentExprs lists every expression of the component with a location
+// label, in declaration order.
+func componentExprs(c *spec.Component) []locatedExpr {
+	var out []locatedExpr
+	if c.Init != nil {
+		out = append(out, locatedExpr{loc: "", expr: c.Init})
+	}
+	for _, a := range c.Actions {
+		out = append(out, locatedExpr{loc: a.Name, expr: a.Def})
+	}
+	for i, f := range c.Fairness {
+		loc := fairLoc(f.Kind, i)
+		out = append(out, locatedExpr{loc: loc, expr: f.Action})
+		if f.Sub != nil {
+			out = append(out, locatedExpr{loc: loc, expr: f.Sub})
+		}
+	}
+	return out
+}
