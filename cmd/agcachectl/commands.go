@@ -1,0 +1,121 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"opentla/internal/cache"
+)
+
+// openAdmin opens the cache for administration: the directory must already
+// exist (no silent creation at a mistyped path) and orphaned temp files are
+// kept so fsck can report them.
+func openAdmin(dir string, stderr io.Writer) (*cache.Cache, int) {
+	if dir == "" {
+		fmt.Fprintln(stderr, "agcachectl: -cache-dir is required")
+		return nil, 2
+	}
+	info, err := os.Stat(dir)
+	if err != nil {
+		fmt.Fprintf(stderr, "agcachectl: %v\n", err)
+		return nil, 2
+	}
+	if !info.IsDir() {
+		fmt.Fprintf(stderr, "agcachectl: %s is not a directory\n", dir)
+		return nil, 2
+	}
+	c, err := cache.OpenWith(dir, cache.Options{Retries: -1, KeepOrphans: true})
+	if err != nil {
+		fmt.Fprintf(stderr, "agcachectl: %v\n", err)
+		return nil, 2
+	}
+	return c, 0
+}
+
+func runFsck(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("agcachectl fsck", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dir := addDirFlag(fs)
+	quarantine := fs.Bool("quarantine", false, "move corrupt live entries aside to *.quarantined")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	c, code := openAdmin(*dir, stderr)
+	if c == nil {
+		return code
+	}
+	res, err := c.Fsck(*quarantine)
+	if err != nil {
+		fmt.Fprintf(stderr, "agcachectl: %v\n", err)
+		return 2
+	}
+	for _, f := range res.Findings {
+		action := ""
+		if f.Quarantined {
+			action = " [quarantined]"
+		}
+		fmt.Fprintf(stdout, "BAD  %s: %s%s\n", f.Name, f.Problem, action)
+	}
+	if len(res.Findings) > 0 {
+		fmt.Fprintf(stdout, "fsck: %d entries scanned, %d findings\n", res.Scanned, len(res.Findings))
+		return 1
+	}
+	fmt.Fprintf(stdout, "fsck: %d entries scanned, clean\n", res.Scanned)
+	return 0
+}
+
+func runGC(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("agcachectl gc", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dir := addDirFlag(fs)
+	maxBytes := fs.Int64("max-bytes", 0, "evict LRU live entries until the cache is at most this large (0 = remove junk only)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *maxBytes < 0 {
+		fmt.Fprintln(stderr, "agcachectl: -max-bytes must be >= 0")
+		return 2
+	}
+	c, code := openAdmin(*dir, stderr)
+	if c == nil {
+		return code
+	}
+	res, err := c.GC(*maxBytes)
+	if err != nil {
+		fmt.Fprintf(stderr, "agcachectl: %v\n", err)
+		return 2
+	}
+	for _, name := range res.Removed {
+		fmt.Fprintf(stdout, "removed %s\n", name)
+	}
+	fmt.Fprintf(stdout, "gc: removed %d files (%d bytes), %d bytes kept\n",
+		len(res.Removed), res.FreedBytes, res.KeptBytes)
+	return 0
+}
+
+func runStat(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("agcachectl stat", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dir := addDirFlag(fs)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	c, code := openAdmin(*dir, stderr)
+	if c == nil {
+		return code
+	}
+	st, err := c.Stat()
+	if err != nil {
+		fmt.Fprintf(stderr, "agcachectl: %v\n", err)
+		return 2
+	}
+	fmt.Fprintf(stdout, "snapshots:   %d\n", st.Snapshots)
+	fmt.Fprintf(stdout, "checkpoints: %d\n", st.Checkpoints)
+	fmt.Fprintf(stdout, "quarantined: %d\n", st.Quarantined)
+	fmt.Fprintf(stdout, "temp files:  %d\n", st.TempFiles)
+	fmt.Fprintf(stdout, "other files: %d\n", st.Other)
+	fmt.Fprintf(stdout, "total bytes: %d\n", st.TotalBytes)
+	return 0
+}

@@ -196,9 +196,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return th.CheckWith(m)
 	}
 
+	var cc *cache.Cache
 	if c, err := cf.Open(); err != nil {
 		return fail("opening cache: %v", err)
 	} else if c != nil {
+		cc = c
 		gc = c
 	}
 
@@ -216,6 +218,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var rec *obs.Recorder
 	if of.Enabled() {
 		rec = obs.New(m)
+	}
+	if cc != nil {
+		// Route the cache's self-healing diagnostics (sweeps, quarantines,
+		// retries, gc) into the flight recorder; events from Open flush now.
+		cc.SetNotify(m.Note)
 	}
 
 	// The vet pre-check: analyze the instance before exploring any state.
@@ -256,7 +263,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	stopProgress := rec.StartProgress(stderr, of.Progress)
+	stopWatchdog := rec.StartWatchdog(of.StallTimeout)
 	report, err := checkModel(m)
+	stopWatchdog()
 	stopProgress()
 
 	verdict := engine.Unknown

@@ -150,7 +150,9 @@ func TestErrorPathsStillWriteReport(t *testing.T) {
 		{"bad n", []string{"-model", "queues", "-n", "0"}, "capacity N must be >= 1"},
 		{"bad k", []string{"-model", "queues", "-k", "1"}, "value-domain size K must be >= 2"},
 		{"resume without cache-dir", []string{"-model", "circular", "-resume"}, "-resume requires -cache-dir"},
-		{"resume with no-cache", []string{"-model", "circular", "-cache-dir", "d", "-no-cache", "-resume"}, "-resume requires -cache-dir"},
+		{"resume with no-cache", []string{"-model", "circular", "-cache-dir", "d", "-no-cache", "-resume"}, "-resume and -no-cache contradict each other"},
+		{"negative cache bound", []string{"-model", "circular", "-cache-dir", "d", "-cache-max-bytes", "-1"}, "-cache-max-bytes must be >= 0"},
+		{"cache bound without dir", []string{"-model", "circular", "-cache-max-bytes", "4096"}, "-cache-max-bytes requires -cache-dir"},
 		{"profile start failure", []string{"-model", "circular", "-cpuprofile", "no/such/dir/cpu.prof"}, "cpu"},
 	}
 	for _, tt := range tests {

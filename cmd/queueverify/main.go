@@ -112,9 +112,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	var gc ts.GraphCache
+	var cc *cache.Cache
 	if c, err := cf.Open(); err != nil {
 		return fail("opening cache: %v", err)
 	} else if c != nil {
+		cc = c
 		gc = c
 	}
 
@@ -132,6 +134,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var rec *obs.Recorder
 	if of.Enabled() {
 		rec = obs.New(m)
+	}
+	if cc != nil {
+		// Route the cache's self-healing diagnostics (sweeps, quarantines,
+		// retries, gc) into the flight recorder; events from Open flush now.
+		cc.SetNotify(m.Note)
 	}
 
 	// The vet pre-check covers everything the run will explore: the open
@@ -170,7 +177,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	stopProgress := rec.StartProgress(stderr, of.Progress)
+	stopWatchdog := rec.StartWatchdog(of.StallTimeout)
 	verdict, err := verify(stdout, cfg, m, *verbose, *workers, gc, cf.Resume)
+	stopWatchdog()
 	stopProgress()
 
 	unknown := ""

@@ -23,11 +23,14 @@ func TestExitCodes(t *testing.T) {
 		stderr string // required stderr substring, "" = don't care
 	}{
 		{"verifies", []string{"-n", "1", "-k", "2"}, 0, ""},
+		{"stall timeout armed but quiet", []string{"-n", "1", "-k", "2", "-stall-timeout", "10m"}, 0, ""},
 		{"bad flag", []string{"-nonesuch"}, 2, "flag provided but not defined"},
 		{"bad n", []string{"-n", "0"}, 2, "capacity N must be >= 1"},
 		{"bad k", []string{"-k", "1"}, 2, "value-domain size K must be >= 2"},
 		{"resume without cache-dir", []string{"-resume"}, 2, "-resume requires -cache-dir"},
-		{"resume with no-cache", []string{"-cache-dir", "d", "-no-cache", "-resume"}, 2, "-resume requires -cache-dir"},
+		{"resume with no-cache", []string{"-cache-dir", "d", "-no-cache", "-resume"}, 2, "-resume and -no-cache contradict each other"},
+		{"negative cache bound", []string{"-cache-dir", "d", "-cache-max-bytes", "-1"}, 2, "-cache-max-bytes must be >= 0"},
+		{"cache bound without dir", []string{"-cache-max-bytes", "4096"}, 2, "-cache-max-bytes requires -cache-dir"},
 		{"profile start failure", []string{"-cpuprofile", "no/such/dir/cpu.prof"}, 2, ""},
 		{"budget exhausted", []string{"-n", "1", "-k", "2", "-max-states", "10"}, 2, ""},
 	}

@@ -94,6 +94,13 @@ func Encode(snap *ts.Snapshot, descSum [sha256.Size]byte) ([]byte, error) {
 // cause: wrong magic, unsupported version, a description digest that does
 // not match the requesting system, truncation, or checksum mismatch.
 func Decode(data []byte, descSum [sha256.Size]byte) (*ts.Snapshot, error) {
+	return decodeWith(data, descSum, true)
+}
+
+// decodeWith is Decode with the trailing-checksum verification switchable:
+// verify=false exists solely for the MutDropChecksum durability mutant,
+// which must demonstrably accept a corrupted file the real cache rejects.
+func decodeWith(data []byte, descSum [sha256.Size]byte, verify bool) (*ts.Snapshot, error) {
 	if len(data) < headerLen+1+checksumLen {
 		return nil, fmt.Errorf("snapshot truncated: %d bytes", len(data))
 	}
@@ -107,9 +114,11 @@ func Decode(data []byte, descSum [sha256.Size]byte) (*ts.Snapshot, error) {
 		return nil, fmt.Errorf("snapshot was written for a different system description")
 	}
 	payload := data[: len(data)-checksumLen : len(data)-checksumLen]
-	sum := sha256.Sum256(payload)
-	if subtle.ConstantTimeCompare(sum[:], data[len(data)-checksumLen:]) != 1 {
-		return nil, fmt.Errorf("snapshot checksum mismatch (file corrupted)")
+	if verify {
+		sum := sha256.Sum256(payload)
+		if subtle.ConstantTimeCompare(sum[:], data[len(data)-checksumLen:]) != 1 {
+			return nil, fmt.Errorf("snapshot checksum mismatch (file corrupted)")
+		}
 	}
 
 	r := &reader{buf: payload, off: headerLen}

@@ -3,6 +3,10 @@ package cache
 import (
 	"flag"
 	"fmt"
+	"os"
+	"strconv"
+
+	"opentla/internal/iofs"
 )
 
 // Flags is the standard command-line surface of the graph cache, shared by
@@ -16,6 +20,10 @@ type Flags struct {
 	// NoCache disables cache reads and writes even when Dir is set, for
 	// forcing a cold build against a populated cache.
 	NoCache bool
+	// MaxBytes bounds the cache's total size; 0 means unbounded. After
+	// every store the least-recently-used entries are evicted until the
+	// cache fits.
+	MaxBytes int64
 }
 
 // AddFlags registers the cache flags on a flag set.
@@ -23,21 +31,48 @@ func (f *Flags) AddFlags(fs *flag.FlagSet) {
 	fs.StringVar(&f.Dir, "cache-dir", "", "directory for the persistent graph cache (empty = no caching)")
 	fs.BoolVar(&f.Resume, "resume", false, "resume an interrupted build from its checkpoint (requires -cache-dir)")
 	fs.BoolVar(&f.NoCache, "no-cache", false, "force a cold build: ignore and do not write the cache")
+	fs.Int64Var(&f.MaxBytes, "cache-max-bytes", 0, "evict least-recently-used cache entries beyond this total size (0 = unbounded)")
 }
 
 // Validate reports flag combinations that cannot mean what the user
 // intended. CLIs treat a failure as a usage error (exit 2).
 func (f *Flags) Validate() error {
-	if f.Resume && (f.Dir == "" || f.NoCache) {
-		return fmt.Errorf("-resume requires -cache-dir (and is incompatible with -no-cache)")
+	if f.Resume && f.NoCache {
+		return fmt.Errorf("-resume and -no-cache contradict each other: resuming reads the cache that -no-cache disables")
+	}
+	if f.Resume && f.Dir == "" {
+		return fmt.Errorf("-resume requires -cache-dir: there is no checkpoint to resume from without a cache directory")
+	}
+	if f.MaxBytes < 0 {
+		return fmt.Errorf("-cache-max-bytes must be >= 0 (got %d)", f.MaxBytes)
+	}
+	if f.MaxBytes > 0 && f.Dir == "" {
+		return fmt.Errorf("-cache-max-bytes requires -cache-dir: there is no cache to bound")
 	}
 	return nil
 }
+
+// CrashAtEnv is the environment variable scripts/chaos.sh uses to plant a
+// process kill at the Nth mutating cache-filesystem operation. When set to a
+// positive integer, Open wraps the production filesystem in iofs.Crash, and
+// the process exits with iofs.CrashExitCode at that operation. Unset, empty,
+// or zero means no crash. Chaos-harness use only.
+const CrashAtEnv = "OPENTLA_CACHE_CRASH_AT"
 
 // Open returns the configured cache, or nil when caching is disabled.
 func (f *Flags) Open() (*Cache, error) {
 	if f.Dir == "" || f.NoCache {
 		return nil, nil
 	}
-	return Open(f.Dir)
+	opts := Options{Retries: -1, MaxBytes: f.MaxBytes}
+	if v := os.Getenv(CrashAtEnv); v != "" {
+		at, err := strconv.Atoi(v)
+		if err != nil {
+			return nil, fmt.Errorf("cache: %s=%q is not an integer: %w", CrashAtEnv, v, err)
+		}
+		if at > 0 {
+			opts.FS = iofs.NewCrash(iofs.OS{}, at, nil)
+		}
+	}
+	return OpenWith(f.Dir, opts)
 }

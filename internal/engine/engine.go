@@ -225,6 +225,20 @@ func (m *Meter) warnOnce(i int, msg string) {
 	}
 }
 
+// Heartbeat returns a monotone counter that advances with every unit of
+// cooperative work: ticks, states, transitions, and SCCs. The stall
+// watchdog (obs.StartWatchdog) samples it; a heartbeat that stops moving
+// means the exploration is wedged, not merely slow.
+func (m *Meter) Heartbeat() int64 {
+	return m.ticks.Load() + m.states.Load() + m.transitions.Load() + m.sccs.Load()
+}
+
+// Abort latches a budget-style failure from outside the exploration loops —
+// the stall watchdog, a signal handler. The exploration unwinds at its next
+// cooperative call (Tick/AddState/AddTransitions) and the run degrades to an
+// UNKNOWN verdict carrying reason, exactly like an exhausted budget.
+func (m *Meter) Abort(reason string) error { return m.fail(reason) }
+
 // Err returns the latched exhaustion error, or nil.
 func (m *Meter) Err() error {
 	if !m.failed.Load() {

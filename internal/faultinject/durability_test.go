@@ -1,0 +1,43 @@
+package faultinject
+
+import "testing"
+
+// TestDurabilityMutantsZeroSurvivors is the acceptance criterion of the
+// durability catalog: every planted persistence bug must be rejected by at
+// least one chaos-harness invariant. A survivor means the harness has a
+// blind spot exactly where the bug sits.
+func TestDurabilityMutantsZeroSurvivors(t *testing.T) {
+	muts := DurabilityCatalog()
+	if len(muts) < 3 {
+		t.Fatalf("durability catalog has %d mutants, want >= 3", len(muts))
+	}
+	results, err := RunDurability(muts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if !r.Detected {
+			t.Errorf("SURVIVOR: mutant %s evaded every detector", r.Mutation)
+			continue
+		}
+		t.Logf("%s caught by %s: %s", r.Mutation, r.Detector, r.Detail)
+	}
+}
+
+// TestDurabilityCatalogWellFormed: names unique, descriptions present, and
+// no mutant is accidentally the identity mutation.
+func TestDurabilityCatalogWellFormed(t *testing.T) {
+	seen := map[string]bool{}
+	for _, mu := range DurabilityCatalog() {
+		if mu.Name == "" || mu.Description == "" {
+			t.Errorf("mutant %+v missing name or description", mu)
+		}
+		if seen[mu.Name] {
+			t.Errorf("duplicate mutant name %q", mu.Name)
+		}
+		seen[mu.Name] = true
+		if mu.Mut == 0 {
+			t.Errorf("mutant %s plants no mutation", mu.Name)
+		}
+	}
+}

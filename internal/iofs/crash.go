@@ -1,0 +1,145 @@
+package iofs
+
+import (
+	"io/fs"
+	"os"
+	"time"
+)
+
+// CrashExitCode is the process exit code of a planted crash, distinct from
+// the verdict codes (0/1/2) so scripts/chaos.sh can tell "killed at the
+// planned write" from every other outcome.
+const CrashExitCode = 7
+
+// Crash wraps an FS and hard-kills the process at the Nth mutating
+// operation, emulating a power loss or SIGKILL in the middle of cache
+// persistence. A Write scheduled to crash first persists a torn prefix of
+// its data — adversarially, half the buffer — so the restart faces the
+// ugliest file a real kill can leave; every other crashing operation dies
+// before taking effect. scripts/chaos.sh drives it through the
+// OPENTLA_CACHE_CRASH_AT environment variable (see cache.Flags).
+//
+// The op counter is intentionally identical to Faulty's: CreateTemp, Write,
+// Sync, Close, Rename, Remove, Chtimes each consume one index, reads none,
+// so a crash point found by the in-process sweep names the same operation
+// in a process-level run.
+type Crash struct {
+	inner FS
+	at    int
+	exit  func(int)
+	ops   int
+}
+
+var _ FS = (*Crash)(nil)
+
+// NewCrash wraps inner to die at mutating operation at (1-based). exit is
+// called to terminate (nil = os.Exit with CrashExitCode); tests inject a
+// panic instead.
+func NewCrash(inner FS, at int, exit func(int)) *Crash {
+	if exit == nil {
+		exit = os.Exit
+	}
+	return &Crash{inner: inner, at: at, exit: exit}
+}
+
+// Ops returns the number of mutating operations performed so far.
+func (c *Crash) Ops() int { return c.ops }
+
+// tick advances the op counter and reports whether this op is the crash
+// point. The caller performs any torn-write effect before calling c.exit.
+func (c *Crash) tick() bool {
+	c.ops++
+	return c.ops == c.at
+}
+
+func (c *Crash) die() {
+	c.exit(CrashExitCode)
+	// Injected exit funcs (tests) panic instead of returning; an exit func
+	// that returns anyway would let the run continue past its own death.
+	panic("iofs: crash exit func returned")
+}
+
+// MkdirAll implements FS (not a counted crash point; see Faulty.MkdirAll).
+func (c *Crash) MkdirAll(path string, perm fs.FileMode) error {
+	return c.inner.MkdirAll(path, perm)
+}
+
+// ReadFile implements FS.
+func (c *Crash) ReadFile(path string) ([]byte, error) { return c.inner.ReadFile(path) }
+
+// ReadDir implements FS.
+func (c *Crash) ReadDir(path string) ([]fs.DirEntry, error) { return c.inner.ReadDir(path) }
+
+// Stat implements FS.
+func (c *Crash) Stat(path string) (fs.FileInfo, error) { return c.inner.Stat(path) }
+
+// CreateTemp implements FS.
+func (c *Crash) CreateTemp(dir, pattern string) (File, error) {
+	if c.tick() {
+		c.die()
+	}
+	f, err := c.inner.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &crashFile{fs: c, inner: f}, nil
+}
+
+// Rename implements FS.
+func (c *Crash) Rename(oldpath, newpath string) error {
+	if c.tick() {
+		c.die()
+	}
+	return c.inner.Rename(oldpath, newpath)
+}
+
+// Remove implements FS.
+func (c *Crash) Remove(path string) error {
+	if c.tick() {
+		c.die()
+	}
+	return c.inner.Remove(path)
+}
+
+// Chtimes implements FS.
+func (c *Crash) Chtimes(path string, atime, mtime time.Time) error {
+	if c.tick() {
+		c.die()
+	}
+	return c.inner.Chtimes(path, atime, mtime)
+}
+
+type crashFile struct {
+	fs    *Crash
+	inner File
+}
+
+// Write implements File, leaving a torn prefix when it is the crash point.
+func (w *crashFile) Write(p []byte) (int, error) {
+	if w.fs.tick() {
+		if n := len(p) / 2; n > 0 {
+			w.inner.Write(p[:n])
+		}
+		w.fs.die()
+	}
+	return w.inner.Write(p)
+}
+
+// Sync implements File.
+func (w *crashFile) Sync() error {
+	if w.fs.tick() {
+		w.fs.die()
+	}
+	return w.inner.Sync()
+}
+
+// Close implements File.
+func (w *crashFile) Close() error {
+	if w.fs.tick() {
+		w.fs.die()
+	}
+	return w.inner.Close()
+}
+
+// Name implements File.
+func (w *crashFile) Name() string { return w.inner.Name() }

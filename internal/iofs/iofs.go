@@ -1,0 +1,115 @@
+// Package iofs is the filesystem seam of the persistence layer. The graph
+// cache performs every disk operation through the FS interface, so the same
+// code path serves three implementations:
+//
+//   - OS, the production implementation backed by package os;
+//   - Faulty, a deterministic fault injector driven by a seeded plan (write
+//     errors, short writes, dropped fsyncs, ENOSPC, rename failures, and
+//     crash-after-Nth-op), used by the chaos tests to prove that no I/O
+//     failure can corrupt a verdict or permanently wedge the cache;
+//   - Crash, which hard-exits the process at a chosen mutating operation,
+//     used by scripts/chaos.sh to sweep real process kills over every write
+//     of a checkpointed run.
+//
+// The interface is deliberately minimal: exactly the operations the cache
+// needs, nothing speculative. Mutating operations (Create, Write, Sync,
+// Close, Rename, Remove) are the crash points of the durability story;
+// read-side operations (ReadFile, ReadDir, Stat) can fail but never leave
+// the disk in a new state.
+package iofs
+
+import (
+	"errors"
+	"io/fs"
+	"os"
+	"time"
+)
+
+// File is the write handle returned by Create: sequential writes, an
+// explicit durability barrier (Sync), and Close. Name reports the path the
+// file was created at.
+type File interface {
+	Write(p []byte) (int, error)
+	// Sync flushes the file's written data to stable storage. The cache
+	// calls it before renaming a temp file into place, so a crash after the
+	// rename can never expose an empty or partial entry.
+	Sync() error
+	Close() error
+	Name() string
+}
+
+// FS is the filesystem surface of the persistence layer.
+type FS interface {
+	// MkdirAll creates a directory and any missing parents.
+	MkdirAll(path string, perm fs.FileMode) error
+	// ReadFile returns the full contents of a file.
+	ReadFile(path string) ([]byte, error)
+	// ReadDir lists a directory, sorted by filename.
+	ReadDir(path string) ([]fs.DirEntry, error)
+	// Stat describes a file.
+	Stat(path string) (fs.FileInfo, error)
+	// CreateTemp creates a new unique file in dir (pattern as in
+	// os.CreateTemp) open for writing.
+	CreateTemp(dir, pattern string) (File, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes a file.
+	Remove(path string) error
+	// Chtimes sets a file's access and modification times (the cache's LRU
+	// recency signal).
+	Chtimes(path string, atime, mtime time.Time) error
+}
+
+// OS is the production FS, a thin veneer over package os.
+type OS struct{}
+
+var _ FS = OS{}
+
+// MkdirAll implements FS.
+func (OS) MkdirAll(path string, perm fs.FileMode) error { return os.MkdirAll(path, perm) }
+
+// ReadFile implements FS.
+func (OS) ReadFile(path string) ([]byte, error) { return os.ReadFile(path) }
+
+// ReadDir implements FS.
+func (OS) ReadDir(path string) ([]fs.DirEntry, error) { return os.ReadDir(path) }
+
+// Stat implements FS.
+func (OS) Stat(path string) (fs.FileInfo, error) { return os.Stat(path) }
+
+// CreateTemp implements FS.
+func (OS) CreateTemp(dir, pattern string) (File, error) { return os.CreateTemp(dir, pattern) }
+
+// Rename implements FS.
+func (OS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+// Remove implements FS.
+func (OS) Remove(path string) error { return os.Remove(path) }
+
+// Chtimes implements FS.
+func (OS) Chtimes(path string, atime, mtime time.Time) error {
+	return os.Chtimes(path, atime, mtime)
+}
+
+// transientError marks an injected failure that a bounded retry may clear
+// (the disk-level analogue of EINTR/EAGAIN). The cache retries operations
+// whose errors satisfy IsTransient and gives up on everything else.
+type transientError struct{ msg string }
+
+func (e *transientError) Error() string   { return e.msg }
+func (e *transientError) Transient() bool { return true }
+
+// ErrTransient is a sentinel transient error for tests.
+var ErrTransient error = &transientError{msg: "injected transient I/O error"}
+
+// IsTransient reports whether an error is worth a bounded retry: it (or
+// anything it wraps) implements Transient() bool returning true.
+func IsTransient(err error) bool {
+	for err != nil {
+		if t, ok := err.(interface{ Transient() bool }); ok && t.Transient() {
+			return true
+		}
+		err = errors.Unwrap(err)
+	}
+	return false
+}

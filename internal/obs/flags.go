@@ -73,18 +73,26 @@ type Flags struct {
 	Progress time.Duration
 	// Report is the run-report output path ("" = none).
 	Report string
+	// StallTimeout arms the stall watchdog: a build making zero progress
+	// for this long is aborted to an UNKNOWN verdict (0 = off).
+	StallTimeout time.Duration
 	*ProfileFlags
 }
 
-// AddFlags registers -progress, -report, -cpuprofile, and -memprofile.
+// AddFlags registers -progress, -report, -stall-timeout, -cpuprofile, and
+// -memprofile.
 func AddFlags(fs *flag.FlagSet) *Flags {
 	f := &Flags{ProfileFlags: AddProfileFlags(fs)}
 	fs.DurationVar(&f.Progress, "progress", 0,
 		"print a live progress line to stderr at this interval (e.g. 1s; 0 = off)")
 	fs.StringVar(&f.Report, "report", "",
 		"write a machine-readable JSON run report to this file")
+	fs.DurationVar(&f.StallTimeout, "stall-timeout", 0,
+		"abort to UNKNOWN when no exploration progress happens for this long (e.g. 30s; 0 = off)")
 	return f
 }
 
 // Enabled reports whether the flags call for a recorder.
-func (f *Flags) Enabled() bool { return f.Progress > 0 || f.Report != "" }
+func (f *Flags) Enabled() bool {
+	return f.Progress > 0 || f.Report != "" || f.StallTimeout > 0
+}

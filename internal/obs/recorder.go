@@ -203,6 +203,14 @@ func (r *Recorder) ObserveEvent(kind, msg string) {
 		r.cache.CheckpointsSaved++
 	case "resume":
 		r.cache.Resumes++
+	case "cache-quarantine":
+		r.cache.Quarantined++
+	case "cache-sweep":
+		r.cache.TempSwept++
+	case "cache-gc":
+		r.cache.GCRemoved++
+	case "cache-retry":
+		r.cache.Retries++
 	}
 	r.mu.Unlock()
 }

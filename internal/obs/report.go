@@ -15,8 +15,10 @@ import (
 // incompatible change; the golden file internal/obs/testdata/report.golden
 // pins the current shape. Version 2 added the cache section (graph-cache
 // hit/miss/corruption and checkpoint/resume counters); version 3 added the
-// vet section (static-analysis pre-check results).
-const SchemaVersion = 3
+// vet section (static-analysis pre-check results); version 4 added the
+// self-healing cache counters (quarantined, temp_swept, gc_removed,
+// retries) and the "stall"/"cache-*" flight-recorder event kinds.
+const SchemaVersion = 4
 
 // Report is the versioned machine-readable run report written by -report.
 type Report struct {
@@ -95,10 +97,21 @@ type CacheStats struct {
 	CheckpointsSaved int `json:"checkpoints_saved"`
 	// Resumes counts explorations continued from a saved checkpoint.
 	Resumes int `json:"resumes"`
+	// Quarantined counts unreadable entries renamed aside (self-healing:
+	// the entry can never block a cold rebuild again).
+	Quarantined int `json:"quarantined"`
+	// TempSwept counts orphaned temp files removed at cache open.
+	TempSwept int `json:"temp_swept"`
+	// GCRemoved counts files deleted by garbage collection (size-bound
+	// evictions plus junk cleanup).
+	GCRemoved int `json:"gc_removed"`
+	// Retries counts transient write failures absorbed by the bounded
+	// retry-with-backoff path.
+	Retries int `json:"retries"`
 }
 
 func (c CacheStats) any() bool {
-	return c.Hits != 0 || c.Misses != 0 || c.Corrupt != 0 || c.CheckpointsSaved != 0 || c.Resumes != 0
+	return c != CacheStats{}
 }
 
 // VetReport summarizes a static-analysis pre-check (package vet) inside a

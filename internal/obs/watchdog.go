@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// StartWatchdog starts a goroutine watching the meter's heartbeat — the
+// monotone counter every cooperative exploration call advances — and returns
+// the (idempotent) stop func. If the heartbeat stands still for timeout, the
+// watchdog records a "stall" event and aborts the meter, so a wedged build
+// unwinds at its next cooperative call and degrades to an UNKNOWN verdict
+// whose report pins the stalled phase in exhausted_phase, instead of hanging
+// the process forever. Nil recorder or non-positive timeout yields a no-op.
+//
+// The watchdog distinguishes wedged from slow: any tick, state, transition,
+// or SCC resets the window, so only a build making literally zero progress
+// for the full timeout is aborted. Sampling reads two atomic counters a few
+// times per window; it never perturbs the exploration.
+func (r *Recorder) StartWatchdog(timeout time.Duration) func() {
+	if r == nil || timeout <= 0 {
+		return noop
+	}
+	// Sample a few times per window so a stall is caught within ~1.25x the
+	// configured timeout in the worst case.
+	interval := timeout / 4
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		last := r.meter.Heartbeat()
+		lastMove := r.now()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				if r.meter.Exhausted() {
+					// The run is already unwinding; nothing left to watch.
+					return
+				}
+				if hb := r.meter.Heartbeat(); hb != last {
+					last = hb
+					lastMove = r.now()
+					continue
+				}
+				if idle := r.now().Sub(lastMove); idle >= timeout {
+					reason := fmt.Sprintf("stall watchdog: no progress for %v (heartbeat stuck at %d)", idle.Round(time.Millisecond), last)
+					r.ObserveEvent("stall", reason)
+					r.meter.Abort(reason)
+					return
+				}
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(stop)
+			wg.Wait()
+		})
+	}
+}

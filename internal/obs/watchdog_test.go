@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"opentla/internal/engine"
+)
+
+func TestWatchdogAbortsStalledRun(t *testing.T) {
+	m := engine.NoLimit()
+	rec := New(m)
+	end := rec.Span("build:wedged")
+	defer end()
+
+	stop := rec.StartWatchdog(30 * time.Millisecond)
+	defer stop()
+
+	// The meter's heartbeat never moves: the watchdog must latch an abort.
+	deadline := time.After(5 * time.Second)
+	for !m.Exhausted() {
+		select {
+		case <-deadline:
+			t.Fatal("watchdog never fired on a stalled meter")
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	var be *engine.BudgetError
+	if err := m.Err(); !errors.As(err, &be) || !strings.Contains(err.Error(), "stall watchdog") {
+		t.Fatalf("latched error = %v, want a stall BudgetError", err)
+	}
+	// The exploration unwinds at its next cooperative call.
+	if err := m.Tick(); err == nil {
+		t.Error("Tick after abort must fail")
+	}
+	// The report pins the stalled phase and records the stall event.
+	if got := rec.ExhaustedPhase(); got != "run/build:wedged" {
+		t.Errorf("ExhaustedPhase = %q, want run/build:wedged", got)
+	}
+	found := false
+	for _, e := range rec.Events() {
+		if e.Kind == "stall" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no stall event in the flight recorder")
+	}
+}
+
+func TestWatchdogToleratesSlowProgress(t *testing.T) {
+	m := engine.NoLimit()
+	rec := New(m)
+	stop := rec.StartWatchdog(80 * time.Millisecond)
+	defer stop()
+
+	// Slow but steady: one cooperative call per 10ms keeps the heartbeat
+	// moving, so the watchdog must never fire.
+	for i := 0; i < 20; i++ {
+		if err := m.Tick(); err != nil {
+			t.Fatalf("tick %d: %v", i, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if m.Exhausted() {
+		t.Fatalf("watchdog aborted a progressing run: %v", m.Err())
+	}
+}
+
+func TestWatchdogDisabled(t *testing.T) {
+	m := engine.NoLimit()
+	rec := New(m)
+	stop := rec.StartWatchdog(0)
+	stop() // no-op must be callable
+	var nilRec *Recorder
+	nilRec.StartWatchdog(time.Second)() // nil-safe
+	if m.Exhausted() {
+		t.Error("disabled watchdog aborted the meter")
+	}
+}
+
+func TestWatchdogStandsDownAfterBudgetExhaustion(t *testing.T) {
+	m := engine.Budget{MaxStates: 1}.Meter()
+	rec := New(m)
+	stop := rec.StartWatchdog(20 * time.Millisecond)
+	defer stop()
+	m.AddState()
+	if err := m.AddState(); err == nil {
+		t.Fatal("state budget must exhaust")
+	}
+	reason := m.Err().Error()
+	time.Sleep(60 * time.Millisecond)
+	if got := m.Err().Error(); got != reason {
+		t.Errorf("watchdog overwrote the latched error: %q -> %q", reason, got)
+	}
+	if strings.Contains(m.Err().Error(), "stall") {
+		t.Error("watchdog fired on an already-exhausted meter")
+	}
+}
+
+func TestMeterAbortAndHeartbeat(t *testing.T) {
+	m := engine.NoLimit()
+	h0 := m.Heartbeat()
+	m.Tick()
+	m.AddState()
+	m.AddTransitions(3)
+	m.NoteSCC()
+	if h1 := m.Heartbeat(); h1 <= h0 {
+		t.Errorf("heartbeat did not advance: %d -> %d", h0, h1)
+	}
+	if err := m.Abort("test abort"); err == nil {
+		t.Fatal("Abort must return the latched error")
+	}
+	var be *engine.BudgetError
+	if !errors.As(m.Err(), &be) || be.Reason != "test abort" {
+		t.Errorf("latched error = %v", m.Err())
+	}
+}

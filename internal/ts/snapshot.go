@@ -88,6 +88,13 @@ func graphFromSnapshot(sys *System, ctx *form.Ctx, m *engine.Meter, snap *Snapsh
 	}
 }
 
+// Valid sanity-checks the snapshot against the structural invariants graph
+// reconstruction relies on, for wantComplete matching Complete. Exposed for
+// cache fsck, which must judge entries without rebuilding their systems.
+func (s *Snapshot) Valid(wantComplete bool) bool {
+	return validSnapshot(s, wantComplete)
+}
+
 // validSnapshot sanity-checks a decoded snapshot against the structural
 // invariants graph reconstruction relies on. The cache layer verifies the
 // byte-level checksum; this guards the semantic bounds so a decoded-but-wrong
