@@ -52,6 +52,7 @@ import (
 	"opentla/internal/faultinject"
 	"opentla/internal/obs"
 	"opentla/internal/queue"
+	"opentla/internal/reduce"
 	"opentla/internal/ts"
 	"opentla/internal/vet"
 )
@@ -74,6 +75,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.IntVar(&k, "K", 2, "alias for -k")
 	vetFlag := fs.String("vet", "warn", "static pre-check mode: strict | warn | off")
 	mutate := fs.String("mutate", "", "plant a named faultinject vet mutation before checking (analyzer testing aid)")
+	reduceFlag := fs.String("reduce", "off", "state-space reduction for safety-only obligations: off | por | sym | por,sym")
 	bf := engine.AddBudgetFlags(fs)
 	workers := engine.AddWorkersFlag(fs)
 	of := obs.AddFlags(fs)
@@ -114,6 +116,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if k < 2 {
 		return fail("value-domain size K must be >= 2, got %d", k)
 	}
+	if err := engine.ValidateWorkers(*workers); err != nil {
+		return fail("%v", err)
+	}
+	reduceOpts, err := reduce.ParseFlag(*reduceFlag)
+	if err != nil {
+		return fail("%v", err)
+	}
+	if reduceOpts.Any() {
+		conf.Reduce = reduceOpts.String()
+	}
 	if err := cf.Validate(); err != nil {
 		return fail("%v", err)
 	}
@@ -131,11 +143,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var gc ts.GraphCache
 	var makeTheorem func() (*ag.Theorem, error)
 	var makeRefinement func() *ag.Refinement
+	var modelSym *reduce.Symmetry
 	switch *model {
 	case "circular":
 		makeTheorem = func() (*ag.Theorem, error) { return circular.SafetyTheorem(), nil }
+		modelSym = circular.Symmetry()
 	case "queues":
 		makeTheorem = func() (*ag.Theorem, error) { return cfg.Fig9Theorem(), nil }
+		modelSym = cfg.DoubleSymmetry()
 	case "queues-no-g":
 		makeTheorem = func() (*ag.Theorem, error) {
 			th := cfg.Fig9Theorem()
@@ -143,12 +158,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 			th.Pairs = th.Pairs[1:]
 			return th, nil
 		}
+		modelSym = cfg.DoubleSymmetry()
 	case "corollary":
 		makeRefinement = cfg.CorollaryRefinement
 	case "arbiter":
 		makeTheorem = func() (*ag.Theorem, error) { return arbiter.Theorem(), nil }
+		modelSym = arbiter.Symmetry()
 	default:
 		return fail("unknown model %q; valid models: %s", *model, strings.Join(modelNames, " | "))
+	}
+	if reduceOpts.Any() && makeRefinement != nil {
+		return fail("-reduce is not supported for the corollary refinement model (its checks are liveness-bearing end to end)")
 	}
 
 	if *mutate != "" {
@@ -193,6 +213,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		th.Workers = *workers
 		th.Cache, th.Resume = gc, cf.Resume
+		th.Reduce = reduceOpts
+		th.Symmetry = modelSym
 		return th.CheckWith(m)
 	}
 

@@ -383,3 +383,46 @@ func TestVetUsageErrors(t *testing.T) {
 		})
 	}
 }
+
+// TestWorkersAndReduceValidation: absurd -workers counts and malformed
+// -reduce modes are usage errors (exit 2 with a pointed message), never
+// requests to be satisfied.
+func TestWorkersAndReduceValidation(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"negative workers", []string{"-model", "circular", "-workers", "-1"}, "-workers must be >= 0"},
+		{"very negative workers", []string{"-model", "circular", "-workers", "-100000"}, "-workers must be >= 0"},
+		{"absurd workers", []string{"-model", "circular", "-workers", "1000000"}, "exceeds the maximum"},
+		{"bad reduce mode", []string{"-model", "circular", "-reduce", "magic"}, `invalid -reduce mode "magic"`},
+		{"reduce on corollary", []string{"-model", "corollary", "-reduce", "sym"}, "not supported for the corollary"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errb bytes.Buffer
+			if code := run(tc.args, &out, &errb); code != 2 {
+				t.Errorf("run(%v) = %d, want 2 (stderr %q)", tc.args, code, errb.String())
+			}
+			if !strings.Contains(errb.String(), tc.want) {
+				t.Errorf("stderr %q missing %q", errb.String(), tc.want)
+			}
+		})
+	}
+}
+
+// TestReduceFlagStillValidates: the reduced pipeline decides the same
+// verdict as the full one on a small theorem instance.
+func TestReduceFlagStillValidates(t *testing.T) {
+	for _, mode := range []string{"por", "sym", "por,sym"} {
+		var out, errb bytes.Buffer
+		args := []string{"-model", "arbiter", "-reduce", mode}
+		if code := run(args, &out, &errb); code != 0 {
+			t.Errorf("run(%v) = %d, want 0 (stderr %q)", args, code, errb.String())
+		}
+		if !strings.Contains(out.String(), "VALID") {
+			t.Errorf("-reduce=%s: stdout missing VALID verdict:\n%s", mode, out.String())
+		}
+	}
+}

@@ -44,6 +44,7 @@ import (
 	"opentla/internal/engine"
 	"opentla/internal/obs"
 	"opentla/internal/queue"
+	"opentla/internal/reduce"
 	"opentla/internal/spec"
 	"opentla/internal/ts"
 	"opentla/internal/vet"
@@ -63,6 +64,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.IntVar(&k, "K", 2, "alias for -k")
 	verbose := fs.Bool("v", false, "print graph sizes")
 	vetFlag := fs.String("vet", "warn", "static pre-check mode: strict | warn | off")
+	reduceFlag := fs.String("reduce", "off", "state-space reduction for safety-only obligations: off | por | sym | por,sym")
 	bf := engine.AddBudgetFlags(fs)
 	workers := engine.AddWorkersFlag(fs)
 	of := obs.AddFlags(fs)
@@ -101,6 +103,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if k < 2 {
 		return fail("value-domain size K must be >= 2, got %d", k)
+	}
+	if err := engine.ValidateWorkers(*workers); err != nil {
+		return fail("%v", err)
+	}
+	reduceOpts, err := reduce.ParseFlag(*reduceFlag)
+	if err != nil {
+		return fail("%v", err)
+	}
+	if reduceOpts.Any() {
+		conf.Reduce = reduceOpts.String()
 	}
 	if err := cf.Validate(); err != nil {
 		return fail("%v", err)
@@ -178,7 +190,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	stopProgress := rec.StartProgress(stderr, of.Progress)
 	stopWatchdog := rec.StartWatchdog(of.StallTimeout)
-	verdict, err := verify(stdout, cfg, m, *verbose, *workers, gc, cf.Resume)
+	verdict, err := verify(stdout, cfg, m, *verbose, *workers, gc, cf.Resume, reduceOpts)
 	stopWatchdog()
 	stopProgress()
 
@@ -228,7 +240,12 @@ func vetTractable(cfg queue.Config, limit int) bool {
 // caller, which classifies them as UNKNOWN. A non-nil gc serves complete
 // graphs from the cache and persists new ones; resume continues
 // interrupted builds from their checkpoints.
-func verify(w io.Writer, cfg queue.Config, m *engine.Meter, verbose bool, workers int, gc ts.GraphCache, resume bool) (engine.Verdict, error) {
+//
+// Reduction (rd.Any()) applies to the safety-only obligations: the CQ
+// build and, through ag.Theorem, the Figure 9 hypotheses. The CDQ ⇒ CQ^dbl
+// refinement keeps a full graph — its liveness half needs genuine fair
+// cycles, which reduced graphs refuse to search for.
+func verify(w io.Writer, cfg queue.Config, m *engine.Meter, verbose bool, workers int, gc ts.GraphCache, resume bool, rd reduce.Options) (engine.Verdict, error) {
 	fmt.Fprintf(w, "== Appendix A with N=%d, K=%d: values 0..%d, double capacity %d ==\n\n",
 		cfg.N, cfg.Vals, cfg.Vals-1, 2*cfg.N+1)
 
@@ -238,13 +255,20 @@ func verify(w io.Writer, cfg queue.Config, m *engine.Meter, verbose bool, worker
 	singleSys := cfg.SingleSystem()
 	singleSys.Workers = workers
 	singleSys.Cache, singleSys.Resume = gc, resume
+	if rd.Any() {
+		singleSys.Reduce = &reduce.Config{Options: rd, Symmetry: cfg.SingleSymmetry()}
+	}
 	gq, err := singleSys.BuildWith(m)
 	endCQ()
 	if err != nil {
 		return engine.Unknown, fmt.Errorf("building CQ: %w", err)
 	}
-	fmt.Fprintf(w, "CQ (Fig. 6): %d states, %d edges (%v)\n",
-		gq.NumStates(), gq.NumEdges(), time.Since(start).Round(time.Millisecond))
+	reduced := ""
+	if gq.Reduced() {
+		reduced = fmt.Sprintf(" [reduced: %s]", rd)
+	}
+	fmt.Fprintf(w, "CQ (Fig. 6): %d states, %d edges%s (%v)\n",
+		gq.NumStates(), gq.NumEdges(), reduced, time.Since(start).Round(time.Millisecond))
 
 	// §A.4: CDQ implements CQ^dbl.
 	start = time.Now()
@@ -282,6 +306,8 @@ func verify(w io.Writer, cfg queue.Config, m *engine.Meter, verbose bool, worker
 	fig9 := cfg.Fig9Theorem()
 	fig9.Workers = workers
 	fig9.Cache, fig9.Resume = gc, resume
+	fig9.Reduce = rd
+	fig9.Symmetry = cfg.DoubleSymmetry()
 	report, err := fig9.CheckWith(m)
 	if err != nil {
 		return engine.Unknown, err
@@ -299,6 +325,8 @@ func verify(w io.Writer, cfg queue.Config, m *engine.Meter, verbose bool, worker
 	noG.Pairs = noG.Pairs[1:]
 	noG.Workers = workers
 	noG.Cache, noG.Resume = gc, resume
+	noG.Reduce = rd
+	noG.Symmetry = cfg.DoubleSymmetry()
 	reportNoG, err := noG.CheckWith(m)
 	if err != nil {
 		return engine.Unknown, err

@@ -216,3 +216,46 @@ func TestVetTractable(t *testing.T) {
 		}
 	}
 }
+
+// TestWorkersAndReduceValidation: absurd -workers counts and malformed
+// -reduce modes are usage errors (exit 2 with a pointed message), never
+// requests to be satisfied.
+func TestWorkersAndReduceValidation(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"negative workers", []string{"-workers", "-1"}, "-workers must be >= 0"},
+		{"very negative workers", []string{"-workers", "-100000"}, "-workers must be >= 0"},
+		{"absurd workers", []string{"-workers", "1000000"}, "exceeds the maximum"},
+		{"bad reduce mode", []string{"-reduce", "magic"}, `invalid -reduce mode "magic"`},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errb bytes.Buffer
+			if code := run(tc.args, &out, &errb); code != 2 {
+				t.Errorf("run(%v) = %d, want 2 (stderr %q)", tc.args, code, errb.String())
+			}
+			if !strings.Contains(errb.String(), tc.want) {
+				t.Errorf("stderr %q missing %q", errb.String(), tc.want)
+			}
+		})
+	}
+}
+
+// TestReduceFlagVerifies: the full Appendix A replay still verifies end to
+// end with reduction enabled, and reports the reduced CQ build as such.
+func TestReduceFlagVerifies(t *testing.T) {
+	var out, errb bytes.Buffer
+	args := []string{"-n", "1", "-k", "2", "-reduce", "por,sym"}
+	if code := run(args, &out, &errb); code != 0 {
+		t.Fatalf("run(%v) = %d, want 0 (stderr %q)", args, code, errb.String())
+	}
+	if !strings.Contains(out.String(), "[reduced: por,sym]") {
+		t.Errorf("stdout missing reduced-build marker:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "VALID") {
+		t.Errorf("stdout missing VALID verdict:\n%s", out.String())
+	}
+}

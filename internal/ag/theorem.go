@@ -21,6 +21,7 @@ import (
 	"opentla/internal/engine"
 	"opentla/internal/form"
 	"opentla/internal/obs"
+	"opentla/internal/reduce"
 	"opentla/internal/spec"
 	"opentla/internal/ts"
 	"opentla/internal/value"
@@ -88,6 +89,21 @@ type Theorem struct {
 	// Resume, when true (with Cache set), continues interrupted graph
 	// builds from their saved checkpoints.
 	Resume bool
+	// Reduce selects state-space reductions (POR and/or symmetry) for the
+	// safety-only graphs of the check — the closure LHS, the guarantees-only
+	// graph, and the +v monitor base. Hypothesis 2b needs fairness, so its
+	// full graph is never reduced. Requested modes that fail validation
+	// (a symmetry group the system or properties do not respect, step
+	// constraints the POR analysis cannot read) are disabled with a
+	// flight-recorder note rather than erroring: reduction is an
+	// optimization, and the verdict is identical either way.
+	Reduce reduce.Options
+	// Symmetry declares the permutation group for Reduce.Sym.
+	Symmetry *reduce.Symmetry
+
+	// rd is the validated reduction configuration for this check run,
+	// resolved once by buildReduce before any graph is built.
+	rd *reduce.Config
 }
 
 // HypothesisResult reports one discharged (or failed) proof obligation.
@@ -255,7 +271,7 @@ func (th *Theorem) lhsSystem(name string, withEnv, safetyOnly bool) *ts.System {
 		}
 		comps = append([]*spec.Component{env}, comps...)
 	}
-	return &ts.System{
+	sys := &ts.System{
 		Name:        name,
 		Components:  comps,
 		Constraints: cons,
@@ -265,6 +281,123 @@ func (th *Theorem) lhsSystem(name string, withEnv, safetyOnly bool) *ts.System {
 		Cache:       th.Cache,
 		Resume:      th.Resume,
 	}
+	// Reduction only for safety graphs: reduced graphs refuse fair-lasso
+	// search (see check.FindFairLasso), and H2b's full LHS needs it.
+	if safetyOnly {
+		sys.Reduce = th.rd
+	}
+	return sys
+}
+
+// propertyExprs collects every expression that will be evaluated as (part
+// of) a property on a reduced graph: the pairs' assumptions, the
+// conclusion's assumption and (mapping-substituted) guarantee, the mapping
+// state functions themselves, the +v subscript, and Proposition 4's
+// Disjoint(e, m). A declared symmetry must leave all of them invariant for
+// canonicalization to preserve verdicts, and their variables are exactly
+// what POR must keep visible.
+func (th *Theorem) propertyExprs() []form.Expr {
+	var out []form.Expr
+	addComp := func(c *spec.Component, mapping map[string]form.Expr) {
+		if c == nil {
+			return
+		}
+		add := func(e form.Expr) {
+			if e == nil {
+				return
+			}
+			if mapping != nil {
+				e = e.Subst(mapping)
+			}
+			out = append(out, e)
+		}
+		add(c.Init)
+		for _, a := range c.Actions {
+			add(a.Def)
+		}
+	}
+	for _, p := range th.Pairs {
+		addComp(p.Env, nil)
+	}
+	addComp(th.Concl.Env, nil)
+	addComp(th.Concl.Sys, th.Concl.Mapping)
+	for _, e := range th.Concl.Mapping {
+		out = append(out, e)
+	}
+	out = append(out, th.plusSub())
+	if eVars, mVars := th.conclusionInterface(); len(eVars) > 0 && len(mVars) > 0 {
+		out = append(out, form.DisjointSteps(eVars, mVars)...)
+	}
+	return out
+}
+
+// buildReduce resolves the requested reductions into a validated config, or
+// nil when nothing (usable) was requested. Unlike ts.System — where an
+// invalid symmetry declaration is a hard error — a theorem check silently
+// drops modes that fail validation, noting why: the reduced and full checks
+// decide the same question.
+func (th *Theorem) buildReduce(m *engine.Meter) *reduce.Config {
+	if !th.Reduce.Any() {
+		return nil
+	}
+	opts := th.Reduce
+	props := th.propertyExprs()
+	if opts.Sym {
+		sym := th.Symmetry
+		disable := func(why string) {
+			m.Note("reduce", fmt.Sprintf("%s: symmetry disabled: %s", th.Name, why))
+			opts.Sym = false
+		}
+		if sym == nil {
+			disable("no symmetry group declared")
+		} else {
+			for _, e := range props {
+				if err := sym.CheckValueInvariant(e); err != nil {
+					disable(fmt.Sprintf("property %s: %v", e, err))
+					break
+				}
+				if err := sym.CheckBlockInvariant(e); err != nil {
+					disable(fmt.Sprintf("property %s: %v", e, err))
+					break
+				}
+			}
+		}
+		// Dry-run the system-level validation on both reduced LHS shapes
+		// (with and without the conclusion's environment): BuildWith errors
+		// on an invalid declaration, and a graceful disable must happen here.
+		for _, withEnv := range []bool{true, false} {
+			if !opts.Sym {
+				break
+			}
+			sys := th.lhsSystem(th.Name+"/reduce-dryrun", withEnv, true)
+			steps := make([]reduce.NamedExpr, 0, len(sys.Constraints))
+			for _, sc := range sys.Constraints {
+				steps = append(steps, reduce.NamedExpr{Name: sc.Name, E: sc.Action})
+			}
+			inits := make([]reduce.NamedExpr, 0, len(sys.InitConstraints))
+			for i, ic := range sys.InitConstraints {
+				inits = append(inits, reduce.NamedExpr{Name: fmt.Sprintf("init-%d", i), E: ic})
+			}
+			if err := sym.Validate(sys.Components, steps, inits, sys.Domains); err != nil {
+				disable(err.Error())
+			}
+		}
+	}
+	if !opts.Any() {
+		return nil
+	}
+	visible := make(map[string]bool)
+	for _, e := range props {
+		for _, v := range form.AllVars(e) {
+			visible[v] = true
+		}
+	}
+	vis := make([]string, 0, len(visible))
+	for v := range visible {
+		vis = append(vis, v)
+	}
+	sort.Strings(vis)
+	return &reduce.Config{Options: opts, Symmetry: th.Symmetry, Visible: vis}
 }
 
 // validate checks the structural requirements of the theorem instance.
@@ -334,6 +467,7 @@ func (th *Theorem) CheckWith(m *engine.Meter) (*Report, error) {
 		return nil, err
 	}
 	end := obs.SpanFromMeter(m, "theorem:"+th.Name)
+	th.rd = th.buildReduce(m)
 	r := &Report{TheoremName: th.Name, Valid: true}
 	err := th.checkAll(r, m)
 	end()
@@ -401,6 +535,7 @@ func (th *Theorem) CheckHyp2aPropositionsOnly() (*Report, error) {
 		return nil, err
 	}
 	m := engine.NoLimit()
+	th.rd = th.buildReduce(m)
 	r := &Report{TheoremName: th.Name + " (2a via Props 3+4)", Valid: true}
 	return finishReport(r, m, func() error {
 		closedSys := th.lhsSystem(th.Name+"/closure-lhs", true, true)
@@ -420,6 +555,7 @@ func (th *Theorem) CheckHyp2aDirectOnly() (*Report, error) {
 		return nil, err
 	}
 	m := engine.NoLimit()
+	th.rd = th.buildReduce(m)
 	r := &Report{TheoremName: th.Name + " (2a direct)", Valid: true}
 	return finishReport(r, m, th.checkHyp2aDirect(r, m))
 }

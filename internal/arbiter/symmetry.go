@@ -1,0 +1,14 @@
+package arbiter
+
+import "opentla/internal/reduce"
+
+// Symmetry declares the two client interfaces interchangeable: the
+// arbiter's grant/revoke actions and the clients are identical up to
+// swapping (r1, g1) with (r2, g2), so exchanging the two request/grant
+// wire pairs is an automorphism of the composed system.
+func Symmetry() *reduce.Symmetry {
+	return &reduce.Symmetry{Blocks: [][]string{
+		{rvar(1), gvar(1)},
+		{rvar(2), gvar(2)},
+	}}
+}

@@ -23,13 +23,26 @@ import (
 //	nstates  varint   per state, one value per table entry, in table order
 //	ninits   varint   initial-state ids
 //	nrows    varint   committed CSR row lengths, then all targets
+//	edges    (version 2 only) per target, one edge-state record: a 0 byte
+//	                  when the edge's real successor IS the target state, or
+//	                  a 1 byte followed by the state's values in table order
 //	checksum [32]byte SHA-256 of everything above
+//
+// Version 1 has no edge section; snapshots without edge states (the
+// overwhelmingly common case — every unreduced graph) are still written as
+// version 1, byte-identical to what earlier builds produced, so existing
+// cache entries stay valid and the resume-determinism byte comparison is
+// unaffected. Symmetry-reduced snapshots carry per-edge real successors and
+// are written as version 2; the decoder accepts both.
 //
 // The encoding is fully deterministic: encoding the same snapshot always
 // yields the same bytes, so byte-comparing two snapshot files is a valid
 // graph-identity check (CI's resume-determinism job relies on this).
 
-const codecVersion = 1
+const (
+	codecVersion      = 1
+	codecVersionEdges = 2
+)
 
 var magic = [8]byte{'O', 'T', 'L', 'A', 'S', 'N', 'A', 'P'}
 
@@ -44,7 +57,14 @@ const (
 func Encode(snap *ts.Snapshot, descSum [sha256.Size]byte) ([]byte, error) {
 	var buf []byte
 	buf = append(buf, magic[:]...)
-	buf = binary.LittleEndian.AppendUint16(buf, codecVersion)
+	version := uint16(codecVersion)
+	if len(snap.EdgeStates) > 0 {
+		if len(snap.EdgeStates) != len(snap.Targets) {
+			return nil, fmt.Errorf("snapshot has %d edge states for %d targets", len(snap.EdgeStates), len(snap.Targets))
+		}
+		version = codecVersionEdges
+	}
+	buf = binary.LittleEndian.AppendUint16(buf, version)
 	buf = append(buf, descSum[:]...)
 	var flags byte
 	if snap.Complete {
@@ -86,6 +106,30 @@ func Encode(snap *ts.Snapshot, descSum [sha256.Size]byte) ([]byte, error) {
 	for _, t := range snap.Targets {
 		buf = binary.AppendUvarint(buf, uint64(t))
 	}
+	if version == codecVersionEdges {
+		for k, es := range snap.EdgeStates {
+			if es == nil {
+				return nil, fmt.Errorf("edge %d has nil real-successor state", k)
+			}
+			// Most real successors equal their canonical target; a single
+			// marker byte avoids re-encoding the state.
+			if es.Equal(snap.States[snap.Targets[k]]) {
+				buf = append(buf, 0)
+				continue
+			}
+			buf = append(buf, 1)
+			if es.Len() != len(vars) {
+				return nil, fmt.Errorf("edge state %d binds %d variables, table has %d", k, es.Len(), len(vars))
+			}
+			for _, v := range vars {
+				val, ok := es.Get(v)
+				if !ok {
+					return nil, fmt.Errorf("edge state %d does not bind %q", k, v)
+				}
+				buf = appendValue(buf, val)
+			}
+		}
+	}
 	sum := sha256.Sum256(buf)
 	return append(buf, sum[:]...), nil
 }
@@ -107,8 +151,9 @@ func decodeWith(data []byte, descSum [sha256.Size]byte, verify bool) (*ts.Snapsh
 	if string(data[:8]) != string(magic[:]) {
 		return nil, fmt.Errorf("bad snapshot magic %q", data[:8])
 	}
-	if v := binary.LittleEndian.Uint16(data[8:10]); v != codecVersion {
-		return nil, fmt.Errorf("snapshot version %d, this build reads %d", v, codecVersion)
+	version := binary.LittleEndian.Uint16(data[8:10])
+	if version != codecVersion && version != codecVersionEdges {
+		return nil, fmt.Errorf("snapshot version %d, this build reads %d and %d", version, codecVersion, codecVersionEdges)
 	}
 	if subtle.ConstantTimeCompare(data[10:10+sha256.Size], descSum[:]) != 1 {
 		return nil, fmt.Errorf("snapshot was written for a different system description")
@@ -193,6 +238,34 @@ func decodeWith(data []byte, descSum [sha256.Size]byte, verify bool) (*ts.Snapsh
 			return nil, err
 		}
 		snap.Targets[i] = int32(t)
+	}
+	if version == codecVersionEdges {
+		snap.EdgeStates = make([]*state.State, total)
+		for k := range snap.EdgeStates {
+			marker, err := r.byte()
+			if err != nil {
+				return nil, err
+			}
+			switch marker {
+			case 0:
+				t := snap.Targets[k]
+				if int(t) >= len(snap.States) {
+					return nil, fmt.Errorf("edge %d target %d out of range", k, t)
+				}
+				snap.EdgeStates[k] = snap.States[t]
+			case 1:
+				for _, v := range vars {
+					val, err := r.value(0)
+					if err != nil {
+						return nil, err
+					}
+					binding[v] = val
+				}
+				snap.EdgeStates[k] = state.New(binding)
+			default:
+				return nil, fmt.Errorf("edge %d has unknown marker %d", k, marker)
+			}
+		}
 	}
 	if r.off != len(r.buf) {
 		return nil, fmt.Errorf("snapshot has %d trailing bytes", len(r.buf)-r.off)

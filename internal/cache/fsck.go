@@ -99,8 +99,8 @@ func (c *Cache) checkEntry(name string) string {
 	if string(data[:8]) != string(magic[:]) {
 		return fmt.Sprintf("bad magic %q", data[:8])
 	}
-	if v := binary.LittleEndian.Uint16(data[8:10]); v != codecVersion {
-		return fmt.Sprintf("codec version %d, this build reads %d", v, codecVersion)
+	if v := binary.LittleEndian.Uint16(data[8:10]); v != codecVersion && v != codecVersionEdges {
+		return fmt.Sprintf("codec version %d, this build reads %d and %d", v, codecVersion, codecVersionEdges)
 	}
 	var descSum [sha256.Size]byte
 	copy(descSum[:], data[10:10+sha256.Size])

@@ -60,6 +60,19 @@ func memoState(g *ts.Graph, f func(id int) (bool, error)) (StateMask, *error) {
 	}, &firstErr
 }
 
+// compiledAngle compiles the enabledness query and the step predicate for
+// ⟨A⟩_sub against the graph's state layout (every state of one graph binds
+// the same variable set). The enabledness function reuses scratch buffers
+// (see form.Ctx.EnabledFn) and so shares memoState's single-goroutine
+// contract.
+func compiledAngle(g *ts.Graph, angle form.Expr) (func(*state.State) (bool, error), form.CompiledPred) {
+	var layout []string
+	if len(g.States) > 0 {
+		layout = g.States[0].Vars()
+	}
+	return g.Ctx.EnabledFn(angle, layout), form.CompilePred(angle, layout)
+}
+
 // FairnessConds translates the WF/SF assumptions of the graph's system
 // components into cycle acceptance conditions. Enabledness is evaluated via
 // the context's domains and cached per state.
@@ -81,11 +94,12 @@ func FairnessConds(g *ts.Graph) ([]CycleCond, *error) {
 // fairnessCond builds the cycle condition for one WF/SF assumption.
 func fairnessCond(g *ts.Graph, name string, kind form.FairKind, action, sub form.Expr, errs *error) CycleCond {
 	angle := form.Angle(action, sub)
+	enFn, stepPred := compiledAngle(g, angle)
 	enabled, enErr := memoState(g, func(id int) (bool, error) {
-		return g.Ctx.Enabled(angle, g.States[id])
+		return enFn(g.States[id])
 	})
 	taken := func(from, to int) bool {
-		ok, err := form.EvalBool(angle, state.Step{From: g.States[from], To: g.States[to]}, nil)
+		ok, err := stepPred(state.Step{From: g.States[from], To: g.States[to]})
 		if err != nil && *errs == nil {
 			*errs = err
 		}
@@ -328,12 +342,13 @@ func checkLeadsTo(g *ts.Graph, fair []CycleCond, p, q form.Expr, name string) (*
 //	                    ⟨A⟩_v edge.
 func checkFairTarget(g *ts.Graph, fair []CycleCond, t form.FairF) (*LivenessResult, error) {
 	angle := form.Angle(t.A, t.Sub)
+	enFn, stepPred := compiledAngle(g, angle)
 	enabled, enErr := memoState(g, func(id int) (bool, error) {
-		return g.Ctx.Enabled(angle, g.States[id])
+		return enFn(g.States[id])
 	})
 	var takenErr error
 	notTaken := func(from, to int) bool {
-		ok, err := form.EvalBool(angle, state.Step{From: g.States[from], To: g.States[to]}, nil)
+		ok, err := stepPred(state.Step{From: g.States[from], To: g.States[to]})
 		if err != nil && takenErr == nil {
 			takenErr = err
 		}

@@ -136,65 +136,85 @@ func SafetyUnder(g *ts.Graph, f form.Formula, mapping map[string]form.Expr) (res
 	if err != nil {
 		return nil, err
 	}
+	// Every state of one graph binds the same variable set; compiling the
+	// obligation's predicates against that layout once keeps the per-state
+	// and per-edge evaluation positional and allocation-free.
+	var layout []string
+	if len(g.States) > 0 {
+		layout = g.States[0].Vars()
+	}
 	// Initial predicates.
+	initPreds := make([]form.CompiledPred, len(ob.inits))
+	for i, p := range ob.inits {
+		initPreds[i] = form.CompilePred(p, layout)
+	}
 	for _, id := range g.Inits {
 		s := g.States[id]
 		cur = s
-		for _, p := range ob.inits {
-			ok, err := form.EvalStateBool(p, s)
+		for i, p := range initPreds {
+			ok, err := p(state.Step{From: s})
 			if err != nil {
-				return nil, fmt.Errorf("initial predicate %s on %s: %w", p, s, err)
+				return nil, fmt.Errorf("initial predicate %s on %s: %w", ob.inits[i], s, err)
 			}
 			if !ok {
 				return done(&SafetyResult{
-					Violation: fmt.Sprintf("initial state violates %s", p),
+					Violation: fmt.Sprintf("initial state violates %s", ob.inits[i]),
 					Trace:     state.Behavior{s},
 				})
 			}
 		}
 	}
 	// Invariants.
+	invPreds := make([]form.CompiledPred, len(ob.invariants))
+	for i, p := range ob.invariants {
+		invPreds[i] = form.CompilePred(p, layout)
+	}
 	for id, s := range g.States {
 		if err := m.Tick(); err != nil {
 			return nil, err
 		}
 		cur = s
-		for _, p := range ob.invariants {
-			ok, err := form.EvalStateBool(p, s)
+		for i, p := range invPreds {
+			ok, err := p(state.Step{From: s})
 			if err != nil {
-				return nil, fmt.Errorf("invariant %s on %s: %w", p, s, err)
+				return nil, fmt.Errorf("invariant %s on %s: %w", ob.invariants[i], s, err)
 			}
 			if !ok {
 				return done(&SafetyResult{
-					Violation: fmt.Sprintf("reachable state violates invariant %s", p),
+					Violation: fmt.Sprintf("reachable state violates invariant %s", ob.invariants[i]),
 					Trace:     g.Behavior(g.PathTo(id)),
 				})
 			}
 		}
 	}
 	// Action boxes.
-	squares := make([]form.Expr, len(ob.boxes))
+	squares := make([]form.CompiledPred, len(ob.boxes))
 	for i, b := range ob.boxes {
-		squares[i] = form.Square(b.A, b.Sub)
+		squares[i] = form.CompilePred(form.Square(b.A, b.Sub), layout)
 	}
 	var res *SafetyResult
 	var evalErr error
-	g.ForEachEdge(func(from, to int) bool {
+	// ForEachEdgeStep hands every edge as a GENUINE step of the system: on a
+	// symmetry-reduced graph the target id is a canonical representative, but
+	// real is the actual post-state of the step, so box evaluation (and any
+	// violating trace) never sees a representative-to-representative
+	// pseudo-step the system cannot take.
+	g.ForEachEdgeStep(func(from, to int, real *state.State) bool {
 		if err := m.Tick(); err != nil {
 			evalErr = err
 			return false
 		}
-		st := state.Step{From: g.States[from], To: g.States[to]}
+		st := state.Step{From: g.States[from], To: real}
 		cur = st.From
 		for i, sq := range squares {
-			ok, err := form.EvalBool(sq, st, nil)
+			ok, err := sq(st)
 			if err != nil {
 				evalErr = fmt.Errorf("box %s on step %s: %w", ob.boxes[i], st, err)
 				return false
 			}
 			if !ok {
 				path := g.PathTo(from)
-				trace := append(g.Behavior(path), g.States[to])
+				trace := append(g.Behavior(path), real)
 				res = &SafetyResult{
 					Violation: fmt.Sprintf("reachable step violates %s", ob.boxes[i]),
 					Trace:     trace,

@@ -119,12 +119,12 @@ func WhilePlus(g *ts.Graph, env, sys *spec.Component, mapping map[string]form.Ex
 	// a behavior where M died at step n+1 with E alive through n.
 	var vio *AGResult
 	var tickErr error
-	prod.ForEachEdge(func(from, to int) bool {
+	prod.ForEachEdgeStep(func(from, to int, real *state.State) bool {
 		if err := m.Tick(); err != nil {
 			tickErr = err
 			return false
 		}
-		s, t := prod.States[from], prod.States[to]
+		s, t := prod.States[from], real
 		cur = s
 		if aliveE(s) && aliveM(s) && !aliveM(t) {
 			path := prod.PathTo(from)
@@ -210,12 +210,13 @@ func livenessRestricted(g *ts.Graph, restrict StateMask, target form.Formula) (*
 // to a state mask.
 func checkFairTargetWithin(g *ts.Graph, fair []CycleCond, t form.FairF, restrict StateMask) (*LivenessResult, error) {
 	angle := form.Angle(t.A, t.Sub)
+	enFn, stepPred := compiledAngle(g, angle)
 	enabled, enErr := memoState(g, func(id int) (bool, error) {
-		return g.Ctx.Enabled(angle, g.States[id])
+		return enFn(g.States[id])
 	})
 	var takenErr error
 	notTaken := func(from, to int) bool {
-		ok, err := form.EvalBool(angle, state.Step{From: g.States[from], To: g.States[to]}, nil)
+		ok, err := stepPred(state.Step{From: g.States[from], To: g.States[to]})
 		if err != nil && takenErr == nil {
 			takenErr = err
 		}

@@ -1,0 +1,11 @@
+package circular
+
+import "opentla/internal/reduce"
+
+// Symmetry declares the two wires of the circular composition
+// interchangeable: CopyProcess("Pc", "c", "d") and CopyProcess("Pd", "d",
+// "c") are the same component with c and d swapped, so the transposition
+// c ↔ d is an automorphism of the composed system.
+func Symmetry() *reduce.Symmetry {
+	return &reduce.Symmetry{Blocks: [][]string{{"c"}, {"d"}}}
+}

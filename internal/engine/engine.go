@@ -98,13 +98,53 @@ func (s RunStats) String() string {
 type Observer interface {
 	// ObserveEvent records one flight-recorder event. kind is a short stable
 	// tag ("budget", "budget-exhausted", "scc", "level", "unknown-verdict",
-	// and the graph-cache outcomes "cache-hit", "cache-miss", "cache-corrupt",
-	// "checkpoint-saved", "resume"); msg is human-readable.
+	// "reduce", and the graph-cache outcomes "cache-hit", "cache-miss",
+	// "cache-corrupt", "checkpoint-saved", "resume"); msg is human-readable.
 	ObserveEvent(kind, msg string)
 	// ObserveLevel records a frontier level barrier of exploration op:
 	// the level index (BFS depth), the level's width in states, the worker
 	// goroutines that drained it, and the total states explored so far.
 	ObserveLevel(op string, level, width, workers, totalStates int)
+	// ObserveReduction records the reduction statistics of a finished
+	// exploration op (a graph build or a monitor product). Called at most
+	// once per exploration, only when a reduction was active.
+	ObserveReduction(op string, s ReductionStats)
+}
+
+// ReductionStats counts the work a reduced exploration did and avoided:
+// partial-order ample expansions vs full expansions, their successor counts,
+// and the successor slots symmetry canonicalization redirected to an orbit
+// representative. The exploration layer reports them through
+// Meter.NoteReduction once per build.
+type ReductionStats struct {
+	// AmpleStates/FullStates partition the expanded states by whether the
+	// ample set was used or expansion fell back to the full successor set.
+	AmpleStates int64
+	FullStates  int64
+	// AmpleSuccs/FullSuccs count the successors produced by each kind of
+	// expansion; comparing their per-state averages shows the branching
+	// reduction POR achieved.
+	AmpleSuccs int64
+	FullSuccs  int64
+	// SymCollapsed counts successor slots whose state was replaced by a
+	// different canonical representative — each is a potential duplicate
+	// orbit state the graph did not have to explore.
+	SymCollapsed int64
+}
+
+// Any reports whether the stats record any reduction activity.
+func (s ReductionStats) Any() bool {
+	return s.AmpleStates != 0 || s.FullStates != 0 || s.SymCollapsed != 0
+}
+
+// AmpleHitRate returns the fraction of expanded states served by an ample
+// set, in [0,1] (0 when nothing was expanded).
+func (s ReductionStats) AmpleHitRate() float64 {
+	total := s.AmpleStates + s.FullStates
+	if total == 0 {
+		return 0
+	}
+	return float64(s.AmpleStates) / float64(total)
 }
 
 // Budget bounds an exploration. The zero value is unlimited.
@@ -215,6 +255,15 @@ func (m *Meter) Budget() Budget { return m.budget }
 func (m *Meter) Note(kind, msg string) {
 	if m.obs != nil {
 		m.obs.ObserveEvent(kind, msg)
+	}
+}
+
+// NoteReduction forwards an exploration's reduction statistics to the
+// observer, if any. Like Note, it lets the exploration layer feed the
+// flight recorder without depending on the obs package.
+func (m *Meter) NoteReduction(op string, s ReductionStats) {
+	if m.obs != nil {
+		m.obs.ObserveReduction(op, s)
 	}
 }
 
@@ -493,4 +542,22 @@ func AddWorkersFlag(fs *flag.FlagSet) *int {
 		"worker goroutines for state-graph exploration (0 = GOMAXPROCS, currently %d); results are identical at any setting",
 		runtime.GOMAXPROCS(0)))
 	return w
+}
+
+// MaxWorkers bounds -workers to a sane multiple of any plausible machine:
+// each worker owns persistent scratch arenas, so an absurd count would
+// allocate gigabytes before exploring a single state.
+const MaxWorkers = 4096
+
+// ValidateWorkers vets a -workers flag value: negative counts and counts
+// beyond MaxWorkers are user errors (exit 2 in the CLIs), not requests to be
+// satisfied. 0 means GOMAXPROCS and is valid.
+func ValidateWorkers(w int) error {
+	if w < 0 {
+		return fmt.Errorf("-workers must be >= 0 (0 = GOMAXPROCS), got %d", w)
+	}
+	if w > MaxWorkers {
+		return fmt.Errorf("-workers %d exceeds the maximum %d", w, MaxWorkers)
+	}
+	return nil
 }

@@ -116,6 +116,13 @@ func (l *eventLog) ObserveLevel(op string, level, width, workers, totalStates in
 	l.levels = append(l.levels, fmt.Sprintf("%s L%d w%d", op, level, width))
 }
 
+func (l *eventLog) ObserveReduction(op string, s ReductionStats) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.events = append(l.events, fmt.Sprintf("reduce: %s ample=%d full=%d sym=%d",
+		op, s.AmpleStates, s.FullStates, s.SymCollapsed))
+}
+
 func (l *eventLog) snapshot() []string {
 	l.mu.Lock()
 	defer l.mu.Unlock()

@@ -1,0 +1,501 @@
+package form
+
+import (
+	"errors"
+	"sync"
+
+	"opentla/internal/state"
+	"opentla/internal/value"
+)
+
+// CompiledPred is a compiled boolean step predicate: the closure-tree form of an
+// Expr, specialized to states that bind exactly one fixed variable layout.
+// Variable occurrences are resolved to binding positions at compile time, so
+// evaluation reads states positionally (state.At) instead of binary-searching
+// names, and the stutter-equality shapes that dominate checking — v' = v and
+// ⟨v1,…,vn⟩' = ⟨v1,…,vn⟩ from form.Square/Unchanged — run without allocating
+// the tuples the interpreter would build.
+//
+// A CompiledPred is safe for concurrent use: the closure tree is immutable and reads
+// only the step it is given.
+type CompiledPred func(st state.Step) (bool, error)
+
+// errCompiled is the internal sentinel raised by compiled fast paths when
+// evaluation cannot complete (kind mismatch, missing successor state, …).
+// CompilePred's wrapper converts any compiled-path error into a full
+// interpreter evaluation, so callers always observe the interpreter's
+// canonical error messages — compiled closures never invent their own.
+var errCompiled = errors.New("form: compiled evaluation fell back to the interpreter")
+
+// CompilePred compiles e into a CompiledPred for steps over states binding exactly
+// the variables of layout (sorted, as produced by ts.System.Vars or
+// state.Vars). The compiled predicate is semantically identical to
+// EvalBool(e, st, nil): same verdicts, and on failure the same error
+// messages (errors re-derive through the interpreter). Steps whose states do
+// not match the layout's variable count are evaluated by the interpreter, so
+// a mismatched caller degrades to slow-but-correct.
+func CompilePred(e Expr, layout []string) CompiledPred {
+	c := &compiler{pos: make(map[string]int, len(layout))}
+	for i, v := range layout {
+		c.pos[v] = i
+	}
+	n := len(layout)
+	f := c.pred(e, false)
+	return func(st state.Step) (bool, error) {
+		if st.From == nil || st.From.Len() != n || (st.To != nil && st.To.Len() != n) {
+			return EvalBool(e, st, nil)
+		}
+		b, err := f(st)
+		if err != nil {
+			return EvalBool(e, st, nil)
+		}
+		return b, nil
+	}
+}
+
+// LazyPred returns a CompiledPred that compiles e on first evaluation, deriving the
+// layout from the first step's From state. It exists for evaluators (monitor
+// callbacks) constructed before any state exists; the one-time compilation
+// is synchronized, so the result is safe for concurrent workers.
+func LazyPred(e Expr) CompiledPred {
+	var once sync.Once
+	var fn CompiledPred
+	return func(st state.Step) (bool, error) {
+		once.Do(func() {
+			if st.From != nil {
+				fn = CompilePred(e, st.From.Vars())
+			} else {
+				fn = func(st state.Step) (bool, error) { return EvalBool(e, st, nil) }
+			}
+		})
+		return fn(st)
+	}
+}
+
+// boolFn and valFn are the compiled closure forms of predicates and value
+// expressions. primed contexts (inside x') read st.To where unprimed read
+// st.From, mirroring PrimeE.Eval's state shift without re-wrapping steps.
+type (
+	boolFn func(st state.Step) (bool, error)
+	valFn  func(st state.Step) (value.Value, error)
+)
+
+type compiler struct {
+	pos map[string]int
+}
+
+// interpVal is the universal fallback: interpret the subtree. In a primed
+// context the step is shifted exactly as PrimeE.Eval does, so nested primes
+// and quantifiers behave identically to the interpreter.
+func interpVal(e Expr, primed bool) valFn {
+	if primed {
+		return func(st state.Step) (value.Value, error) {
+			return e.Eval(state.Step{From: st.To}, nil)
+		}
+	}
+	return func(st state.Step) (value.Value, error) {
+		return e.Eval(st, nil)
+	}
+}
+
+// pred compiles e as a boolean.
+func (c *compiler) pred(e Expr, primed bool) boolFn {
+	switch n := e.(type) {
+	case ConstE:
+		if b, ok := n.V.AsBool(); ok {
+			return func(state.Step) (bool, error) { return b, nil }
+		}
+	case AndE:
+		fs := make([]boolFn, len(n.Xs))
+		for i, x := range n.Xs {
+			fs[i] = c.pred(x, primed)
+		}
+		return func(st state.Step) (bool, error) {
+			for _, f := range fs {
+				b, err := f(st)
+				if err != nil || !b {
+					return false, err
+				}
+			}
+			return true, nil
+		}
+	case OrE:
+		fs := make([]boolFn, len(n.Xs))
+		for i, x := range n.Xs {
+			fs[i] = c.pred(x, primed)
+		}
+		return func(st state.Step) (bool, error) {
+			for _, f := range fs {
+				b, err := f(st)
+				if err != nil || b {
+					return b, err
+				}
+			}
+			return false, nil
+		}
+	case NotE:
+		f := c.pred(n.X, primed)
+		return func(st state.Step) (bool, error) {
+			b, err := f(st)
+			return !b && err == nil, err
+		}
+	case ImpliesE:
+		fa := c.pred(n.A, primed)
+		fb := c.pred(n.B, primed)
+		return func(st state.Step) (bool, error) {
+			a, err := fa(st)
+			if err != nil {
+				return false, err
+			}
+			if !a {
+				return true, nil
+			}
+			return fb(st)
+		}
+	case EquivE:
+		fa := c.pred(n.A, primed)
+		fb := c.pred(n.B, primed)
+		return func(st state.Step) (bool, error) {
+			a, err := fa(st)
+			if err != nil {
+				return false, err
+			}
+			b, err := fb(st)
+			if err != nil {
+				return false, err
+			}
+			return a == b, nil
+		}
+	case CmpE:
+		return c.cmp(n, primed)
+	}
+	f := c.val(e, primed)
+	return func(st state.Step) (bool, error) {
+		v, err := f(st)
+		if err != nil {
+			return false, err
+		}
+		b, ok := v.AsBool()
+		if !ok {
+			return false, errCompiled
+		}
+		return b, nil
+	}
+}
+
+// varNames recognizes the subscript shapes of Square/Unchanged: a single
+// variable or a tuple of variables.
+func varNames(e Expr) ([]string, bool) {
+	switch n := e.(type) {
+	case VarE:
+		return []string{n.Name}, true
+	case TupleE:
+		out := make([]string, len(n.Xs))
+		for i, x := range n.Xs {
+			v, ok := x.(VarE)
+			if !ok {
+				return nil, false
+			}
+			out[i] = v.Name
+		}
+		return out, true
+	}
+	return nil, false
+}
+
+func equalNames(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// stutterPositions detects f' = f for f a variable or variable tuple and
+// resolves the positions, the zero-allocation fast path for the unchanged
+// checks at the heart of [A]_v evaluation.
+func (c *compiler) stutterPositions(a, b Expr) ([]int, bool) {
+	// Accept f' = f with the prime on either side.
+	var prime PrimeE
+	var other Expr
+	if p, ok := a.(PrimeE); ok {
+		prime, other = p, b
+	} else if p, ok := b.(PrimeE); ok {
+		prime, other = p, a
+	} else {
+		return nil, false
+	}
+	pn, ok := varNames(prime.X)
+	if !ok {
+		return nil, false
+	}
+	on, ok := varNames(other)
+	if !ok || !equalNames(pn, on) {
+		return nil, false
+	}
+	ps := make([]int, len(pn))
+	for i, name := range pn {
+		p, ok := c.pos[name]
+		if !ok {
+			return nil, false
+		}
+		ps[i] = p
+	}
+	return ps, true
+}
+
+// cmp compiles a comparison. Equality gets two fast paths: the stutter shape
+// f' = f over variable layouts, and elementwise tuple comparison (both sides
+// syntactic tuples of equal length), neither of which allocates.
+func (c *compiler) cmp(n CmpE, primed bool) boolFn {
+	if (n.Op == OpEq || n.Op == OpNe) && !primed {
+		if ps, ok := c.stutterPositions(n.A, n.B); ok {
+			neq := n.Op == OpNe
+			return func(st state.Step) (bool, error) {
+				if st.To == nil {
+					return false, errCompiled
+				}
+				for _, p := range ps {
+					if !st.From.At(p).Equal(st.To.At(p)) {
+						return neq, nil
+					}
+				}
+				return !neq, nil
+			}
+		}
+	}
+	if n.Op == OpEq || n.Op == OpNe {
+		ta, aOK := n.A.(TupleE)
+		tb, bOK := n.B.(TupleE)
+		if aOK && bOK && len(ta.Xs) == len(tb.Xs) {
+			fas := make([]valFn, len(ta.Xs))
+			fbs := make([]valFn, len(tb.Xs))
+			for i := range ta.Xs {
+				fas[i] = c.val(ta.Xs[i], primed)
+				fbs[i] = c.val(tb.Xs[i], primed)
+			}
+			neq := n.Op == OpNe
+			return func(st state.Step) (bool, error) {
+				// No short-circuit on inequality: the interpreter evaluates
+				// every element before comparing, so an element whose
+				// evaluation fails must fail here too.
+				eq := true
+				for i := range fas {
+					a, err := fas[i](st)
+					if err != nil {
+						return false, err
+					}
+					b, err := fbs[i](st)
+					if err != nil {
+						return false, err
+					}
+					if eq && !a.Equal(b) {
+						eq = false
+					}
+				}
+				return eq != neq, nil
+			}
+		}
+	}
+	fa := c.val(n.A, primed)
+	fb := c.val(n.B, primed)
+	op := n.Op
+	return func(st state.Step) (bool, error) {
+		a, err := fa(st)
+		if err != nil {
+			return false, err
+		}
+		b, err := fb(st)
+		if err != nil {
+			return false, err
+		}
+		switch op {
+		case OpEq:
+			return a.Equal(b), nil
+		case OpNe:
+			return !a.Equal(b), nil
+		}
+		if a.Kind() != b.Kind() {
+			return false, errCompiled
+		}
+		cv := a.Compare(b)
+		switch op {
+		case OpLt:
+			return cv < 0, nil
+		case OpLe:
+			return cv <= 0, nil
+		case OpGt:
+			return cv > 0, nil
+		case OpGe:
+			return cv >= 0, nil
+		}
+		return false, errCompiled
+	}
+}
+
+// val compiles e as a value.
+func (c *compiler) val(e Expr, primed bool) valFn {
+	switch n := e.(type) {
+	case ConstE:
+		v := n.V
+		return func(state.Step) (value.Value, error) { return v, nil }
+	case VarE:
+		p, ok := c.pos[n.Name]
+		if !ok {
+			// Unknown in the layout: unbound at runtime (or rigid, which only
+			// occurs under quantifiers the compiler does not descend into).
+			return interpVal(e, primed)
+		}
+		if primed {
+			return func(st state.Step) (value.Value, error) {
+				return st.To.At(p), nil
+			}
+		}
+		return func(st state.Step) (value.Value, error) {
+			return st.From.At(p), nil
+		}
+	case PrimeE:
+		if primed {
+			// x'' — the interpreter evaluates the inner prime against a step
+			// with no successor state, which always errors.
+			return func(state.Step) (value.Value, error) { return value.Value{}, errCompiled }
+		}
+		f := c.val(n.X, true)
+		return func(st state.Step) (value.Value, error) {
+			if st.To == nil {
+				return value.Value{}, errCompiled
+			}
+			return f(st)
+		}
+	case AndE, OrE, NotE, ImpliesE, EquivE, CmpE:
+		f := c.pred(e, primed)
+		return func(st state.Step) (value.Value, error) {
+			b, err := f(st)
+			if err != nil {
+				return value.Value{}, err
+			}
+			return value.Bool(b), nil
+		}
+	case ArithE:
+		fa := c.val(n.A, primed)
+		fb := c.val(n.B, primed)
+		op := n.Op
+		return func(st state.Step) (value.Value, error) {
+			av, err := fa(st)
+			if err != nil {
+				return value.Value{}, err
+			}
+			bv, err := fb(st)
+			if err != nil {
+				return value.Value{}, err
+			}
+			a, ok := av.AsInt()
+			if !ok {
+				return value.Value{}, errCompiled
+			}
+			b, ok := bv.AsInt()
+			if !ok {
+				return value.Value{}, errCompiled
+			}
+			switch op {
+			case OpAdd:
+				return value.Int(a + b), nil
+			case OpSub:
+				return value.Int(a - b), nil
+			case OpMul:
+				return value.Int(a * b), nil
+			case OpMod:
+				if b <= 0 {
+					return value.Value{}, errCompiled
+				}
+				return value.Int(((a % b) + b) % b), nil
+			}
+			return value.Value{}, errCompiled
+		}
+	case IfE:
+		fc := c.pred(n.C, primed)
+		ft := c.val(n.T, primed)
+		fe := c.val(n.E, primed)
+		return func(st state.Step) (value.Value, error) {
+			cond, err := fc(st)
+			if err != nil {
+				return value.Value{}, err
+			}
+			if cond {
+				return ft(st)
+			}
+			return fe(st)
+		}
+	case TupleE:
+		fs := make([]valFn, len(n.Xs))
+		for i, x := range n.Xs {
+			fs[i] = c.val(x, primed)
+		}
+		return func(st state.Step) (value.Value, error) {
+			elems := make([]value.Value, len(fs))
+			for i, f := range fs {
+				v, err := f(st)
+				if err != nil {
+					return value.Value{}, err
+				}
+				elems[i] = v
+			}
+			return value.Tuple(elems...), nil
+		}
+	case SeqUnE:
+		f := c.val(n.X, primed)
+		op := n.Op
+		return func(st state.Step) (value.Value, error) {
+			v, err := f(st)
+			if err != nil {
+				return value.Value{}, err
+			}
+			switch op {
+			case OpHead:
+				h, ok := v.Head()
+				if !ok {
+					return value.Value{}, errCompiled
+				}
+				return h, nil
+			case OpTail:
+				t, ok := v.Tail()
+				if !ok {
+					return value.Value{}, errCompiled
+				}
+				return t, nil
+			case OpLen:
+				l := v.Len()
+				if l < 0 {
+					return value.Value{}, errCompiled
+				}
+				return value.Int(int64(l)), nil
+			}
+			return value.Value{}, errCompiled
+		}
+	case ConcatE:
+		fa := c.val(n.A, primed)
+		fb := c.val(n.B, primed)
+		return func(st state.Step) (value.Value, error) {
+			a, err := fa(st)
+			if err != nil {
+				return value.Value{}, err
+			}
+			b, err := fb(st)
+			if err != nil {
+				return value.Value{}, err
+			}
+			cv, ok := a.Concat(b)
+			if !ok {
+				return value.Value{}, errCompiled
+			}
+			return cv, nil
+		}
+	}
+	// QuantE and any future node kinds interpret, preserving rigid-variable
+	// binding semantics exactly.
+	return interpVal(e, primed)
+}

@@ -1,0 +1,309 @@
+package form
+
+import (
+	"fmt"
+	"sort"
+
+	"opentla/internal/state"
+	"opentla/internal/value"
+)
+
+// maxEnabledBranches caps the up-front disjunction expansion of EnabledFn.
+// Beyond it the action is pathological for static expansion and the
+// per-call analysis of Enabled is the better trade.
+const maxEnabledBranches = 256
+
+// EnabledFn compiles Enabled(a, ·) for states binding exactly the variables
+// of layout: the syntactic analysis Enabled repeats on every call —
+// conjunct flattening, disjunction distribution, guard/assignment
+// classification, primed-variable collection — runs once here, and the
+// guard, assignment, and residual-conjunct evaluations run as compiled
+// positional closures (see CompilePred). The returned function is
+// semantically identical to Enabled: same verdicts, same error messages
+// (failures re-derive through the interpreter), with states that do not
+// match the layout delegated to Enabled itself.
+//
+// The returned function reuses internal scratch buffers and is NOT safe for
+// concurrent use; compile one per goroutine. Domains are snapshotted at
+// compile time, matching the usual construct-once use of Ctx.
+func (c *Ctx) EnabledFn(a Expr, layout []string) func(s *state.State) (bool, error) {
+	interp := func(s *state.State) (bool, error) { return c.Enabled(a, s) }
+	budget := maxEnabledBranches
+	flat, ok := expandEnabledBranches(flattenAnd(a, nil), nil, &budget)
+	if !ok {
+		return interp
+	}
+	comp := &compiler{pos: make(map[string]int, len(layout))}
+	for i, v := range layout {
+		comp.pos[v] = i
+	}
+	branches := make([]*enBranch, len(flat))
+	for i, conjs := range flat {
+		branches[i] = c.compileBranch(conjs, comp)
+	}
+	n := len(layout)
+	scr := &enScratch{state: state.New(nil)}
+	return func(s *state.State) (bool, error) {
+		if s == nil || s.Len() != n {
+			return interp(s)
+		}
+		for _, b := range branches {
+			enabled, err := b.eval(c, s, scr)
+			if err != nil {
+				return false, err
+			}
+			if enabled {
+				return true, nil
+			}
+		}
+		return false, nil
+	}
+}
+
+// expandEnabledBranches statically distributes the disjunctions of a
+// conjunct list into pure-conjunction branches, in exactly the depth-first
+// order enabledConj explores them at runtime (so verdicts and first-error
+// behavior are preserved). It fails if the expansion exceeds the budget.
+func expandEnabledBranches(conjs []Expr, out [][]Expr, budget *int) ([][]Expr, bool) {
+	for i, cj := range conjs {
+		or, ok := cj.(OrE)
+		if !ok {
+			continue
+		}
+		for _, branch := range or.Xs {
+			sub := make([]Expr, 0, len(conjs)+1)
+			sub = append(sub, conjs[:i]...)
+			sub = flattenAnd(branch, sub)
+			sub = append(sub, conjs[i+1:]...)
+			var ok2 bool
+			out, ok2 = expandEnabledBranches(sub, out, budget)
+			if !ok2 {
+				return nil, false
+			}
+		}
+		return out, true
+	}
+	*budget--
+	if *budget < 0 {
+		return nil, false
+	}
+	return append(out, append([]Expr(nil), conjs...)), true
+}
+
+// enItem is one conjunct of a pure-conjunction branch, pre-classified. The
+// items preserve the original conjunct order so guard failures, assignment
+// conflicts, and evaluation errors surface exactly where the interpreted
+// path would surface them.
+type enItem struct {
+	// Guard (primeless conjunct): evaluated on ⟨s, —⟩.
+	guard boolFn
+	gexpr Expr
+
+	// Determined assignment x' = e: rhs evaluated on ⟨s, —⟩.
+	det     bool
+	rhs     valFn
+	rhsExpr Expr
+	slot    int           // distinct-variable slot this determination fills
+	dup     bool          // a repeat determination: must agree with the slot
+	domain  []value.Value // declared domain of x, nil if none
+}
+
+// enBranch is one compiled pure-conjunction branch of an Enabled query.
+type enBranch struct {
+	conjs    []Expr // original conjuncts, for the interpreted fallback
+	fallback bool   // a variable is outside the layout: interpret
+
+	items     []enItem
+	domainErr error // free variable with no declared domain
+
+	slotPos  []int           // layout position per determined slot
+	rest     []enItem        // residual conjuncts (guard/gexpr fields), on ⟨s, cand⟩
+	freePos  []int           // layout positions of the enumerated variables
+	freeDoms [][]value.Value // their domains, aligned with freePos
+}
+
+// enScratch holds the per-call buffers an EnabledFn reuses across branches
+// and calls (hence the no-concurrency contract).
+type enScratch struct {
+	vals    []value.Value
+	detUps  []state.PosUpdate
+	freeUps []state.PosUpdate
+	freeIdx []int
+	state   *state.State
+}
+
+// compileBranch classifies and compiles one pure-conjunction branch,
+// mirroring enabledConj's pure-conjunction path.
+func (c *Ctx) compileBranch(conjs []Expr, comp *compiler) *enBranch {
+	b := &enBranch{conjs: conjs}
+	slots := make(map[string]int)
+	for _, cj := range conjs {
+		if !HasPrimes(cj) {
+			b.items = append(b.items, enItem{guard: comp.pred(cj, false), gexpr: cj})
+			continue
+		}
+		if name, rhs, ok := determinedAssignment(cj); ok {
+			pos, inLayout := comp.pos[name]
+			if !inLayout {
+				b.fallback = true
+				return b
+			}
+			it := enItem{det: true, rhs: comp.val(rhs, false), rhsExpr: rhs, domain: c.Domains[name]}
+			if slot, dup := slots[name]; dup {
+				it.slot, it.dup = slot, true
+			} else {
+				it.slot = len(b.slotPos)
+				slots[name] = it.slot
+				b.slotPos = append(b.slotPos, pos)
+			}
+			b.items = append(b.items, it)
+			continue
+		}
+		b.rest = append(b.rest, enItem{guard: comp.pred(cj, false), gexpr: cj})
+	}
+	primedSet := make(map[string]bool)
+	for _, cj := range conjs {
+		for _, v := range PrimedVars(cj) {
+			primedSet[v] = true
+		}
+	}
+	var free []string
+	for v := range primedSet {
+		if _, det := slots[v]; !det {
+			free = append(free, v)
+		}
+	}
+	sort.Strings(free)
+	for _, v := range free {
+		dom, err := c.Domain(v)
+		if err != nil {
+			if b.domainErr == nil {
+				b.domainErr = fmt.Errorf("Enabled: %w", err)
+			}
+			continue
+		}
+		pos, inLayout := comp.pos[v]
+		if !inLayout {
+			b.fallback = true
+			return b
+		}
+		b.freePos = append(b.freePos, pos)
+		b.freeDoms = append(b.freeDoms, dom)
+	}
+	return b
+}
+
+// eval runs one compiled branch against s. Every step — guards, determined
+// assignments, domain checks, candidate enumeration — happens in the same
+// order as enabledConj, with compiled closures doing the evaluation and the
+// interpreter re-deriving any compiled failure for its canonical error.
+func (b *enBranch) eval(c *Ctx, s *state.State, scr *enScratch) (bool, error) {
+	if b.fallback {
+		return c.enabledConj(b.conjs, s)
+	}
+	st0 := state.Step{From: s}
+	if cap(scr.vals) < len(b.slotPos) {
+		scr.vals = make([]value.Value, len(b.slotPos))
+	}
+	vals := scr.vals[:len(b.slotPos)]
+	for _, it := range b.items {
+		if !it.det {
+			ok, err := it.guard(st0)
+			if err != nil {
+				ok, err = EvalStateBool(it.gexpr, s)
+				if err != nil {
+					return false, err
+				}
+			}
+			if !ok {
+				return false, nil
+			}
+			continue
+		}
+		v, err := it.rhs(st0)
+		if err != nil {
+			v, err = it.rhsExpr.Eval(st0, nil)
+			if err != nil {
+				return false, err
+			}
+		}
+		if it.dup {
+			if !vals[it.slot].Equal(v) {
+				return false, nil // conflicting determinations
+			}
+			continue
+		}
+		if it.domain != nil {
+			inDomain := false
+			for _, dv := range it.domain {
+				if dv.Equal(v) {
+					inDomain = true
+					break
+				}
+			}
+			if !inDomain {
+				return false, nil
+			}
+		}
+		vals[it.slot] = v
+	}
+	if b.domainErr != nil {
+		return false, b.domainErr
+	}
+	// Candidate enumeration: mixed-radix over the free variables, last
+	// variable fastest, over a single scratch state — the compiled twin of
+	// enabledConj's positional loop.
+	if cap(scr.detUps) < len(b.slotPos) {
+		scr.detUps = make([]state.PosUpdate, len(b.slotPos))
+	}
+	detUps := scr.detUps[:len(b.slotPos)]
+	for i, pos := range b.slotPos {
+		detUps[i] = state.PosUpdate{Pos: pos, Val: vals[i]}
+	}
+	if cap(scr.freeUps) < len(b.freePos) {
+		scr.freeUps = make([]state.PosUpdate, len(b.freePos))
+		scr.freeIdx = make([]int, len(b.freePos))
+	}
+	freeUps := scr.freeUps[:len(b.freePos)]
+	freeIdx := scr.freeIdx[:len(b.freePos)]
+	for i, pos := range b.freePos {
+		freeUps[i] = state.PosUpdate{Pos: pos}
+		freeIdx[i] = 0
+	}
+	for {
+		for i := range freeUps {
+			freeUps[i].Val = b.freeDoms[i][freeIdx[i]]
+		}
+		s.OverwriteInto(scr.state, detUps, freeUps)
+		st := state.Step{From: s, To: scr.state}
+		sat := true
+		for _, r := range b.rest {
+			ok, err := r.guard(st)
+			if err != nil {
+				ok, err = EvalBool(r.gexpr, st, nil)
+				if err != nil {
+					return false, err
+				}
+			}
+			if !ok {
+				sat = false
+				break
+			}
+		}
+		if sat {
+			return true, nil
+		}
+		fi := len(freeIdx) - 1
+		for fi >= 0 {
+			freeIdx[fi]++
+			if freeIdx[fi] < len(b.freeDoms[fi]) {
+				break
+			}
+			freeIdx[fi] = 0
+			fi--
+		}
+		if fi < 0 {
+			return false, nil
+		}
+	}
+}

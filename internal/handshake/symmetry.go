@@ -1,0 +1,15 @@
+package handshake
+
+import (
+	"opentla/internal/reduce"
+	"opentla/internal/value"
+)
+
+// ValueSymmetry declares the channel's data values interchangeable: the
+// protocol moves values without inspecting them (Send binds an arbitrary
+// domain element, the receiver only acknowledges), so any permutation of
+// vals maps behaviors to behaviors. The orbit covers c.val — the only
+// variable that carries a data value; sig and ack are handshake bits.
+func ValueSymmetry(c Channel, vals []value.Value) *reduce.Symmetry {
+	return &reduce.Symmetry{Values: vals, Vars: []string{c.Val()}}
+}

@@ -15,6 +15,7 @@ import (
 	"opentla/internal/form"
 	"opentla/internal/handshake"
 	"opentla/internal/queue"
+	"opentla/internal/reduce"
 	"opentla/internal/spec"
 	"opentla/internal/ts"
 	"opentla/internal/value"
@@ -38,6 +39,21 @@ type Model struct {
 	// relies on the Disjoint hypothesis of Proposition 4; it raises
 	// missing-coverage findings from info to warn.
 	Interleaved bool
+	// Symmetry is the model's declared state-space symmetry (value and/or
+	// block), if any; -reduce=sym validates and exploits it.
+	Symmetry *reduce.Symmetry
+}
+
+// System assembles the model as a buildable transition system. Each call
+// returns a fresh value, so callers may set Workers, Cache, or Reduce
+// without affecting other users of the registry.
+func (m Model) System() *ts.System {
+	return &ts.System{
+		Name:        m.Name,
+		Components:  m.Components,
+		Constraints: m.Constraints,
+		Domains:     m.Domains,
+	}
 }
 
 // Vet runs the static analyzer over the model.
@@ -65,6 +81,7 @@ func All() []Model {
 				form.DisjointSteps(hc.SndVars(), []string{hc.Ack()})),
 			Domains:     hc.Domains(hvals),
 			Interleaved: true,
+			Symmetry:    handshake.ValueSymmetry(hc, hvals),
 		},
 		{
 			Name: "queue",
@@ -73,7 +90,8 @@ func All() []Model {
 				queue.QE("QE", queue.In, queue.Out, qcfg.ValueDomain()),
 				queue.QM("QM", qcfg.N, queue.In, queue.Out, "q", qcfg.ValueDomain()),
 			},
-			Domains: qcfg.Domains(),
+			Domains:  qcfg.Domains(),
+			Symmetry: qcfg.SingleSymmetry(),
 		},
 		{
 			Name: "doublequeue",
@@ -86,6 +104,7 @@ func All() []Model {
 			Constraints: queue.GConstraints(),
 			Domains:     qcfg.DoubleDomains(),
 			Interleaved: true,
+			Symmetry:    qcfg.DoubleSymmetry(),
 		},
 		{
 			Name: "arbiter",
@@ -98,6 +117,7 @@ func All() []Model {
 			Constraints: arbiter.GConstraints(),
 			Domains:     arbiter.Domains(),
 			Interleaved: true,
+			Symmetry:    arbiter.Symmetry(),
 		},
 		{
 			Name: "circular",
@@ -110,6 +130,7 @@ func All() []Model {
 				form.DisjointSteps([]string{"c"}, []string{"d"})),
 			Domains:     circular.Domains(),
 			Interleaved: true,
+			Symmetry:    circular.Symmetry(),
 		},
 	}
 }

@@ -1,0 +1,194 @@
+package models
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"opentla/internal/check"
+	"opentla/internal/form"
+	"opentla/internal/reduce"
+	"opentla/internal/state"
+	"opentla/internal/ts"
+)
+
+// reductionModes returns the reduction configurations to cross-check for a
+// model: POR alone always, and the symmetry combinations when the model
+// declares a group.
+func reductionModes(m Model) []reduce.Options {
+	modes := []reduce.Options{{POR: true}}
+	if m.Symmetry != nil {
+		modes = append(modes, reduce.Options{Sym: true}, reduce.Options{POR: true, Sym: true})
+	}
+	return modes
+}
+
+// reductionProbe is a safety property checked on both the full and the
+// reduced graph. symOK marks probes that are invariant under the model's
+// declared symmetry group; only those may be cross-checked on
+// symmetry-reduced graphs (a non-invariant probe is allowed to disagree,
+// so a disagreement would not witness a reduction bug).
+type reductionProbe struct {
+	name    string
+	f       form.Formula
+	visible []string
+	symOK   bool
+}
+
+// buildProbes assembles the cross-check properties for a model:
+//
+//   - boxes: the conjunction of every component's □[N]_v — holds by
+//     construction, and is group-invariant because symmetry validation
+//     checks exactly that the group permutes the component multiset.
+//   - init-pin: □(v = v₀ for every symmetry-safe variable v), pinning the
+//     state to its initial binding. Violated whenever any such variable
+//     ever changes, so it exercises the counterexample path. Variables of
+//     the value orbit are excluded (v = 0 is not invariant under value
+//     permutation); block variables stay because the models' initial
+//     bindings assign equal values across block positions.
+//   - pin-one: the init pin on a single variable, giving POR a small
+//     visible set so the ample machinery actually prunes. Not
+//     symmetry-invariant in general (it names one block position), so it
+//     runs only on POR-only graphs.
+func buildProbes(m Model, full *ts.Graph) []reductionProbe {
+	var boxes []form.Formula
+	for _, c := range m.Components {
+		boxes = append(boxes, c.Box())
+	}
+	allVars := full.States[full.Inits[0]].Vars()
+
+	orbit := make(map[string]bool)
+	if m.Symmetry != nil {
+		for _, v := range m.Symmetry.Vars {
+			orbit[v] = true
+		}
+	}
+	init := full.States[full.Inits[0]]
+	var pins []form.Expr
+	var pinVars []string
+	for _, v := range allVars {
+		if orbit[v] {
+			continue
+		}
+		pins = append(pins, form.Eq(form.Var(v), form.Const(init.MustGet(v))))
+		pinVars = append(pinVars, v)
+	}
+
+	probes := []reductionProbe{
+		{name: "boxes", f: form.AndF(boxes...), visible: allVars, symOK: true},
+		{name: "init-pin", f: form.AlwaysPred(form.And(pins...)), visible: pinVars, symOK: true},
+		{name: "pin-one", f: form.AlwaysPred(pins[0]), visible: pinVars[:1], symOK: false},
+	}
+	return probes
+}
+
+func buildModel(t *testing.T, m Model, rd *reduce.Config, workers int) *ts.Graph {
+	t.Helper()
+	sys := m.System()
+	sys.Reduce = rd
+	sys.Workers = workers
+	g, err := sys.Build()
+	if err != nil {
+		t.Fatalf("%s: build (reduce=%v): %v", m.Name, rd, err)
+	}
+	return g
+}
+
+// TestReducedVsFullRegistry is the soundness cross-check the reduction
+// mutants of internal/faultinject must fail: for every bundled model and
+// every reduction mode, the reduced graph decides the same safety verdicts
+// as the full graph, produces a counterexample exactly when the full check
+// does, and never has more states. Run with -race and -cpu 1,4.
+func TestReducedVsFullRegistry(t *testing.T) {
+	// Value symmetry collapses data-distinguishing states in these models,
+	// so sym modes must strictly shrink them; a non-shrinking "reduction"
+	// means the canonicalizer silently stopped firing.
+	strictSym := map[string]bool{"handshake": true, "queue": true, "doublequeue": true}
+
+	for _, m := range All() {
+		t.Run(m.Name, func(t *testing.T) {
+			full := buildModel(t, m, nil, 0)
+			probes := buildProbes(m, full)
+			for _, o := range reductionModes(m) {
+				for _, p := range probes {
+					if o.Sym && !p.symOK {
+						continue
+					}
+					t.Run(o.String()+"/"+p.name, func(t *testing.T) {
+						rd := &reduce.Config{Options: o, Symmetry: m.Symmetry, Visible: p.visible}
+						red := buildModel(t, m, rd, 0)
+						if len(red.States) > len(full.States) {
+							t.Errorf("reduced graph has MORE states than full: %d > %d",
+								len(red.States), len(full.States))
+						}
+						if o.Sym && strictSym[m.Name] && len(red.States) >= len(full.States) {
+							t.Errorf("value symmetry did not shrink the graph: %d >= %d states",
+								len(red.States), len(full.States))
+						}
+						fr, err := check.Safety(full, p.f)
+						if err != nil {
+							t.Fatalf("full check: %v", err)
+						}
+						rr, err := check.Safety(red, p.f)
+						if err != nil {
+							t.Fatalf("reduced check: %v", err)
+						}
+						if fr.Holds != rr.Holds {
+							t.Errorf("verdict mismatch: full holds=%v, reduced holds=%v (%s / %s)",
+								fr.Holds, rr.Holds, fr.Violation, rr.Violation)
+						}
+						if !rr.Holds && len(rr.Trace) == 0 {
+							t.Errorf("reduced check violated without a counterexample trace")
+						}
+						if !fr.Holds && len(fr.Trace) == 0 {
+							t.Errorf("full check violated without a counterexample trace")
+						}
+						t.Logf("states full=%d reduced=%d holds=%v", len(full.States), len(red.States), rr.Holds)
+					})
+				}
+			}
+		})
+	}
+}
+
+// reducedSignature renders a reduced graph's observable structure including
+// per-edge real successor states, so two builds are identical iff their
+// signatures match.
+func reducedSignature(g *ts.Graph) string {
+	var sb strings.Builder
+	for id, s := range g.States {
+		fmt.Fprintf(&sb, "%d:%s\n", id, s.Key())
+	}
+	fmt.Fprintf(&sb, "inits:%v reduced:%v\n", g.Inits, g.Reduced())
+	for id := range g.States {
+		fmt.Fprintf(&sb, "%d ->", id)
+		g.ForEachSuccStep(id, func(to int, real *state.State) bool {
+			fmt.Fprintf(&sb, " %d(%s)", to, real.Key())
+			return true
+		})
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// TestReducedBuildDeterministic extends the worker-count determinism
+// guarantee to reduced builds: canonical numbering, adjacency, AND the
+// per-edge real successors must be byte-identical at any worker count.
+func TestReducedBuildDeterministic(t *testing.T) {
+	for _, m := range All() {
+		for _, o := range reductionModes(m) {
+			t.Run(m.Name+"/"+o.String(), func(t *testing.T) {
+				mk := func(workers int) *ts.Graph {
+					rd := &reduce.Config{Options: o, Symmetry: m.Symmetry}
+					return buildModel(t, m, rd, workers)
+				}
+				want := reducedSignature(mk(1))
+				for _, workers := range []int{2, 4} {
+					if got := reducedSignature(mk(workers)); got != want {
+						t.Errorf("reduced graph at workers=%d differs from sequential", workers)
+					}
+				}
+			})
+		}
+	}
+}

@@ -79,8 +79,9 @@ type Recorder struct {
 	ring      [ringSize]Event
 	ringNext  int
 	ringCount int
-	exhausted string     // span path when the budget latched
-	cache     CacheStats // graph-cache outcome counters, fed by ObserveEvent
+	exhausted string                // span path when the budget latched
+	cache     CacheStats            // graph-cache outcome counters, fed by ObserveEvent
+	reduction engine.ReductionStats // summed across explorations, fed by ObserveReduction
 
 	// Progress gauges, written at frontier level barriers.
 	gaugeOp      atomic.Value // string: the exploration op label
@@ -232,6 +233,38 @@ func (r *Recorder) ObserveLevel(op string, level, width, workers, totalStates in
 		Msg:  fmt.Sprintf("%s: level %d, width %d, %d workers, %d states total", op, level, width, workers, totalStates),
 	})
 	r.mu.Unlock()
+}
+
+// ObserveReduction implements engine.Observer: it sums per-exploration
+// reduction statistics into the run totals and drops one flight-recorder
+// entry describing what the reduction achieved.
+func (r *Recorder) ObserveReduction(op string, s engine.ReductionStats) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.reduction.AmpleStates += s.AmpleStates
+	r.reduction.FullStates += s.FullStates
+	r.reduction.AmpleSuccs += s.AmpleSuccs
+	r.reduction.FullSuccs += s.FullSuccs
+	r.reduction.SymCollapsed += s.SymCollapsed
+	r.pushEvent(Event{
+		T:    r.now().Sub(r.start),
+		Kind: "reduce",
+		Msg: fmt.Sprintf("%s: %d ample / %d full expansions, %d sym-collapsed successors",
+			op, s.AmpleStates, s.FullStates, s.SymCollapsed),
+	})
+	r.mu.Unlock()
+}
+
+// Reduction returns the reduction statistics accumulated so far.
+func (r *Recorder) Reduction() engine.ReductionStats {
+	if r == nil {
+		return engine.ReductionStats{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.reduction
 }
 
 // Events returns the flight-recorder contents, oldest first.

@@ -343,6 +343,9 @@ func goldenReport(t *testing.T) *Report {
 	}
 	m.NoteFrontier(6)
 	r.ObserveLevel("ts.Build(demo/closure)", 0, 6, 2, 6)
+	r.ObserveReduction("ts.Build(demo/closure)", engine.ReductionStats{
+		AmpleStates: 4, FullStates: 2, AmpleSuccs: 6, FullSuccs: 9, SymCollapsed: 3,
+	})
 	endBuild()
 	endTheorem()
 	rep := r.Finish("goldentest", Config{
@@ -351,6 +354,7 @@ func goldenReport(t *testing.T) *Report {
 		K:         2,
 		Workers:   2,
 		MaxStates: 10,
+		Reduce:    "por,sym",
 	}, engine.Unknown, lastErr.Error())
 	rep.Hypotheses = append(rep.Hypotheses, Hypothesis{Name: "H1: C(E) => E_1", Holds: true})
 	rep.Vet = &VetReport{

@@ -17,8 +17,10 @@ import (
 // hit/miss/corruption and checkpoint/resume counters); version 3 added the
 // vet section (static-analysis pre-check results); version 4 added the
 // self-healing cache counters (quarantined, temp_swept, gc_removed,
-// retries) and the "stall"/"cache-*" flight-recorder event kinds.
-const SchemaVersion = 4
+// retries) and the "stall"/"cache-*" flight-recorder event kinds;
+// version 5 added the reduction section (POR/symmetry statistics), the
+// config "reduce" field, and the "reduce" flight-recorder event kind.
+const SchemaVersion = 5
 
 // Report is the versioned machine-readable run report written by -report.
 type Report struct {
@@ -42,6 +44,9 @@ type Report struct {
 	// Cache summarizes graph-cache activity, present when any counter is
 	// nonzero (i.e. a cache was configured and consulted).
 	Cache *CacheStats `json:"cache,omitempty"`
+	// Reduction summarizes state-space reduction activity (-reduce),
+	// present when any exploration reported reduction statistics.
+	Reduction *ReductionReport `json:"reduction,omitempty"`
 	// Span is the root of the phase tree; child spans carry per-phase
 	// RunStats deltas that account for the top-level Stats.
 	Span *Span `json:"span"`
@@ -60,6 +65,9 @@ type Config struct {
 	BudgetMS       int64  `json:"budget_ms"`
 	MaxStates      int    `json:"max_states"`
 	MaxTransitions int    `json:"max_transitions"`
+	// Reduce is the -reduce mode of the run ("por", "sym", "por,sym"),
+	// empty when reduction was off.
+	Reduce string `json:"reduce,omitempty"`
 }
 
 // BuildInfo identifies the binary that produced the report.
@@ -112,6 +120,22 @@ type CacheStats struct {
 
 func (c CacheStats) any() bool {
 	return c != CacheStats{}
+}
+
+// ReductionReport summarizes state-space reduction over one run, summed
+// across every exploration that ran with an active reduce.Config.
+type ReductionReport struct {
+	// AmpleStates and FullStates count expanded states by whether POR
+	// chose an ample subset or fell back to full expansion.
+	AmpleStates int64 `json:"ample_states"`
+	FullStates  int64 `json:"full_states"`
+	// AmpleSuccs and FullSuccs count the successors those expansions
+	// produced; their ratio is the POR edge-pruning factor.
+	AmpleSuccs int64 `json:"ample_succs"`
+	FullSuccs  int64 `json:"full_succs"`
+	// SymCollapsed counts successors rewritten to a distinct canonical
+	// representative by symmetry canonicalization.
+	SymCollapsed int64 `json:"sym_collapsed"`
 }
 
 // VetReport summarizes a static-analysis pre-check (package vet) inside a
@@ -229,6 +253,15 @@ func (r *Recorder) Finish(tool string, cfg Config, v engine.Verdict, unknownReas
 	rep.Stats = statsJSON(r.meter.Stats())
 	if cs := r.CacheStats(); cs.any() {
 		rep.Cache = &cs
+	}
+	if rs := r.Reduction(); rs != (engine.ReductionStats{}) {
+		rep.Reduction = &ReductionReport{
+			AmpleStates:  rs.AmpleStates,
+			FullStates:   rs.FullStates,
+			AmpleSuccs:   rs.AmpleSuccs,
+			FullSuccs:    rs.FullSuccs,
+			SymCollapsed: rs.SymCollapsed,
+		}
 	}
 	if v == engine.Unknown {
 		for _, e := range r.Events() {

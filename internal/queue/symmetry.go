@@ -1,0 +1,25 @@
+package queue
+
+import "opentla/internal/reduce"
+
+// SingleSymmetry declares the single queue's data values interchangeable:
+// QE produces arbitrary domain values and QM moves them through q without
+// inspecting them, so any permutation of the value domain is an
+// automorphism. The orbit covers the value wires and the queue contents
+// (a sequence over the domain, permuted elementwise).
+func (c Config) SingleSymmetry() *reduce.Symmetry {
+	return &reduce.Symmetry{
+		Values: c.ValueDomain(),
+		Vars:   []string{In.Val(), Out.Val(), "q"},
+	}
+}
+
+// DoubleSymmetry is SingleSymmetry for the two-queue composition of
+// Figure 7: the orbit additionally covers the internal channel's value
+// wire and both queues' contents.
+func (c Config) DoubleSymmetry() *reduce.Symmetry {
+	return &reduce.Symmetry{
+		Values: c.ValueDomain(),
+		Vars:   []string{In.Val(), Out.Val(), Mid.Val(), "q1", "q2"},
+	}
+}

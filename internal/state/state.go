@@ -84,6 +84,12 @@ func (s *State) Get(name string) (value.Value, bool) {
 	return value.Value{}, false
 }
 
+// At returns the value at binding position i in the state's sorted name
+// order — the positional dual of Get, used by compiled expression
+// evaluation (form.CompilePred) after positions are resolved once against
+// a fixed variable layout. The caller must ensure 0 <= i < Len().
+func (s *State) At(i int) value.Value { return s.bindings[i].val }
+
 // MustGet returns the value of variable name and panics if unbound. Use in
 // contexts where the variable set has been validated.
 func (s *State) MustGet(name string) value.Value {

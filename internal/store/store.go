@@ -102,6 +102,67 @@ func (st *Store) Intern(s *state.State) (Ref, bool) {
 	return ref, true
 }
 
+// noRef marks an unprocessed slot during batch interning; it can never be a
+// real Ref (a real slot index would have to exhaust the address space).
+const noRef = ^Ref(0)
+
+// InternBatch deduplicates a batch of states in one pass, filling refs and
+// added (all four slices must share the batch's length; fps is scratch for
+// the precomputed hashes). The batch is processed shard-by-shard so each
+// shard's lock is taken at most once per call instead of once per state —
+// the batched-interning path of the parallel frontier, where a state's
+// successor list lands in few shards and per-state locking dominates.
+// Semantics match len(batch) Intern calls in order: intra-batch duplicates
+// resolve to one Ref with added reported only for the first occurrence.
+func (st *Store) InternBatch(batch []*state.State, fps []uint64, refs []Ref, added []bool) {
+	for i, s := range batch {
+		fps[i] = st.hash(s)
+		refs[i] = noRef
+	}
+	newCount := 0
+	for i := range batch {
+		if refs[i] != noRef {
+			continue
+		}
+		shardIdx := fps[i] & shardMask
+		sh := &st.shards[shardIdx]
+		sh.mu.Lock()
+		for j := i; j < len(batch); j++ {
+			if refs[j] != noRef || fps[j]&shardMask != shardIdx {
+				continue
+			}
+			fp, s := fps[j], batch[j]
+			found := false
+			for _, e := range sh.buckets[fp] {
+				if e.st.Equal(s) {
+					refs[j], added[j] = e.ref, false
+					found = true
+					break
+				}
+			}
+			if !found {
+				ref := Ref(len(sh.states))<<shardBits | Ref(shardIdx)
+				sh.states = append(sh.states, s)
+				sh.buckets[fp] = append(sh.buckets[fp], entry{st: s, ref: ref})
+				refs[j], added[j] = ref, true
+				newCount++
+			}
+		}
+		sh.mu.Unlock()
+	}
+	if newCount > 0 {
+		st.count.Add(int64(newCount))
+	}
+}
+
+// Dense returns a small-integer encoding of the Ref suitable for direct
+// slice indexing: refs encode slot<<shardBits|shard, so Dense values are
+// unique per store and bounded by numShards × (largest shard's size) —
+// close to the interned-state count when fingerprints spread evenly. The
+// frontier's barrier uses this to replace its ref→final-id map with a flat
+// array.
+func (r Ref) Dense() int { return int(r) }
+
 // Lookup returns the Ref of a state equal to s, if interned.
 func (st *Store) Lookup(s *state.State) (Ref, bool) {
 	fp := st.hash(s)

@@ -31,8 +31,18 @@ type exploreParams struct {
 	// inits seeds the exploration, in a deterministic order.
 	inits []*state.State
 	// expand returns the successor states of s (duplicates allowed; the
-	// store dedups). Successor order must be deterministic in s.
-	expand func(s *state.State) ([]*state.State, error)
+	// store dedups). Successor order must be deterministic in s. The
+	// committed callback reports whether a state already has a final id
+	// (assigned at a previous level barrier) — reduction uses it for the
+	// ample-set cycle proviso; expansions that don't care may ignore it.
+	expand func(s *state.State, committed func(*state.State) bool) ([]*state.State, error)
+	// canon, when non-nil, maps every state to the canonical representative
+	// of its symmetry orbit. Seeds and successors are canonicalized before
+	// interning, so the graph holds only representatives; the real (pre-
+	// canonicalization) successor of every edge is preserved alongside the
+	// canonical target id in edgeStates, keeping each recorded edge a
+	// genuine step of the system.
+	canon func(*state.State) *state.State
 	// resume, when non-nil, restores a checkpoint: the committed states,
 	// inits, and adjacency rows are adopted verbatim (without consuming
 	// state budget — restored work was paid for by the interrupted run) and
@@ -53,6 +63,13 @@ type exploreResult struct {
 	idx     *store.Index   // state -> final id lookup for the finished graph
 	offsets []int          // CSR row offsets, len(states)+1
 	targets []int32        // CSR adjacency, offsets[i]:offsets[i+1] are i's successors
+	// edgeStates, parallel to targets, holds each edge's real successor
+	// state (nil when exploration ran without canon: the canonical target
+	// IS the real successor).
+	edgeStates []*state.State
+	// symCollapsed counts successor and seed slots redirected to a
+	// different canonical representative.
+	symCollapsed int64
 }
 
 // explore runs a level-synchronous parallel frontier BFS over the states
@@ -68,6 +85,14 @@ type exploreResult struct {
 // seed set, which no schedule can change, so the numbering depends only on
 // the graph itself. Successor lists are produced by the deterministic
 // expand callback and recorded per source state, preserving callback order.
+//
+// The mechanics are built for throughput at scale: a persistent worker pool
+// (spawned once, fed one level per round), chunked frontier claiming to keep
+// the work-index atomic off the hot path, per-worker successor ref arenas
+// reused across levels, batched store interning (one shard lock per
+// successor list, not per successor), and a flat-array ref→id table plus
+// incrementally built CSR rows so the level barrier is a sort plus two
+// array walks — no maps, no per-row allocations.
 func explore(p exploreParams) (*exploreResult, error) {
 	m := p.meter
 	workers := p.workers
@@ -77,12 +102,54 @@ func explore(p exploreParams) (*exploreResult, error) {
 
 	interned := store.New()
 	res := &exploreResult{idx: store.NewIndex()}
-	var adj [][]int32 // indexed by final id, flattened into CSR at the end
+	// Incrementally built CSR adjacency, committed one frontier row at a
+	// time at level barriers. offsets always carries the leading 0, so
+	// len(offsets)-1 is the committed row count. edgeStates (canon runs
+	// only) grows in lockstep with targets.
+	offsets := []int{0}
+	var targets []int32
+	var edgeStates []*state.State
 
-	// finals maps intern refs to final ids; written only at level barriers
-	// and by the single-threaded seeding below, read by the (sequential)
-	// edge remapping.
-	finals := make(map[store.Ref]int)
+	// committed reports whether a state's canonical representative already
+	// has a final id. The index is written only at level barriers and by
+	// the single-threaded seeding/resume paths, and read here from workers
+	// between barriers, so the probe is race-free and — because barriers
+	// are schedule-independent — deterministic at any worker count.
+	committed := func(t *state.State) bool {
+		if p.canon != nil {
+			t = p.canon(t)
+		}
+		_, ok := res.idx.Get(t)
+		return ok
+	}
+
+	// finals maps interned refs (via their dense encoding) to final ids;
+	// written only at level barriers and by the single-threaded seeding
+	// below, read by the (sequential) row remapping. A flat slice instead of
+	// a map: the barrier does one remap lookup per edge, and dense refs grow
+	// with the state count.
+	finals := make([]int32, 0, 1024)
+	ensureFinals := func(d int) {
+		if d < len(finals) {
+			return
+		}
+		n := len(finals)
+		if d >= cap(finals) {
+			grown := make([]int32, d+1, max(2*cap(finals), d+1))
+			copy(grown, finals)
+			finals = grown
+		} else {
+			finals = finals[:d+1]
+		}
+		for i := n; i <= d; i++ {
+			finals[i] = -1
+		}
+	}
+	setFinal := func(ref store.Ref, id int) {
+		d := ref.Dense()
+		ensureFinals(d)
+		finals[d] = int32(id)
+	}
 
 	// Checkpoint bookkeeping: the state count, committed row count, and next
 	// level as of the last clean barrier. ckStates < 0 means no consistent
@@ -94,7 +161,7 @@ func explore(p exploreParams) (*exploreResult, error) {
 		if p.onCheckpoint != nil && ckStates >= 0 {
 			var be *engine.BudgetError
 			if errors.As(err, &be) {
-				p.onCheckpoint(checkpointSnapshot(res, adj, ckStates, ckRows, ckLevel))
+				p.onCheckpoint(checkpointSnapshot(res, offsets, targets, edgeStates, ckStates, ckRows, ckLevel))
 			}
 		}
 		return nil, err
@@ -114,7 +181,7 @@ func explore(p exploreParams) (*exploreResult, error) {
 			id := len(res.states)
 			res.states = append(res.states, ns.st)
 			res.idx.Put(ns.st, id)
-			finals[ns.ref] = id
+			setFinal(ns.ref, id)
 		}
 		if p.limit > 0 && len(res.states) > p.limit {
 			return &engine.BudgetError{
@@ -136,20 +203,27 @@ func explore(p exploreParams) (*exploreResult, error) {
 			ref, _ := interned.Intern(s)
 			res.states = append(res.states, s)
 			res.idx.Put(s, i)
-			finals[ref] = i
+			setFinal(ref, i)
 		}
 		res.inits = append(res.inits, p.resume.Inits...)
 		rows := p.resume.Rows()
-		for i := 0; i < rows; i++ {
-			adj = append(adj, p.resume.Targets[p.resume.Offsets[i]:p.resume.Offsets[i+1]])
-		}
+		offsets = append(offsets[:1], p.resume.Offsets[1:]...)
+		targets = append(targets, p.resume.Targets...)
+		edgeStates = append(edgeStates, p.resume.EdgeStates...)
 		levelStart, level = rows, p.resume.Level
 		ckStates, ckRows, ckLevel = len(res.states), rows, level
 	} else {
-		// Seed level 0.
+		// Seed level 0 (canonical representatives when canon is active: the
+		// graph never holds a non-representative state).
 		var seedNews []newlyInterned
 		seedRefs := make([]store.Ref, 0, len(p.inits))
 		for _, s := range p.inits {
+			if p.canon != nil {
+				if c := p.canon(s); c != s {
+					res.symCollapsed++
+					s = c
+				}
+			}
 			ref, added := interned.Intern(s)
 			if added {
 				seedNews = append(seedNews, newlyInterned{ref: ref, st: s})
@@ -163,38 +237,62 @@ func explore(p exploreParams) (*exploreResult, error) {
 			return nil, err
 		}
 		for _, ref := range seedRefs {
-			res.inits = append(res.inits, finals[ref])
+			res.inits = append(res.inits, int(finals[ref.Dense()]))
 		}
 		ckStates, ckRows, ckLevel = len(res.states), 0, 0
+	}
+
+	// The level scratch persists across levels: one levelRun handed to the
+	// pool each round, per-worker arenas that keep their capacity, and a
+	// reusable merge buffer for the barrier sort.
+	lv := &levelRun{
+		params:    &p,
+		store:     interned,
+		scratch:   make([]workerScratch, workers),
+		committed: committed,
+	}
+	var merged []newlyInterned
+
+	// Persistent pool: workers 1..n-1 live for the whole exploration and
+	// receive one levelRun per round on a private channel (so each runs a
+	// level exactly once); the coordinating goroutine doubles as worker 0.
+	var feeds []chan *levelRun
+	if workers > 1 {
+		feeds = make([]chan *levelRun, workers)
+		for wid := 1; wid < workers; wid++ {
+			feeds[wid] = make(chan *levelRun)
+			go func(wid int, feed chan *levelRun) {
+				for run := range feed {
+					run.work(wid)
+					run.wg.Done()
+				}
+			}(wid, feeds[wid])
+		}
+		defer func() {
+			for wid := 1; wid < workers; wid++ {
+				close(feeds[wid])
+			}
+		}()
 	}
 
 	obs := m.Observer()
 	for levelStart < len(res.states) {
 		levelEnd := len(res.states)
-		lv := levelRun{
-			params:   &p,
-			store:    interned,
-			states:   res.states[levelStart:levelEnd],
-			succRefs: make([][]store.Ref, levelEnd-levelStart),
-			news:     make([][]newlyInterned, workers),
-		}
 		n := levelEnd - levelStart
 		w := workers
 		if w > n {
 			w = n
 		}
+		lv.begin(res.states[levelStart:levelEnd], w)
 		if w <= 1 {
 			lv.work(0)
 		} else {
-			var wg sync.WaitGroup
-			for wid := 0; wid < w; wid++ {
-				wg.Add(1)
-				go func(wid int) {
-					defer wg.Done()
-					lv.work(wid)
-				}(wid)
+			lv.wg.Add(w - 1)
+			for wid := 1; wid < w; wid++ {
+				feeds[wid] <- lv
 			}
-			wg.Wait()
+			lv.work(0)
+			lv.wg.Wait()
 		}
 		if err := lv.firstErr(); err != nil {
 			return fail(err)
@@ -202,19 +300,22 @@ func explore(p exploreParams) (*exploreResult, error) {
 
 		// Barrier: number this level's discoveries, then remap and commit
 		// the level's successor lists to final ids.
-		var merged []newlyInterned
-		for _, ws := range lv.news {
-			merged = append(merged, ws...)
+		merged = merged[:0]
+		for wid := 0; wid < w; wid++ {
+			merged = append(merged, lv.scratch[wid].news...)
 		}
 		if err := assign(merged); err != nil {
 			return fail(err)
 		}
-		for _, refs := range lv.succRefs {
-			row := make([]int32, len(refs))
-			for j, r := range refs {
-				row[j] = int32(finals[r])
+		for _, row := range lv.rows {
+			arena := lv.scratch[row.wid].arena[row.start:row.end]
+			for _, r := range arena {
+				targets = append(targets, finals[r.Dense()])
 			}
-			adj = append(adj, row)
+			if p.canon != nil {
+				edgeStates = append(edgeStates, lv.scratch[row.wid].realArena[row.start:row.end]...)
+			}
+			offsets = append(offsets, len(targets))
 		}
 		m.NoteFrontier(len(res.states) - levelEnd)
 		if obs != nil {
@@ -226,21 +327,15 @@ func explore(p exploreParams) (*exploreResult, error) {
 		level++
 		levelStart = levelEnd
 		// The barrier is complete: this is a consistent point to resume from.
-		ckStates, ckRows, ckLevel = len(res.states), len(adj), level
+		ckStates, ckRows, ckLevel = len(res.states), len(offsets)-1, level
 	}
 
-	// Finalize the compressed-sparse-row adjacency.
-	total := 0
-	for _, row := range adj {
-		total += len(row)
+	res.offsets = offsets
+	res.targets = targets
+	res.edgeStates = edgeStates
+	for wid := range lv.scratch {
+		res.symCollapsed += lv.scratch[wid].collapsed
 	}
-	res.offsets = make([]int, len(res.states)+1)
-	res.targets = make([]int32, 0, total)
-	for i, row := range adj {
-		res.offsets[i] = len(res.targets)
-		res.targets = append(res.targets, row...)
-	}
-	res.offsets[len(res.states)] = len(res.targets)
 	return res, nil
 }
 
@@ -249,23 +344,17 @@ func explore(p exploreParams) (*exploreResult, error) {
 // the first nRows adjacency rows, and the level to run next. The copy
 // detaches the snapshot from the aborted run's scratch (res.states may hold
 // partially assigned states past the barrier).
-func checkpointSnapshot(res *exploreResult, adj [][]int32, nStates, nRows, level int) *Snapshot {
+func checkpointSnapshot(res *exploreResult, offsets []int, targets []int32, edgeStates []*state.State, nStates, nRows, level int) *Snapshot {
 	snap := &Snapshot{
-		Level:  level,
-		States: append([]*state.State(nil), res.states[:nStates]...),
-		Inits:  append([]int(nil), res.inits...),
+		Level:   level,
+		States:  append([]*state.State(nil), res.states[:nStates]...),
+		Inits:   append([]int(nil), res.inits...),
+		Offsets: append([]int(nil), offsets[:nRows+1]...),
+		Targets: append([]int32(nil), targets[:offsets[nRows]]...),
 	}
-	total := 0
-	for _, row := range adj[:nRows] {
-		total += len(row)
+	if edgeStates != nil {
+		snap.EdgeStates = append([]*state.State(nil), edgeStates[:offsets[nRows]]...)
 	}
-	snap.Offsets = make([]int, nRows+1)
-	snap.Targets = make([]int32, 0, total)
-	for i, row := range adj[:nRows] {
-		snap.Offsets[i] = len(snap.Targets)
-		snap.Targets = append(snap.Targets, row...)
-	}
-	snap.Offsets[nRows] = len(snap.Targets)
 	return snap
 }
 
@@ -276,18 +365,78 @@ type newlyInterned struct {
 	st  *state.State
 }
 
-// levelRun is the shared scratch of one level's worker pool.
+// refRow locates one frontier state's successor refs inside its expanding
+// worker's arena.
+type refRow struct {
+	wid        int32
+	start, end int32
+}
+
+// workerScratch is one worker's private level scratch, reused across levels
+// so steady-state expansion allocates only for genuinely new states. arena
+// accumulates the successor refs of every state the worker expanded this
+// level (rows index into it); news collects first-interned states for the
+// barrier; fps/refs/added are the InternBatch scratch.
+type workerScratch struct {
+	arena []store.Ref
+	news  []newlyInterned
+	fps   []uint64
+	refs  []store.Ref
+	added []bool
+	// realArena mirrors arena positionally with each successor's real
+	// (pre-canonicalization) state; populated only when canon is active.
+	realArena []*state.State
+	// canonBuf is the per-expansion scratch for canonicalized successors.
+	canonBuf []*state.State
+	// collapsed counts successors whose canonical representative differed,
+	// accumulated across levels and summed once exploration finishes.
+	collapsed int64
+}
+
+// levelRun is the shared scratch of one level's worker pool, reused across
+// levels (see begin).
 type levelRun struct {
-	params   *exploreParams
-	store    *store.Store
-	states   []*state.State    // the frontier (current level), final-id order
-	succRefs [][]store.Ref     // per frontier index: successor intern refs
-	news     [][]newlyInterned // per worker: states first interned this level
+	params  *exploreParams
+	store   *store.Store
+	states  []*state.State // the frontier (current level), final-id order
+	rows    []refRow       // per frontier index: where its successor refs live
+	scratch []workerScratch
+	// committed is explore's barrier-granularity membership probe, handed to
+	// every expand call (see exploreParams.expand).
+	committed func(*state.State) bool
+	chunk     int64 // frontier indices claimed per atomic increment
 
 	next atomic.Int64 // frontier work index
 	stop atomic.Bool
+	wg   sync.WaitGroup
 	mu   sync.Mutex
 	err  error
+}
+
+// begin readies the scratch for one level over the given frontier slice.
+func (lv *levelRun) begin(states []*state.State, w int) {
+	lv.states = states
+	if cap(lv.rows) < len(states) {
+		lv.rows = make([]refRow, len(states))
+	}
+	lv.rows = lv.rows[:len(states)]
+	for wid := range lv.scratch {
+		ws := &lv.scratch[wid]
+		ws.arena = ws.arena[:0]
+		ws.news = ws.news[:0]
+		ws.realArena = ws.realArena[:0]
+	}
+	// Chunk so each worker claims ~8 batches per level: big enough to keep
+	// the shared counter cold, small enough to balance uneven expansions.
+	chunk := int64(len(states) / (8 * w))
+	if chunk < 1 {
+		chunk = 1
+	} else if chunk > 64 {
+		chunk = 64
+	}
+	lv.chunk = chunk
+	lv.next.Store(0)
+	lv.stop.Store(false)
 }
 
 func (lv *levelRun) setErr(err error) {
@@ -305,12 +454,13 @@ func (lv *levelRun) firstErr() error {
 	return lv.err
 }
 
-// work drains frontier indices until the level (or the budget) is
-// exhausted. Panics in the expand callback are contained as
-// *engine.EngineError carrying the fingerprint of the state being expanded.
+// work drains frontier chunks until the level (or the budget) is exhausted.
+// Panics in the expand callback are contained as *engine.EngineError
+// carrying the fingerprint of the state being expanded.
 func (lv *levelRun) work(wid int) {
 	p := lv.params
 	m := p.meter
+	ws := &lv.scratch[wid]
 	var cur *state.State
 	var perr error
 	defer func() {
@@ -325,28 +475,63 @@ func (lv *levelRun) work(wid int) {
 		return "", ""
 	})
 	for {
-		if lv.stop.Load() {
+		start := int(lv.next.Add(lv.chunk)) - int(lv.chunk)
+		if start >= len(lv.states) {
 			return
 		}
-		i := int(lv.next.Add(1)) - 1
-		if i >= len(lv.states) {
-			return
+		end := start + int(lv.chunk)
+		if end > len(lv.states) {
+			end = len(lv.states)
 		}
-		cur = lv.states[i]
-		if err := m.Tick(); err != nil {
-			lv.setErr(err)
-			return
-		}
-		succs, err := p.expand(cur)
-		if err != nil {
-			lv.setErr(err)
-			return
-		}
-		refs := make([]store.Ref, len(succs))
-		for j, t := range succs {
-			ref, added := lv.store.Intern(t)
-			if added {
-				lv.news[wid] = append(lv.news[wid], newlyInterned{ref: ref, st: t})
+		for i := start; i < end; i++ {
+			if lv.stop.Load() {
+				return
+			}
+			cur = lv.states[i]
+			if err := m.Tick(); err != nil {
+				lv.setErr(err)
+				return
+			}
+			succs, err := p.expand(cur, lv.committed)
+			if err != nil {
+				lv.setErr(err)
+				return
+			}
+			// Under canonicalization the graph interns representatives only;
+			// the real successors land in realArena, positionally aligned with
+			// arena so the barrier can zip ⟨canonical id, real state⟩ per edge.
+			interning := succs
+			if p.canon != nil {
+				if cap(ws.canonBuf) < len(succs) {
+					ws.canonBuf = make([]*state.State, len(succs))
+				}
+				cb := ws.canonBuf[:len(succs)]
+				for j, t := range succs {
+					c := p.canon(t)
+					if c != t {
+						ws.collapsed++
+					}
+					cb[j] = c
+				}
+				ws.realArena = append(ws.realArena, succs...)
+				interning = cb
+			}
+			if cap(ws.refs) < len(succs) {
+				ws.refs = make([]store.Ref, len(succs))
+				ws.fps = make([]uint64, len(succs))
+				ws.added = make([]bool, len(succs))
+			}
+			refs := ws.refs[:len(succs)]
+			added := ws.added[:len(succs)]
+			lv.store.InternBatch(interning, ws.fps[:len(succs)], refs, added)
+			rowStart := len(ws.arena)
+			ws.arena = append(ws.arena, refs...)
+			lv.rows[i] = refRow{wid: int32(wid), start: int32(rowStart), end: int32(len(ws.arena))}
+			for j, isNew := range added {
+				if !isNew {
+					continue
+				}
+				ws.news = append(ws.news, newlyInterned{ref: refs[j], st: interning[j]})
 				if err := m.AddState(); err != nil {
 					lv.setErr(err)
 					return
@@ -359,12 +544,10 @@ func (lv *levelRun) work(wid int) {
 					return
 				}
 			}
-			refs[j] = ref
-		}
-		lv.succRefs[i] = refs
-		if err := m.AddTransitions(len(succs)); err != nil {
-			lv.setErr(err)
-			return
+			if err := m.AddTransitions(len(succs)); err != nil {
+				lv.setErr(err)
+				return
+			}
 		}
 	}
 }

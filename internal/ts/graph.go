@@ -6,6 +6,7 @@ import (
 	"opentla/internal/engine"
 	"opentla/internal/form"
 	"opentla/internal/obs"
+	"opentla/internal/reduce"
 	"opentla/internal/state"
 	"opentla/internal/store"
 )
@@ -29,7 +30,21 @@ type Graph struct {
 	targets []int32
 	idx     *store.Index
 	meter   *engine.Meter
+
+	// Reduction bookkeeping. A reduced graph's States are canonical orbit
+	// representatives and its adjacency may omit interleavings; edgeStates
+	// (parallel to targets, symmetry builds only) preserves each edge's real
+	// successor so checks can iterate genuine steps via ForEachSuccStep.
+	// canon maps any state to its representative (nil when symmetry is off).
+	edgeStates []*state.State
+	reduced    bool
+	canon      func(*state.State) *state.State
 }
+
+// Reduced reports whether the graph was built under state-space reduction
+// (POR and/or symmetry). Reduced graphs preserve all safety verdicts over
+// the visible variables but are unsuitable for fairness/liveness analysis.
+func (g *Graph) Reduced() bool { return g.reduced }
 
 // Meter returns the resource meter governing this graph and every check run
 // over it. Graphs built without an explicit budget get an unlimited meter.
@@ -64,13 +79,26 @@ func (sys *System) BuildWith(m *engine.Meter) (*Graph, error) {
 		return nil, err
 	}
 
+	// Reduction setup precedes the cache probe: an invalid symmetry
+	// declaration is a configuration error regardless of cache state, and
+	// the canonicalizer is needed to reconstruct a cached reduced graph.
+	rd := sys.Reduce
+	var canon func(*state.State) *state.State
+	if rd.SymActive() {
+		if err := rd.Symmetry.Validate(sys.Components, sys.reduceSteps(), sys.reduceInits(), sys.Domains); err != nil {
+			return nil, fmt.Errorf("system %s: symmetry declaration rejected: %w", sys.Name, err)
+		}
+		canon = rd.Canonicalizer().Canon
+	}
+
 	// Cache consultation happens before compiling or enumerating anything: a
 	// warm hit skips graph construction entirely. A corrupt entry degrades
-	// to a cold build, never to a wrong graph.
+	// to a cold build, never to a wrong graph. (CanonicalDesc embeds the
+	// reduction configuration, so reduced and full graphs never collide.)
 	desc, resume := sys.cacheSetup(m)
 	if desc != "" {
 		if snap := cacheLoad(sys.Cache, m, desc); snap != nil {
-			return graphFromSnapshot(sys, sys.Ctx(), m, snap), nil
+			return graphFromSnapshot(sys, sys.Ctx(), m, snap, canon), nil
 		}
 	}
 
@@ -79,6 +107,23 @@ func (sys *System) BuildWith(m *engine.Meter) (*Graph, error) {
 		return nil, err
 	}
 	free := sys.FreeVars()
+
+	var plan *reduce.PORPlan
+	var rc *reductionCounters
+	if rd.Active() {
+		rc = &reductionCounters{}
+		if rd.POR {
+			var reason string
+			plan, reason = reduce.NewPORPlan(sys.Components, sys.reduceSteps(), free, rd.Visible, rd.Sabotage)
+			if plan == nil {
+				m.Note("reduce", fmt.Sprintf("%s: POR disabled: %s", sys.Name, reason))
+			} else {
+				m.Note("reduce", fmt.Sprintf("%s: %s", sys.Name, reduce.DescribePlan(plan)))
+			}
+		}
+	}
+	skipC3 := rd != nil && rd.Sabotage != nil && rd.Sabotage.SkipC3
+
 	var inits []*state.State
 	if resume == nil {
 		inits, err = sys.initialStates(m)
@@ -89,31 +134,48 @@ func (sys *System) BuildWith(m *engine.Meter) (*Graph, error) {
 			return nil, fmt.Errorf("system %s: no initial states", sys.Name)
 		}
 	}
+	op := "ts.Build(" + sys.Name + ")"
 	res, err := explore(exploreParams{
-		op:        "ts.Build(" + sys.Name + ")",
+		op:        op,
 		workers:   sys.Workers,
 		limit:     sys.maxStates(),
 		limitName: "system " + sys.Name,
 		meter:     m,
 		inits:     inits,
-		expand: func(s *state.State) ([]*state.State, error) {
-			return sys.successors(compiled, free, s)
+		expand: func(s *state.State, committed func(*state.State) bool) ([]*state.State, error) {
+			if plan != nil {
+				return sys.ampleSuccessors(compiled, free, plan, skipC3, s, committed, rc)
+			}
+			succs, serr := sys.successors(compiled, free, s)
+			if serr == nil && rc != nil {
+				rc.fullStates.Add(1)
+				rc.fullSuccs.Add(int64(len(succs)))
+			}
+			return succs, serr
 		},
+		canon:        canon,
 		resume:       resume,
 		onCheckpoint: checkpointSaver(sys.Cache, m, desc),
 	})
 	if err != nil {
 		return nil, err
 	}
+	if rc != nil {
+		rc.symCollapsed.Add(res.symCollapsed)
+		m.NoteReduction(op, rc.stats())
+	}
 	g := &Graph{
-		Sys:     sys,
-		Ctx:     sys.Ctx(),
-		States:  res.states,
-		Inits:   res.inits,
-		offsets: res.offsets,
-		targets: res.targets,
-		idx:     res.idx,
-		meter:   m,
+		Sys:        sys,
+		Ctx:        sys.Ctx(),
+		States:     res.states,
+		Inits:      res.inits,
+		offsets:    res.offsets,
+		targets:    res.targets,
+		edgeStates: res.edgeStates,
+		idx:        res.idx,
+		meter:      m,
+		reduced:    rd.Active(),
+		canon:      canon,
 	}
 	cacheStore(sys.Cache, m, desc, g)
 	return g, nil
@@ -212,6 +274,39 @@ func (g *Graph) ForEachSucc(from int, f func(to int) bool) bool {
 		}
 	}
 	return true
+}
+
+// ForEachSuccStep calls f for every successor edge of from with the
+// canonical target id and the edge's REAL successor state, in adjacency
+// order, stopping early if f returns false; it reports whether the iteration
+// ran to completion. On an unreduced graph the real successor is simply
+// States[to]; on a symmetry-reduced graph it is the genuine post-state of
+// the step from States[from] (whose canonical representative is States[to]),
+// so ⟨States[from], real⟩ is always a step the system can actually take —
+// the iteration surface safety checks must use to stay false-alarm-free.
+func (g *Graph) ForEachSuccStep(from int, f func(to int, real *state.State) bool) bool {
+	lo, hi := g.offsets[from], g.offsets[from+1]
+	for k := lo; k < hi; k++ {
+		to := int(g.targets[k])
+		real := g.States[to]
+		if len(g.edgeStates) > 0 && g.edgeStates[k] != nil {
+			real = g.edgeStates[k]
+		}
+		if !f(to, real) {
+			return false
+		}
+	}
+	return true
+}
+
+// ForEachEdgeStep calls f for every edge with its real successor state (see
+// ForEachSuccStep), stopping early if f returns false.
+func (g *Graph) ForEachEdgeStep(f func(from, to int, real *state.State) bool) {
+	for from := 0; from < len(g.States); from++ {
+		if !g.ForEachSuccStep(from, func(to int, real *state.State) bool { return f(from, to, real) }) {
+			return
+		}
+	}
 }
 
 // ID returns the identifier of a state, or -1 if unreachable.

@@ -62,6 +62,14 @@ func Product(g *Graph, mons []*Monitor) (p *Graph, err error) {
 		domains[m.Var] = m.Domain
 	}
 
+	// When the base graph was built under symmetry, the product inherits the
+	// reduction: product states are canonicalized on their base part (monitor
+	// values ride along unchanged), and every product edge records its real
+	// successor. Monitors always evaluate on genuine base steps — the base
+	// edge's real successor — never on representative-to-representative
+	// pseudo-steps.
+	pcanon := productCanon(g, mons)
+
 	// Products are cached like base graphs, keyed by the base system's
 	// description extended with the monitors' semantic descriptions. A
 	// monitor without a Desc disables caching for this product.
@@ -71,7 +79,7 @@ func Product(g *Graph, mons []*Monitor) (p *Graph, err error) {
 		if d, ok := productDesc(g.Sys, mons); ok {
 			desc = d
 			if snap := cacheLoad(g.Sys.Cache, meter, desc); snap != nil {
-				return graphFromSnapshot(g.Sys, form.NewCtx(domains), meter, snap), nil
+				return graphFromSnapshot(g.Sys, form.NewCtx(domains), meter, snap, pcanon), nil
 			}
 			if g.Sys.Resume {
 				snap, lerr := g.Sys.Cache.LoadCheckpoint(desc)
@@ -118,7 +126,7 @@ func Product(g *Graph, mons []*Monitor) (p *Graph, err error) {
 		limitName: "monitor product",
 		meter:     meter,
 		inits:     inits,
-		expand: func(cur *state.State) ([]*state.State, error) {
+		expand: func(cur *state.State, _ func(*state.State) bool) ([]*state.State, error) {
 			base := BaseState(cur, mons)
 			bid := g.ID(base)
 			if bid < 0 {
@@ -126,15 +134,15 @@ func Product(g *Graph, mons []*Monitor) (p *Graph, err error) {
 			}
 			var out []*state.State
 			var expErr error
-			g.ForEachSucc(bid, func(tbid int) bool {
-				baseStep := state.Step{From: g.States[bid], To: g.States[tbid]}
+			g.ForEachSuccStep(bid, func(tbid int, real *state.State) bool {
+				baseStep := state.Step{From: g.States[bid], To: real}
 				combos, cerr := monitorStepCombos(mons, baseStep, cur)
 				if cerr != nil {
 					expErr = cerr
 					return false
 				}
 				for _, combo := range combos {
-					out = append(out, g.States[tbid].WithAll(combo))
+					out = append(out, real.WithAll(combo))
 				}
 				return true
 			})
@@ -143,24 +151,60 @@ func Product(g *Graph, mons []*Monitor) (p *Graph, err error) {
 			}
 			return out, nil
 		},
+		canon:        pcanon,
 		resume:       resumeSnap,
 		onCheckpoint: checkpointSaver(g.Sys.Cache, meter, desc),
 	})
 	if err != nil {
 		return nil, err
 	}
+	if pcanon != nil && res.symCollapsed > 0 {
+		meter.NoteReduction("ts.Product", engine.ReductionStats{SymCollapsed: res.symCollapsed})
+	}
 	prod := &Graph{
-		Sys:     g.Sys,
-		Ctx:     form.NewCtx(domains),
-		States:  res.states,
-		Inits:   res.inits,
-		offsets: res.offsets,
-		targets: res.targets,
-		idx:     res.idx,
-		meter:   meter,
+		Sys:        g.Sys,
+		Ctx:        form.NewCtx(domains),
+		States:     res.states,
+		Inits:      res.inits,
+		offsets:    res.offsets,
+		targets:    res.targets,
+		edgeStates: res.edgeStates,
+		idx:        res.idx,
+		meter:      meter,
+		reduced:    g.reduced,
+		canon:      pcanon,
 	}
 	cacheStore(g.Sys.Cache, meter, desc, prod)
 	return prod, nil
+}
+
+// productCanon lifts the base graph's symmetry canonicalizer to product
+// states: the base part is canonicalized, the monitor bindings ride along
+// unchanged. Returns nil when the base graph has no canonicalizer. Like
+// every canon function, it returns its argument pointer when the state is
+// already canonical.
+func productCanon(g *Graph, mons []*Monitor) func(*state.State) *state.State {
+	if g.canon == nil {
+		return nil
+	}
+	names := make([]string, len(mons))
+	for i, m := range mons {
+		names[i] = m.Var
+	}
+	return func(s *state.State) *state.State {
+		base := s.Drop(names)
+		c := g.canon(base)
+		if c == base {
+			return s
+		}
+		binds := make(map[string]value.Value, len(names))
+		for _, n := range names {
+			if v, ok := s.Get(n); ok {
+				binds[n] = v
+			}
+		}
+		return c.WithAll(binds)
+	}
 }
 
 // BaseState strips monitor variables from a product state.
@@ -262,15 +306,26 @@ func monitorDesc(kind string, init form.Expr, squares []form.Expr, v form.Expr, 
 // actually violated (no early death) — the right semantics for tracking
 // closure death indices.
 func SafetyMonitor(varName string, init form.Expr, squares []form.Expr, strict bool) *Monitor {
+	// The squares are evaluated once per product edge per monitor value;
+	// lazily compiled predicates (layout learned from the first step) keep
+	// that hot path positional and allocation-free.
+	sqPreds := make([]form.CompiledPred, len(squares))
+	for i, sq := range squares {
+		sqPreds[i] = form.LazyPred(sq)
+	}
+	var initPred form.CompiledPred
+	if init != nil {
+		initPred = form.LazyPred(init)
+	}
 	return &Monitor{
 		Var:    varName,
 		Domain: value.Bools(),
 		Desc:   monitorDesc("safety", init, squares, nil, strict),
 		Init: func(s *state.State) ([]value.Value, error) {
 			ok := true
-			if init != nil {
+			if initPred != nil {
 				var err error
-				ok, err = form.EvalStateBool(init, s)
+				ok, err = initPred(state.Step{From: s})
 				if err != nil {
 					return nil, err
 				}
@@ -286,8 +341,8 @@ func SafetyMonitor(varName string, init form.Expr, squares []form.Expr, strict b
 				return []value.Value{value.False}, nil
 			}
 			ok := true
-			for _, sq := range squares {
-				good, err := form.EvalBool(sq, st, nil)
+			for _, sq := range sqPreds {
+				good, err := sq(st)
 				if err != nil {
 					return nil, err
 				}
@@ -313,16 +368,24 @@ func SafetyMonitor(varName string, init form.Expr, squares []form.Expr, strict b
 // change. Edges violating the frozen-v requirement in the FALSE state are
 // pruned from the product.
 func PlusMonitor(varName string, init form.Expr, squares []form.Expr, v form.Expr) *Monitor {
-	unchanged := form.UnchangedExpr(v)
+	unchanged := form.LazyPred(form.UnchangedExpr(v))
+	sqPreds := make([]form.CompiledPred, len(squares))
+	for i, sq := range squares {
+		sqPreds[i] = form.LazyPred(sq)
+	}
+	var initPred form.CompiledPred
+	if init != nil {
+		initPred = form.LazyPred(init)
+	}
 	return &Monitor{
 		Var:    varName,
 		Domain: value.Bools(),
 		Desc:   monitorDesc("plus", init, squares, v, false),
 		Init: func(s *state.State) ([]value.Value, error) {
 			ok := true
-			if init != nil {
+			if initPred != nil {
 				var err error
-				ok, err = form.EvalStateBool(init, s)
+				ok, err = initPred(state.Step{From: s})
 				if err != nil {
 					return nil, err
 				}
@@ -336,7 +399,7 @@ func PlusMonitor(varName string, init form.Expr, squares []form.Expr, v form.Exp
 		Step: func(st state.Step, cur value.Value) ([]value.Value, error) {
 			alive, _ := cur.AsBool()
 			if !alive {
-				frozen, err := form.EvalBool(unchanged, st, nil)
+				frozen, err := unchanged(st)
 				if err != nil {
 					return nil, err
 				}
@@ -346,8 +409,8 @@ func PlusMonitor(varName string, init form.Expr, squares []form.Expr, v form.Exp
 				return nil, nil // v changed after freezing: edge disallowed
 			}
 			ok := true
-			for _, sq := range squares {
-				good, err := form.EvalBool(sq, st, nil)
+			for _, sq := range sqPreds {
+				good, err := sq(st)
 				if err != nil {
 					return nil, err
 				}

@@ -1,6 +1,7 @@
 package ts
 
 import (
+	"fmt"
 	"strings"
 	"sync"
 	"testing"
@@ -36,6 +37,12 @@ func (o *levelObserver) ObserveLevel(op string, level, width, workers, totalStat
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	o.levels = append(o.levels, levelRecord{op, level, width, workers, totalStates})
+}
+
+func (o *levelObserver) ObserveReduction(op string, s engine.ReductionStats) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.events = append(o.events, fmt.Sprintf("reduce: %s %+v", op, s))
 }
 
 // TestExploreReportsLevels verifies that graph exploration emits one

@@ -36,6 +36,11 @@ type Snapshot struct {
 	// >= len(Offsets)-1 are the pending frontier.
 	Offsets []int
 	Targets []int32
+	// EdgeStates, when non-empty, is parallel to Targets and holds each
+	// edge's real (pre-canonicalization) successor state; present only for
+	// graphs built under symmetry reduction. Empty means every edge's real
+	// successor IS the target state.
+	EdgeStates []*state.State
 }
 
 // Rows returns the number of committed adjacency rows.
@@ -65,26 +70,34 @@ type GraphCache interface {
 // returned value aliases the graph's slices; treat it as read-only.
 func (g *Graph) Snapshot() *Snapshot {
 	return &Snapshot{
-		Complete: true,
-		States:   g.States,
-		Inits:    g.Inits,
-		Offsets:  g.offsets,
-		Targets:  g.targets,
+		Complete:   true,
+		States:     g.States,
+		Inits:      g.Inits,
+		Offsets:    g.offsets,
+		Targets:    g.targets,
+		EdgeStates: g.edgeStates,
 	}
 }
 
 // graphFromSnapshot reconstructs a graph from a complete snapshot, rebuilding
-// the fingerprint index from the state list.
-func graphFromSnapshot(sys *System, ctx *form.Ctx, m *engine.Meter, snap *Snapshot) *Graph {
+// the fingerprint index from the state list. canon is the canonicalizer of
+// the reconstructing configuration (nil when symmetry is off); the reduced
+// flag follows the configuration, not the snapshot — the cache key embeds the
+// reduction description, so a snapshot is only ever loaded by a matching
+// configuration.
+func graphFromSnapshot(sys *System, ctx *form.Ctx, m *engine.Meter, snap *Snapshot, canon func(*state.State) *state.State) *Graph {
 	return &Graph{
-		Sys:     sys,
-		Ctx:     ctx,
-		States:  snap.States,
-		Inits:   snap.Inits,
-		offsets: snap.Offsets,
-		targets: snap.Targets,
-		idx:     store.NewIndexFrom(snap.States),
-		meter:   m,
+		Sys:        sys,
+		Ctx:        ctx,
+		States:     snap.States,
+		Inits:      snap.Inits,
+		offsets:    snap.Offsets,
+		targets:    snap.Targets,
+		edgeStates: snap.EdgeStates,
+		idx:        store.NewIndexFrom(snap.States),
+		meter:      m,
+		reduced:    sys.Reduce.Active(),
+		canon:      canon,
 	}
 }
 
@@ -116,6 +129,9 @@ func validSnapshot(snap *Snapshot, wantComplete bool) bool {
 		}
 	}
 	if snap.Offsets[len(snap.Offsets)-1] != len(snap.Targets) {
+		return false
+	}
+	if len(snap.EdgeStates) != 0 && len(snap.EdgeStates) != len(snap.Targets) {
 		return false
 	}
 	for _, t := range snap.Targets {
@@ -210,6 +226,11 @@ func (sys *System) CanonicalDesc() (string, bool) {
 		writeExpr(&sb, ic)
 		sb.WriteByte('\n')
 	}
+	// Reduction changes the constructed graph (representative states, ample
+	// edges), so an active configuration must key differently from the full
+	// build — and from any other reduction configuration. An inactive config
+	// contributes nothing, keeping pre-reduction cache keys stable.
+	sb.WriteString(sys.Reduce.Desc())
 	return sb.String(), true
 }
 

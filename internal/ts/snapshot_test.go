@@ -349,7 +349,7 @@ func TestSnapshotRoundTripThroughGraph(t *testing.T) {
 	if !validSnapshot(snap, true) {
 		t.Fatal("graph snapshot fails validation")
 	}
-	g2 := graphFromSnapshot(sys, sys.Ctx(), engine.NoLimit(), snap)
+	g2 := graphFromSnapshot(sys, sys.Ctx(), engine.NoLimit(), snap, nil)
 	if signature(g2) != signature(g) {
 		t.Error("reconstructed graph differs")
 	}
@@ -369,8 +369,9 @@ func TestCheckpointSnapshotCopiesCommittedPrefix(t *testing.T) {
 		},
 		inits: []int{0},
 	}
-	adj := [][]int32{{0, 1}, {1, 2}}
-	snap := checkpointSnapshot(res, adj, 2, 1, 1)
+	offsets := []int{0, 2, 4}
+	targets := []int32{0, 1, 1, 2}
+	snap := checkpointSnapshot(res, offsets, targets, nil, 2, 1, 1)
 	if snap.Complete {
 		t.Error("checkpoint marked complete")
 	}

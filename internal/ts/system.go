@@ -14,9 +14,11 @@ package ts
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"opentla/internal/engine"
 	"opentla/internal/form"
+	"opentla/internal/reduce"
 	"opentla/internal/spec"
 	"opentla/internal/state"
 	"opentla/internal/store"
@@ -54,6 +56,33 @@ type System struct {
 	// an earlier budget-exhausted run and continues the exploration from its
 	// last completed level instead of restarting.
 	Resume bool
+	// Reduce, when non-nil with enabled options, requests state-space
+	// reduction: symmetry canonicalization and/or ample-set partial-order
+	// reduction (see internal/reduce). An invalid symmetry declaration is a
+	// BuildWith error — at this level the declaration is the user's claim
+	// and a wrong claim must fail loudly, not silently explore less.
+	// Liveness checks refuse reduced graphs (see check.FindFairLasso);
+	// safety checks must iterate real steps via ForEachSuccStep.
+	Reduce *reduce.Config
+}
+
+// reduceSteps converts the step constraints to the reduce package's named
+// expressions (shared by symmetry validation and the POR planner).
+func (sys *System) reduceSteps() []reduce.NamedExpr {
+	out := make([]reduce.NamedExpr, 0, len(sys.Constraints))
+	for _, sc := range sys.Constraints {
+		out = append(out, reduce.NamedExpr{Name: sc.Name, E: sc.Action})
+	}
+	return out
+}
+
+// reduceInits converts the init constraints to named expressions.
+func (sys *System) reduceInits() []reduce.NamedExpr {
+	out := make([]reduce.NamedExpr, 0, len(sys.InitConstraints))
+	for i, ic := range sys.InitConstraints {
+		out = append(out, reduce.NamedExpr{Name: fmt.Sprintf("init-%d", i), E: ic})
+	}
+	return out
 }
 
 // Vars returns the sorted union of all variables of the system.
@@ -145,6 +174,7 @@ type compiledComponent struct {
 type compiledAction struct {
 	name   string
 	def    form.Expr
+	pred   form.CompiledPred // def compiled against the system layout
 	exec   spec.ExecFunc
 	primed []string // primed variables of def, for free-dependence analysis
 }
@@ -155,6 +185,7 @@ type compiledAction struct {
 type compiledConstraint struct {
 	name   string
 	action form.Expr
+	pred   form.CompiledPred // action compiled against the system layout
 	primed []string
 }
 
@@ -167,11 +198,18 @@ type compiledSystem struct {
 }
 
 func (sys *System) compile() (*compiledSystem, error) {
+	// All states of a system bind exactly sys.Vars(); compiling every
+	// declarative definition against that layout once moves variable
+	// resolution and stutter-equality checks out of the per-candidate loop.
+	layout := sys.Vars()
 	cs := &compiledSystem{comps: make([]compiledComponent, len(sys.Components))}
 	for i, c := range sys.Components {
 		cc := compiledComponent{comp: c, owned: c.Owned()}
 		for _, a := range c.Actions {
 			ca := compiledAction{name: a.Name, def: a.Def, exec: a.Exec, primed: form.PrimedVars(a.Def)}
+			if a.Def != nil {
+				ca.pred = form.CompilePred(a.Def, layout)
+			}
 			if ca.exec == nil {
 				n, err := updateSpaceSize(cc.owned, sys.Domains)
 				if err != nil {
@@ -188,7 +226,8 @@ func (sys *System) compile() (*compiledSystem, error) {
 	}
 	for _, sc := range sys.Constraints {
 		cs.constraints = append(cs.constraints, compiledConstraint{
-			name: sc.Name, action: sc.Action, primed: form.PrimedVars(sc.Action),
+			name: sc.Name, action: sc.Action, pred: form.CompilePred(sc.Action, layout),
+			primed: form.PrimedVars(sc.Action),
 		})
 	}
 	return cs, nil
@@ -237,6 +276,12 @@ func (sys *System) initialStates(m *engine.Meter) ([]*state.State, error) {
 		}
 	}
 	preds = append(preds, sys.InitConstraints...)
+	// The enumeration can visit millions of assignments; compiled predicates
+	// keep the per-assignment cost to positional reads.
+	compiled := make([]form.CompiledPred, len(preds))
+	for i, p := range preds {
+		compiled[i] = form.CompilePred(p, vars)
+	}
 	var out []*state.State
 	var evalErr error
 	value.ForEachAssignment(vars, sys.Domains, func(a map[string]value.Value) bool {
@@ -245,10 +290,10 @@ func (sys *System) initialStates(m *engine.Meter) ([]*state.State, error) {
 			return false
 		}
 		s := state.New(a)
-		for _, p := range preds {
-			ok, err := form.EvalStateBool(p, s)
+		for i, p := range compiled {
+			ok, err := p(state.Step{From: s})
 			if err != nil {
-				evalErr = fmt.Errorf("system %s: evaluating Init %s on %s: %w", sys.Name, p, s, err)
+				evalErr = fmt.Errorf("system %s: evaluating Init %s on %s: %w", sys.Name, preds[i], s, err)
 				return false
 			}
 			if !ok {
@@ -400,8 +445,14 @@ func (sys *System) successors(cs *compiledSystem, free []string, s *state.State)
 		freeDoms[i] = sys.Domains[v]
 	}
 
-	evalOn := func(kind, name string, e form.Expr, st state.Step) (bool, error) {
-		ok, err := form.EvalBool(e, st, nil)
+	evalOn := func(kind, name string, pred form.CompiledPred, e form.Expr, st state.Step) (bool, error) {
+		var ok bool
+		var err error
+		if pred != nil {
+			ok, err = pred(st)
+		} else {
+			ok, err = form.EvalBool(e, st, nil)
+		}
 		if err != nil {
 			return false, fmt.Errorf("system %s: %s %s on %s: %w", sys.Name, kind, name, st, err)
 		}
@@ -463,7 +514,7 @@ func (sys *System) successors(cs *compiledSystem, free []string, s *state.State)
 						if ch.defFreeDep {
 							continue
 						}
-						ok, err := evalOn("action", ch.action.name, ch.action.def, st)
+						ok, err := evalOn("action", ch.action.name, ch.action.pred, ch.action.def, st)
 						if err != nil {
 							return nil, err
 						}
@@ -474,7 +525,7 @@ func (sys *System) successors(cs *compiledSystem, free []string, s *state.State)
 					}
 					if valid {
 						for _, c := range consIndep {
-							ok, err := evalOn("constraint", c.name, c.action, st)
+							ok, err := evalOn("constraint", c.name, c.pred, c.action, st)
 							if err != nil {
 								return nil, err
 							}
@@ -498,7 +549,7 @@ func (sys *System) successors(cs *compiledSystem, free []string, s *state.State)
 						if !ch.defFreeDep {
 							continue
 						}
-						ok, err := evalOn("action", ch.action.name, ch.action.def, st)
+						ok, err := evalOn("action", ch.action.name, ch.action.pred, ch.action.def, st)
 						if err != nil {
 							return nil, err
 						}
@@ -509,7 +560,7 @@ func (sys *System) successors(cs *compiledSystem, free []string, s *state.State)
 					}
 					if valid {
 						for _, c := range consDep {
-							ok, err := evalOn("constraint", c.name, c.action, st)
+							ok, err := evalOn("constraint", c.name, c.pred, c.action, st)
 							if err != nil {
 								return nil, err
 							}
@@ -547,6 +598,121 @@ func (sys *System) successors(cs *compiledSystem, free []string, s *state.State)
 		}
 	}
 	return out, nil
+}
+
+// reductionCounters accumulates reduction statistics across concurrent
+// expansion workers; BuildWith reports them once per exploration via
+// Meter.NoteReduction.
+type reductionCounters struct {
+	ampleStates  atomic.Int64
+	fullStates   atomic.Int64
+	ampleSuccs   atomic.Int64
+	fullSuccs    atomic.Int64
+	symCollapsed atomic.Int64
+}
+
+func (rc *reductionCounters) stats() engine.ReductionStats {
+	if rc == nil {
+		return engine.ReductionStats{}
+	}
+	return engine.ReductionStats{
+		AmpleStates:  rc.ampleStates.Load(),
+		FullStates:   rc.fullStates.Load(),
+		AmpleSuccs:   rc.ampleSuccs.Load(),
+		FullSuccs:    rc.fullSuccs.Load(),
+		SymCollapsed: rc.symCollapsed.Load(),
+	}
+}
+
+// ampleSuccessors is successor generation under ample-set partial-order
+// reduction. It tries each statically eligible component j in declaration
+// order: the candidate ample set is j's pure steps from s (j executes one of
+// its actions; every other component and every free variable stutters),
+// each validated against j's action definition and every step constraint.
+// The set is used when it is nonempty (C0), excludes s itself (pure stutter
+// carries no progress), and contains no already-committed successor (C3, the
+// cycle proviso: an edge back to an explored state could close a cycle of
+// ample steps that postpones the other components forever — committed
+// states are exactly those assigned at previous level barriers, so this
+// test is deterministic at any worker count). If no eligible component
+// yields a usable ample set, the state is expanded in full.
+//
+// The returned list always ends with s: TLA behaviors permit stuttering, so
+// every state keeps its self-loop, exactly as in full expansion.
+func (sys *System) ampleSuccessors(cs *compiledSystem, free []string, plan *reduce.PORPlan, skipC3 bool, s *state.State, committed func(*state.State) bool, rc *reductionCounters) ([]*state.State, error) {
+	evalStep := func(kind, name string, pred form.CompiledPred, e form.Expr, st state.Step) (bool, error) {
+		ok, err := pred(st)
+		if err != nil {
+			return false, fmt.Errorf("system %s: %s %s on %s: %w", sys.Name, kind, name, st, err)
+		}
+		return ok, nil
+	}
+
+nextComponent:
+	for j := range cs.comps {
+		if !plan.Eligible(j) {
+			continue
+		}
+		cc := &cs.comps[j]
+		seen := store.NewSet()
+		var amp []*state.State
+		for ai := range cc.actions {
+			ca := &cc.actions[ai]
+			for _, up := range ca.exec(s) {
+				ups, err := sys.posUpdates(ca, s, up)
+				if err != nil {
+					return nil, err
+				}
+				t := s.CloneWith(ups)
+				if t.Equal(s) || seen.Has(t) {
+					continue
+				}
+				st := state.Step{From: s, To: t}
+				ok, err := evalStep("action", ca.name, ca.pred, ca.def, st)
+				if err != nil {
+					return nil, err
+				}
+				if !ok {
+					continue
+				}
+				for ci := range cs.constraints {
+					c := &cs.constraints[ci]
+					ok, err = evalStep("constraint", c.name, c.pred, c.action, st)
+					if err != nil {
+						return nil, err
+					}
+					if !ok {
+						break
+					}
+				}
+				if !ok {
+					continue
+				}
+				seen.Add(t)
+				amp = append(amp, t)
+			}
+		}
+		if len(amp) == 0 {
+			continue // C0: an empty ample set selects nothing
+		}
+		if !skipC3 {
+			for _, t := range amp {
+				if committed(t) {
+					continue nextComponent // C3: possible cycle, try another component
+				}
+			}
+		}
+		rc.ampleStates.Add(1)
+		rc.ampleSuccs.Add(int64(len(amp)) + 1)
+		return append(amp, s), nil
+	}
+
+	out, err := sys.successors(cs, free, s)
+	if err == nil {
+		rc.fullStates.Add(1)
+		rc.fullSuccs.Add(int64(len(out)))
+	}
+	return out, err
 }
 
 // advance increments the per-component mixed-radix counter; it returns

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"opentla/internal/form"
+	"opentla/internal/reduce"
 	"opentla/internal/spec"
 	"opentla/internal/ts"
 )
@@ -96,76 +97,9 @@ func subset(names []string, set map[string]bool) bool {
 }
 
 // parseDisjoint decomposes a step constraint into disjuncts that each
-// freeze a set of variables, returning the frozen set per disjunct. It
-// recognizes the shapes form.DisjointSteps emits — disjunctions of
-// UNCHANGED conjunctions and tuple-stutter equalities — and fails on
-// anything else.
+// freeze a set of variables, returning the frozen set per disjunct. The
+// analysis is shared with the POR planner — vet and reduce must agree on
+// what counts as a Disjoint shape, so both delegate to reduce.ParseDisjoint.
 func parseDisjoint(e form.Expr) ([]map[string]bool, bool) {
-	var sets []map[string]bool
-	for _, leaf := range orLeaves(e) {
-		s, ok := unchangedSet(leaf)
-		if !ok {
-			return nil, false
-		}
-		sets = append(sets, s)
-	}
-	return sets, len(sets) > 0
-}
-
-// orLeaves flattens nested disjunctions into their leaves.
-func orLeaves(e form.Expr) []form.Expr {
-	if o, ok := e.(form.OrE); ok {
-		var out []form.Expr
-		for _, c := range o.Xs {
-			out = append(out, orLeaves(c)...)
-		}
-		return out
-	}
-	return []form.Expr{e}
-}
-
-// unchangedSet parses an expression asserting that a set of variables is
-// unchanged — v' = v, ⟨v1,…,vn⟩' = ⟨v1,…,vn⟩, or a conjunction of such —
-// and returns that set.
-func unchangedSet(e form.Expr) (map[string]bool, bool) {
-	switch x := e.(type) {
-	case form.AndE:
-		out := make(map[string]bool)
-		for _, c := range x.Xs {
-			s, ok := unchangedSet(c)
-			if !ok {
-				return nil, false
-			}
-			for v := range s {
-				out[v] = true
-			}
-		}
-		return out, true
-	case form.CmpE:
-		if x.Op != form.OpEq || !isStutterEq(x) {
-			return nil, false
-		}
-		f := x.A
-		if p, ok := x.A.(form.PrimeE); ok {
-			f = p.X
-		} else if p, ok := x.B.(form.PrimeE); ok {
-			f = p.X
-		}
-		switch sub := f.(type) {
-		case form.VarE:
-			return map[string]bool{sub.Name: true}, true
-		case form.TupleE:
-			out := make(map[string]bool, len(sub.Xs))
-			for _, c := range sub.Xs {
-				v, ok := c.(form.VarE)
-				if !ok {
-					return nil, false
-				}
-				out[v.Name] = true
-			}
-			return out, true
-		}
-		return nil, false
-	}
-	return nil, false
+	return reduce.ParseDisjoint(e)
 }

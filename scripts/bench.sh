@@ -1,17 +1,18 @@
 #!/usr/bin/env bash
-# bench.sh — run the PR 4 benchmark and emit BENCH_PR4.json.
+# bench.sh — run the PR 7 benchmark and emit BENCH_PR7.json.
 #
 # The Fig. 9 open-queue theorem (N=1, K=3 by default) is measured through
 # agcheck's machine-readable -report run reports — the same artifact CI
-# validates — at 1 worker and at a parallel worker pool; the raw double-queue
-# graph build is timed in-process; the warm-cache comparison runs the
-# theorem cold and then warm against one -cache-dir (the warm run must
-# explore zero states); and the recorder-on vs recorder-off overhead
-# comparison backs the "observability costs < 3%" contract. Prior PRs'
-# numbers are embedded in the trajectory section of the output.
+# validates — at 1 worker and at a parallel worker pool (the parallel
+# section records NumCPU and flags cpu-limited machines); the reduction
+# section reruns the theorem with -reduce (por,sym by default) and reports
+# state/transition/wall ratios plus the report's reduction counters; and
+# the recorder-on vs recorder-off overhead comparison backs the
+# "observability costs < 3%" contract. Prior PRs' numbers are embedded in
+# the trajectory section of the output.
 #
 # Usage:
-#   scripts/bench.sh                 # defaults: N=1 K=3 workers=4 -> BENCH_PR4.json
+#   scripts/bench.sh                 # defaults: N=1 K=3 workers=4 -> BENCH_PR7.json
 #   scripts/bench.sh -n 1 -k 2 -workers 2 -out /tmp/bench.json
 #
 # Also runs the Go benchmark suite briefly (BenchmarkBuild_Parallel,
@@ -24,7 +25,7 @@ tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
 go build -o "$tmp/agcheck" ./cmd/agcheck
 
-go run ./scripts/benchpr4 -agcheck "$tmp/agcheck" "$@"
+go run ./scripts/benchpr7 -agcheck "$tmp/agcheck" "$@"
 
 if [ "${BENCH_SKIP_GO:-0}" != "1" ]; then
     echo
