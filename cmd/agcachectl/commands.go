@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -95,10 +96,23 @@ func runGC(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
+// statJSON is the stable machine-readable shape of `stat -json`. Field names
+// are a published contract (CI and scripts parse them with jq); extend it by
+// adding fields, never by renaming or removing.
+type statJSON struct {
+	Snapshots   int   `json:"snapshots"`
+	Checkpoints int   `json:"checkpoints"`
+	Quarantined int   `json:"quarantined"`
+	TempFiles   int   `json:"temp_files"`
+	Other       int   `json:"other_files"`
+	TotalBytes  int64 `json:"total_bytes"`
+}
+
 func runStat(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("agcachectl stat", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	dir := addDirFlag(fs)
+	asJSON := fs.Bool("json", false, "emit the counts as a single JSON object")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -110,6 +124,22 @@ func runStat(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		fmt.Fprintf(stderr, "agcachectl: %v\n", err)
 		return 2
+	}
+	if *asJSON {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(statJSON{
+			Snapshots:   st.Snapshots,
+			Checkpoints: st.Checkpoints,
+			Quarantined: st.Quarantined,
+			TempFiles:   st.TempFiles,
+			Other:       st.Other,
+			TotalBytes:  st.TotalBytes,
+		}); err != nil {
+			fmt.Fprintf(stderr, "agcachectl: %v\n", err)
+			return 2
+		}
+		return 0
 	}
 	fmt.Fprintf(stdout, "snapshots:   %d\n", st.Snapshots)
 	fmt.Fprintf(stdout, "checkpoints: %d\n", st.Checkpoints)

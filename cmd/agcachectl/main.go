@@ -5,7 +5,7 @@
 //
 //	agcachectl fsck -cache-dir <dir> [-quarantine]
 //	agcachectl gc   -cache-dir <dir> [-max-bytes <n>]
-//	agcachectl stat -cache-dir <dir>
+//	agcachectl stat -cache-dir <dir> [-json]
 //
 // fsck verifies every file in the cache: live entries must carry the
 // content-addressed name of their own description digest, decode under the
@@ -38,7 +38,7 @@ const usage = `usage: agcachectl <command> [flags]
 commands:
   fsck -cache-dir <dir> [-quarantine]   verify every cache file; exit 1 on findings
   gc   -cache-dir <dir> [-max-bytes n]  remove junk and evict LRU entries over the bound
-  stat -cache-dir <dir>                 print entry counts and total size
+  stat -cache-dir <dir> [-json]         print entry counts and total size
 `
 
 func run(args []string, stdout, stderr io.Writer) int {

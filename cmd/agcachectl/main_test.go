@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
 	"os"
 	"path/filepath"
@@ -137,6 +138,28 @@ func TestGCGolden(t *testing.T) {
 
 func TestStatGolden(t *testing.T) {
 	runGolden(t, "stat", []string{"stat", "-cache-dir", fixtureDir(t)}, 0)
+}
+
+// TestStatJSONGolden pins the `stat -json` schema: the golden file is the
+// published field contract, and the output must stay parseable JSON whose
+// counts agree with the human-readable stat.
+func TestStatJSONGolden(t *testing.T) {
+	dir := fixtureDir(t)
+	runGolden(t, "stat_json", []string{"stat", "-cache-dir", dir, "-json"}, 0)
+
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"stat", "-cache-dir", dir, "-json"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit = %d\n%s", code, stderr.String())
+	}
+	var got map[string]int64
+	if err := json.Unmarshal(stdout.Bytes(), &got); err != nil {
+		t.Fatalf("stat -json output is not JSON: %v\n%s", err, stdout.String())
+	}
+	for _, key := range []string{"snapshots", "checkpoints", "quarantined", "temp_files", "other_files", "total_bytes"} {
+		if _, ok := got[key]; !ok {
+			t.Errorf("stat -json missing schema field %q: %v", key, got)
+		}
+	}
 }
 
 func TestFsckCleanCache(t *testing.T) {

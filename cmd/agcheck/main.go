@@ -14,10 +14,13 @@
 // the check; an exhausted budget yields an UNKNOWN verdict with partial
 // statistics rather than a hang.
 //
-// Observability: -progress <dur> prints a live status line to stderr,
-// -report <file> writes a machine-readable JSON run report (span tree,
-// per-phase stats, flight-recorder tail on UNKNOWN), and
-// -cpuprofile/-memprofile capture pprof profiles.
+// Observability: -progress prints a live status line to stderr every
+// -progress-interval (default 1s), -report <file> writes a machine-readable
+// JSON run report (span tree, per-phase stats, flight-recorder tail on
+// UNKNOWN), -trace <file> captures a Chrome Trace Event timeline with one
+// track per BFS worker (load it in Perfetto, analyze it with agprof),
+// -metrics-out <file> exports the run's performance counters as Prometheus
+// text exposition, and -cpuprofile/-memprofile capture pprof profiles.
 //
 // Caching: -cache-dir <dir> keeps a persistent content-addressed graph
 // cache, so re-checking an unchanged model skips exploration entirely;
@@ -110,6 +113,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	if fs.NArg() > 0 {
+		return fail("unexpected positional arguments: %v", fs.Args())
+	}
+	if err := of.Validate(); err != nil {
+		return fail("%v", err)
+	}
 	if n < 1 {
 		return fail("queue capacity N must be >= 1, got %d", n)
 	}
@@ -241,6 +250,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if of.Enabled() {
 		rec = obs.New(m)
 	}
+	tracer, registry := of.Telemetry(rec)
 	if cc != nil {
 		// Route the cache's self-healing diagnostics (sweeps, quarantines,
 		// retries, gc) into the flight recorder; events from Open flush now.
@@ -284,7 +294,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
-	stopProgress := rec.StartProgress(stderr, of.Progress)
+	stopProgress := rec.StartProgress(stderr, of.ProgressPeriod())
 	stopWatchdog := rec.StartWatchdog(of.StallTimeout)
 	report, err := checkModel(m)
 	stopWatchdog()
@@ -310,6 +320,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "agcheck:", werr)
 			return 2
 		}
+	}
+	if werr := of.WriteTelemetry(tracer, registry); werr != nil {
+		fmt.Fprintln(stderr, "agcheck:", werr)
+		return 2
 	}
 	if err != nil {
 		fmt.Fprintln(stderr, "agcheck:", err)

@@ -258,7 +258,7 @@ func TestNoCacheForcesColdBuild(t *testing.T) {
 
 func TestProgressFlagWritesToStderr(t *testing.T) {
 	var out, errb bytes.Buffer
-	code := run([]string{"-model", "queues", "-n", "1", "-k", "2", "-progress", "1ms"}, &out, &errb)
+	code := run([]string{"-model", "queues", "-n", "1", "-k", "2", "-progress", "-progress-interval", "1ms"}, &out, &errb)
 	if code != 0 {
 		t.Fatalf("exit code = %d, want 0 (stderr %q)", code, errb.String())
 	}
@@ -267,6 +267,89 @@ func TestProgressFlagWritesToStderr(t *testing.T) {
 	}
 	if strings.Contains(out.String(), "progress: ") {
 		t.Error("progress lines leaked to stdout")
+	}
+}
+
+// TestProgressIntervalValidation: a non-positive -progress-interval would
+// wedge (0) or spin (negative) the progress ticker, so both are usage errors
+// regardless of whether -progress is on; any positive period is accepted.
+func TestProgressIntervalValidation(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"zero", []string{"-model", "circular", "-progress", "-progress-interval", "0"}, 2},
+		{"negative", []string{"-model", "circular", "-progress", "-progress-interval", "-1s"}, 2},
+		{"zero without -progress", []string{"-model", "circular", "-progress-interval", "0s"}, 2},
+		{"positive", []string{"-model", "circular", "-progress", "-progress-interval", "50ms"}, 0},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errb bytes.Buffer
+			if code := run(tc.args, &out, &errb); code != tc.want {
+				t.Fatalf("run(%v) = %d, want %d (stderr %q)", tc.args, code, tc.want, errb.String())
+			}
+			if tc.want == 2 && !strings.Contains(errb.String(), "-progress-interval must be positive") {
+				t.Errorf("stderr %q missing the interval rejection", errb.String())
+			}
+		})
+	}
+}
+
+// TestTraceAndMetricsOutputs: one traced run writes both telemetry artifacts —
+// a Chrome-trace JSON with per-worker thread_name rows and a Prometheus text
+// exposition carrying HELP/TYPE headers for the opentla metric families.
+func TestTraceAndMetricsOutputs(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.json")
+	promPath := filepath.Join(dir, "metrics.prom")
+	var out, errb bytes.Buffer
+	code := run([]string{"-model", "queues", "-n", "1", "-k", "2", "-workers", "2",
+		"-trace", tracePath, "-metrics-out", promPath}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0 (stderr %q)", code, errb.String())
+	}
+
+	raw, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatalf("no trace written: %v", err)
+	}
+	var wire struct {
+		TraceEvents []struct {
+			Name string          `json:"name"`
+			Ph   string          `json:"ph"`
+			Args json.RawMessage `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &wire); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	tracks := map[string]bool{}
+	for _, e := range wire.TraceEvents {
+		if e.Ph == "M" && e.Name == "thread_name" {
+			var args struct {
+				Name string `json:"name"`
+			}
+			json.Unmarshal(e.Args, &args)
+			tracks[args.Name] = true
+		}
+	}
+	for _, want := range []string{"worker 0", "worker 1", "barrier"} {
+		if !tracks[want] {
+			t.Errorf("trace missing track %q (have %v)", want, tracks)
+		}
+	}
+
+	prom, err := os.ReadFile(promPath)
+	if err != nil {
+		t.Fatalf("no metrics exposition written: %v", err)
+	}
+	text := string(prom)
+	for _, want := range []string{"# HELP ", "# TYPE ", "opentla_levels_total", "opentla_barrier_wait_nanoseconds"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics exposition missing %q:\n%s", want, text)
+		}
 	}
 }
 

@@ -1,0 +1,308 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+// traceEvent is the subset of the Chrome Trace Event wire format agprof
+// reads. Slice args are integers; metadata args (thread names) are strings,
+// so Args stays raw and is decoded per use.
+type traceEvent struct {
+	Name string                     `json:"name"`
+	Cat  string                     `json:"cat"`
+	Ph   string                     `json:"ph"`
+	TID  int64                      `json:"tid"`
+	TS   float64                    `json:"ts"`  // microseconds
+	Dur  float64                    `json:"dur"` // microseconds
+	Args map[string]json.RawMessage `json:"args"`
+}
+
+// workerProf aggregates one worker track's slices (all times microseconds).
+type workerProf struct {
+	name  string
+	busy  float64 // Σ "expand" durations
+	wait  float64 // Σ "barrier-wait" durations
+	canon float64 // Σ canon_ns args, converted to µs
+}
+
+// profile is the attribution agprof derives from one trace.
+//
+// The model follows the explorer's critical path. Each BFS level is a drain
+// phase — participating workers run expand then barrier-wait slices, all
+// ending together when the slowest worker finishes — followed by the
+// single-threaded barrier commit. The drain phase's wall span (earliest
+// expand start to the shared wait end, grouped by the slices' run and level
+// args — one process may run many explorations, each restarting at level 0)
+// is allocated to the succgen/reduction/barrier buckets proportionally to
+// the participants' lane time, so narrow levels that used fewer workers
+// don't skew the shares. Commit and cache slices are single-lane and count
+// directly. Measured wall is the sum of the explorations' spans plus cache
+// I/O (which brackets them); whatever the buckets don't cover is
+// inter-level loop overhead, reported as the unattributed remainder.
+type profile struct {
+	workers []workerProf
+	runs    int     // distinct explorations seen
+	levels  int     // commit slices seen
+	wall    float64 // Σ exploration spans + cache I/O, µs
+
+	succgen   float64 // drain wall share: expansion minus canonicalization
+	reduction float64 // drain wall share: canonicalization
+	waitAvg   float64 // drain wall share: barrier wait
+	commit    float64 // Σ barrier commit (single-threaded, counts once)
+	cache     float64 // Σ cache-track slices
+}
+
+// barrier is the full barrier bucket: idle wait plus commit.
+func (p *profile) barrier() float64 { return p.waitAvg + p.commit }
+
+// attributed is the wall share the four buckets explain.
+func (p *profile) attributed() float64 {
+	return p.succgen + p.reduction + p.barrier() + p.cache
+}
+
+// loadTrace parses a -trace capture and derives its profile.
+func loadTrace(path string) (*profile, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var wire struct {
+		TraceEvents []traceEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &wire); err != nil {
+		return nil, fmt.Errorf("%s: not a trace JSON: %w", path, err)
+	}
+	return analyze(wire.TraceEvents)
+}
+
+// analyze buckets a trace's slices (see profile for the attribution model).
+func analyze(events []traceEvent) (*profile, error) {
+	names := map[int64]string{} // tid → track name
+	for _, e := range events {
+		if e.Ph == "M" && e.Name == "thread_name" {
+			var n string
+			json.Unmarshal(e.Args["name"], &n)
+			names[e.TID] = n
+		}
+	}
+
+	p := &profile{}
+	byWorker := map[int64]*workerProf{}
+	type span struct{ start, end float64 }
+	grow := func(spans map[[2]int64]*span, key [2]int64, e traceEvent) {
+		d := spans[key]
+		if d == nil {
+			spans[key] = &span{start: e.TS, end: e.TS + e.Dur}
+			return
+		}
+		if e.TS < d.start {
+			d.start = e.TS
+		}
+		if end := e.TS + e.Dur; end > d.end {
+			d.end = end
+		}
+	}
+	intArg := func(e traceEvent, name string) int64 {
+		var v int64
+		json.Unmarshal(e.Args[name], &v)
+		return v
+	}
+	drains := map[[2]int64]*span{} // {run, level} → drain-phase wall span
+	runs := map[[2]int64]*span{}   // {run, 0}     → whole-exploration span
+	var laneBusy, laneCanon, laneWait float64
+	for _, e := range events {
+		if e.Ph != "X" {
+			continue
+		}
+		track := names[e.TID]
+		isWorker := strings.HasPrefix(track, "worker ")
+		switch {
+		case isWorker:
+			w := byWorker[e.TID]
+			if w == nil {
+				w = &workerProf{name: track}
+				byWorker[e.TID] = w
+			}
+			run := intArg(e, "run")
+			grow(drains, [2]int64{run, intArg(e, "level")}, e)
+			grow(runs, [2]int64{run, 0}, e)
+			switch e.Name {
+			case "expand":
+				w.busy += e.Dur
+				canon := float64(intArg(e, "canon_ns")) / 1e3
+				w.canon += canon
+				laneBusy += e.Dur
+				laneCanon += canon
+			case "barrier-wait":
+				w.wait += e.Dur
+				laneWait += e.Dur
+			}
+		case track == "barrier":
+			if e.Name == "commit" {
+				p.commit += e.Dur
+				p.levels++
+				grow(runs, [2]int64{intArg(e, "run"), 0}, e)
+			}
+		case track == "cache":
+			p.cache += e.Dur
+		}
+	}
+	if len(byWorker) == 0 {
+		return nil, fmt.Errorf("no worker tracks in trace (was it captured with -trace?)")
+	}
+
+	var drainTotal float64
+	for _, d := range drains {
+		drainTotal += d.end - d.start
+	}
+	if laneTotal := laneBusy + laneWait; laneTotal > 0 {
+		p.succgen = drainTotal * (laneBusy - laneCanon) / laneTotal
+		p.reduction = drainTotal * laneCanon / laneTotal
+		p.waitAvg = drainTotal * laneWait / laneTotal
+	}
+	p.runs = len(runs)
+	for _, r := range runs {
+		p.wall += r.end - r.start
+	}
+	p.wall += p.cache
+
+	for _, w := range byWorker {
+		p.workers = append(p.workers, *w)
+	}
+	sort.Slice(p.workers, func(i, j int) bool { return p.workers[i].name < p.workers[j].name })
+	return p, nil
+}
+
+// reportMetrics is the slice of a run report agprof joins in: the metrics
+// section (schema_version >= 6).
+type reportMetrics struct {
+	acquisitions int64
+	contended    int64
+	probes       int64
+	cacheHits    int64
+	cacheMisses  int64
+	hotShards    []string // shard labels of contended shards, most-contended first
+}
+
+func loadReport(path string) (*reportMetrics, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var wire struct {
+		SchemaVersion int `json:"schema_version"`
+		Metrics       []struct {
+			Name   string `json:"name"`
+			Labels string `json:"labels"`
+			Value  int64  `json:"value"`
+		} `json:"metrics"`
+	}
+	if err := json.Unmarshal(raw, &wire); err != nil {
+		return nil, fmt.Errorf("%s: not a run report: %w", path, err)
+	}
+	rm := &reportMetrics{}
+	type shardCount struct {
+		label string
+		n     int64
+	}
+	var shards []shardCount
+	for _, m := range wire.Metrics {
+		switch m.Name {
+		case "opentla_store_lock_acquisitions_total":
+			rm.acquisitions = m.Value
+		case "opentla_store_lock_contended_total":
+			if m.Labels == "" {
+				rm.contended = m.Value
+			} else {
+				shards = append(shards, shardCount{label: m.Labels, n: m.Value})
+			}
+		case "opentla_store_collision_probes_total":
+			rm.probes = m.Value
+		case "opentla_cache_hits_total":
+			rm.cacheHits = m.Value
+		case "opentla_cache_misses_total":
+			rm.cacheMisses = m.Value
+		}
+	}
+	sort.Slice(shards, func(i, j int) bool {
+		if shards[i].n != shards[j].n {
+			return shards[i].n > shards[j].n
+		}
+		return shards[i].label < shards[j].label
+	})
+	for _, s := range shards {
+		rm.hotShards = append(rm.hotShards, s.label)
+	}
+	return rm, nil
+}
+
+// ms renders a µs quantity as milliseconds.
+func ms(us float64) string { return fmt.Sprintf("%.2fms", us/1e3) }
+
+// pct renders part as a percentage of whole (0 when whole is 0).
+func pct(part, whole float64) string {
+	if whole <= 0 {
+		return "0.0%"
+	}
+	return fmt.Sprintf("%.1f%%", 100*part/whole)
+}
+
+// printProfile renders the analysis: per-worker utilization, then the four
+// buckets ranked by wall share, then (with a report) contention counters.
+func printProfile(w io.Writer, p *profile, rep *reportMetrics) {
+	fmt.Fprintf(w, "agprof: %d workers, %d explorations, %d levels, wall %s\n\n",
+		len(p.workers), p.runs, p.levels, ms(p.wall))
+
+	fmt.Fprintln(w, "per-worker utilization:")
+	for _, wp := range p.workers {
+		line := fmt.Sprintf("  %-10s busy %-7s barrier-wait %s",
+			wp.name, pct(wp.busy, p.wall), pct(wp.wait, p.wall))
+		if wp.canon > 0 {
+			line += fmt.Sprintf("  (canon %s)", pct(wp.canon, p.wall))
+		}
+		fmt.Fprintln(w, line)
+	}
+
+	type bucket struct {
+		name   string
+		us     float64
+		detail string
+	}
+	buckets := []bucket{
+		{"successor generation", p.succgen, ""},
+		{"barrier", p.barrier(), fmt.Sprintf("(wait %s, commit %s)", pct(p.waitAvg, p.wall), pct(p.commit, p.wall))},
+		{"reduction", p.reduction, "(canonicalization)"},
+		{"cache", p.cache, ""},
+	}
+	sort.SliceStable(buckets, func(i, j int) bool { return buckets[i].us > buckets[j].us })
+
+	fmt.Fprintln(w, "\nbottleneck attribution (% of wall):")
+	for i, b := range buckets {
+		line := fmt.Sprintf("  %d. %-21s %-7s", i+1, b.name, pct(b.us, p.wall))
+		if b.detail != "" {
+			line += " " + b.detail
+		}
+		fmt.Fprintln(w, line)
+	}
+	fmt.Fprintf(w, "  attributed: %s of wall\n", pct(p.attributed(), p.wall))
+
+	if rep == nil {
+		return
+	}
+	fmt.Fprintln(w, "\nfrom report metrics:")
+	fmt.Fprintf(w, "  store locks: %d acquisitions, %d contended (%s), %d collision probes\n",
+		rep.acquisitions, rep.contended, pct(float64(rep.contended), float64(rep.acquisitions)), rep.probes)
+	if len(rep.hotShards) > 0 {
+		n := len(rep.hotShards)
+		if n > 4 {
+			n = 4
+		}
+		fmt.Fprintf(w, "  hot shards:  %s\n", strings.Join(rep.hotShards[:n], ", "))
+	}
+	fmt.Fprintf(w, "  graph cache: %d hits, %d misses\n", rep.cacheHits, rep.cacheMisses)
+}

@@ -1,0 +1,56 @@
+// Command agprof analyzes a performance-telemetry capture: the Chrome Trace
+// Event JSON written by agcheck/queueverify -trace, optionally joined with
+// the run report written by -report. It prints per-worker utilization and a
+// ranked bottleneck attribution of the measured wall time across four
+// buckets — successor generation, barrier (wait + commit), reduction
+// (canonicalization), and cache I/O — so "where did the time go?" has a
+// one-command answer.
+//
+// Usage:
+//
+//	agprof -trace out.json [-report report.json]
+//
+// Exit codes: 0 = analyzed, 2 = usage or unreadable input.
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"flag"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("agprof", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	tracePath := fs.String("trace", "", "trace JSON written by -trace (required)")
+	reportPath := fs.String("report", "", "run report written by -report (optional: adds contention and cache counters)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *tracePath == "" || fs.NArg() > 0 {
+		fmt.Fprintln(stderr, "usage: agprof -trace out.json [-report report.json]")
+		return 2
+	}
+
+	prof, err := loadTrace(*tracePath)
+	if err != nil {
+		fmt.Fprintln(stderr, "agprof:", err)
+		return 2
+	}
+	var rep *reportMetrics
+	if *reportPath != "" {
+		rep, err = loadReport(*reportPath)
+		if err != nil {
+			fmt.Fprintln(stderr, "agprof:", err)
+			return 2
+		}
+	}
+	printProfile(stdout, prof, rep)
+	return 0
+}

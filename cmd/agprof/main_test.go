@@ -1,0 +1,163 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"opentla/internal/engine"
+	"opentla/internal/metrics"
+	"opentla/internal/models"
+	"opentla/internal/obs"
+	"opentla/internal/trace"
+)
+
+// syntheticTrace is a hand-built capture with round numbers so every
+// percentage in the output is exact:
+//
+//	worker 0: expand [0,80) with 20µs canon, wait [80,100)
+//	worker 1: expand [0,100), wait [100,100)
+//	barrier:  commit [100,110)
+//	cache:    load [110,120)
+//
+// wall 120µs; succgen (80−20+100)/2 = 80, reduction 10, barrier 10+10 = 20,
+// cache 10 — attribution sums to exactly 100%.
+const syntheticTrace = `{"displayTimeUnit":"ms","traceEvents":[
+{"name":"process_name","ph":"M","pid":1,"tid":0,"ts":0,"args":{"name":"opentla"}},
+{"name":"thread_name","ph":"M","pid":1,"tid":0,"ts":0,"args":{"name":"worker 0"}},
+{"name":"thread_name","ph":"M","pid":1,"tid":1,"ts":0,"args":{"name":"worker 1"}},
+{"name":"thread_name","ph":"M","pid":1,"tid":2,"ts":0,"args":{"name":"barrier"}},
+{"name":"thread_name","ph":"M","pid":1,"tid":3,"ts":0,"args":{"name":"cache"}},
+{"name":"expand","cat":"explore","ph":"X","pid":1,"tid":0,"ts":0,"dur":80,"args":{"level":0,"states":4,"succs":12,"canon_ns":20000}},
+{"name":"barrier-wait","cat":"explore","ph":"X","pid":1,"tid":0,"ts":80,"dur":20,"args":{"level":0}},
+{"name":"expand","cat":"explore","ph":"X","pid":1,"tid":1,"ts":0,"dur":100,"args":{"level":0,"states":5,"succs":15,"canon_ns":0}},
+{"name":"barrier-wait","cat":"explore","ph":"X","pid":1,"tid":1,"ts":100,"dur":0,"args":{"level":0}},
+{"name":"commit","cat":"explore","ph":"X","pid":1,"tid":2,"ts":100,"dur":10,"args":{"level":0}},
+{"name":"load","cat":"cache","ph":"X","pid":1,"tid":3,"ts":110,"dur":10}
+]}`
+
+const syntheticReport = `{"schema_version":6,"metrics":[
+{"name":"opentla_store_lock_acquisitions_total","type":"counter","value":1000},
+{"name":"opentla_store_lock_contended_total","type":"counter","value":30},
+{"name":"opentla_store_lock_contended_total","labels":"shard=\"3\"","type":"counter","value":20},
+{"name":"opentla_store_lock_contended_total","labels":"shard=\"7\"","type":"counter","value":10},
+{"name":"opentla_store_collision_probes_total","type":"counter","value":5},
+{"name":"opentla_cache_hits_total","type":"counter","value":1}
+]}`
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestSyntheticAttribution(t *testing.T) {
+	tracePath := writeTemp(t, "trace.json", syntheticTrace)
+	reportPath := writeTemp(t, "report.json", syntheticReport)
+	var out, errb bytes.Buffer
+	if code := run([]string{"-trace", tracePath, "-report", reportPath}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	got := out.String()
+	wants := []string{
+		"agprof: 2 workers, 1 explorations, 1 levels, wall 0.12ms",
+		"1. successor generation",
+		"66.7%",
+		"attributed: 100.0% of wall",
+		"store locks: 1000 acquisitions, 30 contended (3.0%), 5 collision probes",
+		`hot shards:  shard="3", shard="7"`,
+		"graph cache: 1 hits, 0 misses",
+	}
+	for _, want := range wants {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+	// The ranked list must be ordered by wall share: succgen > barrier >
+	// reduction >= cache on this capture.
+	rank := regexp.MustCompile(`(?m)^  \d\. (\S+)`).FindAllStringSubmatch(got, -1)
+	if len(rank) != 4 || rank[0][1] != "successor" || rank[1][1] != "barrier" {
+		t.Errorf("ranking wrong: %v\n%s", rank, got)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(nil, &out, &errb); code != 2 {
+		t.Fatalf("missing -trace must exit 2, got %d", code)
+	}
+	if code := run([]string{"-trace", "/nonexistent/t.json"}, &out, &errb); code != 2 {
+		t.Fatalf("unreadable trace must exit 2, got %d", code)
+	}
+	empty := writeTemp(t, "empty.json", `{"traceEvents":[]}`)
+	if code := run([]string{"-trace", empty}, &out, &errb); code != 2 {
+		t.Fatalf("trace without worker tracks must exit 2, got %d", code)
+	}
+}
+
+// TestEndToEnd runs agprof over a real 4-worker traced build of a bundled
+// model: every configured worker shows up, and the four buckets account for
+// the bulk of the measured wall (the acceptance bar for the analyzer).
+func TestEndToEnd(t *testing.T) {
+	m := engine.NoLimit()
+	rec := obs.New(m)
+	tr := trace.New()
+	rec.SetTracer(tr)
+	reg := metrics.NewRegistry()
+	rec.SetMetrics(reg)
+
+	model, err := models.ByName("doublequeue")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := model.System()
+	sys.Workers = 4
+	if _, err := sys.BuildWith(m); err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.json")
+	if err := tr.WriteFile(tracePath); err != nil {
+		t.Fatal(err)
+	}
+	reportPath := filepath.Join(dir, "report.json")
+	rep := rec.Finish("test", obs.Config{Workers: 4}, engine.Holds, "")
+	if err := obs.WriteFile(reportPath, rep); err != nil {
+		t.Fatal(err)
+	}
+
+	var out, errb bytes.Buffer
+	if code := run([]string{"-trace", tracePath, "-report", reportPath}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "agprof: 4 workers") {
+		t.Errorf("want 4 worker tracks:\n%s", got)
+	}
+	for _, want := range []string{"worker 0", "worker 3", "successor generation", "barrier", "attributed:"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+	// Attribution should explain most of the wall; allow slack for loop
+	// overhead on a tiny model but fail on gross undercounting.
+	mAttr := regexp.MustCompile(`attributed: ([0-9.]+)% of wall`).FindStringSubmatch(got)
+	if mAttr == nil {
+		t.Fatalf("no attribution line:\n%s", got)
+	}
+	share, err := strconv.ParseFloat(mAttr[1], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if share < 80 || share > 120 {
+		t.Errorf("attributed share %.1f%% implausible:\n%s", share, got)
+	}
+}

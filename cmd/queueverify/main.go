@@ -12,9 +12,12 @@
 // reports an UNKNOWN verdict with partial statistics and exits 2 instead
 // of hanging on an oversized instance.
 //
-// Observability: -progress <dur> prints a live status line to stderr,
-// -report <file> writes a machine-readable JSON run report, and
-// -cpuprofile/-memprofile capture pprof profiles.
+// Observability: -progress prints a live status line to stderr every
+// -progress-interval (default 1s), -report <file> writes a machine-readable
+// JSON run report, -trace <file> captures a Chrome Trace Event timeline
+// (one track per BFS worker; load in Perfetto, analyze with agprof),
+// -metrics-out <file> exports performance counters as Prometheus text
+// exposition, and -cpuprofile/-memprofile capture pprof profiles.
 //
 // Caching: -cache-dir <dir> keeps a persistent content-addressed graph
 // cache across runs, -resume continues a budget-interrupted build from its
@@ -98,6 +101,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	if fs.NArg() > 0 {
+		return fail("unexpected positional arguments: %v", fs.Args())
+	}
+	if err := of.Validate(); err != nil {
+		return fail("%v", err)
+	}
 	if n < 1 {
 		return fail("queue capacity N must be >= 1, got %d", n)
 	}
@@ -147,6 +156,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if of.Enabled() {
 		rec = obs.New(m)
 	}
+	tracer, registry := of.Telemetry(rec)
 	if cc != nil {
 		// Route the cache's self-healing diagnostics (sweeps, quarantines,
 		// retries, gc) into the flight recorder; events from Open flush now.
@@ -188,7 +198,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
-	stopProgress := rec.StartProgress(stderr, of.Progress)
+	stopProgress := rec.StartProgress(stderr, of.ProgressPeriod())
 	stopWatchdog := rec.StartWatchdog(of.StallTimeout)
 	verdict, err := verify(stdout, cfg, m, *verbose, *workers, gc, cf.Resume, reduceOpts)
 	stopWatchdog()
@@ -216,6 +226,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "queueverify:", werr)
 			return 2
 		}
+	}
+	if werr := of.WriteTelemetry(tracer, registry); werr != nil {
+		fmt.Fprintln(stderr, "queueverify:", werr)
+		return 2
 	}
 	return code
 }

@@ -244,6 +244,55 @@ func TestWorkersAndReduceValidation(t *testing.T) {
 	}
 }
 
+// TestProgressIntervalValidation mirrors agcheck's contract: non-positive
+// -progress-interval is a usage error (exit 2), positive periods work.
+func TestProgressIntervalValidation(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"zero", []string{"-n", "1", "-k", "2", "-progress", "-progress-interval", "0"}, 2},
+		{"negative", []string{"-n", "1", "-k", "2", "-progress-interval", "-5ms"}, 2},
+		{"positive", []string{"-n", "1", "-k", "2", "-progress", "-progress-interval", "50ms"}, 0},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errb bytes.Buffer
+			if code := run(tc.args, &out, &errb); code != tc.want {
+				t.Fatalf("run(%v) = %d, want %d (stderr %q)", tc.args, code, tc.want, errb.String())
+			}
+			if tc.want == 2 && !strings.Contains(errb.String(), "-progress-interval must be positive") {
+				t.Errorf("stderr %q missing the interval rejection", errb.String())
+			}
+		})
+	}
+}
+
+// TestTraceOutput: the Figure 9 driver writes a loadable Chrome trace when
+// asked; the scaling recipe in EXPERIMENTS.md depends on this path.
+func TestTraceOutput(t *testing.T) {
+	tracePath := filepath.Join(t.TempDir(), "trace.json")
+	var out, errb bytes.Buffer
+	code := run([]string{"-n", "1", "-k", "2", "-workers", "2", "-trace", tracePath}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0 (stderr %q)", code, errb.String())
+	}
+	raw, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatalf("no trace written: %v", err)
+	}
+	var wire struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &wire); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(wire.TraceEvents) == 0 {
+		t.Error("trace has no events")
+	}
+}
+
 // TestReduceFlagVerifies: the full Appendix A replay still verifies end to
 // end with reduction enabled, and reports the reduced CQ build as such.
 func TestReduceFlagVerifies(t *testing.T) {

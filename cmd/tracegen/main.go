@@ -21,7 +21,7 @@ import (
 	"opentla/internal/engine"
 	"opentla/internal/handshake"
 	"opentla/internal/obs"
-	"opentla/internal/trace"
+	"opentla/internal/tracetab"
 	"opentla/internal/value"
 )
 
@@ -81,7 +81,7 @@ func run(args []string) int {
 		return 2
 	}
 	fmt.Printf("Two-phase handshake on channel %s (Fig. 2):\n\n", *chanName)
-	fmt.Print(trace.Table(b, []string{c.Ack(), c.Sig(), c.Val()}))
-	fmt.Printf("\nsteps: %s  (%d states, %d sends)\n", strings.Join(trace.Diff(b), " ; "), len(b), len(vals))
+	fmt.Print(tracetab.Table(b, []string{c.Ack(), c.Sig(), c.Val()}))
+	fmt.Printf("\nsteps: %s  (%d states, %d sends)\n", strings.Join(tracetab.Diff(b), " ; "), len(b), len(vals))
 	return 0
 }

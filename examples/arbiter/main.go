@@ -14,7 +14,7 @@ import (
 	"opentla/internal/arbiter"
 	"opentla/internal/check"
 	"opentla/internal/form"
-	"opentla/internal/trace"
+	"opentla/internal/tracetab"
 )
 
 func main() {
@@ -71,7 +71,7 @@ func run() error {
 	fmt.Printf("with WF grants instead of SF: r1 ↝ g1 = %v (expected false)\n", starved.Holds)
 	if starved.Counterexample != nil {
 		fmt.Println("starvation run (client 2 monopolizes the resource):")
-		fmt.Print(trace.LassoTable(starved.Counterexample, []string{"r1", "g1", "r2", "g2"}))
+		fmt.Print(tracetab.LassoTable(starved.Counterexample, []string{"r1", "g1", "r2", "g2"}))
 	}
 	return nil
 }

@@ -14,7 +14,7 @@ import (
 	"opentla/internal/circular"
 	"opentla/internal/form"
 	"opentla/internal/spec"
-	"opentla/internal/trace"
+	"opentla/internal/tracetab"
 	"opentla/internal/ts"
 )
 
@@ -44,7 +44,7 @@ func run() error {
 	}
 	fmt.Printf("composition claim on the stuttering behavior: %v (expected false)\n", holds)
 	fmt.Println("counterexample behavior:")
-	fmt.Print(trace.LassoTable(cex, []string{"c", "d"}))
+	fmt.Print(tracetab.LassoTable(cex, []string{"c", "d"}))
 
 	// The counterexample is a genuine fair behavior of Πc ‖ Πd: the model
 	// checker confirms ◇(c=1) fails for the real processes.
@@ -67,7 +67,7 @@ func run() error {
 	fmt.Printf("\nmodel checker: ◇(c=1) for Πc ‖ Πd holds = %v (expected false)\n", res.Holds)
 	if res.Counterexample != nil {
 		fmt.Println("fair counterexample found by the checker:")
-		fmt.Print(trace.LassoTable(res.Counterexample, []string{"c", "d"}))
+		fmt.Print(tracetab.LassoTable(res.Counterexample, []string{"c", "d"}))
 	}
 	return nil
 }

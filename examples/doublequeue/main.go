@@ -13,7 +13,7 @@ import (
 
 	"opentla/internal/check"
 	"opentla/internal/queue"
-	"opentla/internal/trace"
+	"opentla/internal/tracetab"
 )
 
 func main() {
@@ -71,7 +71,7 @@ func run(cfg queue.Config) error {
 		if len(tail) > 6 {
 			tail = tail[len(tail)-6:]
 		}
-		fmt.Print(trace.Table(tail, vars))
+		fmt.Print(tracetab.Table(tail, vars))
 	}
 	return nil
 }

@@ -15,7 +15,7 @@ import (
 	"opentla/internal/queue"
 	"opentla/internal/spec"
 	"opentla/internal/state"
-	"opentla/internal/trace"
+	"opentla/internal/tracetab"
 	"opentla/internal/ts"
 	"opentla/internal/value"
 )
@@ -34,7 +34,7 @@ func run() error {
 		return err
 	}
 	fmt.Println("Figure 2 — the two-phase handshake protocol:")
-	fmt.Print(trace.Table(b, []string{c.Ack(), c.Sig(), c.Val()}))
+	fmt.Print(tracetab.Table(b, []string{c.Ack(), c.Sig(), c.Val()}))
 
 	// A protocol violation is rejected by the Send action: sending while a
 	// value is still pending.

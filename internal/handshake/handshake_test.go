@@ -6,7 +6,7 @@ import (
 
 	"opentla/internal/form"
 	"opentla/internal/state"
-	"opentla/internal/trace"
+	"opentla/internal/tracetab"
 	"opentla/internal/value"
 )
 
@@ -112,7 +112,7 @@ func TestHandshakeTraceFig2(t *testing.T) {
 		}
 	}
 	// The rendered table lists one row per wire.
-	table := trace.Table(b, []string{"c.ack", "c.sig", "c.val"})
+	table := tracetab.Table(b, []string{"c.ack", "c.sig", "c.val"})
 	for _, row := range []string{"c.ack:", "c.sig:", "c.val:", "37", "19"} {
 		if !strings.Contains(table, row) {
 			t.Errorf("table missing %q:\n%s", row, table)

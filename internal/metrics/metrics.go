@@ -1,0 +1,297 @@
+// Package metrics is a small, dependency-free metric registry for the
+// performance-telemetry layer: counters, gauges, and fixed-bound histograms
+// with lock-free hot paths, exportable both as a `metrics` section in the
+// run report (Snapshot) and as Prometheus text exposition (WritePrometheus).
+//
+// Design constraints, in order:
+//
+//  1. Disabled must be free. Every instrument is nil-safe: methods on a nil
+//     *Counter/*Gauge/*Histogram are no-ops, so instrumented code holds a
+//     possibly-nil pointer and pays one branch when telemetry is off.
+//  2. Enabled must be cheap. Observations are single atomic adds; there are
+//     no maps, labels, or allocations on the observation path. The registry
+//     lock is taken only at registration and export time.
+//  3. Export must be deterministic. Families are emitted sorted by name (and
+//     label set within a name) so report goldens and exposition diffs are
+//     stable across runs.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"opentla/internal/engine"
+)
+
+// Counter is a monotonically increasing metric.
+type Counter struct {
+	meta
+	v atomic.Int64
+}
+
+// Inc adds 1. Safe on a nil receiver.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n (n must be >= 0 for the exposition to stay well-formed; this is
+// not checked on the hot path). Safe on a nil receiver.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count, or 0 on a nil receiver.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a metric that can go up and down.
+type Gauge struct {
+	meta
+	v atomic.Int64
+}
+
+// Set stores n. Safe on a nil receiver.
+func (g *Gauge) Set(n int64) {
+	if g != nil {
+		g.v.Store(n)
+	}
+}
+
+// Add adds n. Safe on a nil receiver.
+func (g *Gauge) Add(n int64) {
+	if g != nil {
+		g.v.Add(n)
+	}
+}
+
+// Value returns the current value, or 0 on a nil receiver.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// DurationBounds are the default histogram bucket upper bounds for
+// nanosecond-valued latency metrics: 1µs, 10µs, 100µs, 1ms, 10ms, 100ms,
+// 1s, 10s (+Inf is implicit). Eight decades cover everything from a single
+// store probe to a stalled cache load.
+var DurationBounds = []int64{1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 1e10}
+
+// Histogram is a fixed-bound histogram. Buckets are cumulative only at
+// export time; internally each bucket counts its own interval so Observe is
+// a single atomic add.
+type Histogram struct {
+	meta
+	bounds []int64        // ascending upper bounds; +Inf implicit
+	counts []atomic.Int64 // len(bounds)+1
+	sum    atomic.Int64
+	count  atomic.Int64
+}
+
+// Observe records one value. Safe on a nil receiver.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	i := sort.Search(len(h.bounds), func(i int) bool { return v <= h.bounds[i] })
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// Count returns the number of observations, or 0 on a nil receiver.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observations, or 0 on a nil receiver.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// meta is the name/help/labels triple shared by all instruments.
+type meta struct {
+	name   string
+	help   string
+	labels string // pre-rendered `k="v",...` or ""
+}
+
+// Registry holds the run's instruments. Get-or-create registration is
+// idempotent by (name, labels); a name registered as one kind and requested
+// as another panics — that is a programming error, not a runtime condition.
+type Registry struct {
+	mu    sync.Mutex
+	byKey map[string]any
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byKey: make(map[string]any)}
+}
+
+// Counter returns the counter registered under name, creating it if needed.
+// Safe on a nil receiver (returns nil, and nil counters are no-ops).
+func (r *Registry) Counter(name, help string) *Counter {
+	return counterLabeled(r, name, help, "")
+}
+
+// LabeledCounter is Counter with a single pre-rendered label pair, e.g.
+// LabeledCounter("opentla_store_lock_contended_total", "...", "shard", "3").
+func (r *Registry) LabeledCounter(name, help, key, value string) *Counter {
+	return counterLabeled(r, name, help, fmt.Sprintf("%s=%q", key, value))
+}
+
+func counterLabeled(r *Registry, name, help, labels string) *Counter {
+	if r == nil {
+		return nil
+	}
+	c, _ := register(r, name, labels, func() *Counter {
+		return &Counter{meta: meta{name: name, help: help, labels: labels}}
+	})
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it if needed.
+// Safe on a nil receiver.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	g, _ := register(r, name, "", func() *Gauge {
+		return &Gauge{meta: meta{name: name, help: help}}
+	})
+	return g
+}
+
+// Histogram returns the histogram registered under name with the given
+// bucket bounds (nil means DurationBounds), creating it if needed. Safe on
+// a nil receiver.
+func (r *Registry) Histogram(name, help string, bounds []int64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if bounds == nil {
+		bounds = DurationBounds
+	}
+	h, _ := register(r, name, "", func() *Histogram {
+		return &Histogram{
+			meta:   meta{name: name, help: help},
+			bounds: bounds,
+			counts: make([]atomic.Int64, len(bounds)+1),
+		}
+	})
+	return h
+}
+
+func register[T any](r *Registry, name, labels string, mk func() T) (T, bool) {
+	key := name + "{" + labels + "}"
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if got, ok := r.byKey[key]; ok {
+		t, ok := got.(T)
+		if !ok {
+			panic(fmt.Sprintf("metrics: %s re-registered as a different kind", name))
+		}
+		return t, false
+	}
+	t := mk()
+	r.byKey[key] = t
+	return t, true
+}
+
+// Bucket is one histogram bucket in a snapshot. Cumulative count of
+// observations <= UpperNS; the +Inf bucket has UpperNS == nil.
+type Bucket struct {
+	UpperNS *int64 `json:"le_ns"` // nil means +Inf
+	Count   int64  `json:"count"`
+}
+
+// Point is one exported metric sample — the JSON shape of the report's
+// `metrics` section. Counters and gauges use Value; histograms use
+// Count/Sum/Buckets.
+type Point struct {
+	Name    string   `json:"name"`
+	Labels  string   `json:"labels,omitempty"`
+	Type    string   `json:"type"` // "counter" | "gauge" | "histogram"
+	Help    string   `json:"help,omitempty"`
+	Value   int64    `json:"value,omitempty"`
+	Count   int64    `json:"count,omitempty"`
+	Sum     int64    `json:"sum,omitempty"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Snapshot returns every registered metric as a Point, sorted by
+// (name, labels) for deterministic output. Safe on a nil receiver.
+func (r *Registry) Snapshot() []Point {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	instruments := make([]any, 0, len(r.byKey))
+	for _, m := range r.byKey {
+		instruments = append(instruments, m)
+	}
+	r.mu.Unlock()
+
+	pts := make([]Point, 0, len(instruments))
+	for _, m := range instruments {
+		switch m := m.(type) {
+		case *Counter:
+			pts = append(pts, Point{Name: m.name, Labels: m.labels, Type: "counter", Help: m.help, Value: m.Value()})
+		case *Gauge:
+			pts = append(pts, Point{Name: m.name, Labels: m.labels, Type: "gauge", Help: m.help, Value: m.Value()})
+		case *Histogram:
+			p := Point{Name: m.name, Type: "histogram", Help: m.help, Count: m.Count(), Sum: m.Sum()}
+			var cum int64
+			for i, b := range m.bounds {
+				cum += m.counts[i].Load()
+				ub := b
+				p.Buckets = append(p.Buckets, Bucket{UpperNS: &ub, Count: cum})
+			}
+			cum += m.counts[len(m.bounds)].Load()
+			p.Buckets = append(p.Buckets, Bucket{UpperNS: nil, Count: cum})
+			pts = append(pts, p)
+		}
+	}
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].Name != pts[j].Name {
+			return pts[i].Name < pts[j].Name
+		}
+		return pts[i].Labels < pts[j].Labels
+	})
+	return pts
+}
+
+// provider is the optional interface an engine.Observer implements to expose
+// a metric registry. obs.Recorder implements it; the indirection keeps
+// engine (and everything below obs) free of a metrics dependency.
+type provider interface{ Metrics() *Registry }
+
+// FromMeter returns the registry attached to m's observer, or nil. The nil
+// path costs an interface check per exploration, not per observation.
+func FromMeter(m *engine.Meter) *Registry {
+	if m == nil {
+		return nil
+	}
+	if p, ok := m.Observer().(provider); ok {
+		return p.Metrics()
+	}
+	return nil
+}

@@ -1,0 +1,212 @@
+package metrics
+
+import (
+	"bytes"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+
+	"opentla/internal/engine"
+)
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x_total", "")
+	g := r.Gauge("x", "")
+	h := r.Histogram("x_ns", "", nil)
+	if c != nil || g != nil || h != nil {
+		t.Fatalf("nil registry must hand out nil instruments")
+	}
+	c.Inc()
+	c.Add(5)
+	g.Set(3)
+	g.Add(1)
+	h.Observe(10)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatalf("nil instruments must read as zero")
+	}
+	if r.Snapshot() != nil {
+		t.Fatalf("nil registry snapshot must be nil")
+	}
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil || buf.Len() != 0 {
+		t.Fatalf("nil registry exposition: err=%v out=%q", err, buf.String())
+	}
+}
+
+func TestRegisterIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("c_total", "help")
+	b := r.Counter("c_total", "ignored on re-register")
+	if a != b {
+		t.Fatalf("re-registration must return the same instrument")
+	}
+	a.Add(2)
+	b.Inc()
+	if a.Value() != 3 {
+		t.Fatalf("got %d, want 3", a.Value())
+	}
+	l1 := r.LabeledCounter("c_total", "help", "shard", "1")
+	l2 := r.LabeledCounter("c_total", "help", "shard", "2")
+	if l1 == l2 || l1 == a {
+		t.Fatalf("distinct label sets must be distinct instruments")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("kind mismatch must panic")
+		}
+	}()
+	r.Gauge("c_total", "")
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_ns", "latency", []int64{10, 100})
+	for _, v := range []int64{1, 10, 11, 100, 1000} {
+		h.Observe(v)
+	}
+	pts := r.Snapshot()
+	if len(pts) != 1 {
+		t.Fatalf("want 1 point, got %d", len(pts))
+	}
+	p := pts[0]
+	if p.Count != 5 || p.Sum != 1122 {
+		t.Fatalf("count=%d sum=%d, want 5/1122", p.Count, p.Sum)
+	}
+	// Cumulative: <=10 holds {1,10}, <=100 adds {11,100}, +Inf adds {1000}.
+	wantCum := []int64{2, 4, 5}
+	if len(p.Buckets) != 3 {
+		t.Fatalf("want 3 buckets, got %d", len(p.Buckets))
+	}
+	for i, b := range p.Buckets {
+		if b.Count != wantCum[i] {
+			t.Fatalf("bucket %d: count=%d want %d", i, b.Count, wantCum[i])
+		}
+	}
+	if p.Buckets[2].UpperNS != nil {
+		t.Fatalf("last bucket must be +Inf")
+	}
+}
+
+func TestSnapshotDeterministic(t *testing.T) {
+	mk := func() []Point {
+		r := NewRegistry()
+		r.Gauge("b_gauge", "").Set(7)
+		r.Counter("a_total", "").Add(1)
+		r.LabeledCounter("a_total", "", "shard", "2").Inc()
+		r.LabeledCounter("a_total", "", "shard", "1").Inc()
+		r.Histogram("c_ns", "", nil).Observe(500)
+		return r.Snapshot()
+	}
+	a, b := mk(), mk()
+	if len(a) != len(b) || len(a) != 5 {
+		t.Fatalf("want 5 points twice, got %d/%d", len(a), len(b))
+	}
+	order := []string{"a_total{}", `a_total{shard="1"}`, `a_total{shard="2"}`, "b_gauge{}", "c_ns{}"}
+	for i := range a {
+		key := a[i].Name + "{" + a[i].Labels + "}"
+		if key != order[i] || b[i].Name != a[i].Name || b[i].Labels != a[i].Labels {
+			t.Fatalf("order not deterministic at %d: %q vs want %q", i, key, order[i])
+		}
+	}
+}
+
+// promLine matches every non-comment line the exposition may contain:
+// `name 123`, `name{label="v"} 123`, `name_bucket{le="+Inf"} 4`.
+var promLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"(,[a-zA-Z_][a-zA-Z0-9_]*="[^"]*")*\})? -?[0-9]+$`)
+
+func TestPrometheusExpositionShape(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("opentla_store_lock_acquisitions_total", "lock acquisitions").Add(10)
+	r.LabeledCounter("opentla_store_lock_contended_total", "contended", "shard", "3").Add(2)
+	r.Gauge("opentla_workers", "worker count").Set(4)
+	r.Histogram("opentla_barrier_wait_nanoseconds", "barrier wait", []int64{1000}).Observe(1500)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	typed := map[string]bool{}
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			f := strings.Fields(line)
+			if len(f) != 4 {
+				t.Fatalf("malformed TYPE line: %q", line)
+			}
+			typed[f[2]] = true
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			continue
+		}
+		if !promLine.MatchString(line) {
+			t.Fatalf("malformed sample line: %q", line)
+		}
+	}
+	for _, fam := range []string{
+		"opentla_store_lock_acquisitions_total",
+		"opentla_store_lock_contended_total",
+		"opentla_workers",
+		"opentla_barrier_wait_nanoseconds",
+	} {
+		if !typed[fam] {
+			t.Fatalf("family %s missing TYPE line\n%s", fam, out)
+		}
+	}
+	for _, want := range []string{
+		`opentla_barrier_wait_nanoseconds_bucket{le="1000"} 0`,
+		`opentla_barrier_wait_nanoseconds_bucket{le="+Inf"} 1`,
+		"opentla_barrier_wait_nanoseconds_sum 1500",
+		"opentla_barrier_wait_nanoseconds_count 1",
+		`opentla_store_lock_contended_total{shard="3"} 2`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Fatalf("exposition missing %q\n%s", want, out)
+		}
+	}
+}
+
+func TestConcurrentObserve(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("n_total", "")
+	h := r.Histogram("d_ns", "", nil)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				h.Observe(int64(j))
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 || h.Count() != 8000 {
+		t.Fatalf("counter=%d hist=%d, want 8000", c.Value(), h.Count())
+	}
+}
+
+type fakeProvider struct {
+	engine.Observer
+	reg *Registry
+}
+
+func (p fakeProvider) Metrics() *Registry { return p.reg }
+
+func TestFromMeter(t *testing.T) {
+	if FromMeter(nil) != nil {
+		t.Fatalf("nil meter must yield nil registry")
+	}
+	m := engine.NoLimit()
+	if FromMeter(m) != nil {
+		t.Fatalf("meter without observer must yield nil registry")
+	}
+	reg := NewRegistry()
+	m.SetObserver(fakeProvider{reg: reg})
+	if FromMeter(m) != reg {
+		t.Fatalf("provider observer must yield its registry")
+	}
+}

@@ -1,0 +1,58 @@
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+)
+
+// WritePrometheus renders the registry in Prometheus text exposition format
+// (version 0.0.4): `# HELP` / `# TYPE` headers per family, `_bucket{le=}` /
+// `_sum` / `_count` series for histograms, families sorted by name. Safe on
+// a nil receiver (writes nothing).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	var lastFamily string
+	for _, p := range r.Snapshot() {
+		if p.Name != lastFamily {
+			if p.Help != "" {
+				fmt.Fprintf(bw, "# HELP %s %s\n", p.Name, p.Help)
+			}
+			fmt.Fprintf(bw, "# TYPE %s %s\n", p.Name, p.Type)
+			lastFamily = p.Name
+		}
+		switch p.Type {
+		case "histogram":
+			for _, b := range p.Buckets {
+				le := "+Inf"
+				if b.UpperNS != nil {
+					le = fmt.Sprintf("%d", *b.UpperNS)
+				}
+				fmt.Fprintf(bw, "%s_bucket{le=%q} %d\n", p.Name, le, b.Count)
+			}
+			fmt.Fprintf(bw, "%s_sum %d\n", p.Name, p.Sum)
+			fmt.Fprintf(bw, "%s_count %d\n", p.Name, p.Count)
+		default:
+			if p.Labels != "" {
+				fmt.Fprintf(bw, "%s{%s} %d\n", p.Name, p.Labels, p.Value)
+			} else {
+				fmt.Fprintf(bw, "%s %d\n", p.Name, p.Value)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteFile writes the exposition to path (0644, truncating).
+func (r *Registry) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.WritePrometheus(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

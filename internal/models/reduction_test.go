@@ -6,7 +6,10 @@ import (
 	"testing"
 
 	"opentla/internal/check"
+	"opentla/internal/engine"
 	"opentla/internal/form"
+	"opentla/internal/metrics"
+	"opentla/internal/obs"
 	"opentla/internal/reduce"
 	"opentla/internal/state"
 	"opentla/internal/ts"
@@ -190,5 +193,75 @@ func TestReducedBuildDeterministic(t *testing.T) {
 				}
 			})
 		}
+	}
+}
+
+// TestReducedBuildFlightRecorder pins the observability side of -reduce
+// por,sym: a reduced build through an instrumented meter must land a
+// "reduce" event in the flight-recorder ring, a reduction section in the
+// run report, and the opentla_reduce_* counters in the metric snapshot.
+// Run with -race and -cpu 1,4: the recorder seams are the only shared
+// state between the build workers and the coordinator.
+func TestReducedBuildFlightRecorder(t *testing.T) {
+	for _, m := range All() {
+		if m.Symmetry == nil {
+			continue // por,sym needs a declared group
+		}
+		t.Run(m.Name, func(t *testing.T) {
+			meter := engine.NoLimit()
+			rec := obs.New(meter)
+			reg := metrics.NewRegistry()
+			rec.SetMetrics(reg)
+
+			// A small visible set (as -reduce derives from the checked
+			// property) keeps the ample machinery engaged; without one POR
+			// declines and only symmetry runs.
+			full := buildModel(t, m, nil, 0)
+			probes := buildProbes(m, full)
+
+			sys := m.System()
+			sys.Reduce = &reduce.Config{
+				Options:  reduce.Options{POR: true, Sym: true},
+				Symmetry: m.Symmetry,
+				Visible:  probes[len(probes)-1].visible,
+			}
+			sys.Workers = 4
+			if _, err := sys.BuildWith(meter); err != nil {
+				t.Fatalf("reduced build: %v", err)
+			}
+
+			// The ring may also hold advisory reduce events ("POR
+			// disabled: ..."); at least one must carry the tallies.
+			var statsEvents int
+			for _, e := range rec.Events() {
+				if e.Kind == "reduce" && strings.Contains(e.Msg, "sym-collapsed") {
+					statsEvents++
+					if !strings.Contains(e.Msg, "ample") {
+						t.Errorf("reduce event %q missing the ample tally", e.Msg)
+					}
+				}
+			}
+			if statsEvents == 0 {
+				t.Fatalf("no reduce statistics event in the flight recorder ring: %+v", rec.Events())
+			}
+
+			rep := rec.Finish("test", obs.Config{Model: m.Name, Workers: 4}, engine.Holds, "")
+			if rep.Reduction == nil {
+				t.Fatal("report has no reduction section")
+			}
+			if rep.Reduction.AmpleStates+rep.Reduction.FullStates == 0 {
+				t.Errorf("reduction section counted no expansions: %+v", rep.Reduction)
+			}
+
+			byName := map[string]int64{}
+			for _, p := range rep.Metrics {
+				if p.Labels == "" {
+					byName[p.Name] = p.Value
+				}
+			}
+			if byName["opentla_reduce_ample_states_total"]+byName["opentla_reduce_full_states_total"] == 0 {
+				t.Errorf("opentla_reduce_* counters absent from metrics snapshot: %v", byName)
+			}
+		})
 	}
 }

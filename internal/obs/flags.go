@@ -7,6 +7,9 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"time"
+
+	"opentla/internal/metrics"
+	"opentla/internal/trace"
 )
 
 // ProfileFlags carries the pprof flags shared by every CLI.
@@ -69,30 +72,100 @@ func (p *ProfileFlags) Start() (func() error, error) {
 
 // Flags bundles the observability flags of the checking CLIs.
 type Flags struct {
-	// Progress is the live-progress interval (0 = off).
-	Progress time.Duration
+	// Progress turns on the live-progress line.
+	Progress bool
+	// ProgressInterval is the progress ticker period (default 1s). It must
+	// be positive; Validate rejects anything else.
+	ProgressInterval time.Duration
 	// Report is the run-report output path ("" = none).
 	Report string
 	// StallTimeout arms the stall watchdog: a build making zero progress
 	// for this long is aborted to an UNKNOWN verdict (0 = off).
 	StallTimeout time.Duration
+	// Trace is the Chrome Trace Event JSON output path ("" = no tracing).
+	Trace string
+	// MetricsOut is the Prometheus text exposition output path ("" = no
+	// metric registry).
+	MetricsOut string
 	*ProfileFlags
 }
 
-// AddFlags registers -progress, -report, -stall-timeout, -cpuprofile, and
-// -memprofile.
+// AddFlags registers -progress, -progress-interval, -report, -stall-timeout,
+// -trace, -metrics-out, -cpuprofile, and -memprofile.
 func AddFlags(fs *flag.FlagSet) *Flags {
 	f := &Flags{ProfileFlags: AddProfileFlags(fs)}
-	fs.DurationVar(&f.Progress, "progress", 0,
-		"print a live progress line to stderr at this interval (e.g. 1s; 0 = off)")
+	fs.BoolVar(&f.Progress, "progress", false,
+		"print a live progress line to stderr (period set by -progress-interval)")
+	fs.DurationVar(&f.ProgressInterval, "progress-interval", time.Second,
+		"live-progress ticker period (must be > 0)")
 	fs.StringVar(&f.Report, "report", "",
 		"write a machine-readable JSON run report to this file")
 	fs.DurationVar(&f.StallTimeout, "stall-timeout", 0,
 		"abort to UNKNOWN when no exploration progress happens for this long (e.g. 30s; 0 = off)")
+	fs.StringVar(&f.Trace, "trace", "",
+		"write a Chrome Trace Event JSON timeline (per-worker tracks) to this file")
+	fs.StringVar(&f.MetricsOut, "metrics-out", "",
+		"write Prometheus text exposition of the run's performance counters to this file")
 	return f
+}
+
+// Validate rejects flag combinations AddFlags cannot: currently a
+// non-positive -progress-interval, which would wedge or spin the ticker.
+func (f *Flags) Validate() error {
+	if f.ProgressInterval <= 0 {
+		return fmt.Errorf("-progress-interval must be positive, got %v", f.ProgressInterval)
+	}
+	return nil
+}
+
+// ProgressPeriod returns the ticker period StartProgress should use: the
+// configured interval when -progress is on, 0 (disabled) otherwise.
+func (f *Flags) ProgressPeriod() time.Duration {
+	if f.Progress {
+		return f.ProgressInterval
+	}
+	return 0
 }
 
 // Enabled reports whether the flags call for a recorder.
 func (f *Flags) Enabled() bool {
-	return f.Progress > 0 || f.Report != "" || f.StallTimeout > 0
+	return f.Progress || f.Report != "" || f.StallTimeout > 0 || f.Trace != "" || f.MetricsOut != ""
+}
+
+// Telemetry creates and attaches the performance-telemetry sinks the flags
+// ask for — a tracer for -trace, a metric registry for -metrics-out (or for
+// the report's metrics section when tracing): the registry rides along with
+// the tracer so a captured timeline always has its counters next to it.
+// Returns the sinks (nil when not requested) for the CLI to write out after
+// the run. Nil-safe on a nil recorder (returns nils: no recorder, no seam).
+func (f *Flags) Telemetry(rec *Recorder) (*trace.Tracer, *metrics.Registry) {
+	if rec == nil {
+		return nil, nil
+	}
+	var tr *trace.Tracer
+	var reg *metrics.Registry
+	if f.Trace != "" {
+		tr = trace.New()
+		rec.SetTracer(tr)
+	}
+	if f.MetricsOut != "" || f.Trace != "" {
+		reg = metrics.NewRegistry()
+		rec.SetMetrics(reg)
+	}
+	return tr, reg
+}
+
+// WriteTelemetry writes the -trace and -metrics-out files, if requested.
+func (f *Flags) WriteTelemetry(tr *trace.Tracer, reg *metrics.Registry) error {
+	if f.Trace != "" && tr != nil {
+		if err := tr.WriteFile(f.Trace); err != nil {
+			return err
+		}
+	}
+	if f.MetricsOut != "" && reg != nil {
+		if err := reg.WriteFile(f.MetricsOut); err != nil {
+			return fmt.Errorf("metrics: %w", err)
+		}
+	}
+	return nil
 }

@@ -32,6 +32,8 @@ import (
 	"time"
 
 	"opentla/internal/engine"
+	"opentla/internal/metrics"
+	"opentla/internal/trace"
 )
 
 // ringSize is the flight-recorder capacity: enough to hold the full level
@@ -83,6 +85,13 @@ type Recorder struct {
 	cache     CacheStats            // graph-cache outcome counters, fed by ObserveEvent
 	reduction engine.ReductionStats // summed across explorations, fed by ObserveReduction
 
+	// Performance-telemetry sinks, attached before the run starts. The
+	// exploration layers reach them through trace.FromMeter /
+	// metrics.FromMeter, which type-assert this recorder via the meter's
+	// observer — so the engine package never imports either.
+	tracer  *trace.Tracer
+	metrics *metrics.Registry
+
 	// Progress gauges, written at frontier level barriers.
 	gaugeOp      atomic.Value // string: the exploration op label
 	gaugeLevel   atomic.Int64
@@ -111,6 +120,50 @@ func FromMeter(m *engine.Meter) *Recorder {
 	}
 	r, _ := m.Observer().(*Recorder)
 	return r
+}
+
+// SetTracer attaches a perf tracer; phase spans closed after this call also
+// land on the tracer's "phases" track. Call before the run starts. Nil-safe.
+func (r *Recorder) SetTracer(t *trace.Tracer) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.tracer = t
+	r.mu.Unlock()
+}
+
+// Tracer returns the attached perf tracer, or nil. It is the optional
+// observer interface trace.FromMeter discovers.
+func (r *Recorder) Tracer() *trace.Tracer {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.tracer
+}
+
+// SetMetrics attaches a metric registry; Finish snapshots it into the
+// report's metrics section. Call before the run starts. Nil-safe.
+func (r *Recorder) SetMetrics(reg *metrics.Registry) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.metrics = reg
+	r.mu.Unlock()
+}
+
+// Metrics returns the attached metric registry, or nil. It is the optional
+// observer interface metrics.FromMeter discovers.
+func (r *Recorder) Metrics() *metrics.Registry {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.metrics
 }
 
 var noop = func() {}
@@ -154,6 +207,9 @@ func (r *Recorder) Span(name string) func() {
 					break
 				}
 			}
+			// Mirror the closed phase onto the perf timeline, so the trace
+			// shows build/check phases above the per-worker tracks.
+			r.tracer.Phase(s.name, s.start, s.end)
 		})
 	}
 }

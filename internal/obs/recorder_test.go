@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"opentla/internal/engine"
+	"opentla/internal/metrics"
 )
 
 var update = flag.Bool("update", false, "rewrite the golden files")
@@ -346,6 +347,13 @@ func goldenReport(t *testing.T) *Report {
 	r.ObserveReduction("ts.Build(demo/closure)", engine.ReductionStats{
 		AmpleStates: 4, FullStates: 2, AmpleSuccs: 6, FullSuccs: 9, SymCollapsed: 3,
 	})
+	// A deterministic telemetry registry, pinning the metrics section shape.
+	reg := metrics.NewRegistry()
+	reg.Counter("opentla_store_lock_acquisitions_total", "store shard-lock acquisitions").Add(12)
+	reg.LabeledCounter("opentla_store_lock_contended_total", "contended shard-lock acquisitions", "shard", "3").Add(2)
+	reg.Gauge("opentla_workers", "worker count of the last exploration").Set(2)
+	reg.Histogram("opentla_barrier_wait_nanoseconds", "per-worker barrier wait", []int64{1000, 1000000}).Observe(4000)
+	r.SetMetrics(reg)
 	endBuild()
 	endTheorem()
 	rep := r.Finish("goldentest", Config{

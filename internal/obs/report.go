@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"opentla/internal/engine"
+	"opentla/internal/metrics"
 )
 
 // SchemaVersion identifies the run-report JSON schema. Bump it on any
@@ -19,8 +20,11 @@ import (
 // self-healing cache counters (quarantined, temp_swept, gc_removed,
 // retries) and the "stall"/"cache-*" flight-recorder event kinds;
 // version 5 added the reduction section (POR/symmetry statistics), the
-// config "reduce" field, and the "reduce" flight-recorder event kind.
-const SchemaVersion = 5
+// config "reduce" field, and the "reduce" flight-recorder event kind;
+// version 6 added the metrics section (performance-telemetry counter/
+// gauge/histogram snapshot, present when the run attached a registry via
+// -trace or -metrics-out).
+const SchemaVersion = 6
 
 // Report is the versioned machine-readable run report written by -report.
 type Report struct {
@@ -47,6 +51,10 @@ type Report struct {
 	// Reduction summarizes state-space reduction activity (-reduce),
 	// present when any exploration reported reduction statistics.
 	Reduction *ReductionReport `json:"reduction,omitempty"`
+	// Metrics is the performance-telemetry snapshot (sorted by name),
+	// present when the run attached a metric registry (-trace or
+	// -metrics-out).
+	Metrics []metrics.Point `json:"metrics,omitempty"`
 	// Span is the root of the phase tree; child spans carry per-phase
 	// RunStats deltas that account for the top-level Stats.
 	Span *Span `json:"span"`
@@ -262,6 +270,9 @@ func (r *Recorder) Finish(tool string, cfg Config, v engine.Verdict, unknownReas
 			FullSuccs:    rs.FullSuccs,
 			SymCollapsed: rs.SymCollapsed,
 		}
+	}
+	if reg := r.Metrics(); reg != nil {
+		rep.Metrics = reg.Snapshot()
 	}
 	if v == engine.Unknown {
 		for _, e := range r.Events() {

@@ -1,0 +1,96 @@
+package store
+
+import (
+	"strconv"
+	"sync/atomic"
+
+	"opentla/internal/metrics"
+)
+
+// Metrics counts the interner's lock behavior and collision probes for the
+// performance-telemetry layer. The exploration attaches one per Store via
+// SetMetrics; with none attached the hot paths pay a single atomic pointer
+// load and branch (the "nil fast path" the telemetry overhead gate pins).
+//
+// Three totals are kept:
+//
+//   - lock acquisitions: every time a shard mutex is taken (Intern, batch
+//     shard visits, Lookup, State);
+//   - contended acquisitions: those where TryLock failed and the caller had
+//     to block — the direct measure of shard contention, attributed
+//     per-shard so a skewed fingerprint distribution is visible;
+//   - collision probes: structural-equality comparisons inside buckets, the
+//     price of fingerprint collisions (and of dedup hits, which probe once).
+type Metrics struct {
+	acquisitions *metrics.Counter
+	contended    *metrics.Counter
+	probes       *metrics.Counter
+	reg          *metrics.Registry
+	perShard     [numShards]atomic.Int64
+}
+
+// NewMetrics returns store metrics registered in reg, or nil for a nil
+// registry (nil *Metrics disables all counting).
+func NewMetrics(reg *metrics.Registry) *Metrics {
+	if reg == nil {
+		return nil
+	}
+	return &Metrics{
+		acquisitions: reg.Counter("opentla_store_lock_acquisitions_total",
+			"store shard-lock acquisitions"),
+		contended: reg.Counter("opentla_store_lock_contended_total",
+			"store shard-lock acquisitions that had to block"),
+		probes: reg.Counter("opentla_store_collision_probes_total",
+			"structural-equality probes inside fingerprint buckets"),
+		reg: reg,
+	}
+}
+
+// Flush exports the per-shard contention breakdown as labeled counters,
+// skipping shards that never contended so the report stays readable.
+// Call after exploration finishes; safe on a nil receiver.
+func (sm *Metrics) Flush() {
+	if sm == nil {
+		return
+	}
+	for i := range sm.perShard {
+		if n := sm.perShard[i].Swap(0); n > 0 {
+			sm.reg.LabeledCounter("opentla_store_lock_contended_total",
+				"store shard-lock acquisitions that had to block",
+				"shard", strconv.Itoa(i)).Add(n)
+		}
+	}
+}
+
+// SetMetrics attaches (or, with nil, detaches) contention counting. Safe to
+// call concurrently with interning, though the intended use is once, before
+// the exploration starts.
+func (st *Store) SetMetrics(sm *Metrics) { st.metrics.Store(sm) }
+
+// lock takes a shard's mutex, counting the acquisition and — when TryLock
+// fails — the contention, if metrics are attached. The disabled path is one
+// atomic load and branch.
+func (st *Store) lock(sh *shard, shardIdx uint64) {
+	sm := st.metrics.Load()
+	if sm == nil {
+		sh.mu.Lock()
+		return
+	}
+	sm.acquisitions.Inc()
+	if sh.mu.TryLock() {
+		return
+	}
+	sm.contended.Inc()
+	sm.perShard[shardIdx].Add(1)
+	sh.mu.Lock()
+}
+
+// addProbes records n structural-equality probes, if metrics are attached.
+func (st *Store) addProbes(n int64) {
+	if n == 0 {
+		return
+	}
+	if sm := st.metrics.Load(); sm != nil {
+		sm.probes.Add(n)
+	}
+}

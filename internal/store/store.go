@@ -58,9 +58,10 @@ type shard struct {
 
 // Store is a sharded, concurrency-safe interned-state store.
 type Store struct {
-	hash   Hash
-	count  atomic.Int64
-	shards [numShards]shard
+	hash    Hash
+	count   atomic.Int64
+	metrics atomic.Pointer[Metrics] // nil unless telemetry attached (SetMetrics)
+	shards  [numShards]shard
 }
 
 // New returns an empty store deduplicating by state.Fingerprint.
@@ -87,10 +88,13 @@ func NewWithHash(h Hash) *Store {
 func (st *Store) Intern(s *state.State) (Ref, bool) {
 	fp := st.hash(s)
 	sh := &st.shards[fp&shardMask]
-	sh.mu.Lock()
+	st.lock(sh, fp&shardMask)
+	var probes int64
 	for _, e := range sh.buckets[fp] {
+		probes++
 		if e.st.Equal(s) {
 			sh.mu.Unlock()
+			st.addProbes(probes)
 			return e.ref, false
 		}
 	}
@@ -98,6 +102,7 @@ func (st *Store) Intern(s *state.State) (Ref, bool) {
 	sh.states = append(sh.states, s)
 	sh.buckets[fp] = append(sh.buckets[fp], entry{st: s, ref: ref})
 	sh.mu.Unlock()
+	st.addProbes(probes)
 	st.count.Add(1)
 	return ref, true
 }
@@ -120,13 +125,14 @@ func (st *Store) InternBatch(batch []*state.State, fps []uint64, refs []Ref, add
 		refs[i] = noRef
 	}
 	newCount := 0
+	var probes int64
 	for i := range batch {
 		if refs[i] != noRef {
 			continue
 		}
 		shardIdx := fps[i] & shardMask
 		sh := &st.shards[shardIdx]
-		sh.mu.Lock()
+		st.lock(sh, shardIdx)
 		for j := i; j < len(batch); j++ {
 			if refs[j] != noRef || fps[j]&shardMask != shardIdx {
 				continue
@@ -134,6 +140,7 @@ func (st *Store) InternBatch(batch []*state.State, fps []uint64, refs []Ref, add
 			fp, s := fps[j], batch[j]
 			found := false
 			for _, e := range sh.buckets[fp] {
+				probes++
 				if e.st.Equal(s) {
 					refs[j], added[j] = e.ref, false
 					found = true
@@ -150,6 +157,7 @@ func (st *Store) InternBatch(batch []*state.State, fps []uint64, refs []Ref, add
 		}
 		sh.mu.Unlock()
 	}
+	st.addProbes(probes)
 	if newCount > 0 {
 		st.count.Add(int64(newCount))
 	}
@@ -167,7 +175,7 @@ func (r Ref) Dense() int { return int(r) }
 func (st *Store) Lookup(s *state.State) (Ref, bool) {
 	fp := st.hash(s)
 	sh := &st.shards[fp&shardMask]
-	sh.mu.Lock()
+	st.lock(sh, fp&shardMask)
 	defer sh.mu.Unlock()
 	for _, e := range sh.buckets[fp] {
 		if e.st.Equal(s) {

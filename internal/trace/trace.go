@@ -1,110 +1,233 @@
-// Package trace renders behaviors and counterexamples in the row-per-
-// variable tabular style of Figure 2 of Abadi & Lamport, "Open Systems in
-// TLA", where each column is a state and each row tracks one variable.
+// Package trace is the perf-tracing half of the telemetry layer: per-worker
+// event buffers emitting Chrome Trace Event Format JSON, loadable in
+// Perfetto or chrome://tracing. (Behavior/counterexample tables live in
+// internal/tracetab.)
+//
+// The hot-path contract mirrors internal/metrics:
+//
+//   - Disabled is free. A nil *Tracer hands out nil *Tracks, and every
+//     Track method is a nil-safe no-op, so instrumented code pays one
+//     pointer check when tracing is off.
+//   - Enabled is cheap and concurrency-safe by construction, not by
+//     locking. Each Track is a single-writer event buffer: exactly one
+//     goroutine appends to it at a time. The frontier explorer gives each
+//     BFS worker its own track; reuse across sequential explorations is
+//     safe because the coordinator's barrier (WaitGroup + channel close)
+//     orders one level's writes before the next level's. The Tracer's lock
+//     guards only track creation and export.
+//   - Args are flat int64 key/values (KV), so recording a slice never
+//     allocates a map and never formats a string.
+//
+// Timestamps are nanoseconds since the Tracer was created, exported as
+// fractional microseconds (the unit Chrome's trace format specifies).
 package trace
 
 import (
+	"encoding/json"
 	"fmt"
-	"strings"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"time"
 
-	"opentla/internal/state"
+	"opentla/internal/engine"
 )
 
-// Table renders the behavior as a table with one row per variable (in the
-// given order) and one column per state.
-func Table(b state.Behavior, vars []string) string {
-	cols := make([][]string, len(b))
-	for i, s := range b {
-		cols[i] = column(s, vars)
-	}
-	return render(vars, cols, -1)
+// KV is one integer-valued slice argument, e.g. {"level", 12}.
+type KV struct {
+	K string
+	V int64
 }
 
-// LassoTable renders a lasso, marking the start of the cycle.
-func LassoTable(l *state.Lasso, vars []string) string {
-	n := l.Horizon()
-	cols := make([][]string, n)
-	for i := 0; i < n; i++ {
-		cols[i] = column(l.At(i), vars)
-	}
-	return render(vars, cols, l.PrefixLen())
+type event struct {
+	name  string
+	cat   string
+	start int64 // ns since tracer start
+	dur   int64 // ns
+	args  []KV
 }
 
-func column(s *state.State, vars []string) []string {
-	out := make([]string, len(vars))
-	for i, v := range vars {
-		if val, ok := s.Get(v); ok {
-			out[i] = val.String()
-		} else {
-			out[i] = "-"
+// Track is a single-writer timeline: one Perfetto row. Obtain tracks from
+// Tracer.Track; at most one goroutine may append to a given track at a time
+// (appends in different episodes must be ordered by happens-before, which
+// the frontier barrier provides).
+type Track struct {
+	tracer *Tracer
+	tid    int64
+	name   string
+	events []event
+}
+
+// Slice records a complete event [start, end) with category cat. Safe on a
+// nil receiver. args are copied by the variadic call itself; no further
+// allocation happens per slice beyond the buffer append.
+func (tk *Track) Slice(cat, name string, start, end time.Time, args ...KV) {
+	if tk == nil {
+		return
+	}
+	s := start.Sub(tk.tracer.start).Nanoseconds()
+	d := end.Sub(start).Nanoseconds()
+	if d < 0 {
+		d = 0
+	}
+	tk.events = append(tk.events, event{name: name, cat: cat, start: s, dur: d, args: args})
+}
+
+// Tracer owns the run's tracks and the export path.
+type Tracer struct {
+	start  time.Time
+	mu     sync.Mutex
+	tracks []*Track
+	byName map[string]*Track
+}
+
+// New returns a tracer whose clock starts now.
+func New() *Tracer {
+	return &Tracer{start: time.Now(), byName: make(map[string]*Track)}
+}
+
+// Track returns the track with the given display name, creating it on first
+// use. Tids are assigned in creation order, so creating worker tracks first
+// keeps them at the top of the Perfetto timeline. Safe on a nil receiver
+// (returns nil).
+func (t *Tracer) Track(name string) *Track {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if tk, ok := t.byName[name]; ok {
+		return tk
+	}
+	tk := &Track{tracer: t, tid: int64(len(t.tracks)), name: name}
+	t.tracks = append(t.tracks, tk)
+	t.byName[name] = tk
+	return tk
+}
+
+// Phase records a coarse phase span (build, safety, liveness, ...) on the
+// shared "phases" track. Unlike Track.Slice it takes the tracer lock — phase
+// boundaries are rare and driver-side, so contention is irrelevant. Safe on
+// a nil receiver.
+func (t *Tracer) Phase(name string, start, end time.Time) {
+	if t == nil {
+		return
+	}
+	tk := t.Track("phases")
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := start.Sub(t.start).Nanoseconds()
+	d := end.Sub(start).Nanoseconds()
+	if d < 0 {
+		d = 0
+	}
+	tk.events = append(tk.events, event{name: name, cat: "phase", start: s, dur: d})
+}
+
+// jsonEvent is the Chrome Trace Event wire shape. ph "M" events carry
+// metadata (process/thread names); ph "X" events are complete slices with
+// ts/dur in microseconds.
+type jsonEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat,omitempty"`
+	Ph   string            `json:"ph"`
+	PID  int               `json:"pid"`
+	TID  int64             `json:"tid"`
+	TS   float64           `json:"ts"`
+	Dur  *float64          `json:"dur,omitempty"`
+	Args map[string]int64  `json:"args,omitempty"`
+	Meta map[string]string `json:"-"`
+}
+
+// MarshalJSON emits metadata args as strings and slice args as integers.
+func (e jsonEvent) MarshalJSON() ([]byte, error) {
+	type alias jsonEvent // break recursion
+	if e.Meta == nil {
+		return json.Marshal(alias(e))
+	}
+	return json.Marshal(struct {
+		alias
+		Args map[string]string `json:"args"`
+	}{alias: alias(e), Args: e.Meta})
+}
+
+func usec(ns int64) float64 { return float64(ns) / 1e3 }
+
+// Write renders the trace as a Chrome Trace Event JSON object
+// ({"traceEvents": [...]}): one thread_name metadata event per track, then
+// every slice sorted by (tid, start) for deterministic output. Safe on a
+// nil receiver (writes an empty trace). Call only after all writers have
+// finished.
+func (t *Tracer) Write(w io.Writer) error {
+	var events []jsonEvent
+	if t != nil {
+		t.mu.Lock()
+		tracks := append([]*Track(nil), t.tracks...)
+		t.mu.Unlock()
+		sort.Slice(tracks, func(i, j int) bool { return tracks[i].tid < tracks[j].tid })
+		events = append(events, jsonEvent{
+			Name: "process_name", Ph: "M", PID: 1,
+			Meta: map[string]string{"name": "opentla"},
+		})
+		for _, tk := range tracks {
+			events = append(events, jsonEvent{
+				Name: "thread_name", Ph: "M", PID: 1, TID: tk.tid,
+				Meta: map[string]string{"name": tk.name},
+			})
 		}
-	}
-	return out
-}
-
-func render(vars []string, cols [][]string, cycleAt int) string {
-	nameW := 0
-	for _, v := range vars {
-		if len(v) > nameW {
-			nameW = len(v)
-		}
-	}
-	widths := make([]int, len(cols))
-	for c, col := range cols {
-		w := 1
-		for _, cell := range col {
-			if len(cell) > w {
-				w = len(cell)
+		for _, tk := range tracks {
+			for _, e := range tk.events {
+				je := jsonEvent{
+					Name: e.name, Cat: e.cat, Ph: "X", PID: 1, TID: tk.tid,
+					TS: usec(e.start),
+				}
+				d := usec(e.dur)
+				je.Dur = &d
+				if len(e.args) > 0 {
+					je.Args = make(map[string]int64, len(e.args))
+					for _, kv := range e.args {
+						je.Args[kv.K] = kv.V
+					}
+				}
+				events = append(events, je)
 			}
 		}
-		widths[c] = w
 	}
-	var sb strings.Builder
-	// Header row: state indices, with a cycle marker.
-	fmt.Fprintf(&sb, "%-*s", nameW+1, "")
-	for c := range cols {
-		marker := " "
-		if c == cycleAt {
-			marker = "|"
-		}
-		fmt.Fprintf(&sb, "%s%*d", marker, widths[c], c)
-	}
-	sb.WriteByte('\n')
-	for r, v := range vars {
-		fmt.Fprintf(&sb, "%-*s:", nameW, v)
-		for c := range cols {
-			marker := " "
-			if c == cycleAt {
-				marker = "|"
-			}
-			fmt.Fprintf(&sb, "%s%*s", marker, widths[c], cols[c][r])
-		}
-		sb.WriteByte('\n')
-	}
-	if cycleAt >= 0 {
-		fmt.Fprintf(&sb, "(cycle repeats from column %d)\n", cycleAt)
-	}
-	return sb.String()
+	out := struct {
+		DisplayTimeUnit string      `json:"displayTimeUnit"`
+		TraceEvents     []jsonEvent `json:"traceEvents"`
+	}{DisplayTimeUnit: "ms", TraceEvents: events}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
 }
 
-// Diff returns the names of variables that change between consecutive
-// states, one entry per step — useful for narrating counterexamples.
-func Diff(b state.Behavior) []string {
-	var out []string
-	for i := 0; i+1 < len(b); i++ {
-		var changed []string
-		for _, v := range b[i].Vars() {
-			av, _ := b[i].Get(v)
-			bv, ok := b[i+1].Get(v)
-			if !ok || !av.Equal(bv) {
-				changed = append(changed, v)
-			}
-		}
-		if len(changed) == 0 {
-			out = append(out, "(stutter)")
-		} else {
-			out = append(out, strings.Join(changed, ", "))
-		}
+// WriteFile writes the trace JSON to path (0644, truncating).
+func (t *Tracer) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("trace: %w", err)
 	}
-	return out
+	if err := t.Write(f); err != nil {
+		f.Close()
+		return fmt.Errorf("trace: write %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+// provider is the optional interface an engine.Observer implements to expose
+// a tracer; obs.Recorder implements it. The indirection keeps engine free of
+// a trace dependency.
+type provider interface{ Tracer() *Tracer }
+
+// FromMeter returns the tracer attached to m's observer, or nil. The nil
+// path costs one interface check per exploration, not per slice.
+func FromMeter(m *engine.Meter) *Tracer {
+	if m == nil {
+		return nil
+	}
+	if p, ok := m.Observer().(provider); ok {
+		return p.Tracer()
+	}
+	return nil
 }

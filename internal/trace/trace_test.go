@@ -1,51 +1,209 @@
 package trace
 
 import (
-	"strings"
+	"bytes"
+	"encoding/json"
+	"os"
+	"sync"
 	"testing"
+	"time"
 
-	"opentla/internal/state"
-	"opentla/internal/value"
+	"opentla/internal/engine"
 )
 
-func TestTable(t *testing.T) {
-	b := state.Behavior{
-		state.FromPairs("x", value.Int(0), "y", value.Int(10)),
-		state.FromPairs("x", value.Int(1), "y", value.Int(10)),
+// decoded mirrors the wire shape loosely for assertions.
+type decoded struct {
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+	TraceEvents     []struct {
+		Name string          `json:"name"`
+		Cat  string          `json:"cat"`
+		Ph   string          `json:"ph"`
+		PID  int             `json:"pid"`
+		TID  int64           `json:"tid"`
+		TS   float64         `json:"ts"`
+		Dur  *float64        `json:"dur"`
+		Args json.RawMessage `json:"args"`
+	} `json:"traceEvents"`
+}
+
+func render(t *testing.T, tr *Tracer) decoded {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
 	}
-	got := Table(b, []string{"x", "y"})
-	if !strings.Contains(got, "x:") || !strings.Contains(got, "y:") {
-		t.Fatalf("missing rows:\n%s", got)
+	var d decoded
+	if err := json.Unmarshal(buf.Bytes(), &d); err != nil {
+		t.Fatalf("trace output is not valid JSON: %v\n%s", err, buf.String())
 	}
-	if !strings.Contains(got, "10") {
-		t.Fatalf("missing value:\n%s", got)
+	return d
+}
+
+func TestNilTracerIsNoop(t *testing.T) {
+	var tr *Tracer
+	tk := tr.Track("worker 0")
+	if tk != nil {
+		t.Fatalf("nil tracer must hand out nil tracks")
 	}
-	// Unbound variables render as "-".
-	got = Table(b, []string{"z"})
-	if !strings.Contains(got, "-") {
-		t.Fatalf("unbound variable should render as '-':\n%s", got)
+	tk.Slice("expand", "op", time.Now(), time.Now(), KV{"level", 1})
+	tr.Phase("build", time.Now(), time.Now())
+	d := render(t, tr)
+	if len(d.TraceEvents) != 0 {
+		t.Fatalf("nil tracer must render an empty trace, got %d events", len(d.TraceEvents))
 	}
 }
 
-func TestLassoTable(t *testing.T) {
-	l := &state.Lasso{
-		Prefix: []*state.State{state.FromPairs("x", value.Int(0))},
-		Cycle:  []*state.State{state.FromPairs("x", value.Int(1)), state.FromPairs("x", value.Int(2))},
+func TestChromeTraceShape(t *testing.T) {
+	tr := New()
+	base := tr.start
+	w0 := tr.Track("worker 0")
+	w1 := tr.Track("worker 1")
+	if tr.Track("worker 0") != w0 {
+		t.Fatalf("Track must be get-or-create by name")
 	}
-	got := LassoTable(l, []string{"x"})
-	if !strings.Contains(got, "cycle repeats from column 1") {
-		t.Fatalf("missing cycle marker:\n%s", got)
+	w0.Slice("expand", "build:fig9", base.Add(10*time.Microsecond), base.Add(30*time.Microsecond),
+		KV{"level", 2}, KV{"states", 17})
+	w1.Slice("barrier", "barrier-wait", base.Add(30*time.Microsecond), base.Add(35*time.Microsecond))
+	tr.Phase("build", base, base.Add(40*time.Microsecond))
+
+	d := render(t, tr)
+	var meta, slices int
+	names := map[int64]string{}
+	for _, e := range d.TraceEvents {
+		if e.PID != 1 {
+			t.Fatalf("all events must share pid 1, got %d", e.PID)
+		}
+		switch e.Ph {
+		case "M":
+			meta++
+			if e.Name == "thread_name" {
+				var args struct {
+					Name string `json:"name"`
+				}
+				if err := json.Unmarshal(e.Args, &args); err != nil {
+					t.Fatal(err)
+				}
+				names[e.TID] = args.Name
+			}
+		case "X":
+			slices++
+			if e.Dur == nil || *e.Dur < 0 {
+				t.Fatalf("complete event %q must carry non-negative dur", e.Name)
+			}
+		default:
+			t.Fatalf("unexpected ph %q", e.Ph)
+		}
 	}
-	if !strings.Contains(got, "|") {
-		t.Fatalf("missing column marker:\n%s", got)
+	// process_name + three thread_names (worker 0, worker 1, phases).
+	if meta != 4 || slices != 3 {
+		t.Fatalf("got %d metadata / %d slice events, want 4/3", meta, slices)
+	}
+	if names[0] != "worker 0" || names[1] != "worker 1" || names[2] != "phases" {
+		t.Fatalf("track naming/tid order wrong: %v", names)
+	}
+	for _, e := range d.TraceEvents {
+		if e.Ph == "X" && e.Name == "build:fig9" {
+			if e.TID != 0 || e.TS != 10 || *e.Dur != 20 || e.Cat != "expand" {
+				t.Fatalf("slice fields wrong: tid=%d ts=%v dur=%v cat=%q", e.TID, e.TS, *e.Dur, e.Cat)
+			}
+			var args map[string]int64
+			if err := json.Unmarshal(e.Args, &args); err != nil {
+				t.Fatal(err)
+			}
+			if args["level"] != 2 || args["states"] != 17 {
+				t.Fatalf("slice args wrong: %v", args)
+			}
+		}
 	}
 }
 
-func TestDiff(t *testing.T) {
-	a := state.FromPairs("x", value.Int(0), "y", value.Int(0))
-	b := a.With("x", value.Int(1))
-	d := Diff(state.Behavior{a, b, b})
-	if len(d) != 2 || d[0] != "x" || d[1] != "(stutter)" {
-		t.Fatalf("Diff = %v", d)
+func TestNegativeDurationClamped(t *testing.T) {
+	tr := New()
+	tk := tr.Track("w")
+	now := time.Now()
+	tk.Slice("c", "backwards", now, now.Add(-time.Second))
+	d := render(t, tr)
+	for _, e := range d.TraceEvents {
+		if e.Ph == "X" && *e.Dur != 0 {
+			t.Fatalf("negative duration must clamp to 0, got %v", *e.Dur)
+		}
+	}
+}
+
+func TestConcurrentDistinctTracks(t *testing.T) {
+	tr := New()
+	const workers = 8
+	tracks := make([]*Track, workers)
+	for i := range tracks {
+		tracks[i] = tr.Track("worker " + string(rune('0'+i)))
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			now := time.Now()
+			for j := 0; j < 200; j++ {
+				tracks[i].Slice("expand", "op", now, now.Add(time.Microsecond), KV{"j", int64(j)})
+			}
+		}(i)
+	}
+	wg.Wait()
+	d := render(t, tr)
+	perTID := map[int64]int{}
+	for _, e := range d.TraceEvents {
+		if e.Ph == "X" {
+			perTID[e.TID]++
+		}
+	}
+	if len(perTID) != workers {
+		t.Fatalf("want %d busy tracks, got %d", workers, len(perTID))
+	}
+	for tid, n := range perTID {
+		if n != 200 {
+			t.Fatalf("track %d lost events: %d/200", tid, n)
+		}
+	}
+}
+
+func TestWriteFile(t *testing.T) {
+	tr := New()
+	tr.Track("worker 0").Slice("expand", "op", tr.start, tr.start.Add(time.Millisecond))
+	path := t.TempDir() + "/out.trace.json"
+	if err := tr.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d decoded
+	if err := json.Unmarshal(blob, &d); err != nil {
+		t.Fatalf("file is not valid trace JSON: %v", err)
+	}
+	if d.DisplayTimeUnit != "ms" || len(d.TraceEvents) == 0 {
+		t.Fatalf("unexpected trace file contents: %+v", d)
+	}
+}
+
+type fakeProvider struct {
+	engine.Observer
+	tr *Tracer
+}
+
+func (p fakeProvider) Tracer() *Tracer { return p.tr }
+
+func TestFromMeter(t *testing.T) {
+	if FromMeter(nil) != nil {
+		t.Fatalf("nil meter must yield nil tracer")
+	}
+	m := engine.NoLimit()
+	if FromMeter(m) != nil {
+		t.Fatalf("meter without observer must yield nil tracer")
+	}
+	tr := New()
+	m.SetObserver(fakeProvider{tr: tr})
+	if FromMeter(m) != tr {
+		t.Fatalf("provider observer must yield its tracer")
 	}
 }

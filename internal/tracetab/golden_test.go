@@ -1,4 +1,4 @@
-package trace_test
+package tracetab_test
 
 import (
 	"flag"
@@ -9,7 +9,7 @@ import (
 
 	"opentla/internal/handshake"
 	"opentla/internal/state"
-	"opentla/internal/trace"
+	"opentla/internal/tracetab"
 	"opentla/internal/value"
 )
 
@@ -44,8 +44,8 @@ func TestGoldenFig2Table(t *testing.T) {
 		t.Fatal(err)
 	}
 	var sb strings.Builder
-	sb.WriteString(trace.Table(b, []string{c.Ack(), c.Sig(), c.Val()}))
-	sb.WriteString("\nsteps: " + strings.Join(trace.Diff(b), " ; ") + "\n")
+	sb.WriteString(tracetab.Table(b, []string{c.Ack(), c.Sig(), c.Val()}))
+	sb.WriteString("\nsteps: " + strings.Join(tracetab.Diff(b), " ; ") + "\n")
 	golden(t, "fig2_table", sb.String())
 }
 
@@ -62,7 +62,7 @@ func TestGoldenLassoTable(t *testing.T) {
 			state.FromPairs("x", value.Int(3), "busy", value.True),
 		},
 	}
-	golden(t, "lasso_table", trace.LassoTable(l, []string{"x", "busy"}))
+	golden(t, "lasso_table", tracetab.LassoTable(l, []string{"x", "busy"}))
 }
 
 // TestGoldenDiff pins the change narration, including stutters and
@@ -71,6 +71,6 @@ func TestGoldenDiff(t *testing.T) {
 	a := state.FromPairs("x", value.Int(0), "y", value.Int(5))
 	b := a.With("x", value.Int(1))
 	c := b.With("y", value.Int(6)).With("x", value.Int(2))
-	got := strings.Join(trace.Diff(state.Behavior{a, b, b, c}), "\n") + "\n"
+	got := strings.Join(tracetab.Diff(state.Behavior{a, b, b, c}), "\n") + "\n"
 	golden(t, "diff", got)
 }

@@ -1,0 +1,110 @@
+// Package trace renders behaviors and counterexamples in the row-per-
+// variable tabular style of Figure 2 of Abadi & Lamport, "Open Systems in
+// TLA", where each column is a state and each row tracks one variable.
+package tracetab
+
+import (
+	"fmt"
+	"strings"
+
+	"opentla/internal/state"
+)
+
+// Table renders the behavior as a table with one row per variable (in the
+// given order) and one column per state.
+func Table(b state.Behavior, vars []string) string {
+	cols := make([][]string, len(b))
+	for i, s := range b {
+		cols[i] = column(s, vars)
+	}
+	return render(vars, cols, -1)
+}
+
+// LassoTable renders a lasso, marking the start of the cycle.
+func LassoTable(l *state.Lasso, vars []string) string {
+	n := l.Horizon()
+	cols := make([][]string, n)
+	for i := 0; i < n; i++ {
+		cols[i] = column(l.At(i), vars)
+	}
+	return render(vars, cols, l.PrefixLen())
+}
+
+func column(s *state.State, vars []string) []string {
+	out := make([]string, len(vars))
+	for i, v := range vars {
+		if val, ok := s.Get(v); ok {
+			out[i] = val.String()
+		} else {
+			out[i] = "-"
+		}
+	}
+	return out
+}
+
+func render(vars []string, cols [][]string, cycleAt int) string {
+	nameW := 0
+	for _, v := range vars {
+		if len(v) > nameW {
+			nameW = len(v)
+		}
+	}
+	widths := make([]int, len(cols))
+	for c, col := range cols {
+		w := 1
+		for _, cell := range col {
+			if len(cell) > w {
+				w = len(cell)
+			}
+		}
+		widths[c] = w
+	}
+	var sb strings.Builder
+	// Header row: state indices, with a cycle marker.
+	fmt.Fprintf(&sb, "%-*s", nameW+1, "")
+	for c := range cols {
+		marker := " "
+		if c == cycleAt {
+			marker = "|"
+		}
+		fmt.Fprintf(&sb, "%s%*d", marker, widths[c], c)
+	}
+	sb.WriteByte('\n')
+	for r, v := range vars {
+		fmt.Fprintf(&sb, "%-*s:", nameW, v)
+		for c := range cols {
+			marker := " "
+			if c == cycleAt {
+				marker = "|"
+			}
+			fmt.Fprintf(&sb, "%s%*s", marker, widths[c], cols[c][r])
+		}
+		sb.WriteByte('\n')
+	}
+	if cycleAt >= 0 {
+		fmt.Fprintf(&sb, "(cycle repeats from column %d)\n", cycleAt)
+	}
+	return sb.String()
+}
+
+// Diff returns the names of variables that change between consecutive
+// states, one entry per step — useful for narrating counterexamples.
+func Diff(b state.Behavior) []string {
+	var out []string
+	for i := 0; i+1 < len(b); i++ {
+		var changed []string
+		for _, v := range b[i].Vars() {
+			av, _ := b[i].Get(v)
+			bv, ok := b[i+1].Get(v)
+			if !ok || !av.Equal(bv) {
+				changed = append(changed, v)
+			}
+		}
+		if len(changed) == 0 {
+			out = append(out, "(stutter)")
+		} else {
+			out = append(out, strings.Join(changed, ", "))
+		}
+	}
+	return out
+}

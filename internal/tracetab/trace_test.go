@@ -1,0 +1,51 @@
+package tracetab
+
+import (
+	"strings"
+	"testing"
+
+	"opentla/internal/state"
+	"opentla/internal/value"
+)
+
+func TestTable(t *testing.T) {
+	b := state.Behavior{
+		state.FromPairs("x", value.Int(0), "y", value.Int(10)),
+		state.FromPairs("x", value.Int(1), "y", value.Int(10)),
+	}
+	got := Table(b, []string{"x", "y"})
+	if !strings.Contains(got, "x:") || !strings.Contains(got, "y:") {
+		t.Fatalf("missing rows:\n%s", got)
+	}
+	if !strings.Contains(got, "10") {
+		t.Fatalf("missing value:\n%s", got)
+	}
+	// Unbound variables render as "-".
+	got = Table(b, []string{"z"})
+	if !strings.Contains(got, "-") {
+		t.Fatalf("unbound variable should render as '-':\n%s", got)
+	}
+}
+
+func TestLassoTable(t *testing.T) {
+	l := &state.Lasso{
+		Prefix: []*state.State{state.FromPairs("x", value.Int(0))},
+		Cycle:  []*state.State{state.FromPairs("x", value.Int(1)), state.FromPairs("x", value.Int(2))},
+	}
+	got := LassoTable(l, []string{"x"})
+	if !strings.Contains(got, "cycle repeats from column 1") {
+		t.Fatalf("missing cycle marker:\n%s", got)
+	}
+	if !strings.Contains(got, "|") {
+		t.Fatalf("missing column marker:\n%s", got)
+	}
+}
+
+func TestDiff(t *testing.T) {
+	a := state.FromPairs("x", value.Int(0), "y", value.Int(0))
+	b := a.With("x", value.Int(1))
+	d := Diff(state.Behavior{a, b, b})
+	if len(d) != 2 || d[0] != "x" || d[1] != "(stutter)" {
+		t.Fatalf("Diff = %v", d)
+	}
+}

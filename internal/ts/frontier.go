@@ -7,8 +7,10 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"opentla/internal/engine"
+	"opentla/internal/metrics"
 	"opentla/internal/state"
 	"opentla/internal/store"
 )
@@ -101,6 +103,16 @@ func explore(p exploreParams) (*exploreResult, error) {
 	}
 
 	interned := store.New()
+	// Telemetry attaches only when the meter's observer exposes a tracer or a
+	// metric registry (internal/obs wires them in behind -trace/-metrics-out);
+	// otherwise telem stays nil and the hot paths below pay one pointer check.
+	// Store contention counting is gated the same way, behind an atomic
+	// pointer inside the store.
+	telem := newExploreTelemetry(m, workers)
+	if sm := store.NewMetrics(metrics.FromMeter(m)); sm != nil {
+		interned.SetMetrics(sm)
+		defer sm.Flush()
+	}
 	res := &exploreResult{idx: store.NewIndex()}
 	// Incrementally built CSR adjacency, committed one frontier row at a
 	// time at level barriers. offsets always carries the leading 0, so
@@ -250,6 +262,7 @@ func explore(p exploreParams) (*exploreResult, error) {
 		store:     interned,
 		scratch:   make([]workerScratch, workers),
 		committed: committed,
+		telem:     telem,
 	}
 	var merged []newlyInterned
 
@@ -283,6 +296,7 @@ func explore(p exploreParams) (*exploreResult, error) {
 		if w > n {
 			w = n
 		}
+		lv.level = level
 		lv.begin(res.states[levelStart:levelEnd], w)
 		if w <= 1 {
 			lv.work(0)
@@ -296,6 +310,10 @@ func explore(p exploreParams) (*exploreResult, error) {
 		}
 		if err := lv.firstErr(); err != nil {
 			return fail(err)
+		}
+		var drainDone time.Time
+		if telem != nil {
+			drainDone = time.Now()
 		}
 
 		// Barrier: number this level's discoveries, then remap and commit
@@ -318,6 +336,9 @@ func explore(p exploreParams) (*exploreResult, error) {
 			offsets = append(offsets, len(targets))
 		}
 		m.NoteFrontier(len(res.states) - levelEnd)
+		if telem != nil {
+			telem.barrierDone(level, w, drainDone, time.Now())
+		}
 		if obs != nil {
 			// Per-level counters for live progress and the flight recorder:
 			// BFS depth, the width just drained, the workers that drained it,
@@ -391,6 +412,13 @@ type workerScratch struct {
 	// collapsed counts successors whose canonical representative differed,
 	// accumulated across levels and summed once exploration finishes.
 	collapsed int64
+	// levelStates/levelSuccs/levelCanonNS tally one level's work for the
+	// telemetry "expand" slice (states expanded, successors emitted,
+	// canonicalization time); reset by begin. Private to the worker, so the
+	// adds are plain (non-atomic) and effectively free.
+	levelStates  int64
+	levelSuccs   int64
+	levelCanonNS int64
 }
 
 // levelRun is the shared scratch of one level's worker pool, reused across
@@ -404,7 +432,12 @@ type levelRun struct {
 	// committed is explore's barrier-granularity membership probe, handed to
 	// every expand call (see exploreParams.expand).
 	committed func(*state.State) bool
-	chunk     int64 // frontier indices claimed per atomic increment
+	// telem is the exploration's telemetry bundle (nil when disabled); level
+	// is the BFS level currently being drained, set by explore before begin
+	// and read by workers only for telemetry labels.
+	telem *exploreTelemetry
+	level int
+	chunk int64 // frontier indices claimed per atomic increment
 
 	next atomic.Int64 // frontier work index
 	stop atomic.Bool
@@ -425,6 +458,7 @@ func (lv *levelRun) begin(states []*state.State, w int) {
 		ws.arena = ws.arena[:0]
 		ws.news = ws.news[:0]
 		ws.realArena = ws.realArena[:0]
+		ws.levelStates, ws.levelSuccs, ws.levelCanonNS = 0, 0, 0
 	}
 	// Chunk so each worker claims ~8 batches per level: big enough to keep
 	// the shared counter cold, small enough to balance uneven expansions.
@@ -454,10 +488,23 @@ func (lv *levelRun) firstErr() error {
 	return lv.err
 }
 
-// work drains frontier chunks until the level (or the budget) is exhausted.
+// work runs one worker's share of a level. With telemetry attached it brackets
+// the drain with one timestamp pair, emitting the worker's per-level "expand"
+// slice and busy-time counters; without, it is a direct call into drain.
+func (lv *levelRun) work(wid int) {
+	if lv.telem == nil {
+		lv.drain(wid)
+		return
+	}
+	start := time.Now()
+	lv.drain(wid)
+	lv.telem.endDrain(wid, lv.level, &lv.scratch[wid], start)
+}
+
+// drain drains frontier chunks until the level (or the budget) is exhausted.
 // Panics in the expand callback are contained as *engine.EngineError
 // carrying the fingerprint of the state being expanded.
-func (lv *levelRun) work(wid int) {
+func (lv *levelRun) drain(wid int) {
 	p := lv.params
 	m := p.meter
 	ws := &lv.scratch[wid]
@@ -497,11 +544,17 @@ func (lv *levelRun) work(wid int) {
 				lv.setErr(err)
 				return
 			}
+			ws.levelStates++
+			ws.levelSuccs += int64(len(succs))
 			// Under canonicalization the graph interns representatives only;
 			// the real successors land in realArena, positionally aligned with
 			// arena so the barrier can zip ⟨canonical id, real state⟩ per edge.
 			interning := succs
 			if p.canon != nil {
+				var canonStart time.Time
+				if lv.telem != nil {
+					canonStart = time.Now()
+				}
 				if cap(ws.canonBuf) < len(succs) {
 					ws.canonBuf = make([]*state.State, len(succs))
 				}
@@ -512,6 +565,9 @@ func (lv *levelRun) work(wid int) {
 						ws.collapsed++
 					}
 					cb[j] = c
+				}
+				if lv.telem != nil {
+					ws.levelCanonNS += time.Since(canonStart).Nanoseconds()
 				}
 				ws.realArena = append(ws.realArena, succs...)
 				interning = cb

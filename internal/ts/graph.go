@@ -2,9 +2,11 @@ package ts
 
 import (
 	"fmt"
+	"time"
 
 	"opentla/internal/engine"
 	"opentla/internal/form"
+	"opentla/internal/metrics"
 	"opentla/internal/obs"
 	"opentla/internal/reduce"
 	"opentla/internal/state"
@@ -162,7 +164,9 @@ func (sys *System) BuildWith(m *engine.Meter) (*Graph, error) {
 	}
 	if rc != nil {
 		rc.symCollapsed.Add(res.symCollapsed)
-		m.NoteReduction(op, rc.stats())
+		stats := rc.stats()
+		m.NoteReduction(op, stats)
+		noteReductionMetrics(m, stats)
 	}
 	g := &Graph{
 		Sys:        sys,
@@ -210,21 +214,32 @@ func (sys *System) cacheSetup(m *engine.Meter) (string, *Snapshot) {
 }
 
 // cacheLoad consults the cache for a complete graph, noting the outcome in
-// the flight recorder. Corruption and validation failures degrade to a miss.
+// the flight recorder and the hit/miss counters (corruption counts as a
+// miss: the build goes cold either way). Corruption and validation failures
+// degrade to a miss, never to a wrong graph.
 func cacheLoad(c GraphCache, m *engine.Meter, desc string) *Snapshot {
+	defer observeCacheOp(m, "load", time.Now())
+	reg := metrics.FromMeter(m)
+	miss := func() {
+		reg.Counter("opentla_cache_misses_total", "graph cache lookups that went to a cold build").Inc()
+	}
 	snap, err := c.Load(desc)
 	switch {
 	case err != nil:
 		m.Note("cache-corrupt", fmt.Sprintf("cache entry unusable, cold build: %v", err))
+		miss()
 		return nil
 	case snap == nil:
 		m.Note("cache-miss", "no cached graph")
+		miss()
 		return nil
 	case !validSnapshot(snap, true):
 		m.Note("cache-corrupt", "cache entry fails validation, cold build")
+		miss()
 		return nil
 	}
 	m.Note("cache-hit", fmt.Sprintf("reusing cached graph: %d states, %d edges", len(snap.States), len(snap.Targets)))
+	reg.Counter("opentla_cache_hits_total", "graph cache lookups satisfied by a cached graph").Inc()
 	return snap
 }
 
@@ -234,6 +249,7 @@ func cacheStore(c GraphCache, m *engine.Meter, desc string, g *Graph) {
 	if c == nil || desc == "" {
 		return
 	}
+	defer observeCacheOp(m, "store", time.Now())
 	if err := c.Store(desc, g.Snapshot()); err != nil {
 		m.Note("cache-corrupt", fmt.Sprintf("storing cache entry: %v", err))
 	}
@@ -246,6 +262,7 @@ func checkpointSaver(c GraphCache, m *engine.Meter, desc string) func(*Snapshot)
 		return nil
 	}
 	return func(snap *Snapshot) {
+		defer observeCacheOp(m, "checkpoint", time.Now())
 		if err := c.StoreCheckpoint(desc, snap); err != nil {
 			m.Note("cache-corrupt", fmt.Sprintf("storing checkpoint: %v", err))
 			return

@@ -16,12 +16,16 @@
 //     verdicts — enforced, not merely reported.
 //
 // The recorder_overhead section carries the PR 3 acceptance gate forward:
-// what does an *enabled* recorder cost on the double-queue graph build?
+// what does an *enabled* recorder cost on the double-queue graph build? The
+// telemetry_overhead section applies the same interleaved best-of method to
+// the PR 8 performance-telemetry layer: a recorder with a tracer and metric
+// registry attached vs the recorder alone.
 //
 // Usage:
 //
 //	go run ./scripts/benchpr7 -n 1 -k 3 -workers 4 -out BENCH_PR7.json
 //	go run ./scripts/benchpr7 -overhead-check   # CI: recorder cost <= threshold
+//	go run ./scripts/benchpr7 -telemetry-check  # CI: trace+metrics cost <= threshold
 //	go run ./scripts/benchpr7 -scaling-check    # CI: parallel speedup gate
 //	go run ./scripts/benchpr7 -reduction-check  # CI: reduction ratio + verdict gate
 package main
@@ -37,8 +41,10 @@ import (
 	"time"
 
 	"opentla/internal/engine"
+	"opentla/internal/metrics"
 	"opentla/internal/obs"
 	"opentla/internal/queue"
+	"opentla/internal/trace"
 )
 
 // Measurement is one timed exploration run.
@@ -105,12 +111,13 @@ type Trajectory struct {
 
 // Report is the emitted BENCH_PR7.json document.
 type Report struct {
-	Instance         string          `json:"instance"`
-	GOMAXPROCS       int             `json:"gomaxprocs"`
-	Scaling          ParallelScaling `json:"parallel_scaling"`
-	Reduction        Reduction       `json:"reduction"`
-	RecorderOverhead Overhead        `json:"recorder_overhead"`
-	Trajectory       Trajectory      `json:"trajectory"`
+	Instance          string          `json:"instance"`
+	GOMAXPROCS        int             `json:"gomaxprocs"`
+	Scaling           ParallelScaling `json:"parallel_scaling"`
+	Reduction         Reduction       `json:"reduction"`
+	RecorderOverhead  Overhead        `json:"recorder_overhead"`
+	TelemetryOverhead Overhead        `json:"telemetry_overhead"`
+	Trajectory        Trajectory      `json:"trajectory"`
 
 	GeneratedAtSeconds int64 `json:"generated_at_unix"`
 }
@@ -133,7 +140,7 @@ const (
 func main() {
 	var n, k, workers, rounds int
 	var out, agcheckPath, reduceMode string
-	var overheadCheck, scalingCheck, reductionCheck bool
+	var overheadCheck, telemetryCheck, scalingCheck, reductionCheck bool
 	var threshold, scalingTarget, noRegressionFloor, reductionTarget float64
 	flag.IntVar(&n, "n", 1, "queue capacity N")
 	flag.IntVar(&k, "k", 3, "value-domain size K")
@@ -144,8 +151,10 @@ func main() {
 	flag.StringVar(&reduceMode, "reduce", "por,sym", "reduction mode for the reduction section")
 	flag.BoolVar(&overheadCheck, "overhead-check", false,
 		"only compare recorder-on vs recorder-off builds; exit 1 when over the threshold")
+	flag.BoolVar(&telemetryCheck, "telemetry-check", false,
+		"only compare recorder+trace+metrics builds vs recorder-only; exit 1 when over the threshold")
 	flag.Float64Var(&threshold, "overhead-threshold", 3.0,
-		"max tolerated recorder overhead percent for -overhead-check")
+		"max tolerated overhead percent for -overhead-check and -telemetry-check")
 	flag.BoolVar(&scalingCheck, "scaling-check", false,
 		"only measure the Fig. 9 parallel speedup; exit 1 below the target (>= 4 CPUs) or the no-regression floor (< 4 CPUs)")
 	flag.Float64Var(&scalingTarget, "scaling-target", 1.5,
@@ -166,6 +175,17 @@ func main() {
 			instance(n, k), rounds, ov.DisabledBestSeconds, ov.EnabledBestSeconds, ov.OverheadPct, threshold)
 		if ov.OverheadPct > threshold {
 			fmt.Fprintf(os.Stderr, "benchpr7: recorder overhead %.2f%% exceeds %.1f%%\n", ov.OverheadPct, threshold)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if telemetryCheck {
+		ov := measureTelemetryOverhead(cfg, workers, rounds)
+		fmt.Printf("telemetry overhead on %s build (best of %d): recorder-only %.3fs, +trace+metrics %.3fs, overhead %.2f%% (threshold %.1f%%)\n",
+			instance(n, k), rounds, ov.DisabledBestSeconds, ov.EnabledBestSeconds, ov.OverheadPct, threshold)
+		if ov.OverheadPct > threshold {
+			fmt.Fprintf(os.Stderr, "benchpr7: telemetry overhead %.2f%% exceeds %.1f%%\n", ov.OverheadPct, threshold)
 			os.Exit(1)
 		}
 		return
@@ -240,6 +260,7 @@ func main() {
 		fatal(err)
 	}
 	rep.RecorderOverhead = measureOverhead(cfg, workers, rounds)
+	rep.TelemetryOverhead = measureTelemetryOverhead(cfg, workers, rounds)
 
 	data, err := json.MarshalIndent(&rep, "", "  ")
 	if err != nil {
@@ -395,6 +416,50 @@ func measureOverhead(cfg queue.Config, workers, rounds int) Overhead {
 		if rec != nil {
 			rec.Finish("benchpr7", obs.Config{}, engine.Holds, "")
 		}
+		return wall
+	}
+	best := func(cur, next float64) float64 {
+		if cur == 0 || next < cur {
+			return next
+		}
+		return cur
+	}
+	ov := Overhead{Rounds: rounds}
+	build(false) // warm up once before timing anything
+	for i := 0; i < rounds; i++ {
+		ov.DisabledBestSeconds = best(ov.DisabledBestSeconds, build(false))
+		ov.EnabledBestSeconds = best(ov.EnabledBestSeconds, build(true))
+	}
+	if ov.DisabledBestSeconds > 0 {
+		ov.OverheadPct = (ov.EnabledBestSeconds - ov.DisabledBestSeconds) / ov.DisabledBestSeconds * 100
+	}
+	return ov
+}
+
+// measureTelemetryOverhead times the double-queue build with a bare recorder
+// vs a recorder carrying a tracer and a metric registry (the -trace and
+// -metrics-out configuration), interleaved best-of-rounds like
+// measureOverhead. This is the PR 8 acceptance gate: full per-worker
+// timeline capture must stay within the same few-percent envelope the PR 3
+// recorder was held to.
+func measureTelemetryOverhead(cfg queue.Config, workers, rounds int) Overhead {
+	build := func(withTelemetry bool) float64 {
+		m := engine.NoLimit()
+		rec := obs.New(m)
+		var tr *trace.Tracer
+		if withTelemetry {
+			tr = trace.New()
+			rec.SetTracer(tr)
+			rec.SetMetrics(metrics.NewRegistry())
+		}
+		sys := cfg.DoubleSystem(true)
+		sys.Workers = workers
+		start := time.Now()
+		if _, err := sys.BuildWith(m); err != nil {
+			fatal(err)
+		}
+		wall := time.Since(start).Seconds()
+		rec.Finish("benchpr7", obs.Config{}, engine.Holds, "")
 		return wall
 	}
 	best := func(cur, next float64) float64 {
