@@ -476,8 +476,9 @@ func TestWorkersAndReduceValidation(t *testing.T) {
 		args []string
 		want string
 	}{
-		{"negative workers", []string{"-model", "circular", "-workers", "-1"}, "-workers must be >= 0"},
-		{"very negative workers", []string{"-model", "circular", "-workers", "-100000"}, "-workers must be >= 0"},
+		{"zero workers", []string{"-model", "circular", "-workers", "0"}, "-workers must be >= 1"},
+		{"negative workers", []string{"-model", "circular", "-workers", "-1"}, "-workers must be >= 1"},
+		{"very negative workers", []string{"-model", "circular", "-workers", "-100000"}, "-workers must be >= 1"},
 		{"absurd workers", []string{"-model", "circular", "-workers", "1000000"}, "exceeds the maximum"},
 		{"bad reduce mode", []string{"-model", "circular", "-reduce", "magic"}, `invalid -reduce mode "magic"`},
 		{"reduce on corollary", []string{"-model", "corollary", "-reduce", "sym"}, "not supported for the corollary"},

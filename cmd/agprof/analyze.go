@@ -24,41 +24,55 @@ type traceEvent struct {
 
 // workerProf aggregates one worker track's slices (all times microseconds).
 type workerProf struct {
-	name  string
-	busy  float64 // Σ "expand" durations
-	wait  float64 // Σ "barrier-wait" durations
-	canon float64 // Σ canon_ns args, converted to µs
+	name   string
+	busy   float64 // Σ "expand" durations
+	wait   float64 // Σ "barrier-wait" durations
+	canon  float64 // Σ canon_ns args, converted to µs
+	commit float64 // Σ "commit" durations (parallel barrier phases)
 }
 
 // profile is the attribution agprof derives from one trace.
 //
-// The model follows the explorer's critical path. Each BFS level is a drain
-// phase — participating workers run expand then barrier-wait slices, all
-// ending together when the slowest worker finishes — followed by the
-// single-threaded barrier commit. The drain phase's wall span (earliest
-// expand start to the shared wait end, grouped by the slices' run and level
-// args — one process may run many explorations, each restarting at level 0)
-// is allocated to the succgen/reduction/barrier buckets proportionally to
-// the participants' lane time, so narrow levels that used fewer workers
-// don't skew the shares. Commit and cache slices are single-lane and count
-// directly. Measured wall is the sum of the explorations' spans plus cache
-// I/O (which brackets them); whatever the buckets don't cover is
-// inter-level loop overhead, reported as the unattributed remainder.
+// The model follows the explorer's critical path. Each BFS level is a
+// parallel phase — participating workers run expand then barrier-wait
+// slices ending together when the slowest worker finishes, then (since the
+// barrier went parallel) "commit" slices for the partition-numbering and
+// row-remap phases — interleaved with the single-threaded barrier seal on
+// its own track. The level's wall span (earliest worker slice start to the
+// latest end, grouped by the slices' run and level args — one process may
+// run many explorations, each restarting at level 0) is allocated to the
+// succgen/reduction/barrier buckets proportionally to the participants'
+// lane time, so narrow levels that used fewer workers don't skew the
+// shares. Seal and cache slices are single-lane and count directly.
+// Measured wall is the sum of the explorations' spans plus cache I/O (which
+// brackets them); whatever the buckets don't cover is inter-level loop
+// overhead, reported as the unattributed remainder.
 type profile struct {
 	workers []workerProf
 	runs    int     // distinct explorations seen
-	levels  int     // commit slices seen
+	levels  int     // serial seal slices seen
 	wall    float64 // Σ exploration spans + cache I/O, µs
 
-	succgen   float64 // drain wall share: expansion minus canonicalization
-	reduction float64 // drain wall share: canonicalization
-	waitAvg   float64 // drain wall share: barrier wait
-	commit    float64 // Σ barrier commit (single-threaded, counts once)
+	succgen   float64 // level wall share: expansion minus canonicalization
+	reduction float64 // level wall share: canonicalization
+	waitAvg   float64 // level wall share: barrier wait
+	commitPar float64 // level wall share: parallel commit phases
+	commit    float64 // Σ barrier seal (single-threaded, counts once)
 	cache     float64 // Σ cache-track slices
 }
 
-// barrier is the full barrier bucket: idle wait plus commit.
-func (p *profile) barrier() float64 { return p.waitAvg + p.commit }
+// barrier is the full barrier bucket: idle wait, the serial seal, and the
+// parallel commit phases.
+func (p *profile) barrier() float64 { return p.waitAvg + p.commit + p.commitPar }
+
+// serialCommitShare is the single-threaded seal's fraction of wall — the
+// Amdahl ceiling on barrier scaling, gated in CI via -max-commit-pct.
+func (p *profile) serialCommitShare() float64 {
+	if p.wall <= 0 {
+		return 0
+	}
+	return p.commit / p.wall
+}
 
 // attributed is the wall share the four buckets explain.
 func (p *profile) attributed() float64 {
@@ -112,9 +126,9 @@ func analyze(events []traceEvent) (*profile, error) {
 		json.Unmarshal(e.Args[name], &v)
 		return v
 	}
-	drains := map[[2]int64]*span{} // {run, level} → drain-phase wall span
+	drains := map[[2]int64]*span{} // {run, level} → level wall span (worker lanes)
 	runs := map[[2]int64]*span{}   // {run, 0}     → whole-exploration span
-	var laneBusy, laneCanon, laneWait float64
+	var laneBusy, laneCanon, laneWait, laneCommit float64
 	for _, e := range events {
 		if e.Ph != "X" {
 			continue
@@ -141,11 +155,15 @@ func analyze(events []traceEvent) (*profile, error) {
 			case "barrier-wait":
 				w.wait += e.Dur
 				laneWait += e.Dur
+			case "commit":
+				w.commit += e.Dur
+				laneCommit += e.Dur
 			}
 		case track == "barrier":
 			if e.Name == "commit" {
 				p.commit += e.Dur
 				p.levels++
+				grow(drains, [2]int64{intArg(e, "run"), intArg(e, "level")}, e)
 				grow(runs, [2]int64{intArg(e, "run"), 0}, e)
 			}
 		case track == "cache":
@@ -160,10 +178,18 @@ func analyze(events []traceEvent) (*profile, error) {
 	for _, d := range drains {
 		drainTotal += d.end - d.start
 	}
-	if laneTotal := laneBusy + laneWait; laneTotal > 0 {
+	// The level span includes the serial seal (its slice grows the span, and
+	// in a live trace the parallel commit phases bracket it anyway); take it
+	// back out before lane allocation so it isn't double-counted.
+	drainTotal -= p.commit
+	if drainTotal < 0 {
+		drainTotal = 0
+	}
+	if laneTotal := laneBusy + laneWait + laneCommit; laneTotal > 0 {
 		p.succgen = drainTotal * (laneBusy - laneCanon) / laneTotal
 		p.reduction = drainTotal * laneCanon / laneTotal
 		p.waitAvg = drainTotal * laneWait / laneTotal
+		p.commitPar = drainTotal * laneCommit / laneTotal
 	}
 	p.runs = len(runs)
 	for _, r := range runs {
@@ -252,21 +278,27 @@ func pct(part, whole float64) string {
 	return fmt.Sprintf("%.1f%%", 100*part/whole)
 }
 
-// printProfile renders the analysis: per-worker utilization, then the four
-// buckets ranked by wall share, then (with a report) contention counters.
+// printProfile renders the analysis: per-worker utilization over the workers
+// that did work (idle workers' tracks are suppressed at trace-write time and
+// never reach the profile), then the four buckets ranked by wall share, then
+// (with a report) contention counters.
 func printProfile(w io.Writer, p *profile, rep *reportMetrics) {
 	fmt.Fprintf(w, "agprof: %d workers, %d explorations, %d levels, wall %s\n\n",
 		len(p.workers), p.runs, p.levels, ms(p.wall))
 
+	var busyTotal float64
 	fmt.Fprintln(w, "per-worker utilization:")
 	for _, wp := range p.workers {
-		line := fmt.Sprintf("  %-10s busy %-7s barrier-wait %s",
-			wp.name, pct(wp.busy, p.wall), pct(wp.wait, p.wall))
+		line := fmt.Sprintf("  %-10s busy %-7s barrier-wait %-7s commit %s",
+			wp.name, pct(wp.busy, p.wall), pct(wp.wait, p.wall), pct(wp.commit, p.wall))
 		if wp.canon > 0 {
 			line += fmt.Sprintf("  (canon %s)", pct(wp.canon, p.wall))
 		}
 		fmt.Fprintln(w, line)
+		busyTotal += wp.busy + wp.commit
 	}
+	fmt.Fprintf(w, "  mean utilization: %s over %d active workers\n",
+		pct(busyTotal, float64(len(p.workers))*p.wall), len(p.workers))
 
 	type bucket struct {
 		name   string
@@ -275,7 +307,8 @@ func printProfile(w io.Writer, p *profile, rep *reportMetrics) {
 	}
 	buckets := []bucket{
 		{"successor generation", p.succgen, ""},
-		{"barrier", p.barrier(), fmt.Sprintf("(wait %s, commit %s)", pct(p.waitAvg, p.wall), pct(p.commit, p.wall))},
+		{"barrier", p.barrier(), fmt.Sprintf("(wait %s, serial seal %s, parallel commit %s)",
+			pct(p.waitAvg, p.wall), pct(p.commit, p.wall), pct(p.commitPar, p.wall))},
 		{"reduction", p.reduction, "(canonicalization)"},
 		{"cache", p.cache, ""},
 	}
@@ -290,6 +323,7 @@ func printProfile(w io.Writer, p *profile, rep *reportMetrics) {
 		fmt.Fprintln(w, line)
 	}
 	fmt.Fprintf(w, "  attributed: %s of wall\n", pct(p.attributed(), p.wall))
+	fmt.Fprintf(w, "  serial commit share: %s of wall\n", pct(p.commit, p.wall))
 
 	if rep == nil {
 		return

@@ -8,9 +8,13 @@
 //
 // Usage:
 //
-//	agprof -trace out.json [-report report.json]
+//	agprof -trace out.json [-report report.json] [-max-commit-pct 10]
 //
-// Exit codes: 0 = analyzed, 2 = usage or unreadable input.
+// -max-commit-pct gates the single-threaded barrier-seal share of wall: CI
+// uses it to assert the serial commit bucket stays an Amdahl non-issue.
+//
+// Exit codes: 0 = analyzed (and gate passed, if set), 1 = gate exceeded,
+// 2 = usage or unreadable input.
 package main
 
 import (
@@ -30,11 +34,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	tracePath := fs.String("trace", "", "trace JSON written by -trace (required)")
 	reportPath := fs.String("report", "", "run report written by -report (optional: adds contention and cache counters)")
+	maxCommitPct := fs.Float64("max-commit-pct", 0,
+		"fail (exit 1) if the single-threaded barrier-seal share of wall exceeds this percentage (0 = no gate)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if *tracePath == "" || fs.NArg() > 0 {
-		fmt.Fprintln(stderr, "usage: agprof -trace out.json [-report report.json]")
+		fmt.Fprintln(stderr, "usage: agprof -trace out.json [-report report.json] [-max-commit-pct 10]")
 		return 2
 	}
 
@@ -52,5 +58,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	printProfile(stdout, prof, rep)
+	if *maxCommitPct > 0 {
+		if share := 100 * prof.serialCommitShare(); share > *maxCommitPct {
+			fmt.Fprintf(stderr, "agprof: serial commit share %.1f%% exceeds -max-commit-pct %.1f%%\n",
+				share, *maxCommitPct)
+			return 1
+		}
+	}
 	return 0
 }

@@ -88,6 +88,24 @@ func TestSyntheticAttribution(t *testing.T) {
 	}
 }
 
+// TestMaxCommitGate: the synthetic capture's serial seal is 10µs of a 120µs
+// wall (8.3%), so a 10% gate passes and a 5% gate fails with exit 1.
+func TestMaxCommitGate(t *testing.T) {
+	tracePath := writeTemp(t, "trace.json", syntheticTrace)
+	var out, errb bytes.Buffer
+	if code := run([]string{"-trace", tracePath, "-max-commit-pct", "10"}, &out, &errb); code != 0 {
+		t.Fatalf("8.3%% under a 10%% gate must pass, got exit %d, stderr: %s", code, errb.String())
+	}
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-trace", tracePath, "-max-commit-pct", "5"}, &out, &errb); code != 1 {
+		t.Fatalf("8.3%% over a 5%% gate must exit 1, got %d", code)
+	}
+	if !strings.Contains(errb.String(), "exceeds -max-commit-pct") {
+		t.Errorf("gate failure not explained: %s", errb.String())
+	}
+}
+
 func TestUsageErrors(t *testing.T) {
 	var out, errb bytes.Buffer
 	if code := run(nil, &out, &errb); code != 2 {

@@ -226,8 +226,9 @@ func TestWorkersAndReduceValidation(t *testing.T) {
 		args []string
 		want string
 	}{
-		{"negative workers", []string{"-workers", "-1"}, "-workers must be >= 0"},
-		{"very negative workers", []string{"-workers", "-100000"}, "-workers must be >= 0"},
+		{"zero workers", []string{"-workers", "0"}, "-workers must be >= 1"},
+		{"negative workers", []string{"-workers", "-1"}, "-workers must be >= 1"},
+		{"very negative workers", []string{"-workers", "-100000"}, "-workers must be >= 1"},
 		{"absurd workers", []string{"-workers", "1000000"}, "exceeds the maximum"},
 		{"bad reduce mode", []string{"-reduce", "magic"}, `invalid -reduce mode "magic"`},
 	}

@@ -126,6 +126,34 @@ func TestCodecRoundTrip(t *testing.T) {
 	}
 }
 
+// TestParallelSnapshotBytesIdentical pins the strongest form of the
+// worker-count determinism guarantee across the partitioned parallel
+// barrier: the encoded snapshot of a parallel build is byte-for-byte the
+// sequential one's, so cache entries and resume inputs never depend on the
+// worker count. Run with -race and -cpu 1,4,8 (CI does).
+func TestParallelSnapshotBytesIdentical(t *testing.T) {
+	_, sum := Digest("pair-desc")
+	encode := func(workers int) []byte {
+		sys := pairSystem(4)
+		sys.Workers = workers
+		g, err := sys.Build()
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		data, err := Encode(g.Snapshot(), sum)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return data
+	}
+	want := encode(1)
+	for _, workers := range []int{2, 4, 8} {
+		if !bytes.Equal(encode(workers), want) {
+			t.Errorf("snapshot bytes at workers=%d differ from sequential", workers)
+		}
+	}
+}
+
 func TestCodecRoundTripValues(t *testing.T) {
 	// One state exercising every value kind, including nested tuples and
 	// negative integers (zigzag path).

@@ -534,13 +534,29 @@ func (b *BudgetFlags) Budget() Budget {
 // Meter converts the parsed flags into a running meter.
 func (b *BudgetFlags) Meter() *Meter { return b.Budget().Meter() }
 
+// DefaultWorkers is the CLI -workers default: every CPU the runtime will
+// schedule on, capped so container-reported core counts in the hundreds
+// don't allocate hundreds of worker arenas for explorations that rarely
+// benefit past a few dozen workers.
+func DefaultWorkers() int {
+	w := runtime.GOMAXPROCS(0)
+	if w > 16 {
+		w = 16
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
 // AddWorkersFlag registers the -workers flag shared by the CLIs: the number
-// of goroutines used by parallel frontier exploration (0 = GOMAXPROCS).
+// of goroutines used by parallel frontier exploration. The default is
+// DefaultWorkers (all CPUs, capped); -workers 1 is the sequential path.
 // Exploration results are deterministic regardless of the worker count.
 func AddWorkersFlag(fs *flag.FlagSet) *int {
-	w := fs.Int("workers", 0, fmt.Sprintf(
-		"worker goroutines for state-graph exploration (0 = GOMAXPROCS, currently %d); results are identical at any setting",
-		runtime.GOMAXPROCS(0)))
+	w := fs.Int("workers", DefaultWorkers(), fmt.Sprintf(
+		"worker goroutines for state-graph exploration (default: all CPUs capped at 16, currently %d); results are identical at any setting",
+		DefaultWorkers()))
 	return w
 }
 
@@ -549,12 +565,13 @@ func AddWorkersFlag(fs *flag.FlagSet) *int {
 // allocate gigabytes before exploring a single state.
 const MaxWorkers = 4096
 
-// ValidateWorkers vets a -workers flag value: negative counts and counts
-// beyond MaxWorkers are user errors (exit 2 in the CLIs), not requests to be
-// satisfied. 0 means GOMAXPROCS and is valid.
+// ValidateWorkers vets a -workers flag value: zero and negative counts and
+// counts beyond MaxWorkers are user errors (exit 2 in the CLIs), not
+// requests to be satisfied. The flag default already resolves the machine's
+// CPU count, so there is no "pick for me" sentinel left to spell.
 func ValidateWorkers(w int) error {
-	if w < 0 {
-		return fmt.Errorf("-workers must be >= 0 (0 = GOMAXPROCS), got %d", w)
+	if w < 1 {
+		return fmt.Errorf("-workers must be >= 1 (default: all CPUs capped at 16), got %d", w)
 	}
 	if w > MaxWorkers {
 		return fmt.Errorf("-workers %d exceeds the maximum %d", w, MaxWorkers)

@@ -186,7 +186,7 @@ func TestReducedBuildDeterministic(t *testing.T) {
 					return buildModel(t, m, rd, workers)
 				}
 				want := reducedSignature(mk(1))
-				for _, workers := range []int{2, 4} {
+				for _, workers := range []int{2, 4, 8} {
 					if got := reducedSignature(mk(workers)); got != want {
 						t.Errorf("reduced graph at workers=%d differs from sequential", workers)
 					}

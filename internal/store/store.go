@@ -196,13 +196,40 @@ func (st *Store) State(r Ref) *state.State {
 // Len returns the number of interned states.
 func (st *Store) Len() int { return int(st.count.Load()) }
 
+// Partitioning: the parallel level barrier of package ts splits a level's
+// newly discovered states into NumPartitions fingerprint ranges (the top
+// PartitionBits bits) and numbers each range on its own worker. Index shards
+// its buckets by the same function, so two barrier partitions may Put
+// concurrently — they can never touch the same shard. Concatenating the
+// ranges in ascending partition order preserves the global fingerprint sort,
+// which is what keeps the parallel numbering byte-identical to a single
+// global sort.
+const (
+	// PartitionBits is log2 of NumPartitions.
+	PartitionBits = 6
+	// NumPartitions is the fingerprint-range fan-out of the parallel barrier
+	// (and the shard count of Index).
+	NumPartitions = 1 << PartitionBits
+)
+
+// Partition maps a fingerprint to its barrier partition / Index shard: the
+// top PartitionBits bits, so partition order is fingerprint order.
+func Partition(fp uint64) int { return int(fp >> (64 - PartitionBits)) }
+
 // Index maps states to caller-chosen integer ids, keyed by fingerprint with
-// structural-equality collision verification. Puts must be serialized, but
-// once construction is done any number of goroutines may Get concurrently
-// (package ts relies on this: the monitor-product workers resolve base-state
-// ids against the finished base graph's index).
+// structural-equality collision verification. Buckets are sharded by
+// Partition(fingerprint): Puts within one partition must be serialized, but
+// Puts in distinct partitions may run concurrently (the parallel barrier of
+// package ts relies on this). Gets must not overlap Puts; once construction
+// pauses at a barrier, any number of goroutines may Get concurrently (the
+// monitor-product workers resolve base-state ids against the finished base
+// graph's index, and the frontier workers probe committed states mid-level).
 type Index struct {
-	hash    Hash
+	hash   Hash
+	shards [NumPartitions]idxShard
+}
+
+type idxShard struct {
 	buckets map[uint64][]idEntry
 	n       int
 }
@@ -216,12 +243,13 @@ type idEntry struct {
 func NewIndex() *Index { return NewIndexWithHash(nil) }
 
 // NewIndexWithHash returns an empty index keyed by the given hash (nil
-// means state.Fingerprint).
+// means state.Fingerprint). Shard maps allocate lazily on first Put, so
+// small single-partition indexes (sets, audits) pay for one map.
 func NewIndexWithHash(h Hash) *Index {
 	if h == nil {
 		h = (*state.State).Fingerprint
 	}
-	return &Index{hash: h, buckets: make(map[uint64][]idEntry)}
+	return &Index{hash: h}
 }
 
 // NewIndexFrom builds an index mapping each state to its slice position,
@@ -236,15 +264,22 @@ func NewIndexFrom(states []*state.State) *Index {
 }
 
 // Put records id for s. A state equal to s must not already be present.
+// Puts for states in the same partition must be serialized; Puts in
+// distinct partitions may run concurrently (see the Index doc).
 func (ix *Index) Put(s *state.State, id int) {
 	fp := ix.hash(s)
-	ix.buckets[fp] = append(ix.buckets[fp], idEntry{st: s, id: id})
-	ix.n++
+	sh := &ix.shards[Partition(fp)]
+	if sh.buckets == nil {
+		sh.buckets = make(map[uint64][]idEntry)
+	}
+	sh.buckets[fp] = append(sh.buckets[fp], idEntry{st: s, id: id})
+	sh.n++
 }
 
 // Get returns the id recorded for a state equal to s.
 func (ix *Index) Get(s *state.State) (int, bool) {
-	for _, e := range ix.buckets[ix.hash(s)] {
+	fp := ix.hash(s)
+	for _, e := range ix.shards[Partition(fp)].buckets[fp] {
 		if e.st.Equal(s) {
 			return e.id, true
 		}
@@ -253,13 +288,20 @@ func (ix *Index) Get(s *state.State) (int, bool) {
 }
 
 // Len returns the number of states in the index.
-func (ix *Index) Len() int { return ix.n }
+func (ix *Index) Len() int {
+	n := 0
+	for i := range ix.shards {
+		n += ix.shards[i].n
+	}
+	return n
+}
 
 // Set is a fingerprint-keyed state membership set with structural-equality
 // collision fallback, replacing string-keyed map[string]bool sets in hot
 // paths. Not safe for concurrent use.
 type Set struct {
 	ix *Index
+	n  int
 }
 
 // NewSet returns an empty set keyed by state.Fingerprint.
@@ -273,7 +315,8 @@ func (se *Set) Add(s *state.State) bool {
 	if _, ok := se.ix.Get(s); ok {
 		return false
 	}
-	se.ix.Put(s, se.ix.Len())
+	se.ix.Put(s, se.n)
+	se.n++
 	return true
 }
 
@@ -284,4 +327,4 @@ func (se *Set) Has(s *state.State) bool {
 }
 
 // Len returns the number of states in the set.
-func (se *Set) Len() int { return se.ix.Len() }
+func (se *Set) Len() int { return se.n }

@@ -156,14 +156,23 @@ func usec(ns int64) float64 { return float64(ns) / 1e3 }
 
 // Write renders the trace as a Chrome Trace Event JSON object
 // ({"traceEvents": [...]}): one thread_name metadata event per track, then
-// every slice sorted by (tid, start) for deterministic output. Safe on a
-// nil receiver (writes an empty trace). Call only after all writers have
+// every slice sorted by (tid, start) for deterministic output. Tracks that
+// recorded no events are suppressed entirely — a worker track exists as soon
+// as the pool is sized, but a worker that never ran (every level narrower
+// than the pool) would otherwise render as an empty Perfetto row and inflate
+// per-worker utilization denominators downstream (agprof). Safe on a nil
+// receiver (writes an empty trace). Call only after all writers have
 // finished.
 func (t *Tracer) Write(w io.Writer) error {
 	var events []jsonEvent
 	if t != nil {
 		t.mu.Lock()
-		tracks := append([]*Track(nil), t.tracks...)
+		tracks := make([]*Track, 0, len(t.tracks))
+		for _, tk := range t.tracks {
+			if len(tk.events) > 0 {
+				tracks = append(tracks, tk)
+			}
+		}
 		t.mu.Unlock()
 		sort.Slice(tracks, func(i, j int) bool { return tracks[i].tid < tracks[j].tid })
 		events = append(events, jsonEvent{

@@ -117,6 +117,33 @@ func TestChromeTraceShape(t *testing.T) {
 	}
 }
 
+// TestEmptyTracksSuppressed: a track that never recorded a slice must not
+// reach the export — no empty Perfetto rows, no phantom workers in agprof's
+// utilization denominator.
+func TestEmptyTracksSuppressed(t *testing.T) {
+	tr := New()
+	w0 := tr.Track("worker 0")
+	tr.Track("worker 1") // created but never written: an idle pool worker
+	base := tr.start
+	w0.Slice("explore", "expand", base, base.Add(5*time.Microsecond))
+
+	d := render(t, tr)
+	for _, e := range d.TraceEvents {
+		if e.Ph != "M" || e.Name != "thread_name" {
+			continue
+		}
+		var args struct {
+			Name string `json:"name"`
+		}
+		if err := json.Unmarshal(e.Args, &args); err != nil {
+			t.Fatal(err)
+		}
+		if args.Name == "worker 1" {
+			t.Fatalf("empty track %q must be suppressed from the export", args.Name)
+		}
+	}
+}
+
 func TestNegativeDurationClamped(t *testing.T) {
 	tr := New()
 	tk := tr.Track("w")

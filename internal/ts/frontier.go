@@ -81,20 +81,34 @@ type exploreResult struct {
 // adjacency are byte-identical for every worker count. States are interned
 // concurrently into a sharded store (arrival order is scheduling-dependent),
 // but final ids are assigned only at level barriers: the states first
-// reached during a level are sorted by fingerprint (ties — genuine 64-bit
-// collisions between distinct states — broken by the canonical Key string)
-// and numbered in that order. A state's level is its BFS distance from the
-// seed set, which no schedule can change, so the numbering depends only on
-// the graph itself. Successor lists are produced by the deterministic
-// expand callback and recorded per source state, preserving callback order.
+// reached during a level are numbered in (fingerprint, Key) order — ties are
+// genuine 64-bit collisions between distinct states, broken by the canonical
+// Key string. A state's level is its BFS distance from the seed set, which
+// no schedule can change, so the numbering depends only on the graph itself.
+// Successor lists are produced by the deterministic expand callback and
+// recorded per source state, preserving callback order.
 //
-// The mechanics are built for throughput at scale: a persistent worker pool
-// (spawned once, fed one level per round), chunked frontier claiming to keep
-// the work-index atomic off the hot path, per-worker successor ref arenas
-// reused across levels, batched store interning (one shard lock per
-// successor list, not per successor), and a flat-array ref→id table plus
-// incrementally built CSR rows so the level barrier is a sort plus two
-// array walks — no maps, no per-row allocations.
+// The barrier itself is parallel (the PR 9 rebuild — before it, numbering,
+// remapping, and CSR commit ran single-threaded at every level and capped
+// the whole exploration at ~1x sequential; Amdahl). Each level runs three
+// phases on the same persistent worker pool:
+//
+//  1. drain: workers claim frontier chunks, expand states, dedup successors
+//     against the committed index (states numbered at earlier barriers
+//     resolve to their final id lock-free, without touching the store), and
+//     batch-intern only the remainder. Newly interned states land in
+//     per-worker per-partition buckets keyed by store.Partition(fp) — the
+//     top fingerprint bits — so the barrier never re-buckets.
+//  2. seal (single-threaded, deliberately tiny): per-partition counts are
+//     summed into base offsets, the CSR offsets row is extended by a prefix
+//     sum of known row lengths, and the states/finals/targets arrays are
+//     grown. Pure arithmetic — no sorting, no hashing, no per-edge work.
+//  3. commit (parallel): workers sort and number whole fingerprint
+//     partitions against their precomputed bases (writing disjoint index
+//     shards, finals slots, and states slots), then remap and commit their
+//     own drain rows into the preallocated CSR range. Partition order is
+//     fingerprint order, so concatenating sorted partitions reproduces the
+//     exact global (fingerprint, Key) sort a single thread would produce.
 func explore(p exploreParams) (*exploreResult, error) {
 	m := p.meter
 	workers := p.workers
@@ -123,10 +137,11 @@ func explore(p exploreParams) (*exploreResult, error) {
 	var edgeStates []*state.State
 
 	// committed reports whether a state's canonical representative already
-	// has a final id. The index is written only at level barriers and by
-	// the single-threaded seeding/resume paths, and read here from workers
-	// between barriers, so the probe is race-free and — because barriers
-	// are schedule-independent — deterministic at any worker count.
+	// has a final id. The index is written only at level barriers (in
+	// parallel, but never overlapping a drain) and by the single-threaded
+	// seeding/resume paths, and read here from workers between barriers, so
+	// the probe is race-free and — because barriers are schedule-independent
+	// — deterministic at any worker count.
 	committed := func(t *state.State) bool {
 		if p.canon != nil {
 			t = p.canon(t)
@@ -136,10 +151,10 @@ func explore(p exploreParams) (*exploreResult, error) {
 	}
 
 	// finals maps interned refs (via their dense encoding) to final ids;
-	// written only at level barriers and by the single-threaded seeding
-	// below, read by the (sequential) row remapping. A flat slice instead of
-	// a map: the barrier does one remap lookup per edge, and dense refs grow
-	// with the state count.
+	// written at level barriers (disjoint slots per partition) and by the
+	// single-threaded seeding below. A flat slice instead of a map: the
+	// barrier does one remap lookup per edge, and dense refs grow with the
+	// state count.
 	finals := make([]int32, 0, 1024)
 	ensureFinals := func(d int) {
 		if d < len(finals) {
@@ -179,13 +194,14 @@ func explore(p exploreParams) (*exploreResult, error) {
 		return nil, err
 	}
 
-	// assign numbers a level's newly discovered states: fingerprint-sorted,
-	// Key-tiebroken (total and schedule-independent).
-	assign := func(news []newlyInterned) error {
+	// assignSerial numbers the seed states (fingerprint-sorted, Key-
+	// tiebroken — total and schedule-independent). Level barriers use the
+	// partitioned parallel path below; seeds are few and arrive before the
+	// pool exists.
+	assignSerial := func(news []newlyInterned) error {
 		sort.Slice(news, func(i, j int) bool {
-			fi, fj := news[i].st.Fingerprint(), news[j].st.Fingerprint()
-			if fi != fj {
-				return fi < fj
+			if news[i].fp != news[j].fp {
+				return news[i].fp < news[j].fp
 			}
 			return news[i].st.Key() < news[j].st.Key()
 		})
@@ -238,14 +254,14 @@ func explore(p exploreParams) (*exploreResult, error) {
 			}
 			ref, added := interned.Intern(s)
 			if added {
-				seedNews = append(seedNews, newlyInterned{ref: ref, st: s})
+				seedNews = append(seedNews, newlyInterned{ref: ref, fp: s.Fingerprint(), st: s})
 				if err := m.AddState(); err != nil {
 					return nil, err
 				}
 			}
 			seedRefs = append(seedRefs, ref)
 		}
-		if err := assign(seedNews); err != nil {
+		if err := assignSerial(seedNews); err != nil {
 			return nil, err
 		}
 		for _, ref := range seedRefs {
@@ -255,20 +271,21 @@ func explore(p exploreParams) (*exploreResult, error) {
 	}
 
 	// The level scratch persists across levels: one levelRun handed to the
-	// pool each round, per-worker arenas that keep their capacity, and a
-	// reusable merge buffer for the barrier sort.
+	// pool each phase round, per-worker arenas that keep their capacity.
 	lv := &levelRun{
 		params:    &p,
 		store:     interned,
 		scratch:   make([]workerScratch, workers),
 		committed: committed,
+		lookup:    res.idx.Get,
 		telem:     telem,
 	}
-	var merged []newlyInterned
 
 	// Persistent pool: workers 1..n-1 live for the whole exploration and
-	// receive one levelRun per round on a private channel (so each runs a
-	// level exactly once); the coordinating goroutine doubles as worker 0.
+	// receive one levelRun per phase round on a private channel (so each
+	// runs a phase exactly once); the coordinating goroutine doubles as
+	// worker 0. One level is up to three rounds: drain, then — after the
+	// single-threaded seal — the two commit phases.
 	var feeds []chan *levelRun
 	if workers > 1 {
 		feeds = make([]chan *levelRun, workers)
@@ -287,6 +304,21 @@ func explore(p exploreParams) (*exploreResult, error) {
 			}
 		}()
 	}
+	// runRound executes one phase on w workers: the coordinator always
+	// doubles as worker 0, so a sequential run never touches a channel.
+	runRound := func(phase int, w int) {
+		lv.phase = phase
+		if w <= 1 {
+			lv.work(0)
+			return
+		}
+		lv.wg.Add(w - 1)
+		for wid := 1; wid < w; wid++ {
+			feeds[wid] <- lv
+		}
+		lv.work(0)
+		lv.wg.Wait()
+	}
 
 	obs := m.Observer()
 	for levelStart < len(res.states) {
@@ -298,16 +330,7 @@ func explore(p exploreParams) (*exploreResult, error) {
 		}
 		lv.level = level
 		lv.begin(res.states[levelStart:levelEnd], w)
-		if w <= 1 {
-			lv.work(0)
-		} else {
-			lv.wg.Add(w - 1)
-			for wid := 1; wid < w; wid++ {
-				feeds[wid] <- lv
-			}
-			lv.work(0)
-			lv.wg.Wait()
-		}
+		runRound(phaseDrain, w)
 		if err := lv.firstErr(); err != nil {
 			return fail(err)
 		}
@@ -316,28 +339,63 @@ func explore(p exploreParams) (*exploreResult, error) {
 			drainDone = time.Now()
 		}
 
-		// Barrier: number this level's discoveries, then remap and commit
-		// the level's successor lists to final ids.
-		merged = merged[:0]
+		// Seal (single-threaded): partition bases, array growth, and the
+		// CSR offsets prefix sum — the only serial section of the barrier.
+		total := 0
+		maxDense := -1
+		for pi := 0; pi < store.NumPartitions; pi++ {
+			lv.bases[pi] = levelEnd + total
+			for wid := 0; wid < w; wid++ {
+				total += len(lv.scratch[wid].newsPart[pi])
+			}
+		}
 		for wid := 0; wid < w; wid++ {
-			merged = append(merged, lv.scratch[wid].news...)
-		}
-		if err := assign(merged); err != nil {
-			return fail(err)
-		}
-		for _, row := range lv.rows {
-			arena := lv.scratch[row.wid].arena[row.start:row.end]
-			for _, r := range arena {
-				targets = append(targets, finals[r.Dense()])
+			if d := lv.scratch[wid].maxDense; d > maxDense {
+				maxDense = d
 			}
-			if p.canon != nil {
-				edgeStates = append(edgeStates, lv.scratch[row.wid].realArena[row.start:row.end]...)
-			}
-			offsets = append(offsets, len(targets))
 		}
-		m.NoteFrontier(len(res.states) - levelEnd)
+		if p.limit > 0 && levelEnd+total > p.limit {
+			return fail(&engine.BudgetError{
+				Reason: fmt.Sprintf("%s: state space exceeds MaxStates limit %d", p.limitName, p.limit),
+				Stats:  m.Stats(),
+			})
+		}
+		if maxDense >= 0 {
+			ensureFinals(maxDense)
+		}
+		res.states = grow(res.states, total)
+		lv.rowBase = len(offsets) - 1
+		off := offsets[lv.rowBase]
+		for i := range lv.rows {
+			off += int(lv.rows[i].end - lv.rows[i].start)
+			offsets = append(offsets, off)
+		}
+		targets = grow(targets, off-len(targets))
+		if p.canon != nil {
+			edgeStates = grow(edgeStates, off-len(edgeStates))
+		}
+		lv.finals, lv.states, lv.idx = finals, res.states, res.idx
+		lv.offsets, lv.targets, lv.edgeStates = offsets, targets, edgeStates
 		if telem != nil {
 			telem.barrierDone(level, w, drainDone, time.Now())
+		}
+
+		// Commit (parallel): number the fingerprint partitions against the
+		// sealed bases, then remap and write each worker's own CSR rows.
+		// The round boundary between the two phases is the happens-before
+		// edge that publishes every partition's finals to every remapper.
+		runRound(phaseAssign, w)
+		if err := lv.firstErr(); err != nil {
+			return fail(err)
+		}
+		runRound(phaseRows, w)
+		if err := lv.firstErr(); err != nil {
+			return fail(err)
+		}
+
+		m.NoteFrontier(total)
+		if telem != nil {
+			telem.levelDone()
 		}
 		if obs != nil {
 			// Per-level counters for live progress and the flight recorder:
@@ -360,6 +418,18 @@ func explore(p exploreParams) (*exploreResult, error) {
 	return res, nil
 }
 
+// grow extends s by n zeroed elements. The slices it serves only ever grow,
+// so reslicing inside capacity exposes never-written (zero) memory.
+func grow[T any](s []T, n int) []T {
+	need := len(s) + n
+	if need <= cap(s) {
+		return s[:need]
+	}
+	out := make([]T, need, max(2*cap(s), need))
+	copy(out, s)
+	return out
+}
+
 // checkpointSnapshot copies the committed prefix of an aborted exploration
 // into a Snapshot: the first nStates states (levels up to the last barrier),
 // the first nRows adjacency rows, and the level to run next. The copy
@@ -380,30 +450,63 @@ func checkpointSnapshot(res *exploreResult, offsets []int, targets []int32, edge
 }
 
 // newlyInterned records a state first reached during the current level,
-// awaiting its final id at the barrier.
+// awaiting its final id at the barrier. fp caches the fingerprint the
+// partition sort orders by.
 type newlyInterned struct {
 	ref store.Ref
+	fp  uint64
 	st  *state.State
 }
 
-// refRow locates one frontier state's successor refs inside its expanding
+// refRow locates one frontier state's successor entries inside its expanding
 // worker's arena.
 type refRow struct {
-	wid        int32
 	start, end int32
 }
 
+// Arena entries encode either an interned ref awaiting its final id, or —
+// for successors the drain already resolved against the committed index —
+// the final id itself, bitwise-complemented so the two are distinguishable
+// by sign. The committed-dedup fast path is what keeps already-explored
+// successors (the bulk of a BFS level's edges) off the store's shard locks
+// and out of the barrier's remap-by-ref volume.
+func arenaRef(r store.Ref) int64 { return int64(r) }
+func arenaFinal(id int) int64    { return ^int64(id) }
+func arenaResolve(v int64, finals []int32) int32 {
+	if v < 0 {
+		return int32(^v)
+	}
+	return finals[store.Ref(v).Dense()]
+}
+
+// Barrier phases, run as pool rounds (see explore).
+const (
+	phaseDrain = iota
+	phaseAssign
+	phaseRows
+)
+
 // workerScratch is one worker's private level scratch, reused across levels
 // so steady-state expansion allocates only for genuinely new states. arena
-// accumulates the successor refs of every state the worker expanded this
-// level (rows index into it); news collects first-interned states for the
-// barrier; fps/refs/added are the InternBatch scratch.
+// accumulates the successor entries of every state the worker expanded this
+// level (rows index into it); newsPart buckets first-interned states by
+// fingerprint partition for the barrier; fps/refs/added are the InternBatch
+// scratch.
 type workerScratch struct {
-	arena []store.Ref
-	news  []newlyInterned
-	fps   []uint64
-	refs  []store.Ref
-	added []bool
+	arena  []int64
+	rowIdx []int32 // frontier indices this worker expanded (its commit rows)
+	pend   []int32 // per-expansion scratch: successor slots needing interning
+	batch  []*state.State
+	fps    []uint64
+	refs   []store.Ref
+	added  []bool
+	// newsPart[p] holds the states this worker interned first whose
+	// fingerprint lands in partition p; maxDense is the largest dense ref
+	// encoding among them (for the seal's one ensureFinals call).
+	newsPart [store.NumPartitions][]newlyInterned
+	maxDense int
+	// merge is the commit-phase scratch a worker sorts partitions in.
+	merge []newlyInterned
 	// realArena mirrors arena positionally with each successor's real
 	// (pre-canonicalization) state; populated only when canon is active.
 	realArena []*state.State
@@ -427,17 +530,33 @@ type levelRun struct {
 	params  *exploreParams
 	store   *store.Store
 	states  []*state.State // the frontier (current level), final-id order
-	rows    []refRow       // per frontier index: where its successor refs live
+	rows    []refRow       // per frontier index: where its successor entries live
 	scratch []workerScratch
 	// committed is explore's barrier-granularity membership probe, handed to
-	// every expand call (see exploreParams.expand).
+	// every expand call (see exploreParams.expand); lookup is the underlying
+	// index probe the drain deduplicates successors through.
 	committed func(*state.State) bool
+	lookup    func(*state.State) (int, bool)
 	// telem is the exploration's telemetry bundle (nil when disabled); level
 	// is the BFS level currently being drained, set by explore before begin
 	// and read by workers only for telemetry labels.
 	telem *exploreTelemetry
 	level int
+	w     int   // workers participating in the current level
+	phase int   // current pool round (phaseDrain/phaseAssign/phaseRows)
 	chunk int64 // frontier indices claimed per atomic increment
+
+	// Commit-phase context, sealed by the coordinator between the drain and
+	// assign rounds (the pool channel provides the happens-before edge):
+	// partition base ids, the grown finals/states arrays, the index, and
+	// the preallocated CSR arrays with this level's first offsets row.
+	bases      [store.NumPartitions]int
+	finals     []int32
+	idx        *store.Index
+	offsets    []int
+	targets    []int32
+	edgeStates []*state.State
+	rowBase    int
 
 	next atomic.Int64 // frontier work index
 	stop atomic.Bool
@@ -449,6 +568,7 @@ type levelRun struct {
 // begin readies the scratch for one level over the given frontier slice.
 func (lv *levelRun) begin(states []*state.State, w int) {
 	lv.states = states
+	lv.w = w
 	if cap(lv.rows) < len(states) {
 		lv.rows = make([]refRow, len(states))
 	}
@@ -456,8 +576,12 @@ func (lv *levelRun) begin(states []*state.State, w int) {
 	for wid := range lv.scratch {
 		ws := &lv.scratch[wid]
 		ws.arena = ws.arena[:0]
-		ws.news = ws.news[:0]
+		ws.rowIdx = ws.rowIdx[:0]
 		ws.realArena = ws.realArena[:0]
+		for pi := range ws.newsPart {
+			ws.newsPart[pi] = ws.newsPart[pi][:0]
+		}
+		ws.maxDense = -1
 		ws.levelStates, ws.levelSuccs, ws.levelCanonNS = 0, 0, 0
 	}
 	// Chunk so each worker claims ~8 batches per level: big enough to keep
@@ -488,17 +612,106 @@ func (lv *levelRun) firstErr() error {
 	return lv.err
 }
 
-// work runs one worker's share of a level. With telemetry attached it brackets
-// the drain with one timestamp pair, emitting the worker's per-level "expand"
-// slice and busy-time counters; without, it is a direct call into drain.
+// work runs one worker's share of the current phase round. With telemetry
+// attached each phase is bracketed with one timestamp pair, emitting the
+// worker's per-level "expand" or "commit" slices; without, it is a direct
+// call into the phase body.
 func (lv *levelRun) work(wid int) {
-	if lv.telem == nil {
+	switch lv.phase {
+	case phaseDrain:
+		if lv.telem == nil {
+			lv.drain(wid)
+			return
+		}
+		start := time.Now()
 		lv.drain(wid)
-		return
+		lv.telem.endDrain(wid, lv.level, &lv.scratch[wid], start)
+	case phaseAssign:
+		if lv.telem == nil {
+			lv.assignPartitions(wid)
+			return
+		}
+		start := time.Now()
+		lv.assignPartitions(wid)
+		lv.telem.endCommitPhase(wid, lv.level, start)
+	case phaseRows:
+		if lv.telem == nil {
+			lv.commitRows(wid)
+			return
+		}
+		start := time.Now()
+		lv.commitRows(wid)
+		lv.telem.endCommitPhase(wid, lv.level, start)
 	}
-	start := time.Now()
-	lv.drain(wid)
-	lv.telem.endDrain(wid, lv.level, &lv.scratch[wid], start)
+}
+
+// assignPartitions numbers this worker's share of the fingerprint
+// partitions: for each owned partition, merge every drain worker's bucket,
+// sort by (fingerprint, Key), and assign final ids from the sealed base.
+// Distinct partitions touch disjoint index shards, finals slots, and states
+// slots, so the phase is write-race-free by construction; panics are
+// contained like drain panics.
+func (lv *levelRun) assignPartitions(wid int) {
+	var perr error
+	defer func() {
+		if perr != nil {
+			lv.setErr(perr)
+		}
+	}()
+	defer engine.Capture(&perr, lv.params.op, func() (string, string) { return "", "" })
+	ws := &lv.scratch[wid]
+	for pi := wid; pi < store.NumPartitions; pi += lv.w {
+		merge := ws.merge[:0]
+		for src := 0; src < lv.w; src++ {
+			merge = append(merge, lv.scratch[src].newsPart[pi]...)
+		}
+		if len(merge) == 0 {
+			continue
+		}
+		sort.Slice(merge, func(i, j int) bool {
+			if merge[i].fp != merge[j].fp {
+				return merge[i].fp < merge[j].fp
+			}
+			return merge[i].st.Key() < merge[j].st.Key()
+		})
+		base := lv.bases[pi]
+		for k, ns := range merge {
+			id := base + k
+			lv.states[id] = ns.st
+			lv.idx.Put(ns.st, id)
+			lv.finals[ns.ref.Dense()] = int32(id)
+		}
+		ws.merge = merge[:0]
+	}
+}
+
+// commitRows remaps this worker's own drain rows to final ids and writes
+// them into the sealed CSR range. Every row's span [offsets[rowBase+i],
+// offsets[rowBase+i+1]) is owned by exactly one worker, so writes are
+// disjoint; finals reads see every partition via the round barrier between
+// assign and rows.
+func (lv *levelRun) commitRows(wid int) {
+	var perr error
+	defer func() {
+		if perr != nil {
+			lv.setErr(perr)
+		}
+	}()
+	defer engine.Capture(&perr, lv.params.op, func() (string, string) { return "", "" })
+	ws := &lv.scratch[wid]
+	canon := lv.params.canon != nil
+	for _, ri := range ws.rowIdx {
+		i := int(ri)
+		row := lv.rows[i]
+		dst := lv.targets[lv.offsets[lv.rowBase+i]:lv.offsets[lv.rowBase+i+1]]
+		arena := ws.arena[row.start:row.end]
+		for n, v := range arena {
+			dst[n] = arenaResolve(v, lv.finals)
+		}
+		if canon {
+			copy(lv.edgeStates[lv.offsets[lv.rowBase+i]:], ws.realArena[row.start:row.end])
+		}
+	}
 }
 
 // drain drains frontier chunks until the level (or the budget) is exhausted.
@@ -572,34 +785,58 @@ func (lv *levelRun) drain(wid int) {
 				ws.realArena = append(ws.realArena, succs...)
 				interning = cb
 			}
-			if cap(ws.refs) < len(succs) {
-				ws.refs = make([]store.Ref, len(succs))
-				ws.fps = make([]uint64, len(succs))
-				ws.added = make([]bool, len(succs))
-			}
-			refs := ws.refs[:len(succs)]
-			added := ws.added[:len(succs)]
-			lv.store.InternBatch(interning, ws.fps[:len(succs)], refs, added)
+			// Dedup against the committed index before interning: successors
+			// already numbered at an earlier barrier resolve lock-free to
+			// their final id, so only frontier-fresh states reach the store.
 			rowStart := len(ws.arena)
-			ws.arena = append(ws.arena, refs...)
-			lv.rows[i] = refRow{wid: int32(wid), start: int32(rowStart), end: int32(len(ws.arena))}
-			for j, isNew := range added {
-				if !isNew {
+			pend := ws.pend[:0]
+			batch := ws.batch[:0]
+			for j, t := range interning {
+				if id, ok := lv.lookup(t); ok {
+					ws.arena = append(ws.arena, arenaFinal(id))
 					continue
 				}
-				ws.news = append(ws.news, newlyInterned{ref: refs[j], st: interning[j]})
-				if err := m.AddState(); err != nil {
-					lv.setErr(err)
-					return
+				ws.arena = append(ws.arena, 0)
+				pend = append(pend, int32(j))
+				batch = append(batch, t)
+			}
+			if len(batch) > 0 {
+				if cap(ws.refs) < len(batch) {
+					ws.refs = make([]store.Ref, len(batch))
+					ws.fps = make([]uint64, len(batch))
+					ws.added = make([]bool, len(batch))
 				}
-				if p.limit > 0 && lv.store.Len() > p.limit {
-					lv.setErr(&engine.BudgetError{
-						Reason: fmt.Sprintf("%s: state space exceeds MaxStates limit %d", p.limitName, p.limit),
-						Stats:  m.Stats(),
-					})
-					return
+				refs := ws.refs[:len(batch)]
+				added := ws.added[:len(batch)]
+				fps := ws.fps[:len(batch)]
+				lv.store.InternBatch(batch, fps, refs, added)
+				for bi, j := range pend {
+					ws.arena[rowStart+int(j)] = arenaRef(refs[bi])
+					if !added[bi] {
+						continue
+					}
+					ws.newsPart[store.Partition(fps[bi])] = append(
+						ws.newsPart[store.Partition(fps[bi])],
+						newlyInterned{ref: refs[bi], fp: fps[bi], st: batch[bi]})
+					if d := refs[bi].Dense(); d > ws.maxDense {
+						ws.maxDense = d
+					}
+					if err := m.AddState(); err != nil {
+						lv.setErr(err)
+						return
+					}
+					if p.limit > 0 && lv.store.Len() > p.limit {
+						lv.setErr(&engine.BudgetError{
+							Reason: fmt.Sprintf("%s: state space exceeds MaxStates limit %d", p.limitName, p.limit),
+							Stats:  m.Stats(),
+						})
+						return
+					}
 				}
 			}
+			ws.pend, ws.batch = pend, batch
+			ws.rowIdx = append(ws.rowIdx, int32(i))
+			lv.rows[i] = refRow{start: int32(rowStart), end: int32(len(ws.arena))}
 			if err := m.AddTransitions(len(succs)); err != nil {
 				lv.setErr(err)
 				return

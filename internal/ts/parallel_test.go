@@ -48,7 +48,8 @@ func pairSystem(top int64) *System {
 
 // TestParallelBuildDeterministic verifies the tentpole guarantee: the graph
 // built with any worker count is identical — same numbering, same inits,
-// same adjacency — to the sequential one. Run with -race and -cpu 1,4.
+// same adjacency — to the sequential one, across the partitioned parallel
+// barrier. Run with -race and -cpu 1,4,8 (CI does).
 func TestParallelBuildDeterministic(t *testing.T) {
 	for _, mk := range []func() *System{
 		func() *System { return counterSystem(6) },
@@ -61,7 +62,7 @@ func TestParallelBuildDeterministic(t *testing.T) {
 			t.Fatal(err)
 		}
 		want := signature(gSeq)
-		for _, workers := range []int{0, 2, 4, 7} {
+		for _, workers := range []int{0, 2, 4, 7, 8, 13} {
 			sys := mk()
 			sys.Workers = workers
 			g, err := sys.Build()
@@ -100,7 +101,7 @@ func TestParallelProductDeterministic(t *testing.T) {
 		return p
 	}
 	want := signature(build(1))
-	for _, workers := range []int{0, 2, 4} {
+	for _, workers := range []int{0, 2, 4, 8} {
 		if got := signature(build(workers)); got != want {
 			t.Errorf("product at workers=%d differs from sequential", workers)
 		}

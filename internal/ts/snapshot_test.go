@@ -206,7 +206,7 @@ func TestValidSnapshotBounds(t *testing.T) {
 // graph identical to an uninterrupted build — including its snapshot, so the
 // resumed run's cache entry is byte-identical too.
 func TestCheckpointResumeDeterministic(t *testing.T) {
-	for _, workers := range []int{1, 4} {
+	for _, workers := range []int{1, 4, 8} {
 		mk := func() *System {
 			sys := pairSystem(4)
 			sys.Workers = workers

@@ -36,6 +36,7 @@ type exploreTelemetry struct {
 	workerBusy  *metrics.Counter
 	canonNS     *metrics.Counter
 	commitNS    *metrics.Counter
+	commitParNS *metrics.Counter
 	levels      *metrics.Counter
 
 	// drainEnd[wid] is when worker wid finished draining the current level;
@@ -70,7 +71,9 @@ func newExploreTelemetry(m *engine.Meter, workers int) *exploreTelemetry {
 		et.canonNS = reg.Counter("opentla_canon_nanoseconds_total",
 			"time spent canonicalizing successors under symmetry reduction")
 		et.commitNS = reg.Counter("opentla_barrier_commit_nanoseconds_total",
-			"single-threaded time numbering states and committing CSR rows at level barriers")
+			"single-threaded time sealing level barriers (partition bases, array growth, CSR offsets prefix sum)")
+		et.commitParNS = reg.Counter("opentla_barrier_parallel_commit_nanoseconds_total",
+			"aggregate worker time in the parallel commit phases (partition numbering + CSR row remap)")
 		et.levels = reg.Counter("opentla_levels_total", "level barriers completed")
 		reg.Gauge("opentla_workers", "worker pool size of the latest exploration").
 			Set(int64(workers))
@@ -94,11 +97,13 @@ func (et *exploreTelemetry) endDrain(wid, level int, ws *workerScratch, start ti
 	et.canonNS.Add(ws.levelCanonNS)
 }
 
-// barrierDone records one completed level barrier: each participating
-// worker's idle wait (from its own drain end until the slowest worker
-// finished) and the single-threaded commit span (fingerprint-sort numbering
-// plus CSR row remap). Called by the coordinator after the commit.
-func (et *exploreTelemetry) barrierDone(level, w int, drainDone, commitEnd time.Time) {
+// barrierDone records the serial section of one level barrier: each
+// participating worker's idle wait (from its own drain end until the slowest
+// worker finished) and the single-threaded seal span (partition bases, array
+// growth, CSR offsets prefix sum). Called by the coordinator after the seal;
+// the parallel commit phases that follow report per worker through
+// endCommitPhase.
+func (et *exploreTelemetry) barrierDone(level, w int, drainDone, sealEnd time.Time) {
 	runKV := trace.KV{K: "run", V: et.run}
 	lvl := trace.KV{K: "level", V: int64(level)}
 	for wid := 0; wid < w; wid++ {
@@ -110,8 +115,23 @@ func (et *exploreTelemetry) barrierDone(level, w int, drainDone, commitEnd time.
 		et.barrierWait.Observe(wait)
 		et.tracks[wid].Slice("explore", "barrier-wait", end, drainDone, runKV, lvl)
 	}
-	et.barrier.Slice("explore", "commit", drainDone, commitEnd, runKV, lvl)
-	et.commitNS.Add(commitEnd.Sub(drainDone).Nanoseconds())
+	et.barrier.Slice("explore", "commit", drainDone, sealEnd, runKV, lvl)
+	et.commitNS.Add(sealEnd.Sub(drainDone).Nanoseconds())
+}
+
+// endCommitPhase records one worker's share of a parallel commit phase
+// (partition numbering or CSR row remap) as a "commit" slice on its own
+// track. Called by each worker for itself, concurrently with other workers.
+func (et *exploreTelemetry) endCommitPhase(wid, level int, start time.Time) {
+	end := time.Now()
+	et.tracks[wid].Slice("explore", "commit", start, end,
+		trace.KV{K: "run", V: et.run},
+		trace.KV{K: "level", V: int64(level)})
+	et.commitParNS.Add(end.Sub(start).Nanoseconds())
+}
+
+// levelDone counts one fully committed level barrier.
+func (et *exploreTelemetry) levelDone() {
 	et.levels.Inc()
 }
 

@@ -54,9 +54,11 @@ func snapshotValue(reg *metrics.Registry, name string) (int64, bool) {
 }
 
 // TestBuildEmitsWorkerTracks pins the tentpole trace contract: a 4-worker
-// build produces one named track per configured worker (even if narrow levels
-// used fewer), a barrier track, per-level "expand" slices carrying state
-// tallies, and the exploration metrics — without perturbing the graph.
+// build of a frontier wide enough for every worker produces one named track
+// per worker that did work (idle workers' tracks are suppressed at write
+// time), a barrier track, per-level "expand" slices carrying state tallies,
+// "commit" slices for both the serial seal and the parallel commit phases,
+// and the exploration metrics — without perturbing the graph.
 func TestBuildEmitsWorkerTracks(t *testing.T) {
 	const workers = 4
 	m, tr, reg := telemetryMeter()
@@ -134,6 +136,9 @@ func TestBuildEmitsWorkerTracks(t *testing.T) {
 	}
 	if v, ok := snapshotValue(reg, "opentla_store_lock_acquisitions_total"); !ok || v == 0 {
 		t.Errorf("store lock acquisitions = %d, %v (store metrics not attached?)", v, ok)
+	}
+	if v, ok := snapshotValue(reg, "opentla_barrier_parallel_commit_nanoseconds_total"); !ok || v == 0 {
+		t.Errorf("opentla_barrier_parallel_commit_nanoseconds_total = %d, %v", v, ok)
 	}
 }
 

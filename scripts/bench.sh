@@ -25,7 +25,7 @@ tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
 go build -o "$tmp/agcheck" ./cmd/agcheck
 
-go run ./scripts/benchpr7 -agcheck "$tmp/agcheck" "$@"
+go run ./scripts/benchpr9 -agcheck "$tmp/agcheck" "$@"
 
 if [ "${BENCH_SKIP_GO:-0}" != "1" ]; then
     echo
