@@ -276,12 +276,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 			res = th.Vet()
 		}
 		endVet()
+		overBudget := res.CheckBudget(int64(bf.MaxStates))
 		vetSection = res.Section(mode)
 		for _, d := range res.Filter(vet.Warn) {
 			fmt.Fprintf(stderr, "agcheck: vet: %s\n", d)
 		}
-		if mode == vet.ModeStrict && res.HasErrors() {
+		if mode == vet.ModeStrict && (res.HasErrors() || overBudget) {
 			msg := fmt.Sprintf("vet found %d errors in strict mode; refusing to check an ill-formed instance", res.Errors())
+			if !res.HasErrors() {
+				msg = fmt.Sprintf("vet: state-space bound %s exceeds -max-states %d in strict mode; refusing a run that cannot finish", res.Bound, bf.MaxStates)
+			}
 			fmt.Fprintf(stderr, "agcheck: %s\n", msg)
 			if of.Report != "" {
 				doc := rec.Finish("agcheck", conf, engine.Unknown, msg)

@@ -42,6 +42,7 @@ import (
 	"os"
 	"time"
 
+	"opentla/internal/absint"
 	"opentla/internal/cache"
 	"opentla/internal/check"
 	"opentla/internal/engine"
@@ -180,12 +181,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 			queue.QM("QM", cfg.N, queue.In, queue.Out, "q", cfg.ValueDomain()),
 		}, nil, vet.Options{Domains: cfg.Domains()}))
 		endVet()
+		overBudget := res.CheckBudget(int64(bf.MaxStates))
 		vetSection = res.Section(mode)
 		for _, d := range res.Filter(vet.Warn) {
 			fmt.Fprintf(stderr, "queueverify: vet: %s\n", d)
 		}
-		if mode == vet.ModeStrict && res.HasErrors() {
+		if mode == vet.ModeStrict && (res.HasErrors() || overBudget) {
 			msg := fmt.Sprintf("vet found %d errors in strict mode; refusing to verify an ill-formed instance", res.Errors())
+			if !res.HasErrors() {
+				msg = fmt.Sprintf("vet: state-space bound %s exceeds -max-states %d in strict mode; refusing a run that cannot finish", res.Bound, bf.MaxStates)
+			}
 			fmt.Fprintf(stderr, "queueverify: %s\n", msg)
 			if of.Report != "" {
 				doc := rec.Finish("queueverify", conf, engine.Unknown, msg)
@@ -234,15 +239,31 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return code
 }
 
-// vetTractable reports whether the instance's largest sequence domain —
-// the abstract (2N+1)-queue's contents — stays under limit values, so the
-// vet pre-check can afford to materialize the Figure 9 domains.
+// vetTractable reports whether the vet pre-check can afford to
+// materialize the Figure 9 domains. The semantic analyzer
+// (internal/absint) bounds the per-variable domains of the conclusion
+// queue — QM of capacity 2N+1, whose contents variable carries the
+// instance's largest sequence domain. That domain is deliberately
+// withheld from the analysis so the analyzer infers its cardinality from
+// the Len guard instead of enumerating value.Seqs: the enumeration is
+// exactly the cost being gated. Tractable means every inferred
+// per-variable cardinality is finite and at most limit.
 func vetTractable(cfg queue.Config, limit int) bool {
-	total, count := 1, 1
-	for l := 1; l <= 2*cfg.N+1; l++ {
-		count *= cfg.Vals
-		total += count
-		if total > limit {
+	vals := cfg.ValueDomain()
+	comps := []*spec.Component{
+		queue.QE("QE", queue.In, queue.Out, vals),
+		queue.QM("QM", 2*cfg.N+1, queue.In, queue.Out, "q", vals),
+	}
+	domains := queue.In.Domains(vals)
+	for k, v := range queue.Out.Domains(vals) {
+		domains[k] = v
+	}
+	b := absint.Analyze(comps, nil, absint.Options{Declared: domains}).Bound()
+	if !b.Finite {
+		return false
+	}
+	for _, vb := range b.Vars {
+		if !vb.Finite || vb.Card > uint64(limit) {
 			return false
 		}
 	}

@@ -198,6 +198,10 @@ func TestOversizedInstanceSkipsVet(t *testing.T) {
 	}
 }
 
+// TestVetTractable pins the analyzer-derived tractability gate. The
+// expected cardinalities are the closed form Σ_{l=0..2N+1} K^l for the
+// abstract queue's contents: absint must infer exactly that count from
+// the Len guard, without ever materializing the sequence domain.
 func TestVetTractable(t *testing.T) {
 	tests := []struct {
 		n, k, limit int
@@ -214,6 +218,36 @@ func TestVetTractable(t *testing.T) {
 		if got != tt.want {
 			t.Errorf("vetTractable(N=%d,K=%d,limit=%d) = %v, want %v", tt.n, tt.k, tt.limit, got, tt.want)
 		}
+	}
+}
+
+// TestStrictRefusesOverBudgetBound: in strict mode, a state-space bound
+// (SV140) above -max-states refuses the run up front — the budgeted build
+// would only discover the same fact after burning the whole budget.
+func TestStrictRefusesOverBudgetBound(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-vet", "strict", "-max-states", "10"}, &out, &errb)
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2 (stderr %q)", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "SV140") {
+		t.Errorf("stderr %q missing the SV140 budget warning", errb.String())
+	}
+	if !strings.Contains(errb.String(), "exceeds -max-states 10") {
+		t.Errorf("stderr %q missing the strict refusal message", errb.String())
+	}
+	// Warn mode only warns: the run proceeds (and the tiny budget then
+	// stops the build with the usual UNKNOWN verdict).
+	var out2, errb2 bytes.Buffer
+	code = run([]string{"-vet", "warn", "-max-states", "10"}, &out2, &errb2)
+	if code != 2 {
+		t.Fatalf("warn-mode exit code = %d, want 2 (budget exhaustion)", code)
+	}
+	if !strings.Contains(errb2.String(), "SV140") {
+		t.Errorf("warn-mode stderr %q missing the SV140 warning", errb2.String())
+	}
+	if !strings.Contains(out2.String(), "UNKNOWN") {
+		t.Errorf("warn-mode stdout %q missing UNKNOWN", out2.String())
 	}
 }
 

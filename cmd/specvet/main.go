@@ -9,8 +9,13 @@
 //
 //	specvet                  vet every registered model
 //	specvet -model queue     vet one model
+//	specvet -examples        also vet the examples/ compositions
 //	specvet -json            machine-readable output
 //	specvet -strict          warnings also fail (infos never do)
+//
+// Version 2 of the analyzer (the semantic pass, DESIGN.md §14) also
+// reports each model's state-space cardinality bound, both in the human
+// output and as the "bound" field of the JSON document.
 //
 // Exit codes: 0 = no findings above the failure threshold, 1 = errors
 // (or warnings with -strict), 2 = usage error.
@@ -33,8 +38,9 @@ func main() {
 }
 
 // jsonSchemaVersion versions specvet's -json output, independently of the
-// run-report schema of internal/obs.
-const jsonSchemaVersion = 1
+// run-report schema of internal/obs. Version 2 added the per-model
+// "bound" object (the semantic pass's state-space upper bound).
+const jsonSchemaVersion = 2
 
 // output is the -json document: one entry per vetted model, with the
 // diagnostics array always present so consumers can index it unguarded.
@@ -50,12 +56,15 @@ type modelEntry struct {
 	Warnings    int                 `json:"warnings"`
 	Infos       int                 `json:"infos"`
 	Diagnostics []obs.VetDiagnostic `json:"diagnostics"`
+	// Bound is the analyzer's state-space upper bound, when inferred.
+	Bound *obs.VetBound `json:"bound,omitempty"`
 }
 
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("specvet", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	model := fs.String("model", "", "model to vet (default: all): "+strings.Join(models.Names(), " | "))
+	examples := fs.Bool("examples", false, "also vet the examples/ compositions (see internal/models.Examples)")
 	asJSON := fs.Bool("json", false, "emit machine-readable JSON instead of human output")
 	strict := fs.Bool("strict", false, "treat warnings as failures (infos never fail)")
 	if err := fs.Parse(args); err != nil {
@@ -69,6 +78,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var targets []models.Model
 	if *model == "" {
 		targets = models.All()
+		if *examples {
+			targets = append(targets, models.Examples()...)
+		}
 	} else {
 		m, err := models.ByName(*model)
 		if err != nil {
@@ -102,18 +114,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 					Hint:      d.Hint,
 				})
 			}
+			if res.Bound != nil {
+				entry.Bound = &obs.VetBound{Finite: res.Bound.Finite, States: res.Bound.States}
+			}
 			doc.Models = append(doc.Models, entry)
 			continue
 		}
+		bound := ""
+		if res.Bound != nil {
+			bound = " (bound " + res.Bound.String() + ")"
+		}
 		if len(res.Diagnostics) == 0 {
-			fmt.Fprintf(stdout, "%s: clean\n", m.Name)
+			fmt.Fprintf(stdout, "%s: clean%s\n", m.Name, bound)
 			continue
 		}
 		for _, d := range res.Diagnostics {
 			fmt.Fprintf(stdout, "%s: %s\n", m.Name, d)
 		}
-		fmt.Fprintf(stdout, "%s: %d errors, %d warnings, %d infos\n",
-			m.Name, res.Errors(), res.Warnings(), res.Infos())
+		fmt.Fprintf(stdout, "%s: %d errors, %d warnings, %d infos%s\n",
+			m.Name, res.Errors(), res.Warnings(), res.Infos(), bound)
 	}
 	if *asJSON {
 		enc := json.NewEncoder(stdout)

@@ -58,6 +58,44 @@ func TestSingleModel(t *testing.T) {
 	}
 }
 
+func TestExamplesFlag(t *testing.T) {
+	// -examples appends the examples/ compositions after the registry
+	// models; they must pass -strict (CI runs exactly this invocation).
+	var out, errb bytes.Buffer
+	if code := run([]string{"-strict", "-examples"}, &out, &errb); code != 0 {
+		t.Fatalf("exit code = %d, want 0\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+	for _, m := range models.Examples() {
+		clean := strings.Contains(out.String(), m.Name+": clean")
+		summary := strings.Contains(out.String(), m.Name+": 0 errors, 0 warnings")
+		if !clean && !summary {
+			t.Errorf("example %s neither clean nor 0-errors in stdout:\n%s", m.Name, out.String())
+		}
+	}
+	// Without the flag the examples are absent.
+	var out2, errb2 bytes.Buffer
+	if code := run(nil, &out2, &errb2); code != 0 {
+		t.Fatalf("exit code = %d, want 0", code)
+	}
+	for _, m := range models.Examples() {
+		if strings.Contains(out2.String(), m.Name+":") {
+			t.Errorf("default run mentions example %s:\n%s", m.Name, out2.String())
+		}
+	}
+}
+
+func TestBoundReported(t *testing.T) {
+	// The semantic pass attaches a state-space bound to every registry
+	// model; the human output surfaces it on the clean/summary line.
+	var out, errb bytes.Buffer
+	if code := run([]string{"-model", "handshake"}, &out, &errb); code != 0 {
+		t.Fatalf("exit code = %d, want 0 (stderr %q)", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "handshake: clean (bound ≤ 8 states)") {
+		t.Errorf("stdout missing the handshake bound:\n%s", out.String())
+	}
+}
+
 func TestUsageErrors(t *testing.T) {
 	tests := []struct {
 		name   string
@@ -150,6 +188,9 @@ func TestJSONGolden(t *testing.T) {
 		}
 		if m.Diagnostics == nil {
 			t.Errorf("model %s: diagnostics array absent, want []", m.Model)
+		}
+		if m.Bound == nil || !m.Bound.Finite || m.Bound.States == 0 {
+			t.Errorf("model %s: bound missing or not finite: %+v", m.Model, m.Bound)
 		}
 	}
 	// The array must serialize as [] (never null) for unguarded jq access.

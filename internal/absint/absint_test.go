@@ -1,0 +1,221 @@
+package absint
+
+import (
+	"testing"
+
+	"opentla/internal/form"
+	"opentla/internal/spec"
+	"opentla/internal/value"
+)
+
+func ints(vs ...int64) []value.Value {
+	out := make([]value.Value, len(vs))
+	for i, v := range vs {
+		out[i] = value.Int(v)
+	}
+	return out
+}
+
+func TestDomFiniteBasics(t *testing.T) {
+	d := FromValues(value.Int(3), value.Int(1), value.Int(3), value.Int(2))
+	if c, fin := d.Card(); !fin || c != 3 {
+		t.Fatalf("dedup/sort: card = %d, finite %v, want 3 true", c, fin)
+	}
+	if !d.Contains(value.Int(2)) || d.Contains(value.Int(4)) {
+		t.Fatalf("Contains wrong on %s", d)
+	}
+	j := Join(d, FromValues(value.Int(7)))
+	if c, _ := j.Card(); c != 4 {
+		t.Fatalf("join card = %d, want 4", c)
+	}
+	m := Meet(d, Interval(2, 9))
+	if c, _ := m.Card(); c != 2 {
+		t.Fatalf("meet card = %d, want 2 (values 2,3), got %s", c, m)
+	}
+	if !Incl(m, d) || Incl(d, m) {
+		t.Fatalf("Incl wrong: %s vs %s", m, d)
+	}
+}
+
+func TestDomIntervalAndWiden(t *testing.T) {
+	a := Interval(0, 5)
+	if c, fin := a.Card(); !fin || c != 6 {
+		t.Fatalf("interval card = %d, want 6", c)
+	}
+	grown := Join(a, Interval(0, 7))
+	w := Widen(a, grown)
+	if _, fin := w.Card(); fin {
+		t.Fatalf("widened moving upper bound should be infinite, got %s", w)
+	}
+	if !w.Contains(value.Int(1000)) {
+		t.Fatalf("widened domain must contain large values, got %s", w)
+	}
+	// A stable domain must not be widened.
+	if got := Widen(a, Interval(1, 4)); !Incl(got, a) || !Incl(a, got) {
+		t.Fatalf("widen of stable domain changed it: %s", got)
+	}
+}
+
+func TestSeqDomCard(t *testing.T) {
+	// Sequences of {0,1} with length 0..3: 1+2+4+8 = 15.
+	d := SeqOf(FromValues(ints(0, 1)...), 0, 3, false)
+	if c, fin := d.Card(); !fin || c != 15 {
+		t.Fatalf("seq card = %d finite %v, want 15 true", c, fin)
+	}
+	if c, _ := SeqOf(FromValues(ints(0, 1)...), 2, 3, false).Card(); c != 12 {
+		t.Fatalf("minLen-trimmed seq card = %d, want 12", c)
+	}
+	if _, fin := SeqOf(FromValues(ints(0, 1)...), 0, 0, true).Card(); fin {
+		t.Fatalf("unbounded-length seq must be infinite")
+	}
+	// The singleton empty sequence is representable and finite.
+	if c, fin := SeqOf(nil, 0, 0, false).Card(); !fin || c != 1 {
+		t.Fatalf("empty-seq dom card = %d, want 1", c)
+	}
+	// A finite set of tuples round-trips through the sequence view.
+	fin := FromValues(value.Empty, value.Tuple(value.Int(0)), value.Tuple(value.Int(1)))
+	j := Join(fin, SeqOf(FromValues(ints(0, 1)...), 1, 1, false))
+	if c, ok := j.Card(); !ok || c != 3 {
+		t.Fatalf("tuple-set ⊔ seq card = %d, want 3 (len 0..1 over {0,1}), got %s", c, j)
+	}
+}
+
+func TestEvalTriComparisons(t *testing.T) {
+	en := env{
+		"x": FromValues(ints(0, 1)...),
+		"y": FromValues(ints(5)...),
+		"z": Interval(2, 3),
+	}
+	cases := []struct {
+		e    form.Expr
+		want Tri
+	}{
+		{form.Lt(form.Var("x"), form.Var("y")), True},
+		{form.Gt(form.Var("x"), form.Var("y")), False},
+		{form.Eq(form.Var("x"), form.Var("z")), False}, // disjoint
+		{form.Eq(form.Var("y"), form.IntC(5)), True},   // singleton
+		{form.Eq(form.Var("x"), form.IntC(0)), Unknown},
+		{form.Ne(form.Var("x"), form.Var("z")), True},
+		{form.And(form.TrueE, form.Le(form.Var("z"), form.IntC(3))), True},
+		{form.Exists("v", nil, form.TrueE), False}, // empty domain
+		{form.Exists("v", ints(0, 1), form.Eq(form.Var("v"), form.IntC(1))), True},
+	}
+	for i, c := range cases {
+		if got := evalTri(c.e, en); got != c.want {
+			t.Errorf("case %d: evalTri(%s) = %s, want %s", i, c.e, got, c.want)
+		}
+	}
+}
+
+func TestGuardRefinement(t *testing.T) {
+	en := env{"q": SeqOf(FromValues(ints(0, 1)...), 0, 5, false), "x": Interval(0, 9)}
+	refine(form.Lt(form.Len(form.Var("q")), form.IntC(2)), en)
+	if c, _ := en["q"].Card(); c != 3 {
+		t.Fatalf("Len(q)<2 should trim to lengths 0..1 (card 3), got %s", en["q"])
+	}
+	refine(form.Ge(form.Var("x"), form.IntC(7)), en)
+	if c, _ := en["x"].Card(); c != 3 {
+		t.Fatalf("x≥7 should trim [0..9] to [7..9], got %s", en["x"])
+	}
+}
+
+// counter builds a one-variable component: x starts at 0 and increments,
+// optionally guarded by x < limit.
+func counter(name string, guarded bool, limit int64) *spec.Component {
+	inc := form.Eq(form.PrimedVar("x"), form.Add(form.Var("x"), form.IntC(1)))
+	def := inc
+	if guarded {
+		def = form.And(form.Lt(form.Var("x"), form.IntC(limit)), inc)
+	}
+	return &spec.Component{
+		Name:    name,
+		Outputs: []string{"x"},
+		Init:    form.Eq(form.Var("x"), form.IntC(0)),
+		Actions: []spec.Action{{Name: "Inc", Def: def}},
+	}
+}
+
+func TestAnalyzeGuardedCounterIsFinite(t *testing.T) {
+	a := Analyze([]*spec.Component{counter("ctr", true, 5)}, nil, Options{})
+	b := a.Bound()
+	if !b.Finite || b.States != 6 {
+		t.Fatalf("guarded counter bound = %s (finite %v), want ≤ 6 states", b, b.Finite)
+	}
+}
+
+func TestAnalyzeUnguardedCounterIsInfinite(t *testing.T) {
+	a := Analyze([]*spec.Component{counter("ctr", false, 0)}, nil, Options{})
+	if !a.Widened {
+		t.Fatalf("unguarded counter must trigger widening")
+	}
+	b := a.Bound()
+	if b.Finite {
+		t.Fatalf("unguarded counter bound should be infinite, got %s", b)
+	}
+}
+
+func TestAnalyzeDeadAction(t *testing.T) {
+	c := &spec.Component{
+		Name:    "dead",
+		Outputs: []string{"x"},
+		Init:    form.Eq(form.Var("x"), form.IntC(0)),
+		Actions: []spec.Action{
+			{Name: "Stay", Def: form.And(form.Eq(form.Var("x"), form.IntC(0)), form.Eq(form.PrimedVar("x"), form.Var("x")))},
+			{Name: "Never", Def: form.And(form.Gt(form.Var("x"), form.IntC(10)), form.Eq(form.PrimedVar("x"), form.IntC(1)))},
+		},
+	}
+	a := Analyze([]*spec.Component{c}, nil, Options{Declared: map[string][]value.Value{"x": ints(0, 1)}})
+	var never, stay Tri
+	for _, f := range a.Actions {
+		switch f.Action {
+		case "Never":
+			never = f.Enabled
+		case "Stay":
+			stay = f.Enabled
+		}
+	}
+	if never != False {
+		t.Fatalf("Never guard x>10 over x∈{0} should be provably disabled, got %s", never)
+	}
+	if stay == False {
+		t.Fatalf("Stay should not be provably disabled")
+	}
+	// The dead action's write must not pollute the reachable domain.
+	if d := a.VarDom("x"); d.Contains(value.Int(1)) {
+		t.Fatalf("x domain %s includes the dead action's write", d)
+	}
+}
+
+func TestBoundSabotage(t *testing.T) {
+	a := Analyze([]*spec.Component{counter("ctr", true, 5)}, nil, Options{
+		Declared: map[string][]value.Value{"y": ints(0, 1, 2)},
+	})
+	full := a.Bound()
+	if full.States != 18 {
+		t.Fatalf("bound = %s, want ≤ 18 (6 × 3)", full)
+	}
+	if got := a.BoundWith(Sabotage{DropVar: "y"}); got.States != 6 {
+		t.Fatalf("DropVar bound = %s, want 6", got)
+	}
+	if got := a.BoundWith(Sabotage{HalveCards: true}); got.States >= full.States {
+		t.Fatalf("HalveCards bound %s not smaller than %s", got, full)
+	}
+}
+
+func TestExistsTransferBindsDomain(t *testing.T) {
+	// x' = v for v ∈ {3,4}: the post-domain is exactly {3,4}.
+	c := &spec.Component{
+		Name:    "pick",
+		Outputs: []string{"x"},
+		Init:    form.Eq(form.Var("x"), form.IntC(3)),
+		Actions: []spec.Action{{
+			Name: "Pick",
+			Def:  form.Exists("v", ints(3, 4), form.Eq(form.PrimedVar("x"), form.Var("v"))),
+		}},
+	}
+	a := Analyze([]*spec.Component{c}, nil, Options{})
+	d := a.VarDom("x")
+	if c, fin := d.Card(); !fin || c != 2 {
+		t.Fatalf("x domain = %s, want {3,4}", d)
+	}
+}

@@ -1,0 +1,103 @@
+package absint
+
+import (
+	"fmt"
+	"strings"
+)
+
+// VarBound is the per-variable contribution to the state-space bound.
+type VarBound struct {
+	// Var is the variable name.
+	Var string
+	// Card is the (saturating) cardinality of the variable's inferred
+	// reachable domain; CardInf when not finite.
+	Card uint64
+	// Finite reports whether the cardinality is a finite number.
+	Finite bool
+}
+
+// Bound is a sound upper bound on the number of distinct states a
+// composition can reach: the product of the per-variable reachable-domain
+// cardinalities. Every reachable state assigns each variable a value from
+// its inferred domain, so the product dominates the true count; it is not
+// tight (variable correlations are deliberately ignored).
+type Bound struct {
+	// Finite reports whether every variable's domain is provably finite.
+	Finite bool
+	// States is the saturating product of the per-variable cardinalities;
+	// CardInf when Finite is false or the product overflows uint64.
+	States uint64
+	// Vars lists the per-variable cardinalities, sorted by name.
+	Vars []VarBound
+}
+
+// String renders the bound for reports: "≤ 4608 states" or "unbounded".
+func (b *Bound) String() string {
+	if b == nil {
+		return "unknown"
+	}
+	if !b.Finite {
+		infinite := []string{}
+		for _, v := range b.Vars {
+			if !v.Finite {
+				infinite = append(infinite, v.Var)
+			}
+		}
+		if len(infinite) > 0 {
+			return fmt.Sprintf("unbounded (via %s)", strings.Join(infinite, ", "))
+		}
+		return "unbounded"
+	}
+	return fmt.Sprintf("≤ %d states", b.States)
+}
+
+// Exceeds reports whether the bound exceeds a state budget; an infinite
+// bound exceeds every budget. A budget ≤ 0 means "no budget".
+func (b *Bound) Exceeds(budget int64) bool {
+	if b == nil || budget <= 0 {
+		return false
+	}
+	return !b.Finite || b.States > uint64(budget)
+}
+
+// Sabotage disables parts of the bound computation for fault-injection
+// testing (package faultinject): the detector harness proves that an
+// unsound bound — one smaller than the explored state count — cannot
+// survive the registry cross-check. The zero value sabotages nothing.
+type Sabotage struct {
+	// DropVar omits one variable from the product, as an analyzer bug
+	// that loses track of a state variable would.
+	DropVar string
+	// HalveCards divides every per-variable cardinality by two (rounding
+	// up), mimicking a systematically optimistic counting bug.
+	HalveCards bool
+}
+
+// Bound computes the state-space bound from the inferred domains.
+func (a *Analysis) Bound() *Bound {
+	return a.BoundWith(Sabotage{})
+}
+
+// BoundWith computes the bound under a sabotage configuration; production
+// callers use Bound.
+func (a *Analysis) BoundWith(sab Sabotage) *Bound {
+	b := &Bound{Finite: true, States: 1}
+	for _, v := range a.Names {
+		card, fin := a.Vars[v].Card()
+		if sab.HalveCards && fin {
+			card = (card + 1) / 2
+		}
+		b.Vars = append(b.Vars, VarBound{Var: v, Card: card, Finite: fin})
+		if v == sab.DropVar {
+			continue
+		}
+		if !fin {
+			b.Finite = false
+		}
+		b.States = satMul(b.States, card)
+	}
+	if !b.Finite {
+		b.States = CardInf
+	}
+	return b
+}

@@ -1,0 +1,580 @@
+// Package absint is a deterministic abstract interpreter over the
+// canonical-form component specifications of package spec (Abadi & Lamport,
+// "Open Systems in TLA" §2.2). It infers, without enumerating states,
+//
+//   - a per-variable over-approximation of the reachable value set (a
+//     finite-set / interval / sequence abstraction, see Dom);
+//   - per-action read and write sets, from the action definitions rather
+//     than from the declared Inputs/Outputs/Internals partition;
+//   - satisfiability verdicts for guards (three-valued), exposing actions
+//     that can provably never take a step; and
+//   - a state-space cardinality upper bound (Bound) — the product of the
+//     per-variable domain cardinalities — used by the checker CLIs to
+//     predict intractable instances before exploration starts.
+//
+// Everything absint reports is sound with respect to the declarative
+// semantics: inferred domains only ever over-approximate the reachable
+// values, so "provably finite", "provably disabled", and the state bound
+// are theorems about the specification, not heuristics. Package vet turns
+// these facts into SV100+ diagnostics.
+package absint
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"opentla/internal/value"
+)
+
+// kind discriminates the shapes of an abstract domain.
+type kind int
+
+const (
+	kBot    kind = iota // empty set: no value reaches here
+	kFinite             // explicit finite value set, sorted and deduplicated
+	kInt                // integer interval, either end possibly unbounded
+	kSeq                // sequences: element domain plus a length range
+	kTop                // all values
+)
+
+// Dom is an abstract value domain: an over-approximation of the set of
+// values a variable (or expression) can take. Dom values are immutable;
+// all operations return fresh domains.
+type Dom struct {
+	k            kind
+	vals         []value.Value // kFinite: sorted ascending by value.Compare, deduplicated
+	lo           int64         // kInt lower bound, valid when !loInf
+	hi           int64         // kInt upper bound, valid when !hiInf
+	loInf, hiInf bool
+	elem         *Dom // kSeq element domain; nil means only empty sequences occur
+	minLen       int  // kSeq minimum length (≥ 0)
+	maxLen       int  // kSeq maximum length, valid when !maxInf
+	maxInf       bool
+}
+
+// Bot returns the empty domain.
+func Bot() *Dom { return &Dom{k: kBot} }
+
+// Top returns the domain of all values.
+func Top() *Dom { return &Dom{k: kTop} }
+
+// FromValues returns the finite domain holding exactly vs.
+func FromValues(vs ...value.Value) *Dom {
+	if len(vs) == 0 {
+		return Bot()
+	}
+	sorted := make([]value.Value, len(vs))
+	copy(sorted, vs)
+	value.SortValues(sorted)
+	out := sorted[:1]
+	for _, v := range sorted[1:] {
+		if !v.Equal(out[len(out)-1]) {
+			out = append(out, v)
+		}
+	}
+	return &Dom{k: kFinite, vals: out}
+}
+
+// Interval returns the integer domain [lo, hi]; Bot if empty.
+func Interval(lo, hi int64) *Dom {
+	if lo > hi {
+		return Bot()
+	}
+	return &Dom{k: kInt, lo: lo, hi: hi}
+}
+
+// SeqOf returns the sequence domain with the given element domain and
+// length range [minLen, maxLen]; maxInf means unbounded length. A nil or
+// Bot elem with minLen 0 denotes the singleton {⟨⟩}.
+func SeqOf(elem *Dom, minLen, maxLen int, maxInf bool) *Dom {
+	if minLen < 0 {
+		minLen = 0
+	}
+	if elem != nil && elem.k == kBot {
+		elem = nil
+	}
+	if elem == nil {
+		// Only empty sequences are possible.
+		if minLen > 0 {
+			return Bot()
+		}
+		return &Dom{k: kFinite, vals: []value.Value{value.Empty}}
+	}
+	if !maxInf && maxLen < minLen {
+		return Bot()
+	}
+	return &Dom{k: kSeq, elem: elem, minLen: minLen, maxLen: maxLen, maxInf: maxInf}
+}
+
+// IsBot reports whether the domain is empty.
+func (d *Dom) IsBot() bool { return d == nil || d.k == kBot }
+
+// IsTop reports whether the domain is unrestricted.
+func (d *Dom) IsTop() bool { return d != nil && d.k == kTop }
+
+// intRange extracts the integer hull [lo, hi] of a domain, with
+// unbounded-end flags. ok is false when the domain holds no integers or
+// the hull is unknowable (kTop counts as unbounded-both-ends, ok true).
+func (d *Dom) intRange() (lo, hi int64, loInf, hiInf, ok bool) {
+	switch d.k {
+	case kInt:
+		return d.lo, d.hi, d.loInf, d.hiInf, true
+	case kTop:
+		return 0, 0, true, true, true
+	case kFinite:
+		first := true
+		for _, v := range d.vals {
+			n, isInt := v.AsInt()
+			if !isInt {
+				continue
+			}
+			if first || n < lo {
+				lo = n
+			}
+			if first || n > hi {
+				hi = n
+			}
+			first = false
+		}
+		return lo, hi, false, false, !first
+	}
+	return 0, 0, false, false, false
+}
+
+// allInts reports whether every value in a finite domain is an integer.
+func (d *Dom) allInts() bool {
+	if d.k != kFinite {
+		return false
+	}
+	for _, v := range d.vals {
+		if v.Kind() != value.KindInt {
+			return false
+		}
+	}
+	return true
+}
+
+// allTuples reports whether every value in a finite domain is a tuple.
+func (d *Dom) allTuples() bool {
+	if d.k != kFinite {
+		return false
+	}
+	for _, v := range d.vals {
+		if v.Kind() != value.KindTuple {
+			return false
+		}
+	}
+	return true
+}
+
+// seqView reinterprets d as a sequence domain, over-approximating: the
+// result contains every sequence in d. ok is false when d provably holds
+// no sequences or is not representable (kTop yields an unbounded view).
+func (d *Dom) seqView() (elem *Dom, minLen, maxLen int, maxInf, ok bool) {
+	switch d.k {
+	case kSeq:
+		return d.elem, d.minLen, d.maxLen, d.maxInf, true
+	case kTop:
+		return Top(), 0, 0, true, true
+	case kFinite:
+		if !d.allTuples() || len(d.vals) == 0 {
+			return nil, 0, 0, false, false
+		}
+		var elems []value.Value
+		minLen, maxLen = d.vals[0].Len(), d.vals[0].Len()
+		for _, v := range d.vals {
+			n := v.Len()
+			if n < minLen {
+				minLen = n
+			}
+			if n > maxLen {
+				maxLen = n
+			}
+			elems = append(elems, v.Elems()...)
+		}
+		if len(elems) == 0 {
+			return nil, minLen, maxLen, false, true
+		}
+		return FromValues(elems...), minLen, maxLen, false, true
+	}
+	return nil, 0, 0, false, false
+}
+
+// Contains reports whether v may be in the domain. It is exact for kBot,
+// kFinite, kTop, and integer intervals; for sequence domains it checks the
+// element domain and length range.
+func (d *Dom) Contains(v value.Value) bool {
+	switch d.k {
+	case kBot:
+		return false
+	case kTop:
+		return true
+	case kFinite:
+		i := sort.Search(len(d.vals), func(i int) bool { return d.vals[i].Compare(v) >= 0 })
+		return i < len(d.vals) && d.vals[i].Equal(v)
+	case kInt:
+		n, ok := v.AsInt()
+		if !ok {
+			return false
+		}
+		return (d.loInf || n >= d.lo) && (d.hiInf || n <= d.hi)
+	case kSeq:
+		if v.Kind() != value.KindTuple {
+			return false
+		}
+		n := v.Len()
+		if n < d.minLen || (!d.maxInf && n > d.maxLen) {
+			return false
+		}
+		for _, e := range v.Elems() {
+			if !d.elem.Contains(e) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// Join returns the least over-approximation of a ∪ b representable in the
+// lattice.
+func Join(a, b *Dom) *Dom {
+	if a.IsBot() {
+		return b
+	}
+	if b.IsBot() {
+		return a
+	}
+	if a.IsTop() || b.IsTop() {
+		return Top()
+	}
+	if a.k == kFinite && b.k == kFinite {
+		return FromValues(append(append([]value.Value{}, a.vals...), b.vals...)...)
+	}
+	// Integer hulls.
+	if (a.k == kInt || a.allInts()) && (b.k == kInt || b.allInts()) {
+		alo, ahi, aloInf, ahiInf, _ := a.intRange()
+		blo, bhi, bloInf, bhiInf, _ := b.intRange()
+		out := &Dom{k: kInt, lo: minI(alo, blo), hi: maxI(ahi, bhi), loInf: aloInf || bloInf, hiInf: ahiInf || bhiInf}
+		return out
+	}
+	// Sequence joins.
+	ae, amin, amax, ainf, aok := a.seqView()
+	be, bmin, bmax, binf, bok := b.seqView()
+	if aok && bok {
+		return SeqOf(Join(orBot(ae), orBot(be)), minInt(amin, bmin), maxInt(amax, bmax), ainf || binf)
+	}
+	return Top()
+}
+
+// Meet returns an over-approximation of a ∩ b: the result contains every
+// value in both domains, and is never larger than either input where the
+// shapes allow an exact intersection.
+func Meet(a, b *Dom) *Dom {
+	if a.IsBot() || b.IsBot() {
+		return Bot()
+	}
+	if a.IsTop() {
+		return b
+	}
+	if b.IsTop() {
+		return a
+	}
+	if a.k == kFinite {
+		return filterFinite(a, b)
+	}
+	if b.k == kFinite {
+		return filterFinite(b, a)
+	}
+	if a.k == kInt && b.k == kInt {
+		lo, loInf := a.lo, a.loInf
+		if !b.loInf && (loInf || b.lo > lo) {
+			lo, loInf = b.lo, false
+		}
+		hi, hiInf := a.hi, a.hiInf
+		if !b.hiInf && (hiInf || b.hi < hi) {
+			hi, hiInf = b.hi, false
+		}
+		if !loInf && !hiInf && lo > hi {
+			return Bot()
+		}
+		return &Dom{k: kInt, lo: lo, hi: hi, loInf: loInf, hiInf: hiInf}
+	}
+	if a.k == kSeq && b.k == kSeq {
+		minLen := maxInt(a.minLen, b.minLen)
+		maxLen, maxInf := a.maxLen, a.maxInf
+		if !b.maxInf && (maxInf || b.maxLen < maxLen) {
+			maxLen, maxInf = b.maxLen, false
+		}
+		return SeqOf(Meet(a.elem, b.elem), minLen, maxLen, maxInf)
+	}
+	// Incomparable shapes: keep the smaller side (sound: result ⊇ a∩b).
+	if ca, af := a.Card(); af {
+		if cb, bf := b.Card(); !bf || ca <= cb {
+			return a
+		}
+	}
+	return b
+}
+
+// filterFinite keeps the members of finite domain f that other may contain.
+func filterFinite(f, other *Dom) *Dom {
+	var out []value.Value
+	for _, v := range f.vals {
+		if other.Contains(v) {
+			out = append(out, v)
+		}
+	}
+	return FromValues(out...)
+}
+
+// Widen accelerates convergence: where next has grown past prev, the
+// moving bound is pushed to infinity (intervals, sequence lengths) or the
+// domain is abandoned to Top (growing finite sets). Widen(prev, next) is
+// an upper bound of both arguments, so the fixpoint remains sound.
+func Widen(prev, next *Dom) *Dom {
+	if prev.IsBot() {
+		return next
+	}
+	if next.IsBot() {
+		return prev
+	}
+	j := Join(prev, next)
+	if Incl(j, prev) {
+		return prev
+	}
+	switch j.k {
+	case kFinite:
+		// A still-growing finite set: widen ints to an open interval,
+		// everything else to Top.
+		if j.allInts() && prev.k == kFinite {
+			lo, hi, _, _, ok := j.intRange()
+			plo, phi, _, _, _ := prev.intRange()
+			if ok {
+				out := &Dom{k: kInt, lo: lo, hi: hi}
+				if lo < plo {
+					out.loInf = true
+				}
+				if hi > phi {
+					out.hiInf = true
+				}
+				return out
+			}
+		}
+		return Top()
+	case kInt:
+		out := &Dom{k: kInt, lo: j.lo, hi: j.hi, loInf: j.loInf, hiInf: j.hiInf}
+		if plo, phi, ploInf, phiInf, ok := prev.intRange(); ok {
+			// A bound that moved since the previous iterate is pushed
+			// straight to infinity.
+			if !ploInf && !out.loInf && out.lo < plo {
+				out.loInf = true
+			}
+			if !phiInf && !out.hiInf && out.hi > phi {
+				out.hiInf = true
+			}
+		}
+		return out
+	case kSeq:
+		pe, pmin, pmax, pinf, pok := prev.seqView()
+		out := SeqOf(Widen(widenBase(pok, pe), j.elem), j.minLen, j.maxLen, j.maxInf)
+		if out.k != kSeq {
+			return out
+		}
+		cp := *out
+		if pok && !pinf && !cp.maxInf && cp.maxLen > pmax {
+			cp.maxInf = true
+		}
+		if pok && cp.minLen < pmin {
+			cp.minLen = 0
+		}
+		return &cp
+	}
+	return j
+}
+
+// widenBase returns the previous element domain for sequence widening,
+// Bot when the previous domain had no sequence view.
+func widenBase(ok bool, e *Dom) *Dom {
+	if !ok {
+		return Bot()
+	}
+	return orBot(e)
+}
+
+// Incl reports whether a ⊆ b is provable. False means "not proven", not
+// "disjoint".
+func Incl(a, b *Dom) bool {
+	if a.IsBot() || b.IsTop() {
+		return true
+	}
+	if b.IsBot() || a.IsTop() {
+		return false
+	}
+	if a.k == kFinite {
+		for _, v := range a.vals {
+			if !b.Contains(v) {
+				return false
+			}
+		}
+		return true
+	}
+	switch b.k {
+	case kInt:
+		lo, hi, loInf, hiInf, ok := a.intRange()
+		if !ok || a.k != kInt {
+			return false
+		}
+		if loInf && !b.loInf || hiInf && !b.hiInf {
+			return false
+		}
+		return (b.loInf || (!loInf && lo >= b.lo)) && (b.hiInf || (!hiInf && hi <= b.hi))
+	case kSeq:
+		ae, amin, amax, ainf, ok := a.seqView()
+		if !ok {
+			return false
+		}
+		if ainf && !b.maxInf {
+			return false
+		}
+		if amin < b.minLen || (!b.maxInf && amax > b.maxLen) {
+			return false
+		}
+		if ae == nil {
+			return true
+		}
+		return Incl(ae, b.elem)
+	}
+	return false
+}
+
+// CardInf is the saturated cardinality reported for infinite (or
+// too-large) domains.
+const CardInf = math.MaxUint64
+
+// Card returns the number of values in the domain and whether that count
+// is finite. Arithmetic saturates at CardInf.
+func (d *Dom) Card() (uint64, bool) {
+	switch d.k {
+	case kBot:
+		return 0, true
+	case kFinite:
+		return uint64(len(d.vals)), true
+	case kInt:
+		if d.loInf || d.hiInf {
+			return CardInf, false
+		}
+		// Width as unsigned difference avoids overflow for huge spans.
+		return satAdd(uint64(d.hi-d.lo), 1), true
+	case kSeq:
+		if d.maxInf {
+			return CardInf, false
+		}
+		ec, fin := d.elem.Card()
+		if !fin {
+			if d.maxLen == 0 {
+				return 1, true
+			}
+			return CardInf, false
+		}
+		var total uint64
+		pow := uint64(1)
+		for l := 0; l <= d.maxLen; l++ {
+			if l >= d.minLen {
+				total = satAdd(total, pow)
+			}
+			pow = satMul(pow, ec)
+		}
+		return total, total != CardInf
+	}
+	return CardInf, false
+}
+
+// String renders the domain for diagnostics.
+func (d *Dom) String() string {
+	switch d.k {
+	case kBot:
+		return "∅"
+	case kTop:
+		return "⊤"
+	case kInt:
+		lo, hi := "-∞", "∞"
+		if !d.loInf {
+			lo = fmt.Sprint(d.lo)
+		}
+		if !d.hiInf {
+			hi = fmt.Sprint(d.hi)
+		}
+		return fmt.Sprintf("[%s..%s]", lo, hi)
+	case kSeq:
+		hi := "∞"
+		if !d.maxInf {
+			hi = fmt.Sprint(d.maxLen)
+		}
+		return fmt.Sprintf("Seq(%s)[len %d..%s]", d.elem.String(), d.minLen, hi)
+	case kFinite:
+		if len(d.vals) <= 8 {
+			parts := make([]string, len(d.vals))
+			for i, v := range d.vals {
+				parts[i] = v.String()
+			}
+			return "{" + strings.Join(parts, ",") + "}"
+		}
+		return fmt.Sprintf("{%s,… %d values}", d.vals[0], len(d.vals))
+	}
+	return "?"
+}
+
+func orBot(d *Dom) *Dom {
+	if d == nil {
+		return Bot()
+	}
+	return d
+}
+
+func satAdd(a, b uint64) uint64 {
+	if a > CardInf-b {
+		return CardInf
+	}
+	return a + b
+}
+
+func satMul(a, b uint64) uint64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	if a > CardInf/b {
+		return CardInf
+	}
+	return a * b
+}
+
+func minI(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxI(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,424 @@
+package absint
+
+import (
+	"math"
+
+	"opentla/internal/form"
+	"opentla/internal/value"
+)
+
+// Tri is a three-valued truth verdict: a predicate evaluated over abstract
+// domains is provably false, provably true, or undecided.
+type Tri int
+
+// The three truth values.
+const (
+	False   Tri = iota - 1
+	Unknown     // not decided by the abstraction
+	True
+)
+
+// String returns "false", "unknown", or "true".
+func (t Tri) String() string {
+	switch t {
+	case False:
+		return "false"
+	case True:
+		return "true"
+	}
+	return "unknown"
+}
+
+// Not negates a three-valued verdict.
+func (t Tri) Not() Tri { return -t }
+
+// env maps variable names (and quantifier-bound names) to their abstract
+// domains.
+type env map[string]*Dom
+
+func (e env) clone() env {
+	out := make(env, len(e))
+	for k, v := range e {
+		out[k] = v
+	}
+	return out
+}
+
+func (e env) get(name string) *Dom {
+	if d, ok := e[name]; ok {
+		return d
+	}
+	return Top()
+}
+
+// absEval computes an over-approximating domain for the value of
+// expression x under the variable domains in en. Primed variables abstract
+// to Top — callers analyzing actions substitute assignment information via
+// the transfer functions instead.
+func absEval(x form.Expr, en env) *Dom {
+	switch e := x.(type) {
+	case form.VarE:
+		return en.get(e.Name)
+	case form.ConstE:
+		return FromValues(e.V)
+	case form.PrimeE:
+		return Top()
+	case form.ArithE:
+		return arithDom(e, en)
+	case form.IfE:
+		switch evalTri(e.C, en) {
+		case True:
+			return absEval(e.T, en)
+		case False:
+			return absEval(e.E, en)
+		}
+		return Join(absEval(e.T, en), absEval(e.E, en))
+	case form.TupleE:
+		subs := make([]*Dom, len(e.Xs))
+		allSingle := true
+		for i, sub := range e.Xs {
+			subs[i] = absEval(sub, en)
+			if subs[i].k != kFinite || len(subs[i].vals) != 1 {
+				allSingle = false
+			}
+		}
+		if allSingle {
+			elems := make([]value.Value, len(subs))
+			for i, d := range subs {
+				elems[i] = d.vals[0]
+			}
+			return FromValues(value.Tuple(elems...))
+		}
+		elem := Bot()
+		for _, d := range subs {
+			elem = Join(elem, d)
+		}
+		return SeqOf(elem, len(e.Xs), len(e.Xs), false)
+	case form.SeqUnE:
+		elem, minLen, maxLen, maxInf, ok := absEval(e.X, en).seqView()
+		if !ok {
+			if e.Op == form.OpLen {
+				return &Dom{k: kInt, lo: 0, hiInf: true}
+			}
+			return Top()
+		}
+		switch e.Op {
+		case form.OpHead:
+			return orBot(elem)
+		case form.OpTail:
+			if maxInf {
+				return SeqOf(orBot(elem), maxInt(0, minLen-1), 0, true)
+			}
+			return SeqOf(orBot(elem), maxInt(0, minLen-1), maxLen-1, false)
+		case form.OpLen:
+			if maxInf {
+				return &Dom{k: kInt, lo: int64(minLen), hiInf: true}
+			}
+			return Interval(int64(minLen), int64(maxLen))
+		}
+		return Top()
+	case form.ConcatE:
+		ae, amin, amax, ainf, aok := absEval(e.A, en).seqView()
+		be, bmin, bmax, binf, bok := absEval(e.B, en).seqView()
+		if !aok || !bok {
+			return Top()
+		}
+		return SeqOf(Join(orBot(ae), orBot(be)), amin+bmin, amax+bmax, ainf || binf)
+	case form.AndE, form.OrE, form.NotE, form.ImpliesE, form.EquivE, form.CmpE, form.QuantE:
+		return triToDom(evalTri(x, en))
+	}
+	return Top()
+}
+
+// triToDom lifts a truth verdict to a boolean domain.
+func triToDom(t Tri) *Dom {
+	switch t {
+	case True:
+		return FromValues(value.True)
+	case False:
+		return FromValues(value.False)
+	}
+	return FromValues(value.False, value.True)
+}
+
+// evalTri decides a predicate over abstract domains: True/False only when
+// every (resp. no) concrete instantiation satisfies it.
+func evalTri(x form.Expr, en env) Tri {
+	switch e := x.(type) {
+	case form.ConstE:
+		if b, ok := e.V.AsBool(); ok {
+			if b {
+				return True
+			}
+			return False
+		}
+		return Unknown
+	case form.VarE:
+		return domTri(en.get(e.Name))
+	case form.NotE:
+		return evalTri(e.X, en).Not()
+	case form.AndE:
+		out := True
+		for _, c := range e.Xs {
+			switch evalTri(c, en) {
+			case False:
+				return False
+			case Unknown:
+				out = Unknown
+			}
+		}
+		return out
+	case form.OrE:
+		out := False
+		for _, c := range e.Xs {
+			switch evalTri(c, en) {
+			case True:
+				return True
+			case Unknown:
+				out = Unknown
+			}
+		}
+		return out
+	case form.ImpliesE:
+		a, b := evalTri(e.A, en), evalTri(e.B, en)
+		if a == False || b == True {
+			return True
+		}
+		if a == True && b == False {
+			return False
+		}
+		return Unknown
+	case form.EquivE:
+		a, b := evalTri(e.A, en), evalTri(e.B, en)
+		if a == Unknown || b == Unknown {
+			return Unknown
+		}
+		if a == b {
+			return True
+		}
+		return False
+	case form.IfE:
+		switch evalTri(e.C, en) {
+		case True:
+			return evalTri(e.T, en)
+		case False:
+			return evalTri(e.E, en)
+		}
+		t, f := evalTri(e.T, en), evalTri(e.E, en)
+		if t == f {
+			return t
+		}
+		return Unknown
+	case form.CmpE:
+		return cmpTri(e.Op, absEval(e.A, en), absEval(e.B, en))
+	case form.QuantE:
+		out := False
+		if !e.Exists {
+			out = True
+		}
+		for _, v := range e.Domain {
+			inner := en.clone()
+			inner[e.Name] = FromValues(v)
+			t := evalTri(e.Body, inner)
+			if e.Exists && t == True {
+				return True
+			}
+			if !e.Exists && t == False {
+				return False
+			}
+			if t == Unknown {
+				out = Unknown
+			}
+		}
+		return out
+	}
+	return Unknown
+}
+
+// domTri reads a boolean domain as a verdict.
+func domTri(d *Dom) Tri {
+	if d.k != kFinite {
+		return Unknown
+	}
+	hasT, hasF := false, false
+	for _, v := range d.vals {
+		b, ok := v.AsBool()
+		if !ok {
+			return Unknown
+		}
+		if b {
+			hasT = true
+		} else {
+			hasF = true
+		}
+	}
+	if hasT && !hasF {
+		return True
+	}
+	if hasF && !hasT {
+		return False
+	}
+	return Unknown
+}
+
+// cmpTri compares two abstract domains under op.
+func cmpTri(op form.CmpOp, a, b *Dom) Tri {
+	if a.IsBot() || b.IsBot() {
+		// Vacuous: no concrete instantiation exists. Treat as undecided.
+		return Unknown
+	}
+	switch op {
+	case form.OpEq, form.OpNe:
+		t := eqTri(a, b)
+		if op == form.OpNe {
+			return t.Not()
+		}
+		return t
+	}
+	alo, ahi, aloInf, ahiInf, aok := a.intRange()
+	blo, bhi, bloInf, bhiInf, bok := b.intRange()
+	if !aok || !bok || a.k != kInt && a.k != kFinite || b.k != kInt && b.k != kFinite {
+		return Unknown
+	}
+	if a.k == kFinite && !a.allInts() || b.k == kFinite && !b.allInts() {
+		return Unknown
+	}
+	lt := func(strict bool) Tri {
+		// a < b (strict) or a ≤ b.
+		if !ahiInf && !bloInf && (ahi < blo || !strict && ahi == blo) {
+			return True
+		}
+		if !aloInf && !bhiInf && (alo > bhi || strict && alo == bhi) {
+			return False
+		}
+		return Unknown
+	}
+	switch op {
+	case form.OpLt:
+		return lt(true)
+	case form.OpLe:
+		return lt(false)
+	case form.OpGt:
+		return lt(false).Not()
+	case form.OpGe:
+		return lt(true).Not()
+	}
+	return Unknown
+}
+
+// eqTri decides equality of two domains: True when both are the same
+// singleton, False when they are provably disjoint.
+func eqTri(a, b *Dom) Tri {
+	if a.k == kFinite && b.k == kFinite && len(a.vals) == 1 && len(b.vals) == 1 {
+		if a.vals[0].Equal(b.vals[0]) {
+			return True
+		}
+		return False
+	}
+	if Meet(a, b).IsBot() {
+		return False
+	}
+	return Unknown
+}
+
+// arithDom evaluates integer arithmetic over domains.
+func arithDom(e form.ArithE, en env) *Dom {
+	a, b := absEval(e.A, en), absEval(e.B, en)
+	// Exact pairwise evaluation for small finite operand sets.
+	if a.k == kFinite && b.k == kFinite && a.allInts() && b.allInts() && len(a.vals)*len(b.vals) <= 256 {
+		var out []value.Value
+		for _, va := range a.vals {
+			for _, vb := range b.vals {
+				x, _ := va.AsInt()
+				y, _ := vb.AsInt()
+				if r, ok := arithInt(e.Op, x, y); ok {
+					out = append(out, value.Int(r))
+				}
+			}
+		}
+		return FromValues(out...)
+	}
+	alo, ahi, aloInf, ahiInf, aok := a.intRange()
+	blo, bhi, bloInf, bhiInf, bok := b.intRange()
+	if !aok || !bok {
+		return Top()
+	}
+	switch e.Op {
+	case form.OpAdd:
+		lo, loOv := addOv(alo, blo)
+		hi, hiOv := addOv(ahi, bhi)
+		return &Dom{k: kInt, lo: lo, hi: hi, loInf: aloInf || bloInf || loOv, hiInf: ahiInf || bhiInf || hiOv}
+	case form.OpSub:
+		lo, loOv := addOv(alo, -bhi)
+		hi, hiOv := addOv(ahi, -blo)
+		return &Dom{k: kInt, lo: lo, hi: hi, loInf: aloInf || bhiInf || loOv, hiInf: ahiInf || bloInf || hiOv}
+	case form.OpMul:
+		if aloInf || ahiInf || bloInf || bhiInf {
+			return &Dom{k: kInt, loInf: true, hiInf: true}
+		}
+		lo, hi := int64(math.MaxInt64), int64(math.MinInt64)
+		ov := false
+		for _, x := range []int64{alo, ahi} {
+			for _, y := range []int64{blo, bhi} {
+				p, pOv := mulOv(x, y)
+				ov = ov || pOv
+				if p < lo {
+					lo = p
+				}
+				if p > hi {
+					hi = p
+				}
+			}
+		}
+		if ov {
+			return &Dom{k: kInt, loInf: true, hiInf: true}
+		}
+		return Interval(lo, hi)
+	case form.OpMod:
+		// x % k over positive k is confined to [0, k-1] for non-negative
+		// x (the evaluator's convention); keep the conservative hull.
+		if !bhiInf && bhi > 0 {
+			return Interval(-(bhi - 1), bhi-1)
+		}
+		return Top()
+	}
+	return Top()
+}
+
+// arithInt evaluates one integer operation; ok is false on division-like
+// errors (mod by zero).
+func arithInt(op form.ArithOp, a, b int64) (int64, bool) {
+	switch op {
+	case form.OpAdd:
+		return a + b, true
+	case form.OpSub:
+		return a - b, true
+	case form.OpMul:
+		return a * b, true
+	case form.OpMod:
+		if b == 0 {
+			return 0, false
+		}
+		return a % b, true
+	}
+	return 0, false
+}
+
+func addOv(a, b int64) (int64, bool) {
+	s := a + b
+	if (a > 0 && b > 0 && s < 0) || (a < 0 && b < 0 && s >= 0) {
+		return 0, true
+	}
+	return s, false
+}
+
+func mulOv(a, b int64) (int64, bool) {
+	if a == 0 || b == 0 {
+		return 0, false
+	}
+	p := a * b
+	if p/b != a {
+		return 0, true
+	}
+	return p, false
+}

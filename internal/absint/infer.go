@@ -1,0 +1,228 @@
+package absint
+
+import (
+	"sort"
+
+	"opentla/internal/form"
+	"opentla/internal/spec"
+	"opentla/internal/value"
+)
+
+// Options configures an analysis run.
+type Options struct {
+	// Declared maps variables to their declared finite domains; variables
+	// absent from the map start from an unconstrained domain.
+	Declared map[string][]value.Value
+	// WidenAfter is the fixpoint iteration after which widening kicks in
+	// (default 64). Lower values converge faster but lose precision on
+	// slowly-growing domains such as bounded queues.
+	WidenAfter int
+	// MaxIter hard-caps fixpoint iterations (default 256); variables
+	// still changing at the cap are forced to Top.
+	MaxIter int
+}
+
+// ActionFacts are the per-action inference results.
+type ActionFacts struct {
+	// Component and Action identify the action.
+	Component, Action string
+	// Writes is the inferred stutter-free write set.
+	Writes map[string]bool
+	// Reads are the unprimed state variables the definition depends on.
+	Reads []string
+	// Enabled is the guard's satisfiability under the inferred reachable
+	// domains: False means the action provably never takes a step.
+	Enabled Tri
+	// Post maps each variable the action constrains (including stutter
+	// conjuncts) to the inferred domain of its next-state value.
+	Post map[string]*Dom
+}
+
+// Analysis is the result of abstractly interpreting a composition: an
+// over-approximation of every variable's reachable value set, plus
+// per-action facts. All fields are deterministic functions of the input.
+type Analysis struct {
+	// Names is the sorted variable universe: every variable declared by a
+	// component, appearing in a constraint, or given a declared domain.
+	Names []string
+	// Vars maps each universe variable to the inferred over-approximation
+	// of its reachable values.
+	Vars map[string]*Dom
+	// DeclaredDom holds the declared domains lifted to the abstract
+	// lattice (Top for undeclared variables).
+	DeclaredDom map[string]*Dom
+	// Free marks variables owned by no component: the environment may
+	// rewrite them every step, so they range over their declared domains.
+	Free map[string]bool
+	// Actions holds per-action facts in component order, action order.
+	Actions []ActionFacts
+	// Iterations is the number of fixpoint passes used; Widened reports
+	// whether widening was applied.
+	Iterations int
+	Widened    bool
+}
+
+// Analyze runs the abstract interpreter over a composition. constraints
+// are the composition's step-constraint actions; they only restrict which
+// steps are allowed, so ignoring their effect is sound — they contribute
+// their variables to the universe.
+func Analyze(comps []*spec.Component, constraints []form.Expr, opt Options) *Analysis {
+	if opt.WidenAfter <= 0 {
+		opt.WidenAfter = 64
+	}
+	if opt.MaxIter <= 0 {
+		opt.MaxIter = 256
+	}
+
+	universe := map[string]bool{}
+	owned := map[string]bool{}
+	for _, c := range comps {
+		for _, v := range c.Vars() {
+			universe[v] = true
+		}
+		for _, v := range c.Owned() {
+			owned[v] = true
+		}
+	}
+	for _, e := range constraints {
+		for _, v := range form.AllVars(e) {
+			universe[v] = true
+		}
+	}
+	for v := range opt.Declared {
+		universe[v] = true
+	}
+	names := make([]string, 0, len(universe))
+	for v := range universe {
+		names = append(names, v)
+	}
+	sort.Strings(names)
+
+	a := &Analysis{
+		Names:       names,
+		Vars:        make(map[string]*Dom, len(names)),
+		DeclaredDom: make(map[string]*Dom, len(names)),
+		Free:        make(map[string]bool),
+	}
+	for _, v := range names {
+		if vs, ok := opt.Declared[v]; ok && len(vs) > 0 {
+			a.DeclaredDom[v] = FromValues(vs...)
+		} else {
+			a.DeclaredDom[v] = Top()
+		}
+		if !owned[v] {
+			a.Free[v] = true
+		}
+	}
+	declaredFn := func(v string) *Dom { return a.DeclaredDom[v] }
+
+	// Initial domains: declared domains narrowed by every component's
+	// initial predicate (they all hold in the initial state).
+	init := make(env, len(names))
+	for _, v := range names {
+		init[v] = a.DeclaredDom[v]
+	}
+	for _, c := range comps {
+		if c.Init != nil {
+			refine(c.Init, init)
+		}
+	}
+	// Unowned variables may be rewritten to any declared value at every
+	// step, so their reachable set is the full declared domain.
+	for _, v := range names {
+		if a.Free[v] {
+			a.Vars[v] = a.DeclaredDom[v]
+		} else {
+			a.Vars[v] = init[v]
+		}
+	}
+
+	// Fixpoint: join every feasible action's post-domains into the
+	// reachable approximation until nothing changes.
+	for iter := 1; iter <= opt.MaxIter; iter++ {
+		a.Iterations = iter
+		contrib := map[string]*Dom{}
+		for _, c := range comps {
+			for _, act := range c.Actions {
+				st := analyzeAction(act.Def, a.Vars, declaredFn)
+				if st.enabled == False {
+					continue // provably disabled: contributes no steps
+				}
+				for v, d := range st.writes {
+					if !universe[v] {
+						continue // quantifier residue or undeclared: not state
+					}
+					if prev, ok := contrib[v]; ok {
+						contrib[v] = Join(prev, d)
+					} else {
+						contrib[v] = d
+					}
+				}
+			}
+		}
+		changed := false
+		for _, v := range names {
+			d, ok := contrib[v]
+			if !ok {
+				continue
+			}
+			next := Join(a.Vars[v], d)
+			if Incl(next, a.Vars[v]) {
+				continue
+			}
+			if iter >= opt.WidenAfter {
+				next = Widen(a.Vars[v], next)
+				a.Widened = true
+			}
+			if iter == opt.MaxIter {
+				next = Top() // convergence safety net
+			}
+			a.Vars[v] = next
+			changed = true
+		}
+		if !changed {
+			break
+		}
+	}
+
+	// Per-action facts under the final (largest, hence sound) domains.
+	for _, c := range comps {
+		for _, act := range c.Actions {
+			st := analyzeAction(act.Def, a.Vars, declaredFn)
+			a.Actions = append(a.Actions, ActionFacts{
+				Component: c.Name,
+				Action:    act.Name,
+				Writes:    Writes(act.Def),
+				Reads:     Reads(act.Def),
+				Enabled:   st.enabled,
+				Post:      st.writes,
+			})
+		}
+	}
+	return a
+}
+
+// ComponentWrites returns the union of a component's inferred per-action
+// write sets — the variables the component's next-state relation actually
+// changes, regardless of what its declaration claims.
+func (a *Analysis) ComponentWrites(name string) map[string]bool {
+	out := map[string]bool{}
+	for _, f := range a.Actions {
+		if f.Component != name {
+			continue
+		}
+		for v := range f.Writes {
+			out[v] = true
+		}
+	}
+	return out
+}
+
+// VarDom returns the inferred reachable domain for a variable (Top when
+// the variable is unknown to the analysis).
+func (a *Analysis) VarDom(name string) *Dom {
+	if d, ok := a.Vars[name]; ok {
+		return d
+	}
+	return Top()
+}

@@ -1,0 +1,64 @@
+// External test package: these tests pull in the handshake and queue
+// models, which import internal/ag → internal/vet → absint. Keeping
+// them out of package absint avoids the resulting test import cycle.
+package absint_test
+
+import (
+	"testing"
+
+	"opentla/internal/absint"
+	"opentla/internal/handshake"
+	"opentla/internal/queue"
+	"opentla/internal/spec"
+	"opentla/internal/value"
+)
+
+func TestAnalyzeHandshake(t *testing.T) {
+	hc := handshake.Chan("c")
+	hvals := value.Ints(0, 1)
+	comps := []*spec.Component{
+		handshake.Sender("sender", hc, hvals),
+		handshake.Receiver("receiver", hc),
+	}
+	a := absint.Analyze(comps, nil, absint.Options{Declared: hc.Domains(hvals)})
+	b := a.Bound()
+	if !b.Finite || b.States != 8 {
+		t.Fatalf("handshake bound = %s, want ≤ 8 states", b)
+	}
+	for _, f := range a.Actions {
+		if f.Enabled == absint.False {
+			t.Errorf("action %s.%s inferred as never enabled", f.Component, f.Action)
+		}
+	}
+	// Inferred write sets must stay inside the declared ownership.
+	sw := a.ComponentWrites("sender")
+	for v := range sw {
+		if v != hc.Sig() && v != hc.Val() {
+			t.Errorf("sender inferred to write %q", v)
+		}
+	}
+	if rw := a.ComponentWrites("receiver"); !rw[hc.Ack()] || len(rw) != 1 {
+		t.Errorf("receiver writes = %v, want {%s}", rw, hc.Ack())
+	}
+}
+
+func TestAnalyzeQueueInfersQueueDomain(t *testing.T) {
+	cfg := queue.Config{N: 1, Vals: 2}
+	comps := []*spec.Component{
+		queue.QE("QE", queue.In, queue.Out, cfg.ValueDomain()),
+		queue.QM("QM", cfg.N, queue.In, queue.Out, "q", cfg.ValueDomain()),
+	}
+	// Withhold the queue's declared domain: the analyzer must derive the
+	// length bound from the Enq guard alone.
+	domains := cfg.Domains()
+	delete(domains, "q")
+	a := absint.Analyze(comps, nil, absint.Options{Declared: domains})
+	q := a.VarDom("q")
+	if c, fin := q.Card(); !fin || c != 3 {
+		t.Fatalf("inferred q domain %s has card %d, want 3 (len ≤ 1 over 2 values)", q, c)
+	}
+	b := a.Bound()
+	if !b.Finite || b.States != 192 {
+		t.Fatalf("queue bound = %s, want ≤ 192 states", b)
+	}
+}

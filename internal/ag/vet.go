@@ -38,6 +38,14 @@ func (th *Theorem) Vet() *vet.Result {
 		single(p.Env)
 	}
 	single(th.Concl.Sys)
+
+	// Interface consistency of each assumption/guarantee pair, and of the
+	// conclusion: every wire a guarantee reads must be driven by its
+	// assumption (SV121).
+	for _, p := range th.Pairs {
+		res.Merge(vet.Pair(p.Name, p.Env, p.Sys, opt))
+	}
+	res.Merge(vet.Pair("conclusion", th.Concl.Env, th.Concl.Sys, opt))
 	return res
 }
 

@@ -54,6 +54,10 @@ const (
 // Encode serializes a snapshot, binding it to the description digest. It
 // fails if the states do not share one variable set (graphs always do; a
 // caller handing anything else gets an error instead of a junk file).
+// Encode feeds the content-addressed cache, so its output must be
+// byte-exact across runs.
+//
+// aglint:deterministic
 func Encode(snap *ts.Snapshot, descSum [sha256.Size]byte) ([]byte, error) {
 	var buf []byte
 	buf = append(buf, magic[:]...)

@@ -48,7 +48,7 @@ type VetResult struct {
 // which asserts the analyzer kills all of them.
 func VetCatalog(cfg queue.Config) []VetMutation {
 	q1Pair := func(th *ag.Theorem) (*ag.Pair, error) { return pairByName(th, "Q1") }
-	return []VetMutation{
+	muts := []VetMutation{
 		{
 			Name: "vet-unowned-write",
 			Kind: KindAction,
@@ -184,6 +184,7 @@ func VetCatalog(cfg queue.Config) []VetMutation {
 			},
 		},
 	}
+	return append(muts, semVetMutations(cfg)...)
 }
 
 // RunVet applies each ill-formed mutant to its own copy of the Figure 9

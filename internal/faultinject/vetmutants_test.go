@@ -1,8 +1,10 @@
 package faultinject
 
 import (
+	"strings"
 	"testing"
 
+	"opentla/internal/engine"
 	"opentla/internal/queue"
 )
 
@@ -36,9 +38,55 @@ func TestVetCatalogKindsCovered(t *testing.T) {
 	for _, mu := range VetCatalog(queue.Config{N: 1, Vals: 2}) {
 		kinds[mu.Kind] = true
 	}
-	for _, want := range []Kind{KindAction, KindPartition, KindFairness, KindInterleaving, KindExec} {
+	for _, want := range []Kind{KindAction, KindPartition, KindFairness, KindInterleaving, KindExec, KindSemantic} {
 		if !kinds[want] {
 			t.Errorf("no vet mutant of kind %q", want)
+		}
+	}
+}
+
+// TestSemanticMutantsPresent pins the semantic-pass mutant floor: the
+// catalog must keep at least four SV1xx-targeted mutants, each killed by a
+// distinct diagnostic family of the abstract interpreter.
+func TestSemanticMutantsPresent(t *testing.T) {
+	var sem []VetMutation
+	families := map[string]bool{}
+	for _, mu := range VetCatalog(queue.Config{N: 1, Vals: 2}) {
+		if mu.Kind != KindSemantic {
+			continue
+		}
+		sem = append(sem, mu)
+		for _, c := range mu.WantCodes {
+			if strings.HasPrefix(c, "SV1") {
+				families[c] = true
+			}
+		}
+	}
+	if len(sem) < 4 {
+		t.Errorf("catalog has %d semantic mutants, want >= 4", len(sem))
+	}
+	if len(families) < 4 {
+		t.Errorf("semantic mutants cover %d SV1xx codes (%v), want >= 4", len(families), families)
+	}
+}
+
+// TestBoundCatalogNoSurvivors asserts the bound-vs-explored cross-check
+// kills every bound-soundness mutant: a sabotaged cardinality product must
+// drop below the explored state count of the probe model.
+func TestBoundCatalogNoSurvivors(t *testing.T) {
+	muts := BoundCatalog()
+	if len(muts) < 2 {
+		t.Fatalf("bound catalog has %d mutants, want >= 2", len(muts))
+	}
+	results, err := RunBound(muts, engine.Budget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if !r.Detected {
+			t.Errorf("SURVIVOR %s", r.Mutation)
+		} else {
+			t.Logf("%s: %s", r.Mutation, r.Detail)
 		}
 	}
 }

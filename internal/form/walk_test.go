@@ -77,3 +77,75 @@ func TestWalkPrune(t *testing.T) {
 	}
 	Walk(nil, func(Expr) bool { t.Error("visited nil"); return true })
 }
+
+// TestWalkDeeplyNested guards against stack pathologies on degenerate
+// inputs: a 50000-deep Not chain and an equally deep Prime chain must
+// both complete and visit every node exactly once.
+func TestWalkDeeplyNested(t *testing.T) {
+	const depth = 50000
+	var e Expr = Var("x")
+	for i := 0; i < depth; i++ {
+		e = Not(e)
+	}
+	n := 0
+	Walk(e, func(Expr) bool { n++; return true })
+	if n != depth+1 {
+		t.Errorf("deep Not chain: visited %d nodes, want %d", n, depth+1)
+	}
+	e = Var("x")
+	for i := 0; i < depth; i++ {
+		e = PrimeE{X: e}
+	}
+	n = 0
+	Walk(e, func(Expr) bool { n++; return true })
+	if n != depth+1 {
+		t.Errorf("deep Prime chain: visited %d nodes, want %d", n, depth+1)
+	}
+}
+
+// TestWalkWideFanout: a single conjunction with many children is visited
+// breadth-complete, in declaration order.
+func TestWalkWideFanout(t *testing.T) {
+	const width = 10000
+	xs := make([]Expr, width)
+	for i := range xs {
+		xs[i] = Var("v")
+	}
+	e := AndE{Xs: xs}
+	n := 0
+	last := -1
+	Walk(e, func(node Expr) bool {
+		if _, ok := node.(VarE); ok {
+			n++
+			last = n
+		}
+		return true
+	})
+	if n != width || last != width {
+		t.Errorf("wide fanout: visited %d leaves, want %d", n, width)
+	}
+}
+
+// TestWalkDegenerateNodes: empty composites and nil children must neither
+// panic nor be double-counted.
+func TestWalkDegenerateNodes(t *testing.T) {
+	cases := []struct {
+		name string
+		e    Expr
+		want int // total nodes visited
+	}{
+		{"empty and", AndE{}, 1},
+		{"empty or", OrE{}, 1},
+		{"empty tuple", TupleE{}, 1},
+		{"and with nil child", AndE{Xs: []Expr{nil, Var("x"), nil}}, 2},
+		{"quant with nil body", QuantE{Exists: true, Name: "v"}, 1},
+		{"if with nil else", IfE{C: TrueE, T: Var("x")}, 3},
+	}
+	for _, tt := range cases {
+		n := 0
+		Walk(tt.e, func(Expr) bool { n++; return true })
+		if n != tt.want {
+			t.Errorf("%s: visited %d nodes, want %d", tt.name, n, tt.want)
+		}
+	}
+}

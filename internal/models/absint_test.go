@@ -1,0 +1,84 @@
+package models
+
+import (
+	"strings"
+	"testing"
+
+	"opentla/internal/absint"
+	"opentla/internal/form"
+	"opentla/internal/vet"
+)
+
+// TestRegistryBoundDominatesExplored is the soundness cross-check for the
+// semantic pass's state-space bound (the detector the bound mutants of
+// internal/faultinject must fail): for every bundled model and every
+// example composition, the analyzer reports a finite bound that dominates
+// the number of states exhaustive exploration actually finds. Run with
+// -race and -cpu 1,4.
+func TestRegistryBoundDominatesExplored(t *testing.T) {
+	for _, m := range append(All(), Examples()...) {
+		m := m
+		t.Run(m.Name, func(t *testing.T) {
+			t.Parallel()
+			res := m.Vet()
+			if res.Bound == nil {
+				t.Fatal("vet attached no bound")
+			}
+			if !res.Bound.Finite {
+				t.Fatalf("bound is not finite: %s", res.Bound)
+			}
+			g, err := m.System().Build()
+			if err != nil {
+				t.Fatalf("build: %v", err)
+			}
+			explored := uint64(g.NumStates())
+			if res.Bound.States < explored {
+				t.Errorf("bound %s does not dominate %d explored states (UNSOUND)",
+					res.Bound, explored)
+			}
+			t.Logf("bound %s, explored %d states", res.Bound, explored)
+		})
+	}
+}
+
+// TestRegistryNoSemanticFalsePositives pins the semantic pass's precision
+// floor: the bundled models are all well-formed, so any SV1xx finding of
+// warn severity or above is a false positive.
+func TestRegistryNoSemanticFalsePositives(t *testing.T) {
+	for _, m := range append(All(), Examples()...) {
+		res := m.Vet()
+		for _, d := range res.Filter(vet.Warn) {
+			if strings.HasPrefix(d.Code, "SV1") {
+				t.Errorf("%s: false semantic finding: %s", m.Name, d)
+			}
+		}
+	}
+}
+
+// TestRegistryInferredWritesMatchOwnership cross-checks the inferred
+// write-sets against the declared partition: for every bundled model, each
+// component's actions write only variables the component owns. The
+// declarations say the same thing (SV002/SV003 guard it syntactically);
+// here the abstract interpreter must reach the same conclusion from the
+// action definitions alone.
+func TestRegistryInferredWritesMatchOwnership(t *testing.T) {
+	for _, m := range append(All(), Examples()...) {
+		var cons []form.Expr
+		for _, c := range m.Constraints {
+			cons = append(cons, c.Action)
+		}
+		a := absint.Analyze(m.Components, cons, absint.Options{Declared: m.Domains})
+		for _, c := range m.Components {
+			owned := map[string]bool{}
+			for _, v := range c.Owned() {
+				owned[v] = true
+			}
+			for v := range a.ComponentWrites(c.Name) {
+				if !owned[v] {
+					t.Errorf("%s/%s: inferred write to %q, which the component does not own",
+						m.Name, c.Name, v)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package models
+
+import (
+	"opentla/internal/form"
+	"opentla/internal/spec"
+	"opentla/internal/value"
+)
+
+// Examples returns the compositions built by the standalone programs under
+// examples/ that are not already registry models (examples/handshake,
+// examples/doublequeue, examples/arbiter, and examples/circular all drive
+// registry systems). Keeping them enumerable lets specvet -examples and CI
+// vet the demo specs with the same analyzer the bundled models get.
+//
+// The component definitions mirror examples/quickstart/main.go; that file
+// stays self-contained on purpose (it is the copy-paste starting point the
+// README points at), so changes here must be mirrored there.
+func Examples() []Model {
+	domains := map[string][]value.Value{"req": value.Bits(), "grant": value.Bits()}
+	serve := form.And(
+		form.Eq(form.PrimedVar("grant"), form.Var("req")),
+		form.Unchanged("req"),
+	)
+	server := &spec.Component{
+		Name:    "server",
+		Inputs:  []string{"req"},
+		Outputs: []string{"grant"},
+		Init:    form.Eq(form.Var("grant"), form.IntC(0)),
+		Actions: []spec.Action{{Name: "Serve", Def: serve}},
+		Fairness: []spec.Fairness{
+			{Kind: form.Weak, Action: serve},
+		},
+	}
+	toggle := form.And(
+		form.Eq(form.Var("grant"), form.Var("req")),
+		form.Ne(form.PrimedVar("req"), form.Var("req")),
+		form.Unchanged("grant"),
+	)
+	clientEnv := &spec.Component{
+		Name:    "client-assumption",
+		Inputs:  []string{"grant"},
+		Outputs: []string{"req"},
+		Init:    form.Eq(form.Var("req"), form.IntC(0)),
+		Actions: []spec.Action{{Name: "Toggle", Def: toggle}},
+	}
+	return []Model{
+		{
+			Name:       "quickstart",
+			Doc:        "examples/quickstart: polite client toggling req against a mirroring server",
+			Components: []*spec.Component{clientEnv, server},
+			Domains:    domains,
+		},
+	}
+}

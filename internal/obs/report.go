@@ -23,8 +23,9 @@ import (
 // config "reduce" field, and the "reduce" flight-recorder event kind;
 // version 6 added the metrics section (performance-telemetry counter/
 // gauge/histogram snapshot, present when the run attached a registry via
-// -trace or -metrics-out).
-const SchemaVersion = 6
+// -trace or -metrics-out); version 7 added the vet section's bound field
+// (the semantic pass's state-space cardinality upper bound).
+const SchemaVersion = 7
 
 // Report is the versioned machine-readable run report written by -report.
 type Report struct {
@@ -157,6 +158,19 @@ type VetReport struct {
 	Infos    int `json:"infos"`
 	// Diagnostics lists the individual findings, in analyzer order.
 	Diagnostics []VetDiagnostic `json:"diagnostics,omitempty"`
+	// Bound is the semantic pass's state-space cardinality upper bound,
+	// present when the analysis inferred one.
+	Bound *VetBound `json:"bound,omitempty"`
+}
+
+// VetBound serializes the analyzer's state-space bound.
+type VetBound struct {
+	// Finite reports whether every variable's reachable domain is
+	// provably finite.
+	Finite bool `json:"finite"`
+	// States is the bound itself, meaningful when Finite; the product
+	// saturates at 2^64-1.
+	States uint64 `json:"states"`
 }
 
 // VetDiagnostic is one serialized analyzer finding.

@@ -29,7 +29,7 @@ type binding struct {
 // stores (see Fingerprint).
 type State struct {
 	bindings []binding // sorted by name
-	fp       uint64    // lazily cached fingerprint (0 = not yet computed); atomic access only
+	fp       uint64    // lazily cached fingerprint (0 = not yet computed); aglint:atomic
 }
 
 // New constructs a state from a variable→value map.

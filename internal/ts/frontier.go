@@ -435,6 +435,10 @@ func grow[T any](s []T, n int) []T {
 // the first nRows adjacency rows, and the level to run next. The copy
 // detaches the snapshot from the aborted run's scratch (res.states may hold
 // partially assigned states past the barrier).
+// checkpointSnapshot materializes resumable cache artifacts; the arrays it
+// copies are already in deterministic commit order and must stay that way.
+//
+// aglint:deterministic
 func checkpointSnapshot(res *exploreResult, offsets []int, targets []int32, edgeStates []*state.State, nStates, nRows, level int) *Snapshot {
 	snap := &Snapshot{
 		Level:   level,
@@ -690,6 +694,11 @@ func (lv *levelRun) assignPartitions(wid int) {
 // offsets[rowBase+i+1]) is owned by exactly one worker, so writes are
 // disjoint; finals reads see every partition via the round barrier between
 // assign and rows.
+// commitRows writes each row's successor ids at their final positions; the
+// graph bytes it produces are replay-compared and cached, so the path must
+// stay free of randomized iteration.
+//
+// aglint:deterministic
 func (lv *levelRun) commitRows(wid int) {
 	var perr error
 	defer func() {

@@ -68,6 +68,10 @@ type GraphCache interface {
 
 // Snapshot returns the complete serializable image of the graph. The
 // returned value aliases the graph's slices; treat it as read-only.
+// Snapshot's output is hashed and cached; it must not depend on map
+// iteration order.
+//
+// aglint:deterministic
 func (g *Graph) Snapshot() *Snapshot {
 	return &Snapshot{
 		Complete:   true,
@@ -168,6 +172,10 @@ func validSnapshot(snap *Snapshot, wantComplete bool) bool {
 // an action with an executable generator but no declarative definition has
 // unhashable semantics. (Actions with both are described by the definition —
 // generator agreement is audited separately by Graph.AuditExecs.)
+// CanonicalDesc is the cache key; identical systems must produce
+// identical descriptors on every run.
+//
+// aglint:deterministic
 func (sys *System) CanonicalDesc() (string, bool) {
 	var sb strings.Builder
 	sb.WriteString("opentla-system-desc-v1\n")

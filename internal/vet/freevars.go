@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"opentla/internal/absint"
 	"opentla/internal/form"
 	"opentla/internal/spec"
 )
@@ -63,63 +64,9 @@ func checkFreeVars(res *Result, c *spec.Component) {
 }
 
 // writes returns the variables whose next-state values e genuinely
-// constrains. Benign stuttering conjuncts of the form f' = f — the
-// UNCHANGED idiom every interleaving action uses for the variables it
-// leaves alone — are not writes: [A]_v would otherwise make every action
-// "write" every subscript variable. The analysis descends through the
-// boolean structure so that stutter equations are recognized wherever the
-// action places them; any other construct mentioning a primed variable
-// (inequalities, arithmetic, negations) counts as a write.
+// constrains, excluding benign stutter conjuncts (f' = f). The analysis is
+// shared with the semantic pass: both layers must agree on what counts as
+// a write, so vet delegates to absint.Writes.
 func writes(e form.Expr) map[string]bool {
-	out := make(map[string]bool)
-	collectWrites(e, out)
-	return out
-}
-
-func collectWrites(e form.Expr, out map[string]bool) {
-	switch x := e.(type) {
-	case form.AndE:
-		for _, c := range x.Xs {
-			collectWrites(c, out)
-		}
-	case form.OrE:
-		for _, c := range x.Xs {
-			collectWrites(c, out)
-		}
-	case form.QuantE:
-		sub := make(map[string]bool)
-		collectWrites(x.Body, sub)
-		// The bound name is rigid within the body, not a state variable.
-		delete(sub, x.Name)
-		for v := range sub {
-			out[v] = true
-		}
-	case form.CmpE:
-		if x.Op == form.OpEq && isStutterEq(x) {
-			return
-		}
-		for _, v := range form.PrimedVars(x) {
-			out[v] = true
-		}
-	default:
-		if e == nil {
-			return
-		}
-		for _, v := range form.PrimedVars(e) {
-			out[v] = true
-		}
-	}
-}
-
-// isStutterEq reports whether the equality has the shape f' = f (either
-// operand order) for some state function f — i.e. it keeps f unchanged
-// rather than writing it.
-func isStutterEq(x form.CmpE) bool {
-	if p, ok := x.A.(form.PrimeE); ok && p.X.String() == x.B.String() {
-		return true
-	}
-	if p, ok := x.B.(form.PrimeE); ok && p.X.String() == x.A.String() {
-		return true
-	}
-	return false
+	return absint.Writes(e)
 }

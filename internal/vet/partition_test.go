@@ -10,10 +10,10 @@ import (
 
 func TestPartitionDiagnostics(t *testing.T) {
 	cases := []struct {
-		name   string
-		comp   *spec.Component
-		want   string
-		inMsg  string
+		name  string
+		comp  *spec.Component
+		want  string
+		inMsg string
 	}{
 		{"clean", clean(), "", ""},
 		{"cross-class-dup", &spec.Component{Name: "d",

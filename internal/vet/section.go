@@ -11,6 +11,9 @@ func (r *Result) Section(mode Mode) *obs.VetReport {
 		Warnings: r.Warnings(),
 		Infos:    r.Infos(),
 	}
+	if r.Bound != nil {
+		out.Bound = &obs.VetBound{Finite: r.Bound.Finite, States: r.Bound.States}
+	}
 	for _, d := range r.Diagnostics {
 		out.Diagnostics = append(out.Diagnostics, obs.VetDiagnostic{
 			Code:      d.Code,

@@ -36,6 +36,20 @@
 //	SV050 warn   action definition is syntactically unsatisfiable (dead)
 //	SV060 info   declared variable never referenced
 //	SV061 warn   quantifier binds a name shadowing a declared variable
+//
+// The SV1xx range is the semantic pass (specvet v2): facts established by
+// the abstract interpreter of package absint rather than read off the
+// declarations. It runs for compositions with declared domains and also
+// attaches the state-space cardinality bound to the Result (see
+// DESIGN.md §14):
+//
+//	SV100 error  variable's reachable value set not provably finite
+//	SV101 warn   inferred write disjoint from the declared domain
+//	SV111 error  declared Disjoint coverage refuted by inferred write-sets
+//	SV120 error  input declared over another component's internal variable
+//	SV121 warn   pair: guarantee input not driven by its assumption's outputs
+//	SV130 warn   action provably never enabled under inferred domains
+//	SV140 warn   state-space bound exceeds the configured budget
 package vet
 
 import (
@@ -43,6 +57,7 @@ import (
 	"sort"
 	"strings"
 
+	"opentla/internal/absint"
 	"opentla/internal/spec"
 	"opentla/internal/ts"
 	"opentla/internal/value"
@@ -101,7 +116,7 @@ type Diagnostic struct {
 	// the composition's name.
 	Component string `json:"component,omitempty"`
 	// Action names the offending action or fairness condition, if any.
-	Action string `json:"action,omitempty"`
+	Action  string `json:"action,omitempty"`
 	Message string `json:"message"`
 	// Hint suggests a fix.
 	Hint string `json:"hint,omitempty"`
@@ -130,15 +145,40 @@ func (d Diagnostic) String() string {
 // Result collects the diagnostics of one analysis run.
 type Result struct {
 	Diagnostics []Diagnostic
+	// Bound is the semantic pass's state-space cardinality upper bound;
+	// nil when the pass did not run (no declared domains, or a
+	// component-only analysis).
+	Bound *absint.Bound
 }
 
 func (r *Result) add(d Diagnostic) { r.Diagnostics = append(r.Diagnostics, d) }
 
-// Merge appends the other result's diagnostics.
+// Merge appends the other result's diagnostics. The receiver's bound wins
+// when both results carry one (the composition-level analysis is merged
+// first and covers the whole system).
 func (r *Result) Merge(o *Result) {
 	if o != nil {
 		r.Diagnostics = append(r.Diagnostics, o.Diagnostics...)
+		if r.Bound == nil {
+			r.Bound = o.Bound
+		}
 	}
+}
+
+// CheckBudget implements SV140: when the analysis produced a bound and it
+// exceeds the given state budget, a warning is appended and reported true.
+// Strict callers refuse to run such instances; others proceed with the
+// budget's usual truncation semantics. A budget ≤ 0 checks nothing.
+func (r *Result) CheckBudget(budget int64) bool {
+	if r.Bound == nil || !r.Bound.Exceeds(budget) {
+		return false
+	}
+	r.add(Diagnostic{
+		Code: "SV140", Severity: Warn,
+		Message: fmt.Sprintf("state-space bound %s exceeds the configured budget of %d states", r.Bound, budget),
+		Hint:    "shrink the instance (domains, queue capacity) or raise -max-states",
+	})
+	return true
 }
 
 // Count returns the number of diagnostics with exactly the given severity.
@@ -232,6 +272,7 @@ func Composition(name string, comps []*spec.Component, cons []ts.StepConstraint,
 	}
 	checkOwnership(res, comps)
 	checkDisjointCoverage(res, name, comps, cons, opt)
+	checkSemantic(res, name, comps, cons, opt)
 	return res
 }
 

@@ -1,0 +1,112 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) == 0 {
+		fmt.Fprintln(stderr, "usage: aglint <package-dir | ./dir/...> ...")
+		return 2
+	}
+	modRoot, modPath, err := findModule(".")
+	if err != nil {
+		fmt.Fprintln(stderr, "aglint:", err)
+		return 2
+	}
+	var dirs []string
+	for _, arg := range args {
+		expanded, err := expandPattern(arg)
+		if err != nil {
+			fmt.Fprintln(stderr, "aglint:", err)
+			return 2
+		}
+		dirs = append(dirs, expanded...)
+	}
+	if len(dirs) == 0 {
+		fmt.Fprintln(stderr, "aglint: no packages matched")
+		return 2
+	}
+	findings, err := Run(modRoot, modPath, dirs)
+	if err != nil {
+		fmt.Fprintln(stderr, "aglint:", err)
+		return 2
+	}
+	for _, f := range findings {
+		fmt.Fprintln(stdout, f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(stderr, "aglint: %d findings\n", len(findings))
+		return 1
+	}
+	return 0
+}
+
+// findModule walks up from dir to the enclosing go.mod and returns the
+// module root and path.
+func findModule(dir string) (root, path string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(abs, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return abs, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("%s/go.mod has no module directive", abs)
+		}
+		parent := filepath.Dir(abs)
+		if parent == abs {
+			return "", "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		abs = parent
+	}
+}
+
+// expandPattern resolves one argument: a plain directory, or a Go-style
+// recursive pattern dir/... matching every package directory beneath it.
+// Directories named testdata (and hidden directories) are skipped, as the
+// go tool does.
+func expandPattern(arg string) ([]string, error) {
+	base, recursive := strings.CutSuffix(arg, "/...")
+	if base == "" {
+		base = "."
+	}
+	if !recursive {
+		return []string{arg}, nil
+	}
+	var dirs []string
+	err := filepath.WalkDir(base, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if p != base && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(p, ".go") && !strings.HasSuffix(p, "_test.go") {
+			dir := filepath.Dir(p)
+			if len(dirs) == 0 || dirs[len(dirs)-1] != dir {
+				dirs = append(dirs, dir)
+			}
+		}
+		return nil
+	})
+	return dirs, err
+}

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestFixtureFindings runs the linter over the lintme fixture and pins
+// every expected finding (and only those): the fixture's comments label
+// each site good or bad.
+func TestFixtureFindings(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("testdata", "lintme"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := Run(root, "lintme", []string{root})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, f := range findings {
+		got = append(got, f.String())
+		t.Log(f)
+	}
+	wantSubstrings := []string{
+		":23:", // map range in seal
+		":27:", // map range inside closure
+		":49:", // c.hits++
+		":51:", // plain read n := c.hits
+	}
+	if len(findings) != len(wantSubstrings) {
+		t.Fatalf("got %d findings, want %d:\n%s", len(findings), len(wantSubstrings), strings.Join(got, "\n"))
+	}
+	for i, want := range wantSubstrings {
+		if !strings.Contains(got[i], want) {
+			t.Errorf("finding %d = %q, want line %q", i, got[i], want)
+		}
+	}
+	for _, f := range got {
+		if !strings.Contains(f, "aglint:") {
+			t.Errorf("finding %q does not name its marker", f)
+		}
+	}
+}
+
+// TestCleanRepo lints the repository itself: the annotated seal/commit/
+// snapshot paths and atomic fields must be clean, or the lint CI job
+// breaks on every push.
+func TestCleanRepo(t *testing.T) {
+	modRoot, modPath, err := findModule(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs, err := expandPattern(filepath.Join(modRoot, "internal") + "/...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := Run(modRoot, modPath, dirs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Error(f)
+	}
+}
+
+// TestCLI pins the command's exit codes and output plumbing.
+func TestCLI(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(nil, &out, &errb); code != 2 {
+		t.Errorf("no args: exit %d, want 2", code)
+	}
+	out.Reset()
+	errb.Reset()
+	// Pointed at the fixture, the CLI reports its findings and exits 1.
+	if code := run([]string{"./testdata/lintme"}, &out, &errb); code != 1 {
+		t.Errorf("fixture dir: exit %d, want 1 (stderr %s)", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "aglint:deterministic") ||
+		!strings.Contains(out.String(), "aglint:atomic") {
+		t.Errorf("stdout missing findings:\n%s", out.String())
+	}
+	if !strings.Contains(errb.String(), "findings") {
+		t.Errorf("stderr missing the findings summary: %s", errb.String())
+	}
+}

@@ -1,0 +1,3 @@
+module lintme
+
+go 1.22

@@ -1,0 +1,55 @@
+// Package lintme is the aglint test fixture: each site below is labeled
+// good (no finding) or bad (exactly one finding).
+package lintme
+
+import "sync/atomic"
+
+type counters struct {
+	// bad when accessed plainly: aglint:atomic
+	hits uint64
+	// gauge is a sync/atomic type; method access is fine. aglint:atomic
+	gauge atomic.Int64
+	name  string
+}
+
+// seal is marked deterministic and must not range over maps.
+//
+// aglint:deterministic
+func seal(m map[string]int, keys []string) int {
+	total := 0
+	for _, k := range keys { // good: slice range
+		total += m[k]
+	}
+	for _, v := range m { // bad: map range in deterministic function
+		total += v
+	}
+	func() {
+		for k := range m { // bad: map range inside a closure
+			_ = k
+		}
+	}()
+	for _, v := range m { // aglint:ignore
+		total += v // good: suppressed
+	}
+	return total
+}
+
+// free is unmarked; map iteration is fine here.
+func free(m map[string]int) int {
+	total := 0
+	for _, v := range m { // good: function not marked
+		total += v
+	}
+	return total
+}
+
+func touch(c *counters) uint64 {
+	atomic.AddUint64(&c.hits, 1)        // good: sync/atomic call
+	c.gauge.Add(1)                      // good: atomic.Int64 method
+	c.hits++                            // bad: plain read-modify-write
+	c.name = "x"                        // good: unmarked field
+	n := c.hits                         // bad: plain read
+	m := atomic.LoadUint64(&c.hits) + n // good load, feeding a local
+	_ = c.hits                          // aglint:ignore — good: suppressed
+	return m
+}
